@@ -1,0 +1,205 @@
+//! Breadth-First Search as a GraphMat vertex program.
+//!
+//! The paper's formulation (§3-II): the root gets distance 0 and is active;
+//! at iteration `t` every vertex adjacent to an active vertex computes
+//! `Distance(v) = min(Distance(v), t + 1)`, and vertices whose distance
+//! changed (from ∞) become active. BFS runs on the symmetrized, unweighted
+//! graph (§5.1).
+
+use crate::AlgorithmOutput;
+use graphmat_core::{
+    run_graph_program, EdgeDirection, Graph, GraphBuildOptions, GraphProgram, RunOptions, VertexId,
+};
+use graphmat_io::edgelist::EdgeList;
+
+/// Distance value meaning "not reached yet".
+pub const UNREACHED: u32 = u32::MAX;
+
+/// BFS parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct BfsConfig {
+    /// The root vertex the search starts from.
+    pub root: VertexId,
+    /// Symmetrize the input graph first (the paper always does for BFS).
+    pub symmetrize: bool,
+    /// Graph construction options.
+    pub build: GraphBuildOptions,
+}
+
+impl Default for BfsConfig {
+    fn default() -> Self {
+        BfsConfig {
+            root: 0,
+            symmetrize: true,
+            build: GraphBuildOptions::default().with_in_edges(false),
+        }
+    }
+}
+
+impl BfsConfig {
+    /// BFS from the given root with default settings.
+    pub fn from_root(root: VertexId) -> Self {
+        BfsConfig {
+            root,
+            ..Default::default()
+        }
+    }
+}
+
+/// The BFS vertex program. The vertex property is the current distance from
+/// the root (`UNREACHED` if not discovered yet).
+pub struct BfsProgram;
+
+impl GraphProgram for BfsProgram {
+    type VertexProp = u32;
+    type Message = u32;
+    type Reduced = u32;
+
+    fn direction(&self) -> EdgeDirection {
+        EdgeDirection::Out
+    }
+
+    fn send_message(&self, _v: VertexId, dist: &u32) -> Option<u32> {
+        Some(*dist)
+    }
+
+    fn process_message(&self, msg: &u32, _edge: f32, _dst: &u32) -> u32 {
+        msg.saturating_add(1)
+    }
+
+    fn reduce(&self, acc: &mut u32, value: u32) {
+        if value < *acc {
+            *acc = value;
+        }
+    }
+
+    fn apply(&self, reduced: &u32, dist: &mut u32) {
+        if *reduced < *dist {
+            *dist = *reduced;
+        }
+    }
+}
+
+/// Run BFS and return the per-vertex hop distance from the root
+/// ([`UNREACHED`] for vertices in other components).
+pub fn bfs(edges: &EdgeList, config: &BfsConfig, options: &RunOptions) -> AlgorithmOutput<u32> {
+    assert!(
+        config.root < edges.num_vertices(),
+        "BFS root {} out of range ({} vertices)",
+        config.root,
+        edges.num_vertices()
+    );
+    let symmetric;
+    let edges = if config.symmetrize {
+        symmetric = edges.symmetrized();
+        &symmetric
+    } else {
+        edges
+    };
+
+    let mut graph: Graph<u32> = Graph::from_edge_list(edges, config.build);
+    graph.set_all_properties(UNREACHED);
+    graph.set_property(config.root, 0);
+    graph.set_active(config.root);
+
+    let result = run_graph_program(&BfsProgram, &mut graph, options);
+    AlgorithmOutput {
+        values: graph.properties().to_vec(),
+        stats: result.stats,
+        converged: result.converged,
+    }
+}
+
+/// Queue-based reference BFS used by tests.
+pub fn bfs_reference(edges: &EdgeList, root: VertexId, symmetrize: bool) -> Vec<u32> {
+    let symmetric;
+    let edges = if symmetrize {
+        symmetric = edges.symmetrized();
+        &symmetric
+    } else {
+        edges
+    };
+    let n = edges.num_vertices() as usize;
+    let mut adj = vec![Vec::new(); n];
+    for &(s, d, _) in edges.edges() {
+        adj[s as usize].push(d as usize);
+    }
+    let mut dist = vec![UNREACHED; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[root as usize] = 0;
+    queue.push_back(root as usize);
+    while let Some(u) = queue.pop_front() {
+        for &v in &adj[u] {
+            if dist[v] == UNREACHED {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_with_branch() -> EdgeList {
+        // 0-1-2-3 chain plus branch 1-4; vertex 5 isolated
+        EdgeList::from_pairs(6, vec![(0, 1), (1, 2), (2, 3), (1, 4)])
+    }
+
+    #[test]
+    fn distances_match_reference() {
+        let el = chain_with_branch();
+        let out = bfs(&el, &BfsConfig::from_root(0), &RunOptions::sequential());
+        assert_eq!(out.values, bfs_reference(&el, 0, true));
+        assert_eq!(out.values, vec![0, 1, 2, 3, 2, UNREACHED]);
+        assert!(out.converged);
+    }
+
+    #[test]
+    fn symmetrization_makes_directed_edges_traversable_backwards() {
+        let el = EdgeList::from_pairs(3, vec![(1, 0), (1, 2)]);
+        // rooted at 0: without symmetrization nothing is reachable
+        let no_sym = bfs(
+            &el,
+            &BfsConfig {
+                root: 0,
+                symmetrize: false,
+                ..Default::default()
+            },
+            &RunOptions::sequential(),
+        );
+        assert_eq!(no_sym.values, vec![0, UNREACHED, UNREACHED]);
+        let sym = bfs(&el, &BfsConfig::from_root(0), &RunOptions::sequential());
+        assert_eq!(sym.values, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn number_of_supersteps_equals_eccentricity() {
+        let el = chain_with_branch();
+        let out = bfs(&el, &BfsConfig::from_root(0), &RunOptions::sequential());
+        // frontier advances one hop per superstep; final superstep discovers
+        // nothing new, so iterations = max distance + 1
+        assert_eq!(out.stats.iterations, 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_root_panics() {
+        let el = chain_with_branch();
+        let _ = bfs(&el, &BfsConfig::from_root(99), &RunOptions::sequential());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_rmat() {
+        let el = graphmat_io::rmat::generate(
+            &graphmat_io::rmat::RmatConfig::graph500(9).with_seed(21),
+        );
+        let cfg = BfsConfig::from_root(1);
+        let seq = bfs(&el, &cfg, &RunOptions::sequential());
+        let par = bfs(&el, &cfg, &RunOptions::default().with_threads(4));
+        assert_eq!(seq.values, par.values);
+        assert_eq!(seq.values, bfs_reference(&el, 1, true));
+    }
+}

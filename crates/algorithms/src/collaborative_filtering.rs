@@ -1,0 +1,317 @@
+//! Collaborative filtering (matrix factorization by gradient descent) as a
+//! GraphMat vertex program.
+//!
+//! The paper's formulation (§3-III, equations 3–6): each user `u` and item
+//! `v` owns a latent vector `p ∈ ℝᴷ`; the goal is to minimise
+//! `Σ (G_uv − pᵤᵀp_v)² + λ(‖pᵤ‖² + ‖p_v‖²)`. One gradient-descent step per
+//! superstep:
+//!
+//! ```text
+//! e_uv = G_uv − pᵤᵀ p_v
+//! pᵤ ← pᵤ + γ [ Σ_v e_uv p_v − λ pᵤ ]
+//! p_v ← p_v + γ [ Σ_u e_uv pᵤ − λ p_v ]
+//! ```
+//!
+//! The ratings graph is bipartite (edges run user → item) and the program
+//! scatters along **both** edge directions, so users and items update
+//! simultaneously from the previous superstep's values — which is exactly GD
+//! (not SGD), the reason the paper's CF is *faster* than the SGD native
+//! baseline in Table 3.
+//!
+//! `PROCESS_MESSAGE` needs the destination vertex's latent vector to compute
+//! `e_uv`; as with triangle counting, this is the frontend capability that
+//! pure-semiring frameworks lack.
+
+use crate::AlgorithmOutput;
+use graphmat_core::{
+    run_graph_program, ActivityPolicy, EdgeDirection, Graph, GraphBuildOptions, GraphProgram,
+    RunOptions, VertexId,
+};
+use graphmat_io::bipartite::RatingsGraph;
+use graphmat_io::edgelist::EdgeList;
+
+/// Collaborative filtering parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CfConfig {
+    /// Number of latent features `K` (the paper uses a small constant; 20 by
+    /// default here).
+    pub latent_dims: usize,
+    /// Regularisation weight `λ`.
+    pub lambda: f64,
+    /// Learning rate `γ`.
+    pub gamma: f64,
+    /// Number of gradient-descent iterations.
+    pub iterations: usize,
+    /// Seed for the deterministic initialisation of the latent vectors.
+    pub seed: u64,
+    /// Graph construction options (must keep in-edges enabled).
+    pub build: GraphBuildOptions,
+}
+
+impl Default for CfConfig {
+    fn default() -> Self {
+        CfConfig {
+            latent_dims: 20,
+            lambda: 0.05,
+            gamma: 0.002,
+            iterations: 10,
+            seed: 7,
+            build: GraphBuildOptions::default(),
+        }
+    }
+}
+
+/// Per-vertex CF state: the latent feature vector.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CfVertex {
+    /// Latent features (`K` entries).
+    pub features: Vec<f64>,
+}
+
+/// The gradient-descent CF vertex program.
+pub struct CfProgram {
+    lambda: f64,
+    gamma: f64,
+}
+
+impl GraphProgram for CfProgram {
+    type VertexProp = CfVertex;
+    type Message = Vec<f64>;
+    type Reduced = Vec<f64>;
+
+    fn direction(&self) -> EdgeDirection {
+        EdgeDirection::Both
+    }
+
+    fn send_message(&self, _v: VertexId, prop: &CfVertex) -> Option<Vec<f64>> {
+        if prop.features.is_empty() {
+            None
+        } else {
+            Some(prop.features.clone())
+        }
+    }
+
+    fn process_message(&self, msg: &Vec<f64>, rating: f32, dst: &CfVertex) -> Vec<f64> {
+        // e = G_uv − p_other · p_self ; contribution = e * p_other
+        let dot: f64 = msg
+            .iter()
+            .zip(dst.features.iter())
+            .map(|(a, b)| a * b)
+            .sum();
+        let error = rating as f64 - dot;
+        msg.iter().map(|x| error * x).collect()
+    }
+
+    fn reduce(&self, acc: &mut Vec<f64>, value: Vec<f64>) {
+        if acc.is_empty() {
+            *acc = value;
+        } else {
+            for (a, v) in acc.iter_mut().zip(value) {
+                *a += v;
+            }
+        }
+    }
+
+    fn apply(&self, reduced: &Vec<f64>, prop: &mut CfVertex) {
+        if reduced.is_empty() {
+            return;
+        }
+        for (p, grad) in prop.features.iter_mut().zip(reduced.iter()) {
+            *p += self.gamma * (grad - self.lambda * *p);
+        }
+    }
+}
+
+/// Run collaborative filtering on a bipartite ratings graph and return the
+/// per-vertex latent vectors (users first, then items, in vertex-id order).
+pub fn collaborative_filtering(
+    ratings: &RatingsGraph,
+    config: &CfConfig,
+    options: &RunOptions,
+) -> AlgorithmOutput<Vec<f64>> {
+    collaborative_filtering_edges(&ratings.edges, config, options)
+}
+
+/// Run collaborative filtering on a raw bipartite edge list (edges must run
+/// from user vertices to item vertices; weights are ratings).
+pub fn collaborative_filtering_edges(
+    edges: &EdgeList,
+    config: &CfConfig,
+    options: &RunOptions,
+) -> AlgorithmOutput<Vec<f64>> {
+    assert!(config.latent_dims > 0, "latent_dims must be positive");
+    assert!(
+        config.build.build_in_edges,
+        "collaborative filtering scatters along both directions; \
+         build_in_edges must stay enabled"
+    );
+    let mut graph: Graph<CfVertex> = Graph::from_edge_list(edges, config.build);
+    let k = config.latent_dims;
+    let seed = config.seed;
+    graph.init_properties(|v| CfVertex {
+        features: (0..k).map(|i| init_feature(seed, v, i, k)).collect(),
+    });
+    graph.set_all_active();
+
+    let program = CfProgram {
+        lambda: config.lambda,
+        gamma: config.gamma,
+    };
+    let run_opts = RunOptions {
+        max_iterations: Some(options.max_iterations.unwrap_or(config.iterations)),
+        // gradient descent updates every user and item each iteration
+        activity: ActivityPolicy::AlwaysAll,
+        ..*options
+    };
+    let result = run_graph_program(&program, &mut graph, &run_opts);
+
+    AlgorithmOutput {
+        values: graph
+            .properties()
+            .iter()
+            .map(|p| p.features.clone())
+            .collect(),
+        stats: result.stats,
+        converged: result.converged,
+    }
+}
+
+/// Deterministic pseudo-random initial feature value in `[0, 1/√K)`.
+fn init_feature(seed: u64, v: VertexId, i: usize, k: usize) -> f64 {
+    let mut h = seed
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add((v as u64).wrapping_mul(0xC2B2AE3D27D4EB4F))
+        .wrapping_add((i as u64).wrapping_mul(0x165667B19E3779F9));
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51AFD7ED558CCD);
+    h ^= h >> 33;
+    (h >> 11) as f64 / (1u64 << 53) as f64 / (k as f64).sqrt()
+}
+
+/// Root-mean-square error of the factorization over the given ratings.
+pub fn rmse(edges: &EdgeList, features: &[Vec<f64>]) -> f64 {
+    if edges.num_edges() == 0 {
+        return 0.0;
+    }
+    let mut sum = 0.0f64;
+    for &(u, v, rating) in edges.edges() {
+        let prediction: f64 = features[u as usize]
+            .iter()
+            .zip(features[v as usize].iter())
+            .map(|(a, b)| a * b)
+            .sum();
+        let err = rating as f64 - prediction;
+        sum += err * err;
+    }
+    (sum / edges.num_edges() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphmat_io::bipartite::{self, BipartiteConfig};
+
+    fn small_ratings() -> RatingsGraph {
+        bipartite::generate(&BipartiteConfig {
+            num_users: 60,
+            num_items: 15,
+            num_ratings: 500,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn rmse_decreases_over_iterations() {
+        let ratings = small_ratings();
+        let base = CfConfig {
+            latent_dims: 8,
+            iterations: 0,
+            ..Default::default()
+        };
+        let trained_cfg = CfConfig {
+            iterations: 30,
+            ..base
+        };
+        let initial = collaborative_filtering(&ratings, &base, &RunOptions::sequential());
+        let trained = collaborative_filtering(&ratings, &trained_cfg, &RunOptions::sequential());
+        let rmse_initial = rmse(&ratings.edges, &initial.values);
+        let rmse_trained = rmse(&ratings.edges, &trained.values);
+        assert!(
+            rmse_trained < rmse_initial * 0.9,
+            "training should reduce RMSE: {rmse_initial} -> {rmse_trained}"
+        );
+    }
+
+    #[test]
+    fn latent_vectors_have_requested_dimension() {
+        let ratings = small_ratings();
+        let cfg = CfConfig {
+            latent_dims: 5,
+            iterations: 2,
+            ..Default::default()
+        };
+        let out = collaborative_filtering(&ratings, &cfg, &RunOptions::sequential());
+        assert_eq!(out.values.len(), ratings.edges.num_vertices() as usize);
+        assert!(out.values.iter().all(|f| f.len() == 5));
+    }
+
+    #[test]
+    fn runs_requested_iterations() {
+        let ratings = small_ratings();
+        let cfg = CfConfig {
+            latent_dims: 4,
+            iterations: 6,
+            ..Default::default()
+        };
+        let out = collaborative_filtering(&ratings, &cfg, &RunOptions::sequential());
+        assert_eq!(out.stats.iterations, 6);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let ratings = small_ratings();
+        let cfg = CfConfig {
+            latent_dims: 4,
+            iterations: 5,
+            ..Default::default()
+        };
+        let seq = collaborative_filtering(&ratings, &cfg, &RunOptions::sequential());
+        let par = collaborative_filtering(&ratings, &cfg, &RunOptions::default().with_threads(4));
+        for (a, b) in seq.values.iter().zip(par.values.iter()) {
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn initialisation_is_deterministic_and_bounded() {
+        for v in 0..50u32 {
+            for i in 0..8usize {
+                let a = init_feature(7, v, i, 8);
+                let b = init_feature(7, v, i, 8);
+                assert_eq!(a, b);
+                assert!((0.0..1.0).contains(&a));
+            }
+        }
+    }
+
+    #[test]
+    fn rmse_of_perfect_factorization_is_zero() {
+        // rating = 2.0, features chosen so dot product = 2.0 exactly
+        let el = EdgeList::from_tuples(2, vec![(0, 1, 2.0)]);
+        let features = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        assert!(rmse(&el, &features) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_latent_dims_panics() {
+        let ratings = small_ratings();
+        let cfg = CfConfig {
+            latent_dims: 0,
+            ..Default::default()
+        };
+        let _ = collaborative_filtering(&ratings, &cfg, &RunOptions::sequential());
+    }
+}

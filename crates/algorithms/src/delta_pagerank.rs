@@ -1,0 +1,242 @@
+//! Convergence-driven ("delta") PageRank — an extension beyond the paper's
+//! fixed-iteration PageRank.
+//!
+//! The paper times PageRank per iteration with every vertex active. Many
+//! deployments instead run to a tolerance, propagating only the *change* in
+//! rank each superstep so that converged regions of the graph drop out of the
+//! computation. Writing the rank update in incremental form,
+//!
+//! ```text
+//! rank_{t+1}(v) − rank_t(v) = (1 − r) Σ_{u→v} Δ_t(u) / degree(u)
+//! ```
+//!
+//! the message becomes `Δ(u)/degree(u)`, APPLY adds the damped sum to the
+//! rank, and a vertex whose increment falls below the tolerance goes inactive
+//! — GraphMat's active-set machinery implements the frontier shrinkage with
+//! no engine change (Algorithm 2 lines 12–13). Initialising
+//! `rank_0 = Δ_0 = r` makes the recurrence exact from the first superstep.
+//!
+//! **Boundary-case semantics.** A vertex with no in-edges ends at `rank = r`,
+//! which is what the paper's equation 1 prescribes. The fixed-iteration
+//! [`crate::pagerank`] program instead leaves such vertices at their initial
+//! rank of 1.0, because Algorithm 2 only APPLYs to vertices that received a
+//! message — that is faithful to the original GraphMat implementation. On
+//! graphs where every vertex has an in-edge the two programs converge to the
+//! same values; on graphs with source vertices their results differ by design
+//! (and the difference propagates downstream).
+
+use crate::AlgorithmOutput;
+use graphmat_core::{
+    run_graph_program, EdgeDirection, Graph, GraphBuildOptions, GraphProgram, RunOptions, VertexId,
+};
+use graphmat_io::edgelist::EdgeList;
+
+/// Delta-PageRank parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DeltaPageRankConfig {
+    /// Random-surf probability `r`.
+    pub random_surf: f64,
+    /// Convergence tolerance: a vertex whose rank increment is smaller than
+    /// this stops broadcasting.
+    pub tolerance: f64,
+    /// Hard iteration cap (safety net).
+    pub max_iterations: usize,
+    /// Graph construction options.
+    pub build: GraphBuildOptions,
+}
+
+impl Default for DeltaPageRankConfig {
+    fn default() -> Self {
+        DeltaPageRankConfig {
+            random_surf: 0.15,
+            tolerance: 1e-7,
+            max_iterations: 500,
+            build: GraphBuildOptions::default().with_in_edges(false),
+        }
+    }
+}
+
+/// Per-vertex delta-PageRank state.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DeltaPrVertex {
+    /// Current rank estimate.
+    pub rank: f64,
+    /// Increment applied in the last superstep (what gets broadcast next).
+    pub delta: f64,
+    /// Out-degree, cached for SEND_MESSAGE.
+    pub degree: u32,
+}
+
+struct DeltaPageRankProgram {
+    random_surf: f64,
+    tolerance: f64,
+}
+
+impl GraphProgram for DeltaPageRankProgram {
+    type VertexProp = DeltaPrVertex;
+    type Message = f64;
+    type Reduced = f64;
+
+    fn direction(&self) -> EdgeDirection {
+        EdgeDirection::Out
+    }
+
+    fn send_message(&self, _v: VertexId, prop: &DeltaPrVertex) -> Option<f64> {
+        if prop.degree == 0 || prop.delta == 0.0 {
+            None
+        } else {
+            Some(prop.delta / prop.degree as f64)
+        }
+    }
+
+    fn process_message(&self, msg: &f64, _edge: f32, _dst: &DeltaPrVertex) -> f64 {
+        *msg
+    }
+
+    fn reduce(&self, acc: &mut f64, value: f64) {
+        *acc += value;
+    }
+
+    fn apply(&self, reduced: &f64, prop: &mut DeltaPrVertex) {
+        let increment = (1.0 - self.random_surf) * reduced;
+        if increment.abs() >= self.tolerance {
+            prop.rank += increment;
+            prop.delta = increment;
+        } else {
+            // below tolerance: absorb nothing and go quiet (the vertex stays
+            // inactive because its property did not change)
+        }
+    }
+}
+
+/// Run PageRank until every vertex's rank increment falls below the
+/// tolerance. The returned ranks satisfy the same fixed-point equation as
+/// [`crate::pagerank::pagerank`]; they differ from a truncated
+/// fixed-iteration run only by the tolerance.
+pub fn delta_pagerank(
+    edges: &EdgeList,
+    config: &DeltaPageRankConfig,
+    options: &RunOptions,
+) -> AlgorithmOutput<f64> {
+    assert!(config.tolerance > 0.0, "tolerance must be positive");
+    let mut graph: Graph<DeltaPrVertex> = Graph::from_edge_list(edges, config.build);
+    let degrees: Vec<u32> = graph.out_degrees().to_vec();
+    let r = config.random_surf;
+    graph.init_properties(|v| DeltaPrVertex {
+        rank: r,
+        delta: r,
+        degree: degrees[v as usize],
+    });
+    graph.set_all_active();
+
+    let program = DeltaPageRankProgram {
+        random_surf: config.random_surf,
+        tolerance: config.tolerance,
+    };
+    let run_opts = RunOptions {
+        max_iterations: Some(config.max_iterations),
+        ..*options
+    };
+    let result = run_graph_program(&program, &mut graph, &run_opts);
+
+    AlgorithmOutput {
+        values: graph.properties().iter().map(|p| p.rank).collect(),
+        stats: result.stats,
+        converged: result.converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagerank::{pagerank, PageRankConfig};
+
+    fn test_graph() -> EdgeList {
+        graphmat_io::rmat::generate(&graphmat_io::rmat::RmatConfig::graph500(8).with_seed(3))
+    }
+
+    #[test]
+    fn converges_before_the_iteration_cap() {
+        let el = test_graph();
+        let out = delta_pagerank(&el, &DeltaPageRankConfig::default(), &RunOptions::sequential());
+        assert!(out.converged);
+        assert!(out.stats.iterations < 500);
+    }
+
+    #[test]
+    fn agrees_with_fixed_iteration_pagerank() {
+        // Use a graph where every vertex has at least one in-edge and one
+        // out-edge (RMAT plus a Hamiltonian cycle), so the classic program's
+        // "never-applied vertices keep their initial rank" boundary case does
+        // not kick in and both formulations share a unique fixed point.
+        let rmat = test_graph();
+        let n = rmat.num_vertices();
+        let mut edges: Vec<(u32, u32, f32)> = rmat.edges().to_vec();
+        for v in 0..n {
+            edges.push((v, (v + 1) % n, 1.0));
+        }
+        let el = graphmat_io::edgelist::EdgeList::from_tuples(n, edges);
+
+        let delta = delta_pagerank(
+            &el,
+            &DeltaPageRankConfig {
+                tolerance: 1e-12,
+                max_iterations: 1000,
+                ..Default::default()
+            },
+            &RunOptions::sequential(),
+        );
+        let fixed = pagerank(
+            &el,
+            &PageRankConfig {
+                iterations: 200,
+                ..Default::default()
+            },
+            &RunOptions::sequential(),
+        );
+        for (v, (a, b)) in delta.values.iter().zip(fixed.values.iter()).enumerate() {
+            assert!((a - b).abs() < 1e-4, "vertex {v}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn active_set_shrinks_over_time() {
+        let el = test_graph();
+        let out = delta_pagerank(
+            &el,
+            &DeltaPageRankConfig {
+                tolerance: 1e-6,
+                ..Default::default()
+            },
+            &RunOptions::sequential(),
+        );
+        let first = out.stats.supersteps.first().unwrap().active_vertices;
+        let last = out.stats.supersteps.last().unwrap().active_vertices;
+        assert!(last < first, "frontier should shrink: {first} -> {last}");
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let el = test_graph();
+        let cfg = DeltaPageRankConfig::default();
+        let seq = delta_pagerank(&el, &cfg, &RunOptions::sequential());
+        let par = delta_pagerank(&el, &cfg, &RunOptions::default().with_threads(4));
+        for (a, b) in seq.values.iter().zip(par.values.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_tolerance_is_rejected() {
+        let el = test_graph();
+        let _ = delta_pagerank(
+            &el,
+            &DeltaPageRankConfig {
+                tolerance: 0.0,
+                ..Default::default()
+            },
+            &RunOptions::sequential(),
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Graph algorithms written as GraphMat vertex programs.
+//!
+//! The paper evaluates five algorithms chosen for their diversity (§3):
+//!
+//! * [`pagerank`] — PageRank (iterative ranking, all vertices active every
+//!   superstep);
+//! * [`bfs`] — Breadth-First Search (traversal, frontier-driven);
+//! * [`collaborative_filtering`] — matrix factorization by gradient descent
+//!   on a bipartite ratings graph (heavy per-vertex state, both directions);
+//! * [`triangle_count`] — triangle counting (large messages: adjacency
+//!   lists);
+//! * [`sssp`] — single-source shortest paths (Bellman-Ford with an active
+//!   frontier).
+//!
+//! Beyond the paper's set, the crate also ships [`connected_components`],
+//! [`degree`] and [`delta_pagerank`] as extensions demonstrating that the
+//! same `GraphProgram` abstraction covers more algorithms without backend
+//! changes.
+//!
+//! Every algorithm follows the same pattern as the paper's appendix listing:
+//! a `*Config` struct, a `Program` implementing
+//! [`graphmat_core::GraphProgram`], and a driver function that initialises
+//! vertex properties / the active set, calls
+//! [`graphmat_core::run_graph_program`] and extracts the result.
+
+pub mod bfs;
+pub mod collaborative_filtering;
+pub mod connected_components;
+pub mod degree;
+pub mod delta_pagerank;
+pub mod pagerank;
+pub mod sssp;
+pub mod triangle_count;
+
+/// Result of an algorithm run: the per-vertex output plus the engine
+/// statistics (used by the benchmark harness).
+#[derive(Clone, Debug)]
+pub struct AlgorithmOutput<T> {
+    /// Per-vertex result values, indexed by vertex id.
+    pub values: Vec<T>,
+    /// Engine statistics for the run.
+    pub stats: graphmat_core::RunStats,
+    /// Whether the run converged before hitting the iteration limit.
+    pub converged: bool,
+}

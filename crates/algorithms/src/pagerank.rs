@@ -1,0 +1,234 @@
+//! PageRank as a GraphMat vertex program.
+//!
+//! The paper's formulation (§3-I):
+//!
+//! ```text
+//! PR_{t+1}(v) = r + (1 - r) * Σ_{u | (u,v) ∈ E}  PR_t(u) / degree(u)
+//! ```
+//!
+//! with `r` the random-surf probability and `degree(u)` the out-degree of
+//! `u`. Initial ranks are 1.0 and every vertex is active; each superstep is
+//! one generalized SpMV with multiply = "take the incoming contribution" and
+//! add = `+`. The paper reports time per iteration (Figure 4a), so the driver
+//! runs a fixed number of iterations by default.
+
+use crate::AlgorithmOutput;
+use graphmat_core::{
+    run_graph_program, ActivityPolicy, EdgeDirection, Graph, GraphBuildOptions, GraphProgram,
+    RunOptions, VertexId,
+};
+use graphmat_io::edgelist::EdgeList;
+
+/// PageRank parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PageRankConfig {
+    /// Random-surf probability `r` (the paper's equation 1; 0.15 is the
+    /// conventional value).
+    pub random_surf: f64,
+    /// Number of iterations to run (the paper reports time per iteration, so
+    /// the iteration count is fixed rather than convergence-driven; see
+    /// [`crate::delta_pagerank`] for the convergence-driven variant).
+    pub iterations: usize,
+    /// Graph construction options (partitioning etc.).
+    pub build: GraphBuildOptions,
+}
+
+impl Default for PageRankConfig {
+    fn default() -> Self {
+        PageRankConfig {
+            random_surf: 0.15,
+            iterations: 20,
+            build: GraphBuildOptions::default().with_in_edges(false),
+        }
+    }
+}
+
+/// Per-vertex PageRank state: the current rank and the out-degree (cached so
+/// SEND_MESSAGE can divide by it without a graph lookup, exactly as the
+/// original GraphMat stores algorithm state in the vertex property).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PageRankVertex {
+    /// Current rank estimate.
+    pub rank: f64,
+    /// Out-degree of the vertex.
+    pub degree: u32,
+}
+
+/// The PageRank vertex program.
+pub struct PageRankProgram {
+    random_surf: f64,
+}
+
+impl GraphProgram for PageRankProgram {
+    type VertexProp = PageRankVertex;
+    type Message = f64;
+    type Reduced = f64;
+
+    fn direction(&self) -> EdgeDirection {
+        EdgeDirection::Out
+    }
+
+    fn send_message(&self, _v: VertexId, prop: &PageRankVertex) -> Option<f64> {
+        if prop.degree == 0 {
+            None // dangling vertices contribute nothing
+        } else {
+            Some(prop.rank / prop.degree as f64)
+        }
+    }
+
+    fn process_message(&self, msg: &f64, _edge: f32, _dst: &PageRankVertex) -> f64 {
+        *msg
+    }
+
+    fn reduce(&self, acc: &mut f64, value: f64) {
+        *acc += value;
+    }
+
+    fn apply(&self, reduced: &f64, prop: &mut PageRankVertex) {
+        prop.rank = self.random_surf + (1.0 - self.random_surf) * reduced;
+    }
+}
+
+/// Run PageRank and return the per-vertex ranks.
+pub fn pagerank(
+    edges: &EdgeList,
+    config: &PageRankConfig,
+    options: &RunOptions,
+) -> AlgorithmOutput<f64> {
+    let mut graph: Graph<PageRankVertex> = Graph::from_edge_list(edges, config.build);
+    let degrees: Vec<u32> = graph.out_degrees().to_vec();
+    graph.init_properties(|v| PageRankVertex {
+        rank: 1.0,
+        degree: degrees[v as usize],
+    });
+    graph.set_all_active();
+
+    let program = PageRankProgram {
+        random_surf: config.random_surf,
+    };
+    let run_opts = RunOptions {
+        max_iterations: Some(options.max_iterations.unwrap_or(config.iterations)),
+        // every vertex rebroadcasts each iteration, as in the paper's
+        // fixed-iteration PageRank runs
+        activity: ActivityPolicy::AlwaysAll,
+        ..*options
+    };
+    let result = run_graph_program(&program, &mut graph, &run_opts);
+
+    AlgorithmOutput {
+        values: graph.properties().iter().map(|p| p.rank).collect(),
+        stats: result.stats,
+        converged: result.converged,
+    }
+}
+
+/// Dense reference implementation used by tests: straightforward iteration of
+/// the paper's equation 1 over an adjacency list.
+pub fn pagerank_reference(edges: &EdgeList, random_surf: f64, iterations: usize) -> Vec<f64> {
+    let n = edges.num_vertices() as usize;
+    let degrees = edges.out_degrees();
+    let mut ranks = vec![1.0f64; n];
+    for _ in 0..iterations {
+        let mut incoming = vec![0.0f64; n];
+        for &(u, v, _) in edges.edges() {
+            if degrees[u as usize] > 0 {
+                incoming[v as usize] += ranks[u as usize] / degrees[u as usize] as f64;
+            }
+        }
+        for v in 0..n {
+            // vertices with no in-edges keep rank = r + 0, but GraphMat only
+            // applies to vertices that received a message — mirror that by
+            // updating every vertex that has at least one in-edge
+            ranks[v] = if incoming[v] > 0.0 || edges.in_degrees()[v] > 0 {
+                random_surf + (1.0 - random_surf) * incoming[v]
+            } else {
+                ranks[v]
+            };
+        }
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_graph() -> EdgeList {
+        // 0 -> 1 -> 2 -> 0 plus 0 -> 2
+        EdgeList::from_pairs(3, vec![(0, 1), (1, 2), (2, 0), (0, 2)])
+    }
+
+    #[test]
+    fn matches_reference_on_small_graph() {
+        let el = triangle_graph();
+        let cfg = PageRankConfig {
+            iterations: 15,
+            ..Default::default()
+        };
+        let out = pagerank(&el, &cfg, &RunOptions::sequential());
+        let reference = pagerank_reference(&el, 0.15, 15);
+        for (a, b) in out.values.iter().zip(reference.iter()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn ranks_reflect_link_structure() {
+        // vertex 2 has two in-edges, vertices 0 and 1 have one each
+        let el = triangle_graph();
+        let out = pagerank(&el, &PageRankConfig::default(), &RunOptions::sequential());
+        assert!(out.values[2] > out.values[1]);
+        assert!(out.values[2] > out.values[0]);
+    }
+
+    #[test]
+    fn runs_requested_number_of_iterations() {
+        let el = triangle_graph();
+        let cfg = PageRankConfig {
+            iterations: 7,
+            ..Default::default()
+        };
+        let out = pagerank(&el, &cfg, &RunOptions::sequential());
+        assert_eq!(out.stats.iterations, 7);
+        assert!(!out.converged);
+    }
+
+    #[test]
+    fn ranks_sum_stays_close_to_vertex_count() {
+        // PageRank conserves total rank mass up to the dangling-vertex leak;
+        // with no dangling vertices the sum stays ≈ n.
+        let el = triangle_graph();
+        let cfg = PageRankConfig {
+            iterations: 30,
+            ..Default::default()
+        };
+        let out = pagerank(&el, &cfg, &RunOptions::sequential());
+        let total: f64 = out.values.iter().sum();
+        assert!((total - 3.0).abs() < 1e-6, "total rank {total}");
+    }
+
+    #[test]
+    fn dangling_vertices_do_not_poison_ranks() {
+        // vertex 3 has no out-edges
+        let el = EdgeList::from_pairs(4, vec![(0, 1), (1, 2), (2, 0), (0, 3)]);
+        let out = pagerank(&el, &PageRankConfig::default(), &RunOptions::sequential());
+        assert!(out.values.iter().all(|r| r.is_finite()));
+        assert!(out.values[3] > 0.0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let el = graphmat_io::rmat::generate(
+            &graphmat_io::rmat::RmatConfig::graph500(9).with_seed(77),
+        );
+        let cfg = PageRankConfig {
+            iterations: 5,
+            ..Default::default()
+        };
+        let seq = pagerank(&el, &cfg, &RunOptions::sequential());
+        let par = pagerank(&el, &cfg, &RunOptions::default().with_threads(4));
+        for (a, b) in seq.values.iter().zip(par.values.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

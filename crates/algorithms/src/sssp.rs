@@ -1,0 +1,217 @@
+//! Single-Source Shortest Paths as a GraphMat vertex program.
+//!
+//! This is the paper's running example (Figure 3 and the appendix source
+//! listing): a Bellman-Ford variant where only vertices whose distance
+//! changed in the previous iteration relax their out-edges. The message is
+//! the sender's current distance, `PROCESS_MESSAGE` adds the edge weight,
+//! `REDUCE` takes the minimum, and `APPLY` keeps the smaller of the old and
+//! new distance.
+
+use crate::AlgorithmOutput;
+use graphmat_core::{
+    run_graph_program, EdgeDirection, Graph, GraphBuildOptions, GraphProgram, RunOptions, VertexId,
+};
+use graphmat_io::edgelist::EdgeList;
+
+/// Distance value meaning "unreachable".
+pub const UNREACHABLE: f32 = f32::MAX;
+
+/// SSSP parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SsspConfig {
+    /// The source vertex.
+    pub source: VertexId,
+    /// Graph construction options.
+    pub build: GraphBuildOptions,
+}
+
+impl Default for SsspConfig {
+    fn default() -> Self {
+        SsspConfig {
+            source: 0,
+            build: GraphBuildOptions::default().with_in_edges(false),
+        }
+    }
+}
+
+impl SsspConfig {
+    /// Shortest paths from the given source.
+    pub fn from_source(source: VertexId) -> Self {
+        SsspConfig {
+            source,
+            ..Default::default()
+        }
+    }
+}
+
+/// The SSSP vertex program (the paper's appendix `class SSSP`).
+pub struct SsspProgram;
+
+impl GraphProgram for SsspProgram {
+    type VertexProp = f32;
+    type Message = f32;
+    type Reduced = f32;
+
+    fn direction(&self) -> EdgeDirection {
+        EdgeDirection::Out
+    }
+
+    fn send_message(&self, _v: VertexId, dist: &f32) -> Option<f32> {
+        Some(*dist)
+    }
+
+    fn process_message(&self, msg: &f32, edge: f32, _dst: &f32) -> f32 {
+        msg + edge
+    }
+
+    fn reduce(&self, acc: &mut f32, value: f32) {
+        if value < *acc {
+            *acc = value;
+        }
+    }
+
+    fn apply(&self, reduced: &f32, dist: &mut f32) {
+        if *reduced < *dist {
+            *dist = *reduced;
+        }
+    }
+}
+
+/// Run SSSP and return the per-vertex distance from the source
+/// ([`UNREACHABLE`] for vertices with no path).
+pub fn sssp(edges: &EdgeList, config: &SsspConfig, options: &RunOptions) -> AlgorithmOutput<f32> {
+    assert!(
+        config.source < edges.num_vertices(),
+        "SSSP source {} out of range ({} vertices)",
+        config.source,
+        edges.num_vertices()
+    );
+    let mut graph: Graph<f32> = Graph::from_edge_list(edges, config.build);
+    graph.set_all_properties(UNREACHABLE);
+    graph.set_property(config.source, 0.0);
+    graph.set_active(config.source);
+
+    let result = run_graph_program(&SsspProgram, &mut graph, options);
+    AlgorithmOutput {
+        values: graph.properties().to_vec(),
+        stats: result.stats,
+        converged: result.converged,
+    }
+}
+
+/// Dijkstra reference implementation used by tests (requires non-negative
+/// weights, which all the generators guarantee).
+pub fn sssp_reference(edges: &EdgeList, source: VertexId) -> Vec<f32> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let n = edges.num_vertices() as usize;
+    let mut adj: Vec<Vec<(usize, f32)>> = vec![Vec::new(); n];
+    for &(s, d, w) in edges.edges() {
+        adj[s as usize].push((d as usize, w));
+    }
+    let mut dist = vec![UNREACHABLE; n];
+    dist[source as usize] = 0.0;
+    // order by total distance encoded as ordered bits (weights are finite and
+    // non-negative, so the IEEE bit pattern orders correctly)
+    let mut heap: BinaryHeap<Reverse<(u32, usize)>> = BinaryHeap::new();
+    heap.push(Reverse((0u32, source as usize)));
+    while let Some(Reverse((dbits, u))) = heap.pop() {
+        let d = f32::from_bits(dbits);
+        if d > dist[u] {
+            continue;
+        }
+        for &(v, w) in &adj[u] {
+            let candidate = d + w;
+            if candidate < dist[v] {
+                dist[v] = candidate;
+                heap.push(Reverse((candidate.to_bits(), v)));
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The weighted graph of the paper's Figure 3.
+    fn figure3() -> EdgeList {
+        EdgeList::from_tuples(
+            5,
+            vec![
+                (0, 1, 1.0),
+                (0, 2, 3.0),
+                (0, 3, 2.0),
+                (1, 2, 1.0),
+                (2, 3, 2.0),
+                (3, 4, 2.0),
+                (4, 0, 4.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn figure3_distances() {
+        let out = sssp(&figure3(), &SsspConfig::from_source(0), &RunOptions::sequential());
+        assert_eq!(out.values, vec![0.0, 1.0, 2.0, 2.0, 4.0]);
+        assert!(out.converged);
+    }
+
+    #[test]
+    fn matches_dijkstra_reference() {
+        let el = graphmat_io::uniform::generate(
+            &graphmat_io::uniform::UniformConfig::new(200, 1500)
+                .with_weights(1, 20)
+                .with_seed(4),
+        );
+        let out = sssp(&el, &SsspConfig::from_source(7), &RunOptions::default().with_threads(4));
+        let reference = sssp_reference(&el, 7);
+        for (i, (a, b)) in out.values.iter().zip(reference.iter()).enumerate() {
+            assert!((a - b).abs() < 1e-4, "vertex {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_at_infinity() {
+        let el = EdgeList::from_tuples(4, vec![(0, 1, 1.0), (2, 3, 1.0)]);
+        let out = sssp(&el, &SsspConfig::from_source(0), &RunOptions::sequential());
+        assert_eq!(out.values[0], 0.0);
+        assert_eq!(out.values[1], 1.0);
+        assert_eq!(out.values[2], UNREACHABLE);
+        assert_eq!(out.values[3], UNREACHABLE);
+    }
+
+    #[test]
+    fn takes_shorter_indirect_path() {
+        // direct edge 0->2 weight 10, indirect 0->1->2 weight 3
+        let el = EdgeList::from_tuples(3, vec![(0, 2, 10.0), (0, 1, 1.0), (1, 2, 2.0)]);
+        let out = sssp(&el, &SsspConfig::from_source(0), &RunOptions::sequential());
+        assert_eq!(out.values[2], 3.0);
+    }
+
+    #[test]
+    fn frontier_driven_work_decreases() {
+        // grid road network: most supersteps touch only the frontier
+        let el = graphmat_io::grid::generate(&graphmat_io::grid::GridConfig::square(20));
+        let out = sssp(&el, &SsspConfig::from_source(0), &RunOptions::sequential());
+        let reference = sssp_reference(&el, 0);
+        for (a, b) in out.values.iter().zip(reference.iter()) {
+            assert!((a - b).abs() < 1e-3);
+        }
+        // many iterations (high diameter), none touching every vertex
+        assert!(out.stats.iterations > 20);
+        assert!(out
+            .stats
+            .supersteps
+            .iter()
+            .all(|s| s.active_vertices <= el.num_vertices() as usize));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_source_panics() {
+        let _ = sssp(&figure3(), &SsspConfig::from_source(9), &RunOptions::sequential());
+    }
+}

@@ -1,0 +1,445 @@
+//! Hand-optimized native implementations (the Table 3 upper bound).
+//!
+//! These are the kind of implementations the paper's native baseline \[27\]
+//! uses: direct loops over CSR with no framework abstraction, no message
+//! materialisation and no per-superstep bookkeeping beyond what the algorithm
+//! itself needs. They double as correctness oracles for the framework-based
+//! implementations in the integration tests.
+
+use crate::BaselineRun;
+use graphmat_io::bipartite::RatingsGraph;
+use graphmat_io::edgelist::EdgeList;
+use graphmat_perf::CostCounters;
+use graphmat_sparse::coo::Coo;
+use graphmat_sparse::csr::Csr;
+use graphmat_sparse::parallel::Executor;
+use graphmat_sparse::Index;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::time::Instant;
+
+fn csr_from_edges(edges: &EdgeList) -> Csr<f32> {
+    Csr::from_coo(&edges.to_adjacency_coo())
+}
+
+fn csr_transpose_from_edges(edges: &EdgeList) -> Csr<f32> {
+    Csr::from_coo(&edges.to_transpose_coo())
+}
+
+/// Native PageRank: pull-based iteration over the transposed CSR.
+pub fn pagerank(
+    edges: &EdgeList,
+    random_surf: f64,
+    iterations: usize,
+    nthreads: usize,
+) -> BaselineRun<f64> {
+    let n = edges.num_vertices() as usize;
+    let gt = csr_transpose_from_edges(edges); // row = dst, cols = srcs
+    let degrees: Vec<u32> = edges.out_degrees().iter().map(|&d| d as u32).collect();
+    let executor = Executor::new(nthreads.max(1));
+    let mut counters = CostCounters::new();
+
+    let start = Instant::now();
+    let mut ranks = vec![1.0f64; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..iterations {
+        // contribution of each source, computed once
+        let contrib: Vec<f64> = ranks
+            .iter()
+            .zip(degrees.iter())
+            .map(|(r, &d)| if d > 0 { r / d as f64 } else { 0.0 })
+            .collect();
+        let next_ptr = SharedSlice::new(&mut next);
+        let ranks_ref = &ranks;
+        executor.run_chunked(n, |_, lo, hi| {
+            for v in lo..hi {
+                let (srcs, _) = gt.row(v as Index);
+                let mut sum = 0.0;
+                for &u in srcs {
+                    sum += contrib[u as usize];
+                }
+                // Vertices that receive no contribution keep their rank —
+                // the same semantics as the message-driven engines, where
+                // APPLY only runs for vertices that received a message.
+                let new_rank = if sum > 0.0 {
+                    random_surf + (1.0 - random_surf) * sum
+                } else {
+                    ranks_ref[v]
+                };
+                // SAFETY: chunks are disjoint vertex ranges.
+                unsafe { *next_ptr.get_mut(v) = new_rank };
+            }
+        });
+        std::mem::swap(&mut ranks, &mut next);
+        counters.add_edge_ops(gt.nnz() as u64);
+        counters.add_vertex_ops(n as u64);
+        counters.add_bytes_read(gt.nnz() as u64 * 12);
+        counters.add_bytes_written(n as u64 * 8);
+    }
+    BaselineRun {
+        values: ranks,
+        elapsed: start.elapsed(),
+        counters,
+        iterations,
+    }
+}
+
+/// Native BFS: frontier queue over the symmetrized CSR.
+pub fn bfs(edges: &EdgeList, root: Index, nthreads: usize) -> BaselineRun<u32> {
+    let sym = edges.symmetrized();
+    let adj = csr_from_edges(&sym);
+    let n = sym.num_vertices() as usize;
+    let _ = nthreads;
+    let mut counters = CostCounters::new();
+
+    let start = Instant::now();
+    let mut dist = vec![u32::MAX; n];
+    let mut frontier = vec![root];
+    dist[root as usize] = 0;
+    let mut level = 0u32;
+    let mut iterations = 0usize;
+    while !frontier.is_empty() {
+        level += 1;
+        iterations += 1;
+        let mut next = Vec::new();
+        for &u in &frontier {
+            let (neighbors, _) = adj.row(u);
+            counters.add_edge_ops(neighbors.len() as u64);
+            for &v in neighbors {
+                if dist[v as usize] == u32::MAX {
+                    dist[v as usize] = level;
+                    next.push(v);
+                }
+            }
+        }
+        counters.add_vertex_ops(next.len() as u64);
+        counters.add_bytes_read(frontier.len() as u64 * 8);
+        frontier = next;
+    }
+    BaselineRun {
+        values: dist,
+        elapsed: start.elapsed(),
+        counters,
+        iterations,
+    }
+}
+
+/// Native SSSP: Bellman-Ford with an active frontier over CSR.
+pub fn sssp(edges: &EdgeList, source: Index, nthreads: usize) -> BaselineRun<f32> {
+    let adj = csr_from_edges(edges);
+    let n = edges.num_vertices() as usize;
+    let _ = nthreads;
+    let mut counters = CostCounters::new();
+
+    let start = Instant::now();
+    let mut dist = vec![f32::MAX; n];
+    dist[source as usize] = 0.0;
+    let mut frontier = vec![source];
+    let mut iterations = 0usize;
+    while !frontier.is_empty() {
+        iterations += 1;
+        let mut next = Vec::new();
+        let mut touched = vec![false; n];
+        for &u in &frontier {
+            let (neighbors, weights) = adj.row(u);
+            counters.add_edge_ops(neighbors.len() as u64);
+            let du = dist[u as usize];
+            for (&v, &w) in neighbors.iter().zip(weights) {
+                let candidate = du + w;
+                if candidate < dist[v as usize] {
+                    dist[v as usize] = candidate;
+                    if !touched[v as usize] {
+                        touched[v as usize] = true;
+                        next.push(v);
+                    }
+                }
+            }
+        }
+        counters.add_vertex_ops(next.len() as u64);
+        frontier = next;
+    }
+    BaselineRun {
+        values: dist,
+        elapsed: start.elapsed(),
+        counters,
+        iterations,
+    }
+}
+
+/// Native triangle counting: sorted adjacency-list intersection on the DAG.
+pub fn triangle_count(edges: &EdgeList, nthreads: usize) -> BaselineRun<u64> {
+    let dag = edges.to_dag();
+    let adj = csr_from_edges(&dag);
+    let n = dag.num_vertices() as usize;
+    let executor = Executor::new(nthreads.max(1));
+    let counters_edges = AtomicU64::new(0);
+
+    let start = Instant::now();
+    let per_vertex: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    executor.run_chunked(n, |_, lo, hi| {
+        for u in lo..hi {
+            let (nu, _) = adj.row(u as Index);
+            for &v in nu {
+                let (nv, _) = adj.row(v);
+                // sorted intersection
+                let (mut i, mut j) = (0usize, 0usize);
+                let mut local = 0u64;
+                while i < nu.len() && j < nv.len() {
+                    match nu[i].cmp(&nv[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            local += 1;
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                counters_edges.fetch_add((nu.len() + nv.len()) as u64, Ordering::Relaxed);
+                per_vertex[v as usize].fetch_add(local, Ordering::Relaxed);
+            }
+        }
+    });
+    let values: Vec<u64> = per_vertex.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+    let mut counters = CostCounters::new();
+    counters.add_edge_ops(counters_edges.load(Ordering::Relaxed));
+    counters.add_vertex_ops(n as u64);
+    counters.add_bytes_read(counters_edges.load(Ordering::Relaxed) * 4);
+    BaselineRun {
+        values,
+        elapsed: start.elapsed(),
+        counters,
+        iterations: 1,
+    }
+}
+
+/// Native collaborative filtering: gradient descent directly over CSR in both
+/// directions (this plays the role of the paper's native SGD/GD code; GD is
+/// used so results are comparable with the GraphMat program).
+pub fn collaborative_filtering(
+    ratings: &RatingsGraph,
+    latent_dims: usize,
+    lambda: f64,
+    gamma: f64,
+    iterations: usize,
+    seed: u64,
+    nthreads: usize,
+) -> BaselineRun<Vec<f64>> {
+    let edges = &ratings.edges;
+    let n = edges.num_vertices() as usize;
+    let user_to_item = csr_from_edges(edges); // rows = users
+    let item_to_user = csr_transpose_from_edges(edges); // rows = items
+    let _ = nthreads;
+    let mut counters = CostCounters::new();
+
+    let start = Instant::now();
+    let mut features: Vec<Vec<f64>> = (0..n as u32)
+        .map(|v| {
+            (0..latent_dims)
+                .map(|i| deterministic_init(seed, v, i, latent_dims))
+                .collect()
+        })
+        .collect();
+
+    for _ in 0..iterations {
+        let snapshot = features.clone();
+        counters.add_bytes_read((n * latent_dims * 8) as u64);
+        // update every vertex from the previous iteration's snapshot (GD)
+        for v in 0..n {
+            let (neighbors, ratings_row) = if (v as u32) < ratings.num_users {
+                user_to_item.row(v as Index)
+            } else {
+                item_to_user.row(v as Index)
+            };
+            if neighbors.is_empty() {
+                continue;
+            }
+            let mut gradient = vec![0.0f64; latent_dims];
+            for (&other, &rating) in neighbors.iter().zip(ratings_row) {
+                let dot: f64 = snapshot[v]
+                    .iter()
+                    .zip(snapshot[other as usize].iter())
+                    .map(|(a, b)| a * b)
+                    .sum();
+                let err = rating as f64 - dot;
+                for (g, x) in gradient.iter_mut().zip(snapshot[other as usize].iter()) {
+                    *g += err * x;
+                }
+            }
+            counters.add_edge_ops(neighbors.len() as u64);
+            for (p, g) in features[v].iter_mut().zip(gradient.iter()) {
+                *p += gamma * (g - lambda * *p);
+            }
+            counters.add_vertex_ops(1);
+        }
+    }
+    BaselineRun {
+        values: features,
+        elapsed: start.elapsed(),
+        counters,
+        iterations,
+    }
+}
+
+/// Same deterministic initial feature values as the GraphMat CF program, so
+/// the two implementations can be compared element-wise.
+pub fn deterministic_init(seed: u64, v: u32, i: usize, k: usize) -> f64 {
+    let mut h = seed
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add((v as u64).wrapping_mul(0xC2B2AE3D27D4EB4F))
+        .wrapping_add((i as u64).wrapping_mul(0x165667B19E3779F9));
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51AFD7ED558CCD);
+    h ^= h >> 33;
+    (h >> 11) as f64 / (1u64 << 53) as f64 / (k as f64).sqrt()
+}
+
+/// Raw shared mutable slice for disjoint chunked writes.
+struct SharedSlice<T> {
+    ptr: *mut T,
+    len: usize,
+}
+
+unsafe impl<T: Send> Send for SharedSlice<T> {}
+unsafe impl<T: Send> Sync for SharedSlice<T> {}
+
+impl<T> SharedSlice<T> {
+    fn new(slice: &mut [T]) -> Self {
+        SharedSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+        }
+    }
+
+    /// # Safety
+    /// `i < len` and no concurrent access to the same element.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get_mut(&self, i: usize) -> &mut T {
+        debug_assert!(i < self.len);
+        &mut *self.ptr.add(i)
+    }
+}
+
+/// Atomic f32 minimum via compare-exchange on the bit pattern; shared by the
+/// worklist engine as well.
+pub(crate) fn atomic_min_f32(cell: &AtomicU32, value: f32) -> bool {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        if f32::from_bits(current) <= value {
+            return false;
+        }
+        match cell.compare_exchange_weak(
+            current,
+            value.to_bits(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return true,
+            Err(actual) => current = actual,
+        }
+    }
+}
+
+// keep Coo import alive for doc examples that build matrices directly
+#[allow(unused_imports)]
+use Coo as _CooAlias;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphmat_io::bipartite::{self, BipartiteConfig};
+    use graphmat_io::uniform::{self, UniformConfig};
+
+    fn small_graph() -> EdgeList {
+        EdgeList::from_tuples(
+            5,
+            vec![
+                (0, 1, 1.0),
+                (0, 2, 3.0),
+                (0, 3, 2.0),
+                (1, 2, 1.0),
+                (2, 3, 2.0),
+                (3, 4, 2.0),
+                (4, 0, 4.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn native_sssp_matches_figure3() {
+        let run = sssp(&small_graph(), 0, 2);
+        assert_eq!(run.values, vec![0.0, 1.0, 2.0, 2.0, 4.0]);
+        assert!(run.counters.edge_ops > 0);
+    }
+
+    #[test]
+    fn native_bfs_levels() {
+        let run = bfs(&small_graph(), 0, 2);
+        assert_eq!(run.values, vec![0, 1, 1, 1, 1]); // symmetrized: E adjacent to A
+    }
+
+    #[test]
+    fn native_pagerank_sums_to_vertex_count() {
+        let el = uniform::generate(&UniformConfig::new(64, 512).with_seed(5));
+        let run = pagerank(&el, 0.15, 30, 2);
+        // every vertex has out-edges with high probability; mass ≈ n
+        let total: f64 = run.values.iter().sum();
+        assert!(total > 30.0 && total < 80.0, "total {total}");
+        assert_eq!(run.iterations, 30);
+    }
+
+    #[test]
+    fn native_triangle_count_on_k4() {
+        let mut pairs = Vec::new();
+        for i in 0..4u32 {
+            for j in (i + 1)..4u32 {
+                pairs.push((i, j));
+            }
+        }
+        let el = EdgeList::from_pairs(4, pairs);
+        let run = triangle_count(&el, 2);
+        assert_eq!(run.values.iter().sum::<u64>(), 4); // C(4,3)
+    }
+
+    #[test]
+    fn native_cf_reduces_rmse() {
+        let ratings = bipartite::generate(&BipartiteConfig {
+            num_users: 50,
+            num_items: 10,
+            num_ratings: 400,
+            ..Default::default()
+        });
+        let before = collaborative_filtering(&ratings, 8, 0.05, 0.002, 0, 7, 1);
+        let after = collaborative_filtering(&ratings, 8, 0.05, 0.002, 30, 7, 1);
+        let rmse = |features: &Vec<Vec<f64>>| -> f64 {
+            let mut sum = 0.0;
+            for &(u, v, r) in ratings.edges.edges() {
+                let p: f64 = features[u as usize]
+                    .iter()
+                    .zip(features[v as usize].iter())
+                    .map(|(a, b)| a * b)
+                    .sum();
+                sum += (r as f64 - p) * (r as f64 - p);
+            }
+            (sum / ratings.edges.num_edges() as f64).sqrt()
+        };
+        assert!(rmse(&after.values) < rmse(&before.values));
+    }
+
+    #[test]
+    fn atomic_min_f32_keeps_minimum() {
+        let cell = AtomicU32::new(10.0f32.to_bits());
+        assert!(atomic_min_f32(&cell, 5.0));
+        assert!(!atomic_min_f32(&cell, 7.0));
+        assert_eq!(f32::from_bits(cell.load(Ordering::Relaxed)), 5.0);
+    }
+
+    #[test]
+    fn pagerank_parallel_matches_sequential() {
+        let el = uniform::generate(&UniformConfig::new(128, 1024).with_seed(9));
+        let a = pagerank(&el, 0.15, 10, 1);
+        let b = pagerank(&el, 0.15, 10, 4);
+        for (x, y) in a.values.iter().zip(b.values.iter()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Figure 4a: PageRank time per iteration across frameworks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphmat_baselines::Framework;
+use graphmat_bench::harness::{run_graph_algorithm, Algorithm};
+use graphmat_io::datasets::{load, DatasetId, DatasetScale};
+
+fn bench(c: &mut Criterion) {
+    let edges = load(DatasetId::FacebookLike, DatasetScale::Tiny);
+    let mut group = c.benchmark_group("fig4a_pagerank");
+    group.sample_size(10);
+    for &fw in Framework::figure4() {
+        group.bench_with_input(BenchmarkId::new(fw.name(), "facebook-like"), &fw, |b, &fw| {
+            b.iter(|| run_graph_algorithm(fw, Algorithm::PageRank, "facebook-like", &edges, 0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

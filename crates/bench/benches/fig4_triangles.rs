@@ -1,0 +1,22 @@
+//! Figure 4c: Triangle Counting total time across frameworks (including the
+//! CombBLAS-style SpGEMM blow-up).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphmat_baselines::Framework;
+use graphmat_bench::harness::{run_graph_algorithm, Algorithm};
+use graphmat_io::datasets::{load, DatasetId, DatasetScale};
+
+fn bench(c: &mut Criterion) {
+    let edges = load(DatasetId::RmatTriangle, DatasetScale::Tiny);
+    let mut group = c.benchmark_group("fig4c_triangles");
+    group.sample_size(10);
+    for &fw in Framework::figure4() {
+        group.bench_with_input(BenchmarkId::new(fw.name(), "rmat-tc"), &fw, |b, &fw| {
+            b.iter(|| run_graph_algorithm(fw, Algorithm::TriangleCount, "rmat-tc", &edges, 0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 5: multicore scaling of GraphMat vs the other frameworks
+//! (PageRank on the facebook-like graph, SSSP on the flickr-like graph).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphmat_baselines::Framework;
+use graphmat_bench::harness::{run_graph_algorithm, Algorithm};
+use graphmat_io::datasets::{load, DatasetId, DatasetScale};
+use graphmat_sparse::parallel::available_threads;
+
+fn bench(c: &mut Criterion) {
+    let edges = load(DatasetId::FacebookLike, DatasetScale::Tiny);
+    let mut group = c.benchmark_group("fig5_scaling_pagerank");
+    group.sample_size(10);
+    let max = available_threads();
+    let mut threads = vec![1usize];
+    let mut t = 2;
+    while t <= max {
+        threads.push(t);
+        t *= 2;
+    }
+    for &fw in &[Framework::GraphMat, Framework::GraphLabLike] {
+        for &t in &threads {
+            group.bench_with_input(
+                BenchmarkId::new(fw.name(), format!("{t}threads")),
+                &(fw, t),
+                |b, &(fw, t)| {
+                    b.iter(|| run_graph_algorithm(fw, Algorithm::PageRank, "facebook-like", &edges, t))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

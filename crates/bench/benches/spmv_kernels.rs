@@ -1,0 +1,78 @@
+//! Microbenchmarks of the sparse backend itself: generalized SpMV throughput
+//! for the bitvector vs sorted sparse-vector representations and for
+//! different partition counts. These support the §4.5 optimization
+//! discussion rather than a specific figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphmat_io::rmat::{self, RmatConfig};
+use graphmat_sparse::parallel::{available_threads, Executor};
+use graphmat_sparse::partition::PartitionedDcsc;
+use graphmat_sparse::spmv::gspmv;
+use graphmat_sparse::spvec::{SortedSparseVector, SparseVector};
+use graphmat_sparse::Index;
+
+fn bench(c: &mut Criterion) {
+    let el = rmat::generate(&RmatConfig::graph500(12).with_seed(5));
+    let coo = el.to_transpose_coo();
+    let n = el.num_vertices() as usize;
+    let threads = available_threads();
+
+    let mut group = c.benchmark_group("spmv_kernels");
+    group.sample_size(10);
+
+    // dense frontier, bitvector vs sorted representation
+    let matrix = PartitionedDcsc::from_coo_balanced(&coo, threads * 8);
+    let executor = Executor::new(threads);
+    let mut bitvec_frontier: SparseVector<f32> = SparseVector::new(n);
+    let mut sorted_frontier: SortedSparseVector<f32> = SortedSparseVector::new(n);
+    for v in (0..n as u32).step_by(2) {
+        bitvec_frontier.set(v, 1.0);
+        sorted_frontier.set(v, 1.0);
+    }
+    group.bench_function("bitvector_frontier", |b| {
+        b.iter(|| {
+            gspmv(
+                &matrix,
+                &bitvec_frontier,
+                &|m: &f32, e: &f32, _k: Index| m + e,
+                &|acc: &mut f32, v: f32| *acc = acc.min(v),
+                &executor,
+            )
+        })
+    });
+    group.bench_function("sorted_frontier", |b| {
+        b.iter(|| {
+            gspmv(
+                &matrix,
+                &sorted_frontier,
+                &|m: &f32, e: &f32, _k: Index| m + e,
+                &|acc: &mut f32, v: f32| *acc = acc.min(v),
+                &executor,
+            )
+        })
+    });
+
+    // partition-count sweep (load balancing)
+    for parts in [1usize, threads, threads * 8] {
+        let pd = PartitionedDcsc::from_coo_balanced(&coo, parts);
+        group.bench_with_input(
+            BenchmarkId::new("partitions", parts),
+            &pd,
+            |b, pd| {
+                b.iter(|| {
+                    gspmv(
+                        pd,
+                        &bitvec_frontier,
+                        &|m: &f32, e: &f32, _k: Index| m + e,
+                        &|acc: &mut f32, v: f32| *acc = acc.min(v),
+                        &executor,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,659 @@
+//! Shared machinery for the figure/table reproductions.
+
+use graphmat_algorithms::bfs::{bfs, BfsConfig};
+use graphmat_algorithms::collaborative_filtering::{collaborative_filtering, CfConfig};
+use graphmat_algorithms::pagerank::{pagerank, PageRankConfig};
+use graphmat_algorithms::sssp::{sssp, SsspConfig};
+use graphmat_algorithms::triangle_count::{triangle_count, TriangleCountConfig};
+use graphmat_baselines::{comb, native, vertexpull, worklist, Framework};
+use graphmat_core::{GraphBuildOptions, RunOptions};
+use graphmat_io::bipartite::RatingsGraph;
+use graphmat_io::datasets::{self, DatasetId, DatasetScale};
+use graphmat_io::edgelist::EdgeList;
+use graphmat_perf::{CostCounters, PerfReport};
+use std::time::Duration;
+
+/// The five algorithms of the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// PageRank (Figure 4a) — reported per iteration.
+    PageRank,
+    /// Breadth-first search (Figure 4b) — total time.
+    Bfs,
+    /// Triangle counting (Figure 4c) — total time.
+    TriangleCount,
+    /// Collaborative filtering (Figure 4d) — reported per iteration.
+    CollaborativeFiltering,
+    /// Single-source shortest paths (Figure 4e) — total time.
+    Sssp,
+}
+
+impl Algorithm {
+    /// Short name used in table headers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::PageRank => "PR",
+            Algorithm::Bfs => "BFS",
+            Algorithm::TriangleCount => "TC",
+            Algorithm::CollaborativeFiltering => "CF",
+            Algorithm::Sssp => "SSSP",
+        }
+    }
+
+    /// `true` if the paper reports time per iteration for this algorithm.
+    pub fn per_iteration(&self) -> bool {
+        matches!(
+            self,
+            Algorithm::PageRank | Algorithm::CollaborativeFiltering
+        )
+    }
+}
+
+/// Iteration counts used for the timed runs (kept small so the whole suite
+/// finishes quickly; per-iteration numbers are unaffected).
+pub const PR_ITERATIONS: usize = 5;
+/// Gradient-descent iterations for the collaborative-filtering runs.
+pub const CF_ITERATIONS: usize = 3;
+/// Latent dimensions for collaborative filtering.
+pub const CF_DIMS: usize = 20;
+
+/// Result of one (framework, algorithm, dataset) measurement.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Which engine ran.
+    pub framework: Framework,
+    /// Which algorithm ran.
+    pub algorithm: Algorithm,
+    /// Dataset name.
+    pub dataset: String,
+    /// Reported time in seconds — per iteration for PR/CF, total otherwise.
+    pub seconds: f64,
+    /// Abstract cost counters for the Figure 6 model.
+    pub counters: CostCounters,
+    /// Wall-clock time of the whole run (not divided by iterations).
+    pub total: Duration,
+}
+
+impl Measurement {
+    /// Derived Figure 6 report for this measurement.
+    pub fn perf_report(&self) -> PerfReport {
+        PerfReport::from_counters(&self.counters, self.total)
+    }
+}
+
+/// Which datasets Figure 4 uses for each algorithm (paper Table 1, reduced to
+/// the synthetic stand-ins).
+pub fn figure4_datasets(algorithm: Algorithm) -> Vec<DatasetId> {
+    match algorithm {
+        Algorithm::PageRank | Algorithm::Bfs => vec![
+            DatasetId::LiveJournalLike,
+            DatasetId::FacebookLike,
+            DatasetId::WikipediaLike,
+            DatasetId::RmatGraph500,
+        ],
+        Algorithm::TriangleCount => vec![
+            DatasetId::LiveJournalLike,
+            DatasetId::FacebookLike,
+            DatasetId::WikipediaLike,
+            DatasetId::RmatTriangle,
+        ],
+        Algorithm::CollaborativeFiltering => {
+            vec![DatasetId::NetflixLike, DatasetId::SyntheticCf]
+        }
+        Algorithm::Sssp => vec![
+            DatasetId::FlickrLike,
+            DatasetId::UsaRoadLike,
+            DatasetId::RmatSssp,
+            DatasetId::RmatGraph500,
+        ],
+    }
+}
+
+/// Run one algorithm under one framework on an already-loaded graph.
+pub fn run_graph_algorithm(
+    framework: Framework,
+    algorithm: Algorithm,
+    dataset_name: &str,
+    edges: &EdgeList,
+    nthreads: usize,
+) -> Measurement {
+    assert!(
+        algorithm != Algorithm::CollaborativeFiltering,
+        "use run_cf for collaborative filtering"
+    );
+    let (seconds, counters, total) = match framework {
+        Framework::GraphMat => run_graphmat(algorithm, edges, nthreads, GraphBuildOptions::default()),
+        Framework::Native => run_native(algorithm, edges, nthreads),
+        Framework::CombBlasLike => run_comb(algorithm, edges, nthreads),
+        Framework::GraphLabLike => run_vertexpull(algorithm, edges, nthreads),
+        Framework::GaloisLike => run_worklist(algorithm, edges, nthreads),
+    };
+    Measurement {
+        framework,
+        algorithm,
+        dataset: dataset_name.to_string(),
+        seconds,
+        counters,
+        total,
+    }
+}
+
+/// Run collaborative filtering under one framework.
+pub fn run_cf(
+    framework: Framework,
+    dataset_name: &str,
+    ratings: &RatingsGraph,
+    nthreads: usize,
+) -> Measurement {
+    let (counters, total, iterations) = match framework {
+        Framework::GraphMat => {
+            let cfg = CfConfig {
+                latent_dims: CF_DIMS,
+                iterations: CF_ITERATIONS,
+                ..Default::default()
+            };
+            let out = collaborative_filtering(
+                ratings,
+                &cfg,
+                &RunOptions::default().with_threads(nthreads),
+            );
+            (
+                out.stats.to_cost_counters(CF_DIMS * 8),
+                out.stats.total_time,
+                out.stats.iterations.max(1),
+            )
+        }
+        Framework::Native => {
+            let run = native::collaborative_filtering(
+                ratings, CF_DIMS, 0.05, 0.002, CF_ITERATIONS, 7, nthreads,
+            );
+            (run.counters, run.elapsed, run.iterations.max(1))
+        }
+        Framework::CombBlasLike => {
+            let run = comb::collaborative_filtering(
+                ratings, CF_DIMS, 0.05, 0.002, CF_ITERATIONS, 7, nthreads,
+            );
+            (run.counters, run.elapsed, run.iterations.max(1))
+        }
+        Framework::GraphLabLike => {
+            let run = vertexpull::collaborative_filtering(
+                ratings, CF_DIMS, 0.05, 0.002, CF_ITERATIONS, 7, nthreads,
+            );
+            (run.counters, run.elapsed, run.iterations.max(1))
+        }
+        Framework::GaloisLike => {
+            let run = worklist::collaborative_filtering(
+                ratings, CF_DIMS, 0.05, 0.002, CF_ITERATIONS, 7, nthreads,
+            );
+            (run.counters, run.elapsed, run.iterations.max(1))
+        }
+    };
+    Measurement {
+        framework,
+        algorithm: Algorithm::CollaborativeFiltering,
+        dataset: dataset_name.to_string(),
+        seconds: total.as_secs_f64() / iterations as f64,
+        counters,
+        total,
+    }
+}
+
+fn run_graphmat(
+    algorithm: Algorithm,
+    edges: &EdgeList,
+    nthreads: usize,
+    build: GraphBuildOptions,
+) -> (f64, CostCounters, Duration) {
+    let options = RunOptions::default().with_threads(nthreads);
+    match algorithm {
+        Algorithm::PageRank => {
+            let cfg = PageRankConfig {
+                iterations: PR_ITERATIONS,
+                build,
+                ..Default::default()
+            };
+            let out = pagerank(edges, &cfg, &options);
+            let total = out.stats.total_time;
+            (
+                total.as_secs_f64() / out.stats.iterations.max(1) as f64,
+                out.stats.to_cost_counters(12),
+                total,
+            )
+        }
+        Algorithm::Bfs => {
+            let cfg = BfsConfig {
+                build,
+                ..BfsConfig::from_root(0)
+            };
+            let out = bfs(edges, &cfg, &options);
+            let total = out.stats.total_time;
+            (total.as_secs_f64(), out.stats.to_cost_counters(4), total)
+        }
+        Algorithm::TriangleCount => {
+            let cfg = TriangleCountConfig {
+                build,
+                ..Default::default()
+            };
+            let out = triangle_count(edges, &cfg, &options);
+            let total = out.stats.total_time;
+            (total.as_secs_f64(), out.stats.to_cost_counters(24), total)
+        }
+        Algorithm::Sssp => {
+            let cfg = SsspConfig {
+                build,
+                ..SsspConfig::from_source(0)
+            };
+            let out = sssp(edges, &cfg, &options);
+            let total = out.stats.total_time;
+            (total.as_secs_f64(), out.stats.to_cost_counters(4), total)
+        }
+        Algorithm::CollaborativeFiltering => unreachable!("handled by run_cf"),
+    }
+}
+
+fn per_iteration_seconds(elapsed: Duration, iterations: usize, per_iter: bool) -> f64 {
+    if per_iter {
+        elapsed.as_secs_f64() / iterations.max(1) as f64
+    } else {
+        elapsed.as_secs_f64()
+    }
+}
+
+fn run_native(algorithm: Algorithm, edges: &EdgeList, nthreads: usize) -> (f64, CostCounters, Duration) {
+    match algorithm {
+        Algorithm::PageRank => {
+            let run = native::pagerank(edges, 0.15, PR_ITERATIONS, nthreads);
+            (
+                per_iteration_seconds(run.elapsed, run.iterations, true),
+                run.counters,
+                run.elapsed,
+            )
+        }
+        Algorithm::Bfs => {
+            let run = native::bfs(edges, 0, nthreads);
+            (run.elapsed.as_secs_f64(), run.counters, run.elapsed)
+        }
+        Algorithm::TriangleCount => {
+            let run = native::triangle_count(edges, nthreads);
+            (run.elapsed.as_secs_f64(), run.counters, run.elapsed)
+        }
+        Algorithm::Sssp => {
+            let run = native::sssp(edges, 0, nthreads);
+            (run.elapsed.as_secs_f64(), run.counters, run.elapsed)
+        }
+        Algorithm::CollaborativeFiltering => unreachable!(),
+    }
+}
+
+fn run_comb(algorithm: Algorithm, edges: &EdgeList, nthreads: usize) -> (f64, CostCounters, Duration) {
+    match algorithm {
+        Algorithm::PageRank => {
+            let run = comb::pagerank(edges, 0.15, PR_ITERATIONS, nthreads);
+            (
+                per_iteration_seconds(run.elapsed, run.iterations, true),
+                run.counters,
+                run.elapsed,
+            )
+        }
+        Algorithm::Bfs => {
+            let run = comb::bfs(edges, 0, nthreads);
+            (run.elapsed.as_secs_f64(), run.counters, run.elapsed)
+        }
+        Algorithm::TriangleCount => {
+            let run = comb::triangle_count(edges, nthreads);
+            (run.elapsed.as_secs_f64(), run.counters, run.elapsed)
+        }
+        Algorithm::Sssp => {
+            let run = comb::sssp(edges, 0, nthreads);
+            (run.elapsed.as_secs_f64(), run.counters, run.elapsed)
+        }
+        Algorithm::CollaborativeFiltering => unreachable!(),
+    }
+}
+
+fn run_vertexpull(
+    algorithm: Algorithm,
+    edges: &EdgeList,
+    nthreads: usize,
+) -> (f64, CostCounters, Duration) {
+    match algorithm {
+        Algorithm::PageRank => {
+            let run = vertexpull::pagerank(edges, 0.15, PR_ITERATIONS, nthreads);
+            (
+                per_iteration_seconds(run.elapsed, run.iterations, true),
+                run.counters,
+                run.elapsed,
+            )
+        }
+        Algorithm::Bfs => {
+            let run = vertexpull::bfs(edges, 0, nthreads);
+            (run.elapsed.as_secs_f64(), run.counters, run.elapsed)
+        }
+        Algorithm::TriangleCount => {
+            let run = vertexpull::triangle_count(edges, nthreads);
+            (run.elapsed.as_secs_f64(), run.counters, run.elapsed)
+        }
+        Algorithm::Sssp => {
+            let run = vertexpull::sssp(edges, 0, nthreads);
+            (run.elapsed.as_secs_f64(), run.counters, run.elapsed)
+        }
+        Algorithm::CollaborativeFiltering => unreachable!(),
+    }
+}
+
+fn run_worklist(
+    algorithm: Algorithm,
+    edges: &EdgeList,
+    nthreads: usize,
+) -> (f64, CostCounters, Duration) {
+    match algorithm {
+        Algorithm::PageRank => {
+            let run = worklist::pagerank(edges, 0.15, PR_ITERATIONS, nthreads);
+            (
+                per_iteration_seconds(run.elapsed, run.iterations, true),
+                run.counters,
+                run.elapsed,
+            )
+        }
+        Algorithm::Bfs => {
+            let run = worklist::bfs(edges, 0, nthreads);
+            (run.elapsed.as_secs_f64(), run.counters, run.elapsed)
+        }
+        Algorithm::TriangleCount => {
+            let run = worklist::triangle_count(edges, nthreads);
+            (run.elapsed.as_secs_f64(), run.counters, run.elapsed)
+        }
+        Algorithm::Sssp => {
+            let run = worklist::sssp(edges, 0, nthreads);
+            (run.elapsed.as_secs_f64(), run.counters, run.elapsed)
+        }
+        Algorithm::CollaborativeFiltering => unreachable!(),
+    }
+}
+
+/// Run Figure 4 for one algorithm: every framework on every dataset.
+pub fn figure4(algorithm: Algorithm, scale: DatasetScale, nthreads: usize) -> Vec<Measurement> {
+    let mut out = Vec::new();
+    for &id in &figure4_datasets(algorithm) {
+        if algorithm == Algorithm::CollaborativeFiltering {
+            let ratings = datasets::load_ratings(id, scale);
+            for &fw in Framework::figure4() {
+                out.push(run_cf(fw, id.name(), &ratings, nthreads));
+            }
+        } else {
+            let edges = datasets::load(id, scale);
+            for &fw in Framework::figure4() {
+                out.push(run_graph_algorithm(fw, algorithm, id.name(), &edges, nthreads));
+            }
+        }
+    }
+    out
+}
+
+/// Geometric mean of a slice of positive numbers.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Table 2: geometric-mean speedup of GraphMat over each other framework,
+/// computed from a set of Figure 4 measurements.
+pub fn table2_speedups(measurements: &[Measurement]) -> Vec<(Framework, f64)> {
+    let others = [
+        Framework::GraphLabLike,
+        Framework::CombBlasLike,
+        Framework::GaloisLike,
+    ];
+    others
+        .iter()
+        .map(|&fw| {
+            let ratios: Vec<f64> = measurements
+                .iter()
+                .filter(|m| m.framework == Framework::GraphMat)
+                .filter_map(|gm| {
+                    measurements
+                        .iter()
+                        .find(|m| {
+                            m.framework == fw
+                                && m.algorithm == gm.algorithm
+                                && m.dataset == gm.dataset
+                        })
+                        .map(|other| other.seconds / gm.seconds.max(1e-12))
+                })
+                .collect();
+            (fw, geomean(&ratios))
+        })
+        .collect()
+}
+
+/// Table 3: geometric-mean slowdown of GraphMat with respect to native code
+/// per algorithm (values > 1 mean GraphMat is slower).
+pub fn table3_slowdowns(
+    scale: DatasetScale,
+    nthreads: usize,
+) -> Vec<(Algorithm, f64)> {
+    let algorithms = [
+        Algorithm::PageRank,
+        Algorithm::Bfs,
+        Algorithm::TriangleCount,
+        Algorithm::CollaborativeFiltering,
+        Algorithm::Sssp,
+    ];
+    let mut rows = Vec::new();
+    for &alg in &algorithms {
+        let mut ratios = Vec::new();
+        for &id in &figure4_datasets(alg) {
+            if alg == Algorithm::CollaborativeFiltering {
+                let ratings = datasets::load_ratings(id, scale);
+                let gm = run_cf(Framework::GraphMat, id.name(), &ratings, nthreads);
+                let nat = run_cf(Framework::Native, id.name(), &ratings, nthreads);
+                ratios.push(gm.seconds / nat.seconds.max(1e-12));
+            } else {
+                let edges = datasets::load(id, scale);
+                let gm =
+                    run_graph_algorithm(Framework::GraphMat, alg, id.name(), &edges, nthreads);
+                let nat = run_graph_algorithm(Framework::Native, alg, id.name(), &edges, nthreads);
+                ratios.push(gm.seconds / nat.seconds.max(1e-12));
+            }
+        }
+        rows.push((alg, geomean(&ratios)));
+    }
+    rows
+}
+
+/// One row of the Figure 7 ablation.
+#[derive(Clone, Debug)]
+pub struct AblationStep {
+    /// Configuration label ("naive", "+bitvector", ...).
+    pub label: &'static str,
+    /// Measured time in seconds.
+    pub seconds: f64,
+    /// Cumulative speedup over the naive configuration.
+    pub speedup: f64,
+}
+
+/// Figure 7: cumulative effect of the paper's optimizations on PageRank and
+/// SSSP. Returns the per-step results for the given algorithm/dataset.
+pub fn figure7_ablation(
+    algorithm: Algorithm,
+    edges: &EdgeList,
+    nthreads: usize,
+) -> Vec<AblationStep> {
+    use graphmat_core::{DispatchMode, VectorKind};
+
+    assert!(matches!(algorithm, Algorithm::PageRank | Algorithm::Sssp));
+    // (label, threads, dispatch, vector, partitions per thread, balanced)
+    let steps: Vec<(&'static str, usize, DispatchMode, VectorKind, usize, bool)> = vec![
+        ("naive (scalar)", 1, DispatchMode::Dynamic, VectorKind::Sorted, 1, false),
+        ("+bitvector", 1, DispatchMode::Dynamic, VectorKind::Bitvector, 1, false),
+        ("+ipo (inlined)", 1, DispatchMode::Static, VectorKind::Bitvector, 1, false),
+        ("+parallel", nthreads, DispatchMode::Static, VectorKind::Bitvector, 1, false),
+        ("+load balance", nthreads, DispatchMode::Static, VectorKind::Bitvector, 8, true),
+    ];
+
+    let mut out = Vec::new();
+    let mut naive_seconds = None;
+    for (label, threads, dispatch, vector, ppt, balanced) in steps {
+        let build = GraphBuildOptions::default()
+            .with_partitions(ppt * threads)
+            .with_balancing(balanced)
+            .with_in_edges(false);
+        let options = RunOptions::default()
+            .with_threads(threads)
+            .with_dispatch(dispatch)
+            .with_vector(vector);
+        let seconds = match algorithm {
+            Algorithm::PageRank => {
+                let cfg = PageRankConfig {
+                    iterations: PR_ITERATIONS,
+                    build,
+                    ..Default::default()
+                };
+                let run = pagerank(edges, &cfg, &options);
+                run.stats.total_time.as_secs_f64() / run.stats.iterations.max(1) as f64
+            }
+            Algorithm::Sssp => {
+                let cfg = SsspConfig {
+                    build,
+                    ..SsspConfig::from_source(0)
+                };
+                let run = sssp(edges, &cfg, &options);
+                run.stats.total_time.as_secs_f64()
+            }
+            _ => unreachable!(),
+        };
+        let naive = *naive_seconds.get_or_insert(seconds);
+        out.push(AblationStep {
+            label,
+            seconds,
+            speedup: naive / seconds.max(1e-12),
+        });
+    }
+    out
+}
+
+/// Figure 5: thread-scaling sweep for one framework/algorithm/dataset.
+/// Returns `(threads, seconds)` pairs.
+pub fn figure5_scaling(
+    framework: Framework,
+    algorithm: Algorithm,
+    edges: &EdgeList,
+    thread_counts: &[usize],
+) -> Vec<(usize, f64)> {
+    thread_counts
+        .iter()
+        .map(|&t| {
+            let m = run_graph_algorithm(framework, algorithm, "scaling", edges, t);
+            (t, m.seconds)
+        })
+        .collect()
+}
+
+/// Render a simple ASCII table.
+pub fn render_table(headers: &[String], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("| ");
+        for (i, cell) in cells.iter().enumerate() {
+            line.push_str(&format!("{:width$} | ", cell, width = widths[i]));
+        }
+        line.trim_end().to_string() + "\n"
+    };
+    out.push_str(&render_row(headers, &widths));
+    out.push_str(&format!(
+        "|{}|\n",
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
+    ));
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[5.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure4_datasets_cover_all_algorithms() {
+        for alg in [
+            Algorithm::PageRank,
+            Algorithm::Bfs,
+            Algorithm::TriangleCount,
+            Algorithm::CollaborativeFiltering,
+            Algorithm::Sssp,
+        ] {
+            assert!(!figure4_datasets(alg).is_empty());
+        }
+    }
+
+    #[test]
+    fn run_all_frameworks_on_tiny_bfs() {
+        let edges = datasets::load(DatasetId::FacebookLike, DatasetScale::Tiny);
+        for &fw in Framework::figure4() {
+            let m = run_graph_algorithm(fw, Algorithm::Bfs, "tiny", &edges, 2);
+            assert!(m.seconds >= 0.0);
+            assert!(m.counters.total_ops() > 0, "{fw:?} reported no work");
+        }
+    }
+
+    #[test]
+    fn run_cf_all_frameworks_tiny() {
+        let ratings = datasets::load_ratings(DatasetId::NetflixLike, DatasetScale::Tiny);
+        for &fw in Framework::figure4() {
+            let m = run_cf(fw, "tiny-cf", &ratings, 2);
+            assert!(m.seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn table2_produces_three_rows() {
+        let edges = datasets::load(DatasetId::FacebookLike, DatasetScale::Tiny);
+        let mut measurements = Vec::new();
+        for &fw in Framework::figure4() {
+            measurements.push(run_graph_algorithm(fw, Algorithm::Bfs, "tiny", &edges, 2));
+        }
+        let speedups = table2_speedups(&measurements);
+        assert_eq!(speedups.len(), 3);
+        assert!(speedups.iter().all(|(_, s)| *s > 0.0));
+    }
+
+    #[test]
+    fn ablation_has_five_steps_and_naive_is_baseline() {
+        let edges = datasets::load(DatasetId::FacebookLike, DatasetScale::Tiny);
+        let steps = figure7_ablation(Algorithm::PageRank, &edges, 2);
+        assert_eq!(steps.len(), 5);
+        assert!((steps[0].speedup - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_table_aligns_columns() {
+        let table = render_table(
+            &["a".to_string(), "bbb".to_string()],
+            &[vec!["1".to_string(), "2".to_string()]],
+        );
+        assert!(table.contains("| a"));
+        assert!(table.lines().count() == 3);
+    }
+}

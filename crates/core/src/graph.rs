@@ -1,0 +1,380 @@
+//! The graph container: vertex properties, active set, and the partitioned
+//! adjacency matrices.
+//!
+//! A [`Graph`] owns
+//!
+//! * the transposed adjacency matrix `Gᵀ` split into 1-D row partitions of
+//!   DCSC (paper §4.4.1) — this is what out-edge message scattering multiplies
+//!   against, because `y = Gᵀ·x` delivers each source's message to the rows
+//!   (destinations) of its out-edges;
+//! * optionally the non-transposed matrix `G` for in-edge scattering;
+//! * one user-defined property value per vertex;
+//! * the active-vertex bit vector (paper §4.3: "the set of active vertices is
+//!   maintained using a boolean array for performance reasons").
+//!
+//! The number of partitions defaults to `8 × available threads`, matching the
+//! `nthreads * 8` choice in the paper's appendix listing, and partitions are
+//! balanced by edge count to keep the skewed RMAT/social graphs from
+//! serialising on one heavy partition.
+
+use crate::program::VertexId;
+use graphmat_sparse::bitvec::BitVec;
+use graphmat_sparse::parallel::available_threads;
+use graphmat_sparse::partition::{PartitionedDcsc, RowPartitioner};
+use graphmat_io::edgelist::EdgeList;
+
+/// Options controlling graph construction.
+#[derive(Clone, Copy, Debug)]
+pub struct GraphBuildOptions {
+    /// Number of matrix partitions; `0` picks `partition_factor × threads`.
+    pub num_partitions: usize,
+    /// Multiplier applied to the thread count when `num_partitions == 0`
+    /// (the paper uses 8).
+    pub partition_factor: usize,
+    /// Balance partitions by edge count (`true`, the paper's load-balancing
+    /// optimization) or split rows evenly (`false`, the naive layout used as
+    /// the Figure 7 baseline).
+    pub balance_partitions: bool,
+    /// Also build the non-transposed matrix so programs can scatter along
+    /// in-edges ([`crate::program::EdgeDirection::In`] / `Both`).
+    pub build_in_edges: bool,
+}
+
+impl Default for GraphBuildOptions {
+    fn default() -> Self {
+        GraphBuildOptions {
+            num_partitions: 0,
+            partition_factor: 8,
+            balance_partitions: true,
+            build_in_edges: true,
+        }
+    }
+}
+
+impl GraphBuildOptions {
+    /// Explicitly set the number of partitions.
+    pub fn with_partitions(mut self, n: usize) -> Self {
+        self.num_partitions = n;
+        self
+    }
+
+    /// Enable or disable nnz-balanced partitioning.
+    pub fn with_balancing(mut self, balance: bool) -> Self {
+        self.balance_partitions = balance;
+        self
+    }
+
+    /// Enable or disable construction of the in-edge matrix.
+    pub fn with_in_edges(mut self, build: bool) -> Self {
+        self.build_in_edges = build;
+        self
+    }
+
+    fn effective_partitions(&self) -> usize {
+        if self.num_partitions == 0 {
+            (self.partition_factor.max(1)) * available_threads()
+        } else {
+            self.num_partitions
+        }
+    }
+}
+
+/// A graph prepared for GraphMat execution, with vertex properties of type `V`.
+#[derive(Clone, Debug)]
+pub struct Graph<V> {
+    nvertices: VertexId,
+    nedges: usize,
+    /// `Gᵀ`: row = destination, column = source. Used for out-edge scatter.
+    out_matrix: PartitionedDcsc<f32>,
+    /// `G`: row = source, column = destination. Used for in-edge scatter.
+    in_matrix: Option<PartitionedDcsc<f32>>,
+    out_degrees: Vec<u32>,
+    in_degrees: Vec<u32>,
+    properties: Vec<V>,
+    active: BitVec,
+}
+
+impl<V: Clone + Default> Graph<V> {
+    /// Build a graph from an edge list, initialising every vertex property to
+    /// `V::default()` and every vertex to inactive.
+    pub fn from_edge_list(edges: &EdgeList, options: GraphBuildOptions) -> Self {
+        let n = edges.num_vertices();
+        let nparts = options.effective_partitions().max(1);
+
+        let transpose_coo = edges.to_transpose_coo();
+        let out_matrix = if options.balance_partitions {
+            let ranges = RowPartitioner::balanced_nnz(&transpose_coo.row_counts(), nparts);
+            PartitionedDcsc::from_coo(&transpose_coo, &ranges)
+        } else {
+            PartitionedDcsc::from_coo_even(&transpose_coo, nparts)
+        };
+
+        let in_matrix = if options.build_in_edges {
+            let adj_coo = edges.to_adjacency_coo();
+            Some(if options.balance_partitions {
+                let ranges = RowPartitioner::balanced_nnz(&adj_coo.row_counts(), nparts);
+                PartitionedDcsc::from_coo(&adj_coo, &ranges)
+            } else {
+                PartitionedDcsc::from_coo_even(&adj_coo, nparts)
+            })
+        } else {
+            None
+        };
+
+        let out_degrees: Vec<u32> = edges.out_degrees().into_iter().map(|d| d as u32).collect();
+        let in_degrees: Vec<u32> = edges.in_degrees().into_iter().map(|d| d as u32).collect();
+
+        Graph {
+            nvertices: n,
+            nedges: edges.num_edges(),
+            out_matrix,
+            in_matrix,
+            out_degrees,
+            in_degrees,
+            properties: vec![V::default(); n as usize],
+            active: BitVec::new(n as usize),
+        }
+    }
+}
+
+impl<V> Graph<V> {
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> VertexId {
+        self.nvertices
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.nedges
+    }
+
+    /// Out-degree of vertex `v`.
+    pub fn out_degree(&self, v: VertexId) -> u32 {
+        self.out_degrees[v as usize]
+    }
+
+    /// In-degree of vertex `v`.
+    pub fn in_degree(&self, v: VertexId) -> u32 {
+        self.in_degrees[v as usize]
+    }
+
+    /// All out-degrees (indexed by vertex id).
+    pub fn out_degrees(&self) -> &[u32] {
+        &self.out_degrees
+    }
+
+    /// All in-degrees (indexed by vertex id).
+    pub fn in_degrees(&self) -> &[u32] {
+        &self.in_degrees
+    }
+
+    /// The partitioned `Gᵀ` used for out-edge traversal.
+    pub fn out_matrix(&self) -> &PartitionedDcsc<f32> {
+        &self.out_matrix
+    }
+
+    /// The partitioned `G` used for in-edge traversal, if it was built.
+    pub fn in_matrix(&self) -> Option<&PartitionedDcsc<f32>> {
+        self.in_matrix.as_ref()
+    }
+
+    /// Number of matrix partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.out_matrix.n_partitions()
+    }
+
+    // ---- vertex properties -------------------------------------------------
+
+    /// Read the property of vertex `v`.
+    pub fn property(&self, v: VertexId) -> &V {
+        &self.properties[v as usize]
+    }
+
+    /// Write the property of vertex `v`.
+    pub fn set_property(&mut self, v: VertexId, value: V) {
+        self.properties[v as usize] = value;
+    }
+
+    /// Set every vertex's property to `value`.
+    pub fn set_all_properties(&mut self, value: V)
+    where
+        V: Clone,
+    {
+        self.properties.iter_mut().for_each(|p| *p = value.clone());
+    }
+
+    /// Initialise every vertex's property from a function of its id.
+    pub fn init_properties(&mut self, mut f: impl FnMut(VertexId) -> V) {
+        for v in 0..self.nvertices {
+            self.properties[v as usize] = f(v);
+        }
+    }
+
+    /// Read-only view of all vertex properties (indexed by vertex id).
+    pub fn properties(&self) -> &[V] {
+        &self.properties
+    }
+
+    /// Mutable view of all vertex properties.
+    pub fn properties_mut(&mut self) -> &mut [V] {
+        &mut self.properties
+    }
+
+    // ---- active set ---------------------------------------------------------
+
+    /// Mark vertex `v` active for the next superstep.
+    pub fn set_active(&mut self, v: VertexId) {
+        self.active.set(v as usize);
+    }
+
+    /// Mark vertex `v` inactive.
+    pub fn set_inactive(&mut self, v: VertexId) {
+        self.active.clear(v as usize);
+    }
+
+    /// Mark every vertex active (e.g. PageRank's first iteration).
+    pub fn set_all_active(&mut self) {
+        self.active.set_all();
+    }
+
+    /// Mark every vertex inactive.
+    pub fn clear_active(&mut self) {
+        self.active.clear_all();
+    }
+
+    /// Is vertex `v` currently active?
+    pub fn is_active(&self, v: VertexId) -> bool {
+        self.active.get(v as usize)
+    }
+
+    /// Number of currently active vertices.
+    pub fn active_count(&self) -> usize {
+        self.active.count_ones()
+    }
+
+    /// The active-set bit vector.
+    pub fn active_bits(&self) -> &BitVec {
+        &self.active
+    }
+
+    /// Replace the active set (used by the runner between supersteps).
+    pub(crate) fn replace_active(&mut self, new_active: BitVec) {
+        debug_assert_eq!(new_active.len(), self.active.len());
+        self.active = new_active;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_graph() -> Graph<f32> {
+        let el = EdgeList::from_tuples(
+            4,
+            vec![(0, 1, 1.0), (0, 2, 2.0), (1, 2, 3.0), (2, 3, 4.0), (3, 0, 5.0)],
+        );
+        Graph::from_edge_list(&el, GraphBuildOptions::default().with_partitions(2))
+    }
+
+    #[test]
+    fn construction_counts() {
+        let g = small_graph();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.num_partitions(), 2);
+        assert_eq!(g.out_matrix().nnz(), 5);
+        assert_eq!(g.in_matrix().unwrap().nnz(), 5);
+    }
+
+    #[test]
+    fn degrees_match_edge_list() {
+        let g = small_graph();
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(3), 1);
+        assert_eq!(g.in_degree(2), 2);
+        assert_eq!(g.in_degree(1), 1);
+        assert_eq!(g.out_degrees().len(), 4);
+    }
+
+    #[test]
+    fn transpose_orientation_is_correct() {
+        let g = small_graph();
+        // edge 0 -> 1 must appear in Gᵀ as (row=1, col=0)
+        assert!(g
+            .out_matrix()
+            .iter()
+            .any(|(r, c, _)| r == 1 && c == 0));
+        // and in G as (row=0, col=1)
+        assert!(g
+            .in_matrix()
+            .unwrap()
+            .iter()
+            .any(|(r, c, _)| r == 0 && c == 1));
+    }
+
+    #[test]
+    fn properties_lifecycle() {
+        let mut g = small_graph();
+        assert_eq!(*g.property(0), 0.0);
+        g.set_all_properties(7.0);
+        assert!(g.properties().iter().all(|&p| p == 7.0));
+        g.set_property(2, 1.5);
+        assert_eq!(*g.property(2), 1.5);
+        g.init_properties(|v| v as f32);
+        assert_eq!(*g.property(3), 3.0);
+        g.properties_mut()[1] = 9.0;
+        assert_eq!(*g.property(1), 9.0);
+    }
+
+    #[test]
+    fn active_set_lifecycle() {
+        let mut g = small_graph();
+        assert_eq!(g.active_count(), 0);
+        g.set_active(1);
+        g.set_active(3);
+        assert!(g.is_active(1));
+        assert!(!g.is_active(0));
+        assert_eq!(g.active_count(), 2);
+        g.set_inactive(1);
+        assert_eq!(g.active_count(), 1);
+        g.set_all_active();
+        assert_eq!(g.active_count(), 4);
+        g.clear_active();
+        assert_eq!(g.active_count(), 0);
+    }
+
+    #[test]
+    fn in_edges_can_be_skipped() {
+        let el = EdgeList::from_tuples(3, vec![(0, 1, 1.0), (1, 2, 1.0)]);
+        let g: Graph<u32> =
+            Graph::from_edge_list(&el, GraphBuildOptions::default().with_in_edges(false));
+        assert!(g.in_matrix().is_none());
+    }
+
+    #[test]
+    fn default_partition_count_scales_with_threads() {
+        // a graph with plenty of rows so the balanced partitioner can hit the
+        // requested 8 × threads partition count
+        let n = 4096u32;
+        let el = EdgeList::from_pairs(n, (0..n - 1).map(|v| (v, v + 1)));
+        let g: Graph<u32> = Graph::from_edge_list(&el, GraphBuildOptions::default());
+        assert!(g.num_partitions() >= 8);
+        assert_eq!(
+            g.num_partitions(),
+            8 * graphmat_sparse::parallel::available_threads()
+        );
+    }
+
+    #[test]
+    fn unbalanced_partitioning_is_supported() {
+        let el = EdgeList::from_tuples(4, vec![(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0)]);
+        let g: Graph<u32> = Graph::from_edge_list(
+            &el,
+            GraphBuildOptions::default()
+                .with_partitions(4)
+                .with_balancing(false),
+        );
+        assert_eq!(g.num_partitions(), 4);
+        assert_eq!(g.out_matrix().nnz(), 3);
+    }
+}

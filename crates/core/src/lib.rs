@@ -1,0 +1,38 @@
+//! GraphMat core: the vertex-programming frontend executed as generalized
+//! sparse matrix–sparse vector multiplication.
+//!
+//! This crate is the paper's primary contribution. Users describe a graph
+//! algorithm as a [`program::GraphProgram`] — the familiar
+//! `SEND_MESSAGE` / `PROCESS_MESSAGE` / `REDUCE` / `APPLY` vertex-programming
+//! callbacks (§4.1) — and [`runner::run_graph_program`] executes it as a
+//! sequence of bulk-synchronous supersteps, each of which is one generalized
+//! SpMV over the DCSC-partitioned transposed adjacency matrix (Algorithms 1
+//! and 2 of the paper).
+//!
+//! Module map:
+//!
+//! * [`program`] — the `GraphProgram` trait and edge-direction selection.
+//! * [`graph`] — [`graph::Graph`]: vertex properties, the active set, and the
+//!   partitioned adjacency matrices (`Gᵀ` for out-edge traversal, `G` for
+//!   in-edge traversal).
+//! * [`engine`] — one superstep: build the message vector from active
+//!   vertices, run the generalized SpMV, return the reduced values.
+//! * [`runner`] — the iteration loop with convergence detection and the
+//!   APPLY phase (Algorithm 2).
+//! * [`options`] — run-time knobs (threads, dispatch mode, sparse-vector
+//!   representation) including the ablation toggles for the paper's Figure 7.
+//! * [`stats`] — per-superstep and whole-run statistics plus the cost-model
+//!   counters consumed by the Figure 6 benchmark.
+
+pub mod engine;
+pub mod graph;
+pub mod options;
+pub mod program;
+pub mod runner;
+pub mod stats;
+
+pub use graph::{Graph, GraphBuildOptions};
+pub use options::{ActivityPolicy, DispatchMode, RunOptions, VectorKind};
+pub use program::{EdgeDirection, GraphProgram, VertexId};
+pub use runner::{run_graph_program, RunResult};
+pub use stats::{RunStats, SuperstepStats};

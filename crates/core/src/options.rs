@@ -1,0 +1,173 @@
+//! Run-time configuration and the Figure 7 ablation toggles.
+//!
+//! The paper stresses that GraphMat leaves almost no tuning to the user: "the
+//! only tunable ones are number of threads and number of desired matrix
+//! partitions" (§5.4). [`RunOptions`] exposes exactly those two knobs plus
+//! the iteration limit — and, additionally, the two *ablation* switches that
+//! the Figure 7 experiment needs to reconstruct the naive baselines
+//! (sorted-tuple sparse vectors instead of bitvector-backed ones, and dynamic
+//! dispatch of the user callbacks instead of monomorphised/inlined calls,
+//! standing in for compiling without `-ipo`).
+
+use graphmat_sparse::parallel::{available_threads, Executor};
+
+/// How the user's `process_message`/`reduce` callbacks are dispatched inside
+/// the SpMV inner loop.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// Static dispatch: the engine is monomorphised over the program, so the
+    /// callbacks inline into the SpMV kernel. This is the analogue of the
+    /// paper's icc `-ipo` build (§4.5 optimization 2) and the default.
+    #[default]
+    Static,
+    /// Dynamic dispatch: callbacks are invoked through trait objects,
+    /// preventing inlining — the "before `-ipo`" configuration of Figure 7.
+    Dynamic,
+}
+
+/// How the active set for the next superstep is determined after APPLY.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ActivityPolicy {
+    /// Only vertices whose property changed become active (Algorithm 2
+    /// lines 12–13) — the right semantics for frontier algorithms such as
+    /// BFS, SSSP and label propagation.
+    #[default]
+    Changed,
+    /// Every vertex is active every superstep — the right semantics for
+    /// fixed-iteration algorithms such as PageRank and gradient-descent
+    /// collaborative filtering, where every vertex must rebroadcast its
+    /// state even if it happens not to have changed.
+    AlwaysAll,
+}
+
+/// Which sparse-vector representation holds the per-superstep messages.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum VectorKind {
+    /// Bit vector + dense value array (the paper's choice, §4.4.2).
+    #[default]
+    Bitvector,
+    /// Sorted `(index, value)` tuples (the rejected alternative, kept for the
+    /// Figure 7 "+bitvector" ablation step).
+    Sorted,
+}
+
+/// Options controlling one `run_graph_program` invocation.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOptions {
+    /// Number of worker threads; `0` means use all available hardware
+    /// threads.
+    pub nthreads: usize,
+    /// Maximum number of supersteps; `None` runs until no vertex changes
+    /// state (the paper's `-1` argument).
+    pub max_iterations: Option<usize>,
+    /// Callback dispatch mode (Figure 7 "+ipo" ablation).
+    pub dispatch: DispatchMode,
+    /// Sparse-vector representation (Figure 7 "+bitvector" ablation).
+    pub vector: VectorKind,
+    /// How the next superstep's active set is derived.
+    pub activity: ActivityPolicy,
+    /// Record per-superstep statistics (cheap; on by default).
+    pub record_supersteps: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            nthreads: 0,
+            max_iterations: None,
+            dispatch: DispatchMode::Static,
+            vector: VectorKind::Bitvector,
+            activity: ActivityPolicy::Changed,
+            record_supersteps: true,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Options for a sequential (single-threaded) run.
+    pub fn sequential() -> Self {
+        RunOptions {
+            nthreads: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Set the thread count (`0` = all available).
+    pub fn with_threads(mut self, nthreads: usize) -> Self {
+        self.nthreads = nthreads;
+        self
+    }
+
+    /// Set the maximum number of supersteps.
+    pub fn with_max_iterations(mut self, max: usize) -> Self {
+        self.max_iterations = Some(max);
+        self
+    }
+
+    /// Set the dispatch mode.
+    pub fn with_dispatch(mut self, dispatch: DispatchMode) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
+    /// Set the sparse-vector representation.
+    pub fn with_vector(mut self, vector: VectorKind) -> Self {
+        self.vector = vector;
+        self
+    }
+
+    /// Set the activity policy.
+    pub fn with_activity(mut self, activity: ActivityPolicy) -> Self {
+        self.activity = activity;
+        self
+    }
+
+    /// The effective number of threads this configuration will use.
+    pub fn effective_threads(&self) -> usize {
+        if self.nthreads == 0 {
+            available_threads()
+        } else {
+            self.nthreads
+        }
+    }
+
+    /// Build the executor for this configuration.
+    pub fn executor(&self) -> Executor {
+        Executor::new(self.effective_threads())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_recommendations() {
+        let o = RunOptions::default();
+        assert_eq!(o.dispatch, DispatchMode::Static);
+        assert_eq!(o.vector, VectorKind::Bitvector);
+        assert!(o.max_iterations.is_none());
+        assert!(o.effective_threads() >= 1);
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let o = RunOptions::default()
+            .with_threads(3)
+            .with_max_iterations(7)
+            .with_dispatch(DispatchMode::Dynamic)
+            .with_vector(VectorKind::Sorted);
+        assert_eq!(o.nthreads, 3);
+        assert_eq!(o.effective_threads(), 3);
+        assert_eq!(o.max_iterations, Some(7));
+        assert_eq!(o.dispatch, DispatchMode::Dynamic);
+        assert_eq!(o.vector, VectorKind::Sorted);
+    }
+
+    #[test]
+    fn sequential_uses_one_thread() {
+        let o = RunOptions::sequential();
+        assert_eq!(o.effective_threads(), 1);
+        assert_eq!(o.executor().nthreads(), 1);
+    }
+}

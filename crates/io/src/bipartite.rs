@@ -1,0 +1,239 @@
+//! Synthetic bipartite ratings generator (the Netflix stand-in).
+//!
+//! The paper's collaborative-filtering experiments use the Netflix Prize
+//! dataset (480k users × 17.8k movies, 99M ratings) and a much larger
+//! synthetic bipartite graph "similar in distribution to the real-world
+//! Netflix challenge graph" generated as described in [27] (§5.1).
+//!
+//! This module provides that synthetic generator. Users and items get
+//! popularity weights drawn from a power-law-ish distribution (a small number
+//! of very popular items attract most ratings, as in Netflix); each rating is
+//! an edge from a user vertex to an item vertex with a value in
+//! `rating_range`. The resulting graph is bipartite by construction: vertices
+//! `0..num_users` are users and `num_users..num_users+num_items` are items.
+
+use crate::edgelist::EdgeList;
+use graphmat_sparse::Index;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the bipartite ratings generator.
+#[derive(Clone, Copy, Debug)]
+pub struct BipartiteConfig {
+    /// Number of user vertices.
+    pub num_users: Index,
+    /// Number of item vertices.
+    pub num_items: Index,
+    /// Total number of ratings (edges) to generate.
+    pub num_ratings: usize,
+    /// Inclusive rating value range, e.g. `(1.0, 5.0)` like Netflix stars.
+    pub rating_range: (f32, f32),
+    /// Popularity skew exponent; larger values concentrate ratings on fewer
+    /// items (0 gives a uniform distribution).
+    pub skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BipartiteConfig {
+    fn default() -> Self {
+        BipartiteConfig {
+            num_users: 10_000,
+            num_items: 500,
+            num_ratings: 200_000,
+            rating_range: (1.0, 5.0),
+            skew: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+impl BipartiteConfig {
+    /// A laptop-scale Netflix-like workload.
+    pub fn netflix_like(num_users: Index, num_items: Index, num_ratings: usize) -> Self {
+        BipartiteConfig {
+            num_users,
+            num_items,
+            num_ratings,
+            ..Default::default()
+        }
+    }
+
+    /// Total number of vertices (users + items).
+    pub fn num_vertices(&self) -> Index {
+        self.num_users + self.num_items
+    }
+
+    /// Override the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The generated ratings graph together with the user/item split.
+#[derive(Clone, Debug)]
+pub struct RatingsGraph {
+    /// Edges run from user vertices to item vertices; weights are ratings.
+    pub edges: EdgeList,
+    /// Number of user vertices (`0..num_users`).
+    pub num_users: Index,
+    /// Number of item vertices (`num_users..num_users + num_items`).
+    pub num_items: Index,
+}
+
+impl RatingsGraph {
+    /// `true` if vertex `v` is a user.
+    pub fn is_user(&self, v: Index) -> bool {
+        v < self.num_users
+    }
+
+    /// `true` if vertex `v` is an item.
+    pub fn is_item(&self, v: Index) -> bool {
+        v >= self.num_users && v < self.num_users + self.num_items
+    }
+}
+
+/// Generate a synthetic bipartite ratings graph.
+///
+/// Duplicate (user, item) pairs are removed, so the returned edge count can
+/// be slightly below `num_ratings` for dense configurations.
+pub fn generate(config: &BipartiteConfig) -> RatingsGraph {
+    assert!(config.num_users > 0 && config.num_items > 0);
+    assert!(config.rating_range.0 <= config.rating_range.1);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.num_vertices();
+
+    // Zipf-like item popularity: weight(i) ∝ 1 / (i+1)^skew.
+    let item_weights: Vec<f64> = (0..config.num_items)
+        .map(|i| 1.0 / ((i as f64 + 1.0).powf(config.skew)))
+        .collect();
+    let cumulative: Vec<f64> = item_weights
+        .iter()
+        .scan(0.0, |acc, w| {
+            *acc += w;
+            Some(*acc)
+        })
+        .collect();
+    let total = *cumulative.last().unwrap();
+
+    let mut el = EdgeList::new(n);
+    let (rlo, rhi) = config.rating_range;
+    for _ in 0..config.num_ratings {
+        let user: Index = rng.gen_range(0..config.num_users);
+        // inverse-CDF sample of the item popularity distribution
+        let target = rng.gen::<f64>() * total;
+        let item_idx = cumulative.partition_point(|&c| c < target) as Index;
+        let item = config.num_users + item_idx.min(config.num_items - 1);
+        let rating = if (rhi - rlo).abs() < f32::EPSILON {
+            rlo
+        } else {
+            (rng.gen_range(rlo..=rhi) * 2.0).round() / 2.0 // half-star granularity
+        };
+        el.push(user, item, rating);
+    }
+    el.dedup();
+    RatingsGraph {
+        edges: el,
+        num_users: config.num_users,
+        num_items: config.num_items,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_bipartite_structure() {
+        let cfg = BipartiteConfig {
+            num_users: 100,
+            num_items: 20,
+            num_ratings: 1000,
+            ..Default::default()
+        };
+        let g = generate(&cfg);
+        assert_eq!(g.edges.num_vertices(), 120);
+        for &(u, i, _) in g.edges.edges() {
+            assert!(g.is_user(u), "source {u} must be a user");
+            assert!(g.is_item(i), "target {i} must be an item");
+        }
+    }
+
+    #[test]
+    fn ratings_in_range() {
+        let g = generate(&BipartiteConfig::default());
+        assert!(g
+            .edges
+            .edges()
+            .iter()
+            .all(|&(_, _, r)| (1.0..=5.0).contains(&r)));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = BipartiteConfig {
+            num_users: 50,
+            num_items: 10,
+            num_ratings: 500,
+            ..Default::default()
+        };
+        assert_eq!(generate(&cfg).edges, generate(&cfg).edges);
+        assert_ne!(
+            generate(&cfg).edges,
+            generate(&cfg.with_seed(99)).edges
+        );
+    }
+
+    #[test]
+    fn no_duplicate_ratings() {
+        let cfg = BipartiteConfig {
+            num_users: 20,
+            num_items: 5,
+            num_ratings: 2000, // forces many collisions
+            ..Default::default()
+        };
+        let g = generate(&cfg);
+        let mut pairs: Vec<(u32, u32)> = g.edges.edges().iter().map(|&(u, i, _)| (u, i)).collect();
+        let before = pairs.len();
+        pairs.sort();
+        pairs.dedup();
+        assert_eq!(before, pairs.len());
+        assert!(before <= 20 * 5);
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let cfg = BipartiteConfig {
+            num_users: 2000,
+            num_items: 200,
+            num_ratings: 20_000,
+            skew: 1.2,
+            ..Default::default()
+        };
+        let g = generate(&cfg);
+        let in_deg = g.edges.in_degrees();
+        let item_degrees: Vec<usize> = (cfg.num_users..cfg.num_vertices())
+            .map(|v| in_deg[v as usize])
+            .collect();
+        let max = *item_degrees.iter().max().unwrap();
+        let avg = item_degrees.iter().sum::<usize>() as f64 / item_degrees.len() as f64;
+        assert!(max as f64 > 3.0 * avg, "max {max} avg {avg}");
+    }
+
+    #[test]
+    fn user_item_classification() {
+        let g = generate(&BipartiteConfig {
+            num_users: 10,
+            num_items: 5,
+            num_ratings: 20,
+            ..Default::default()
+        });
+        assert!(g.is_user(0));
+        assert!(g.is_user(9));
+        assert!(!g.is_user(10));
+        assert!(g.is_item(10));
+        assert!(g.is_item(14));
+        assert!(!g.is_item(15));
+    }
+}

@@ -1,0 +1,317 @@
+//! Named benchmark datasets (the Table 1 stand-ins).
+//!
+//! The paper's Table 1 lists five real-world datasets and four synthetic
+//! ones. The real data cannot be bundled, so each entry here is a synthetic
+//! stand-in generated to match the *structural property that matters for the
+//! experiment it appears in*:
+//!
+//! | Paper dataset            | Stand-in here        | Preserved property |
+//! |--------------------------|----------------------|--------------------|
+//! | RMAT scale 20/23/24      | RMAT at reduced scale| power-law degrees, same A/B/C |
+//! | LiveJournal / Facebook / Wikipedia | RMAT "powerlaw" graphs with distinct seeds | skewed social-graph structure |
+//! | Netflix + synthetic CF   | bipartite generator  | bipartite, skewed item popularity |
+//! | Flickr                   | RMAT with lower density | moderate-degree crawl graph |
+//! | USA road (CAL)           | 2-D grid road network| high diameter, low degree |
+//!
+//! Every dataset is generated deterministically from a fixed seed, and the
+//! default scales are chosen so the full Figure 4 suite runs in minutes on a
+//! laptop. `DatasetScale::Paper` produces sizes closer to the paper's (only
+//! use it on a machine with tens of GB of memory and patience).
+
+use crate::bipartite::{self, BipartiteConfig, RatingsGraph};
+use crate::edgelist::EdgeList;
+use crate::grid::{self, GridConfig};
+use crate::rmat::{self, RmatConfig};
+
+/// How large the generated stand-ins should be.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DatasetScale {
+    /// Tiny graphs for unit/integration tests (runs in milliseconds).
+    Tiny,
+    /// Default laptop-friendly benchmark scale.
+    Small,
+    /// Larger graphs for more faithful benchmark shapes (tens of seconds).
+    Medium,
+    /// Sizes close to the paper's (requires a large-memory machine).
+    Paper,
+}
+
+impl DatasetScale {
+    /// RMAT scale (log2 vertices) used for the main synthetic graphs.
+    fn rmat_scale(self) -> u32 {
+        match self {
+            DatasetScale::Tiny => 8,
+            DatasetScale::Small => 14,
+            DatasetScale::Medium => 17,
+            DatasetScale::Paper => 23,
+        }
+    }
+
+    /// RMAT scale for the triangle-counting graph (paper uses scale 20 vs 23).
+    fn tc_scale(self) -> u32 {
+        self.rmat_scale().saturating_sub(3).max(6)
+    }
+
+    /// Side length of the road-network grid.
+    fn grid_side(self) -> u32 {
+        match self {
+            DatasetScale::Tiny => 24,
+            DatasetScale::Small => 180,
+            DatasetScale::Medium => 400,
+            DatasetScale::Paper => 1400,
+        }
+    }
+
+    /// (users, items, ratings) of the collaborative-filtering dataset.
+    fn cf_size(self) -> (u32, u32, usize) {
+        match self {
+            DatasetScale::Tiny => (300, 40, 3_000),
+            DatasetScale::Small => (12_000, 600, 250_000),
+            DatasetScale::Medium => (60_000, 2_000, 2_000_000),
+            DatasetScale::Paper => (480_189, 17_770, 99_072_112),
+        }
+    }
+}
+
+/// Identifier of a benchmark graph (mirrors the rows of Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DatasetId {
+    /// RMAT with Graph500 PR/BFS/SSSP parameters — the paper's "RMAT Scale 23".
+    RmatGraph500,
+    /// RMAT with triangle-counting parameters — the paper's "RMAT Scale 20".
+    RmatTriangle,
+    /// RMAT with the A=0.5 parameters — the paper's "RMAT Scale 24" SSSP graph.
+    RmatSssp,
+    /// Power-law social-graph stand-in for LiveJournal.
+    LiveJournalLike,
+    /// Power-law social-graph stand-in for the Facebook interaction graph.
+    FacebookLike,
+    /// Power-law stand-in for the Wikipedia link graph.
+    WikipediaLike,
+    /// Moderate-density crawl-graph stand-in for Flickr.
+    FlickrLike,
+    /// High-diameter road network stand-in for USA-road (CAL).
+    UsaRoadLike,
+    /// Bipartite ratings stand-in for the Netflix Prize data.
+    NetflixLike,
+    /// Larger synthetic bipartite ratings graph (the paper's "Synthetic CF").
+    SyntheticCf,
+}
+
+impl DatasetId {
+    /// All datasets, in Table 1 order.
+    pub fn all() -> &'static [DatasetId] {
+        &[
+            DatasetId::RmatTriangle,
+            DatasetId::RmatGraph500,
+            DatasetId::RmatSssp,
+            DatasetId::LiveJournalLike,
+            DatasetId::FacebookLike,
+            DatasetId::WikipediaLike,
+            DatasetId::NetflixLike,
+            DatasetId::SyntheticCf,
+            DatasetId::FlickrLike,
+            DatasetId::UsaRoadLike,
+        ]
+    }
+
+    /// Short name used in benchmark output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetId::RmatGraph500 => "rmat-g500",
+            DatasetId::RmatTriangle => "rmat-tc",
+            DatasetId::RmatSssp => "rmat-sssp",
+            DatasetId::LiveJournalLike => "livejournal-like",
+            DatasetId::FacebookLike => "facebook-like",
+            DatasetId::WikipediaLike => "wikipedia-like",
+            DatasetId::FlickrLike => "flickr-like",
+            DatasetId::UsaRoadLike => "usa-road-like",
+            DatasetId::NetflixLike => "netflix-like",
+            DatasetId::SyntheticCf => "synthetic-cf",
+        }
+    }
+
+    /// The paper dataset this one stands in for.
+    pub fn paper_dataset(&self) -> &'static str {
+        match self {
+            DatasetId::RmatGraph500 => "Synthetic Graph500 RMAT Scale 23",
+            DatasetId::RmatTriangle => "Synthetic Graph500 RMAT Scale 20",
+            DatasetId::RmatSssp => "Synthetic Graph500 RMAT Scale 24",
+            DatasetId::LiveJournalLike => "LiveJournal follower graph",
+            DatasetId::FacebookLike => "Facebook user interaction graph",
+            DatasetId::WikipediaLike => "Wikipedia link graph",
+            DatasetId::FlickrLike => "Flickr crawl",
+            DatasetId::UsaRoadLike => "USA road (CAL) DIMACS9",
+            DatasetId::NetflixLike => "Netflix Prize ratings",
+            DatasetId::SyntheticCf => "Synthetic Collaborative Filtering",
+        }
+    }
+
+    /// Which algorithms the paper runs on this dataset (Table 1 column).
+    pub fn algorithms(&self) -> &'static str {
+        match self {
+            DatasetId::RmatGraph500 => "Pagerank, BFS, SSSP",
+            DatasetId::RmatTriangle => "Tri Count",
+            DatasetId::RmatSssp => "SSSP",
+            DatasetId::LiveJournalLike | DatasetId::FacebookLike | DatasetId::WikipediaLike => {
+                "Pagerank, BFS, Tri Count"
+            }
+            DatasetId::FlickrLike | DatasetId::UsaRoadLike => "SSSP",
+            DatasetId::NetflixLike | DatasetId::SyntheticCf => "Collaborative Filtering",
+        }
+    }
+}
+
+/// Load (generate) a non-bipartite dataset at the given scale.
+///
+/// # Panics
+/// Panics if called with one of the bipartite (CF) dataset ids; use
+/// [`load_ratings`] for those.
+pub fn load(id: DatasetId, scale: DatasetScale) -> EdgeList {
+    let s = scale.rmat_scale();
+    match id {
+        DatasetId::RmatGraph500 => {
+            with_weights(rmat::generate(&RmatConfig::graph500(s).with_seed(101)), 1, 16)
+        }
+        DatasetId::RmatTriangle => {
+            rmat::generate(&RmatConfig::triangle_counting(scale.tc_scale()).with_seed(102))
+        }
+        DatasetId::RmatSssp => rmat::generate(&RmatConfig::sssp_extra(s).with_seed(103)),
+        DatasetId::LiveJournalLike => with_weights(
+            rmat::generate(&RmatConfig::graph500(s).with_seed(201).with_edge_factor(14)),
+            1,
+            16,
+        ),
+        DatasetId::FacebookLike => with_weights(
+            rmat::generate(&RmatConfig::graph500(s.saturating_sub(1)).with_seed(202).with_edge_factor(14)),
+            1,
+            16,
+        ),
+        DatasetId::WikipediaLike => with_weights(
+            rmat::generate(&RmatConfig::graph500(s).with_seed(203).with_edge_factor(12)),
+            1,
+            16,
+        ),
+        DatasetId::FlickrLike => with_weights(
+            rmat::generate(&RmatConfig::graph500(s.saturating_sub(2)).with_seed(204).with_edge_factor(12)),
+            1,
+            64,
+        ),
+        DatasetId::UsaRoadLike => grid::generate(
+            &GridConfig {
+                removal_fraction: 0.08,
+                num_shortcuts: 32,
+                ..GridConfig::square(scale.grid_side())
+            }
+            .with_seed(205),
+        ),
+        DatasetId::NetflixLike | DatasetId::SyntheticCf => {
+            panic!("{id:?} is a bipartite ratings dataset; use load_ratings()")
+        }
+    }
+}
+
+/// Load (generate) one of the bipartite collaborative-filtering datasets.
+///
+/// # Panics
+/// Panics if called with a non-bipartite dataset id.
+pub fn load_ratings(id: DatasetId, scale: DatasetScale) -> RatingsGraph {
+    let (users, items, ratings) = scale.cf_size();
+    match id {
+        DatasetId::NetflixLike => bipartite::generate(
+            &BipartiteConfig::netflix_like(users, items, ratings).with_seed(301),
+        ),
+        DatasetId::SyntheticCf => bipartite::generate(
+            &BipartiteConfig::netflix_like(users * 2, items * 2, ratings * 2).with_seed(302),
+        ),
+        _ => panic!("{id:?} is not a bipartite ratings dataset; use load()"),
+    }
+}
+
+fn with_weights(mut el: EdgeList, lo: u32, hi: u32) -> EdgeList {
+    // deterministic pseudo-random weights derived from the endpoints, so the
+    // same dataset id always produces identical weights
+    el.map_weights(|s, d, _| {
+        let h = (s as u64)
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add((d as u64).wrapping_mul(0xC2B2AE3D27D4EB4F));
+        (lo + ((h >> 33) as u32 % (hi - lo + 1))) as f32
+    });
+    el
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_non_bipartite_datasets_load_at_tiny_scale() {
+        for &id in DatasetId::all() {
+            if matches!(id, DatasetId::NetflixLike | DatasetId::SyntheticCf) {
+                continue;
+            }
+            let el = load(id, DatasetScale::Tiny);
+            assert!(el.num_edges() > 0, "{id:?} generated no edges");
+            assert!(el.num_vertices() > 0);
+        }
+    }
+
+    #[test]
+    fn bipartite_datasets_load() {
+        let netflix = load_ratings(DatasetId::NetflixLike, DatasetScale::Tiny);
+        assert!(netflix.edges.num_edges() > 0);
+        let synth = load_ratings(DatasetId::SyntheticCf, DatasetScale::Tiny);
+        assert!(synth.edges.num_edges() > netflix.edges.num_edges() / 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn load_rejects_bipartite_ids() {
+        let _ = load(DatasetId::NetflixLike, DatasetScale::Tiny);
+    }
+
+    #[test]
+    #[should_panic]
+    fn load_ratings_rejects_graph_ids() {
+        let _ = load_ratings(DatasetId::RmatGraph500, DatasetScale::Tiny);
+    }
+
+    #[test]
+    fn datasets_are_deterministic() {
+        let a = load(DatasetId::FacebookLike, DatasetScale::Tiny);
+        let b = load(DatasetId::FacebookLike, DatasetScale::Tiny);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        let tiny = load(DatasetId::RmatGraph500, DatasetScale::Tiny);
+        let small = load(DatasetId::RmatGraph500, DatasetScale::Small);
+        assert!(small.num_vertices() > tiny.num_vertices());
+        assert!(small.num_edges() > tiny.num_edges());
+    }
+
+    #[test]
+    fn road_network_differs_structurally_from_social() {
+        let road = load(DatasetId::UsaRoadLike, DatasetScale::Tiny).stats();
+        let social = load(DatasetId::FacebookLike, DatasetScale::Tiny).stats();
+        // road: bounded degree; social: heavy tail
+        assert!(road.max_out_degree <= 8);
+        assert!(social.max_out_degree > 20);
+    }
+
+    #[test]
+    fn names_and_metadata_exist() {
+        for &id in DatasetId::all() {
+            assert!(!id.name().is_empty());
+            assert!(!id.paper_dataset().is_empty());
+            assert!(!id.algorithms().is_empty());
+        }
+    }
+
+    #[test]
+    fn weights_in_expected_range() {
+        let el = load(DatasetId::RmatGraph500, DatasetScale::Tiny);
+        assert!(el.edges().iter().all(|&(_, _, w)| (1.0..=16.0).contains(&w)));
+    }
+}

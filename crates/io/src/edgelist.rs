@@ -1,0 +1,313 @@
+//! In-memory edge lists and the paper's pre-processing passes.
+//!
+//! Every generator and reader in this crate produces an [`EdgeList`]; the
+//! graph structures in `graphmat-core` and the baselines are built from one.
+//! The pre-processing methods implement §5.1 of the paper:
+//!
+//! * self-loops are always removed;
+//! * PageRank / SSSP work on the directed graph as-is;
+//! * BFS symmetrizes the graph;
+//! * Triangle Counting symmetrizes and then keeps only the upper triangle
+//!   (making the graph a DAG);
+//! * Collaborative Filtering requires a bipartite graph (users × items).
+
+use graphmat_sparse::coo::Coo;
+use graphmat_sparse::Index;
+
+/// A weighted directed edge list with a fixed vertex count.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EdgeList {
+    num_vertices: Index,
+    edges: Vec<(Index, Index, f32)>,
+}
+
+impl EdgeList {
+    /// Create an empty edge list over `num_vertices` vertices.
+    pub fn new(num_vertices: Index) -> Self {
+        EdgeList {
+            num_vertices,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Create an edge list from `(src, dst, weight)` tuples.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range.
+    pub fn from_tuples(num_vertices: Index, edges: Vec<(Index, Index, f32)>) -> Self {
+        for &(s, d, _) in &edges {
+            assert!(
+                s < num_vertices && d < num_vertices,
+                "edge ({s},{d}) out of range for {num_vertices} vertices"
+            );
+        }
+        EdgeList {
+            num_vertices,
+            edges,
+        }
+    }
+
+    /// Create an unweighted (weight 1.0) edge list from `(src, dst)` pairs.
+    pub fn from_pairs(num_vertices: Index, pairs: impl IntoIterator<Item = (Index, Index)>) -> Self {
+        let edges = pairs.into_iter().map(|(s, d)| (s, d, 1.0)).collect();
+        Self::from_tuples(num_vertices, edges)
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> Index {
+        self.num_vertices
+    }
+
+    /// Number of edges currently stored.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` if there are no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Append an edge.
+    pub fn push(&mut self, src: Index, dst: Index, weight: f32) {
+        assert!(src < self.num_vertices && dst < self.num_vertices);
+        self.edges.push((src, dst, weight));
+    }
+
+    /// The edges as `(src, dst, weight)` tuples.
+    pub fn edges(&self) -> &[(Index, Index, f32)] {
+        &self.edges
+    }
+
+    /// Out-degree of every vertex.
+    pub fn out_degrees(&self) -> Vec<usize> {
+        let mut d = vec![0usize; self.num_vertices as usize];
+        for &(s, _, _) in &self.edges {
+            d[s as usize] += 1;
+        }
+        d
+    }
+
+    /// In-degree of every vertex.
+    pub fn in_degrees(&self) -> Vec<usize> {
+        let mut d = vec![0usize; self.num_vertices as usize];
+        for &(_, t, _) in &self.edges {
+            d[t as usize] += 1;
+        }
+        d
+    }
+
+    /// Remove self-loops (always done by the paper, §5.1).
+    pub fn remove_self_loops(&mut self) {
+        self.edges.retain(|&(s, d, _)| s != d);
+    }
+
+    /// Remove duplicate `(src, dst)` pairs, keeping the first weight.
+    pub fn dedup(&mut self) {
+        self.edges.sort_unstable_by_key(|&(s, d, _)| (s, d));
+        self.edges.dedup_by_key(|&mut (s, d, _)| (s, d));
+    }
+
+    /// Return a symmetrized copy (both directions of every edge), as the
+    /// paper does for BFS and as the first step of triangle counting.
+    pub fn symmetrized(&self) -> EdgeList {
+        let mut edges = Vec::with_capacity(self.edges.len() * 2);
+        for &(s, d, w) in &self.edges {
+            edges.push((s, d, w));
+            if s != d {
+                edges.push((d, s, w));
+            }
+        }
+        let mut out = EdgeList {
+            num_vertices: self.num_vertices,
+            edges,
+        };
+        out.dedup();
+        out
+    }
+
+    /// Return the DAG used for triangle counting: symmetrize, then keep only
+    /// edges with `dst > src` (the strict upper triangle of the adjacency
+    /// matrix).
+    pub fn to_dag(&self) -> EdgeList {
+        let sym = self.symmetrized();
+        EdgeList {
+            num_vertices: sym.num_vertices,
+            edges: sym
+                .edges
+                .into_iter()
+                .filter(|&(s, d, _)| d > s)
+                .collect(),
+        }
+    }
+
+    /// Replace every weight using `f(src, dst, weight)`.
+    pub fn map_weights(&mut self, mut f: impl FnMut(Index, Index, f32) -> f32) {
+        for (s, d, w) in &mut self.edges {
+            *w = f(*s, *d, *w);
+        }
+    }
+
+    /// Convert to a COO adjacency matrix `A` (row = src, col = dst).
+    pub fn to_adjacency_coo(&self) -> Coo<f32> {
+        let mut coo = Coo::with_capacity(self.num_vertices, self.num_vertices, self.edges.len());
+        for &(s, d, w) in &self.edges {
+            coo.push(s, d, w);
+        }
+        coo
+    }
+
+    /// Convert to the transposed adjacency matrix `Aᵀ` (row = dst, col = src),
+    /// which is what the GraphMat SpMV over out-edges consumes.
+    pub fn to_transpose_coo(&self) -> Coo<f32> {
+        let mut coo = Coo::with_capacity(self.num_vertices, self.num_vertices, self.edges.len());
+        for &(s, d, w) in &self.edges {
+            coo.push(d, s, w);
+        }
+        coo
+    }
+
+    /// Basic structural statistics, used to print Table 1.
+    pub fn stats(&self) -> EdgeListStats {
+        let out = self.out_degrees();
+        let max_out = out.iter().copied().max().unwrap_or(0);
+        let isolated = out
+            .iter()
+            .zip(self.in_degrees())
+            .filter(|&(o, i)| *o == 0 && i == 0)
+            .count();
+        EdgeListStats {
+            num_vertices: self.num_vertices as usize,
+            num_edges: self.edges.len(),
+            max_out_degree: max_out,
+            avg_degree: if self.num_vertices == 0 {
+                0.0
+            } else {
+                self.edges.len() as f64 / self.num_vertices as f64
+            },
+            isolated_vertices: isolated,
+        }
+    }
+}
+
+/// Summary statistics of an [`EdgeList`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EdgeListStats {
+    /// Number of vertices (including isolated ones).
+    pub num_vertices: usize,
+    /// Number of directed edges.
+    pub num_edges: usize,
+    /// Largest out-degree.
+    pub max_out_degree: usize,
+    /// Edges per vertex.
+    pub avg_degree: f64,
+    /// Vertices with neither in- nor out-edges.
+    pub isolated_vertices: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EdgeList {
+        EdgeList::from_tuples(
+            5,
+            vec![
+                (0, 1, 1.0),
+                (1, 2, 2.0),
+                (2, 0, 3.0),
+                (2, 2, 9.0), // self loop
+                (0, 1, 4.0), // duplicate
+                (3, 4, 5.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn counts() {
+        let el = sample();
+        assert_eq!(el.num_vertices(), 5);
+        assert_eq!(el.num_edges(), 6);
+        assert!(!el.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_edge_panics() {
+        EdgeList::from_tuples(2, vec![(0, 5, 1.0)]);
+    }
+
+    #[test]
+    fn degrees() {
+        let el = sample();
+        assert_eq!(el.out_degrees(), vec![2, 1, 2, 1, 0]);
+        assert_eq!(el.in_degrees(), vec![1, 2, 2, 0, 1]);
+    }
+
+    #[test]
+    fn remove_self_loops_and_dedup() {
+        let mut el = sample();
+        el.remove_self_loops();
+        assert_eq!(el.num_edges(), 5);
+        el.dedup();
+        assert_eq!(el.num_edges(), 4);
+        // kept the first weight for (0,1)
+        assert!(el.edges().contains(&(0, 1, 1.0)));
+        assert!(!el.edges().contains(&(0, 1, 4.0)));
+    }
+
+    #[test]
+    fn symmetrized_has_both_directions() {
+        let mut el = sample();
+        el.remove_self_loops();
+        el.dedup();
+        let sym = el.symmetrized();
+        assert!(sym.edges().iter().any(|&(s, d, _)| s == 1 && d == 0));
+        assert!(sym.edges().iter().any(|&(s, d, _)| s == 0 && d == 1));
+        assert_eq!(sym.num_edges(), 8);
+    }
+
+    #[test]
+    fn dag_keeps_upper_triangle_only() {
+        let el = sample();
+        let dag = el.to_dag();
+        assert!(dag.edges().iter().all(|&(s, d, _)| d > s));
+        // undirected edges {0,1},{1,2},{0,2},{3,4} -> 4 DAG edges
+        assert_eq!(dag.num_edges(), 4);
+    }
+
+    #[test]
+    fn adjacency_and_transpose_are_consistent() {
+        let el = sample();
+        let a = el.to_adjacency_coo();
+        let at = el.to_transpose_coo();
+        assert_eq!(a.nnz(), at.nnz());
+        for (r, c, v) in a.entries() {
+            assert!(at.entries().contains(&(*c, *r, *v)));
+        }
+    }
+
+    #[test]
+    fn map_weights_rewrites() {
+        let mut el = sample();
+        el.map_weights(|s, d, _| (s + d) as f32);
+        assert!(el.edges().iter().all(|&(s, d, w)| w == (s + d) as f32));
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let el = sample();
+        let st = el.stats();
+        assert_eq!(st.num_vertices, 5);
+        assert_eq!(st.num_edges, 6);
+        assert_eq!(st.max_out_degree, 2);
+        assert!((st.avg_degree - 1.2).abs() < 1e-9);
+        assert_eq!(st.isolated_vertices, 0);
+    }
+
+    #[test]
+    fn from_pairs_gives_unit_weights() {
+        let el = EdgeList::from_pairs(3, vec![(0, 1), (1, 2)]);
+        assert!(el.edges().iter().all(|&(_, _, w)| w == 1.0));
+    }
+}

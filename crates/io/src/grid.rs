@@ -1,0 +1,249 @@
+//! 2-D grid "road network" generator.
+//!
+//! The paper's SSSP evaluation includes the USA-road (California/Nevada)
+//! graph and notes that such high-diameter graphs take many iterations each
+//! doing little work, which is where GraphMat's low per-iteration overhead
+//! shines (§5.2.1). The DIMACS road data is not bundled here, so this module
+//! generates a structurally similar stand-in: a `width × height` 4-connected
+//! grid with random positive edge weights, optionally with a fraction of
+//! edges removed to create detours (making shortest-path trees less trivial)
+//! and a few long-range "highway" shortcuts.
+
+use crate::edgelist::EdgeList;
+use graphmat_sparse::Index;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the grid road-network generator.
+#[derive(Clone, Copy, Debug)]
+pub struct GridConfig {
+    /// Number of columns of the grid.
+    pub width: u32,
+    /// Number of rows of the grid.
+    pub height: u32,
+    /// Inclusive edge-weight range (e.g. road segment lengths).
+    pub weight_range: (u32, u32),
+    /// Fraction of grid edges randomly removed (0.0 keeps the full grid).
+    pub removal_fraction: f64,
+    /// Number of random long-range shortcut edges to add ("highways").
+    pub num_shortcuts: usize,
+    /// If `true`, every edge is added in both directions (road networks are
+    /// usually symmetric).
+    pub bidirectional: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        GridConfig {
+            width: 128,
+            height: 128,
+            weight_range: (1, 100),
+            removal_fraction: 0.05,
+            num_shortcuts: 0,
+            bidirectional: true,
+            seed: 42,
+        }
+    }
+}
+
+impl GridConfig {
+    /// A square grid of the given side length.
+    pub fn square(side: u32) -> Self {
+        GridConfig {
+            width: side,
+            height: side,
+            ..Default::default()
+        }
+    }
+
+    /// Total number of vertices.
+    pub fn num_vertices(&self) -> Index {
+        self.width * self.height
+    }
+
+    /// Override the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Vertex id of grid cell `(x, y)`.
+    pub fn vertex(&self, x: u32, y: u32) -> Index {
+        y * self.width + x
+    }
+}
+
+/// Generate a grid road network.
+pub fn generate(config: &GridConfig) -> EdgeList {
+    assert!(config.width >= 2 && config.height >= 2, "grid too small");
+    assert!((0.0..1.0).contains(&config.removal_fraction));
+    let (wlo, whi) = config.weight_range;
+    assert!(wlo >= 1 && wlo <= whi);
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.num_vertices();
+    let mut el = EdgeList::new(n);
+
+    let push_edge = |el: &mut EdgeList, rng: &mut StdRng, a: Index, b: Index| {
+        let w = if wlo == whi {
+            wlo as f32
+        } else {
+            rng.gen_range(wlo..=whi) as f32
+        };
+        el.push(a, b, w);
+        if config.bidirectional {
+            el.push(b, a, w);
+        }
+    };
+
+    for y in 0..config.height {
+        for x in 0..config.width {
+            let v = config.vertex(x, y);
+            // right neighbour
+            if x + 1 < config.width && rng.gen::<f64>() >= config.removal_fraction {
+                push_edge(&mut el, &mut rng, v, config.vertex(x + 1, y));
+            }
+            // down neighbour
+            if y + 1 < config.height && rng.gen::<f64>() >= config.removal_fraction {
+                push_edge(&mut el, &mut rng, v, config.vertex(x, y + 1));
+            }
+        }
+    }
+
+    for _ in 0..config.num_shortcuts {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            push_edge(&mut el, &mut rng, a, b);
+        }
+    }
+    el
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_grid_edge_count() {
+        let cfg = GridConfig {
+            width: 10,
+            height: 8,
+            removal_fraction: 0.0,
+            num_shortcuts: 0,
+            bidirectional: false,
+            ..Default::default()
+        };
+        let el = generate(&cfg);
+        // horizontal: (10-1)*8, vertical: 10*(8-1)
+        assert_eq!(el.num_edges(), 9 * 8 + 10 * 7);
+        assert_eq!(el.num_vertices(), 80);
+    }
+
+    #[test]
+    fn bidirectional_doubles_edges() {
+        let uni = generate(&GridConfig {
+            width: 6,
+            height: 6,
+            removal_fraction: 0.0,
+            bidirectional: false,
+            ..Default::default()
+        });
+        let bi = generate(&GridConfig {
+            width: 6,
+            height: 6,
+            removal_fraction: 0.0,
+            bidirectional: true,
+            ..Default::default()
+        });
+        assert_eq!(bi.num_edges(), uni.num_edges() * 2);
+    }
+
+    #[test]
+    fn removal_reduces_edges() {
+        let full = generate(&GridConfig {
+            removal_fraction: 0.0,
+            ..GridConfig::square(32)
+        });
+        let sparse = generate(&GridConfig {
+            removal_fraction: 0.3,
+            ..GridConfig::square(32)
+        });
+        assert!(sparse.num_edges() < full.num_edges());
+    }
+
+    #[test]
+    fn weights_in_range() {
+        let el = generate(&GridConfig::square(16));
+        assert!(el
+            .edges()
+            .iter()
+            .all(|&(_, _, w)| (1.0..=100.0).contains(&w)));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = GridConfig::square(12).with_seed(5);
+        assert_eq!(generate(&cfg), generate(&cfg));
+        assert_ne!(generate(&cfg), generate(&GridConfig::square(12).with_seed(6)));
+    }
+
+    #[test]
+    fn shortcuts_are_added() {
+        let base = generate(&GridConfig {
+            num_shortcuts: 0,
+            removal_fraction: 0.0,
+            ..GridConfig::square(16)
+        });
+        let with = generate(&GridConfig {
+            num_shortcuts: 50,
+            removal_fraction: 0.0,
+            ..GridConfig::square(16)
+        });
+        assert!(with.num_edges() > base.num_edges());
+    }
+
+    #[test]
+    fn vertex_numbering_is_row_major() {
+        let cfg = GridConfig::square(8);
+        assert_eq!(cfg.vertex(0, 0), 0);
+        assert_eq!(cfg.vertex(7, 0), 7);
+        assert_eq!(cfg.vertex(0, 1), 8);
+        assert_eq!(cfg.vertex(7, 7), 63);
+    }
+
+    #[test]
+    fn grid_has_high_diameter() {
+        // A grid's (unweighted) diameter ≈ width + height, far larger than an
+        // RMAT graph of similar size — this is exactly why the paper includes
+        // road networks for SSSP.
+        let cfg = GridConfig {
+            removal_fraction: 0.0,
+            ..GridConfig::square(32)
+        };
+        let el = generate(&cfg);
+        // BFS from corner 0 to estimate eccentricity
+        let n = el.num_vertices() as usize;
+        let mut adj = vec![Vec::new(); n];
+        for &(s, d, _) in el.edges() {
+            adj[s as usize].push(d as usize);
+        }
+        let mut dist = vec![usize::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        dist[0] = 0;
+        queue.push_back(0usize);
+        let mut max_d = 0;
+        while let Some(u) = queue.pop_front() {
+            for &v in &adj[u] {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    max_d = max_d.max(dist[v]);
+                    queue.push_back(v);
+                }
+            }
+        }
+        assert!(max_d >= 62, "expected diameter ≈ 62, got {max_d}");
+    }
+}

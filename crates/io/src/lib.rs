@@ -1,0 +1,31 @@
+//! Graph data: generators, file IO and pre-processing.
+//!
+//! The paper evaluates on a mix of real-world graphs (LiveJournal, Facebook,
+//! Wikipedia, Netflix, Flickr, USA-road) and synthetic graphs (Graph500 RMAT,
+//! a synthetic bipartite ratings generator). The real datasets are not
+//! redistributable here, so this crate provides:
+//!
+//! * [`rmat`] — the Graph500 RMAT generator the paper uses for its synthetic
+//!   graphs (§5.1), with the exact parameter sets the paper lists.
+//! * [`bipartite`] — the synthetic bipartite ratings generator standing in
+//!   for the Netflix collaborative-filtering dataset.
+//! * [`grid`] — a 2-D grid road-network generator standing in for the
+//!   USA-road / long-diameter graphs on which per-iteration overhead matters.
+//! * [`uniform`] — an Erdős–Rényi generator for unskewed control workloads.
+//! * [`mtx`] — MatrixMarket coordinate-format reader/writer (the format the
+//!   original GraphMat's `ReadMTX` consumed).
+//! * [`edgelist`] — the in-memory edge-list container plus the pre-processing
+//!   passes of §5.1 (self-loop removal, deduplication, symmetrization,
+//!   upper-triangle DAG extraction).
+//! * [`datasets`] — a registry of named benchmark datasets mirroring Table 1
+//!   at laptop-friendly scales.
+
+pub mod bipartite;
+pub mod datasets;
+pub mod edgelist;
+pub mod grid;
+pub mod mtx;
+pub mod rmat;
+pub mod uniform;
+
+pub use edgelist::EdgeList;

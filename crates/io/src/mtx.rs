@@ -1,0 +1,283 @@
+//! MatrixMarket coordinate-format reader and writer.
+//!
+//! The original GraphMat loaded graphs with `Graph::ReadMTX` (see the paper's
+//! appendix listing). This module implements the subset of the MatrixMarket
+//! exchange format that graph datasets use: the `matrix coordinate`
+//! object/format with `real`, `integer` or `pattern` fields and `general` or
+//! `symmetric` symmetry. Vertex ids in the file are 1-based, as the format
+//! specifies, and are converted to 0-based ids in the [`EdgeList`].
+
+use crate::edgelist::EdgeList;
+use graphmat_sparse::Index;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors produced by the MatrixMarket reader.
+#[derive(Debug)]
+pub enum MtxError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// The file violates the MatrixMarket format; the string describes how.
+    Parse(String),
+}
+
+impl std::fmt::Display for MtxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MtxError::Io(e) => write!(f, "I/O error reading MatrixMarket data: {e}"),
+            MtxError::Parse(msg) => write!(f, "invalid MatrixMarket data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MtxError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MtxError::Io(e) => Some(e),
+            MtxError::Parse(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for MtxError {
+    fn from(e: std::io::Error) -> Self {
+        MtxError::Io(e)
+    }
+}
+
+fn parse_err(msg: impl Into<String>) -> MtxError {
+    MtxError::Parse(msg.into())
+}
+
+/// Read a MatrixMarket graph from any reader.
+///
+/// Rectangular matrices are supported (useful for bipartite ratings
+/// matrices): the resulting edge list has `max(nrows, ncols)` vertices, and
+/// for rectangular inputs the column ids are shifted by `nrows` so that rows
+/// and columns occupy disjoint vertex ranges.
+pub fn read<R: Read>(reader: R) -> Result<EdgeList, MtxError> {
+    let mut lines = BufReader::new(reader).lines();
+
+    // Header: %%MatrixMarket matrix coordinate <field> <symmetry>
+    let header = lines
+        .next()
+        .ok_or_else(|| parse_err("empty file"))??;
+    let header_lc = header.to_ascii_lowercase();
+    let tokens: Vec<&str> = header_lc.split_whitespace().collect();
+    if tokens.len() < 5 || !tokens[0].starts_with("%%matrixmarket") {
+        return Err(parse_err(format!("bad header line: {header}")));
+    }
+    if tokens[1] != "matrix" || tokens[2] != "coordinate" {
+        return Err(parse_err("only 'matrix coordinate' files are supported"));
+    }
+    let field = tokens[3];
+    if !matches!(field, "real" | "integer" | "pattern") {
+        return Err(parse_err(format!("unsupported field type: {field}")));
+    }
+    let symmetry = tokens[4];
+    if !matches!(symmetry, "general" | "symmetric") {
+        return Err(parse_err(format!("unsupported symmetry: {symmetry}")));
+    }
+    let pattern = field == "pattern";
+    let symmetric = symmetry == "symmetric";
+
+    // Skip comments, read size line.
+    let size_line = loop {
+        let line = lines
+            .next()
+            .ok_or_else(|| parse_err("missing size line"))??;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        break line;
+    };
+    let dims: Vec<&str> = size_line.split_whitespace().collect();
+    if dims.len() != 3 {
+        return Err(parse_err(format!("bad size line: {size_line}")));
+    }
+    let nrows: u64 = dims[0].parse().map_err(|_| parse_err("bad row count"))?;
+    let ncols: u64 = dims[1].parse().map_err(|_| parse_err("bad column count"))?;
+    let nnz: usize = dims[2].parse().map_err(|_| parse_err("bad nnz count"))?;
+
+    let rectangular = nrows != ncols;
+    let num_vertices: u64 = if rectangular { nrows + ncols } else { nrows };
+    if num_vertices > u32::MAX as u64 {
+        return Err(parse_err("matrix too large for 32-bit vertex ids"));
+    }
+
+    let mut el = EdgeList::new(num_vertices as Index);
+    let mut count = 0usize;
+    for line in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let r: u64 = it
+            .next()
+            .ok_or_else(|| parse_err("missing row index"))?
+            .parse()
+            .map_err(|_| parse_err("bad row index"))?;
+        let c: u64 = it
+            .next()
+            .ok_or_else(|| parse_err("missing column index"))?
+            .parse()
+            .map_err(|_| parse_err("bad column index"))?;
+        if r == 0 || c == 0 || r > nrows || c > ncols {
+            return Err(parse_err(format!("entry ({r},{c}) out of bounds")));
+        }
+        let value: f32 = if pattern {
+            1.0
+        } else {
+            it.next()
+                .ok_or_else(|| parse_err("missing value"))?
+                .parse()
+                .map_err(|_| parse_err("bad value"))?
+        };
+        let src = (r - 1) as Index;
+        let dst = if rectangular {
+            (nrows + c - 1) as Index
+        } else {
+            (c - 1) as Index
+        };
+        el.push(src, dst, value);
+        if symmetric && src != dst {
+            el.push(dst, src, value);
+        }
+        count += 1;
+    }
+    if count != nnz {
+        return Err(parse_err(format!(
+            "size line promised {nnz} entries but file contains {count}"
+        )));
+    }
+    Ok(el)
+}
+
+/// Read a MatrixMarket file from disk.
+pub fn read_file(path: impl AsRef<Path>) -> Result<EdgeList, MtxError> {
+    read(std::fs::File::open(path)?)
+}
+
+/// Write an edge list as a `general real` MatrixMarket coordinate file.
+pub fn write<W: Write>(el: &EdgeList, mut writer: W) -> Result<(), MtxError> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(writer, "% written by graphmat-io")?;
+    writeln!(
+        writer,
+        "{} {} {}",
+        el.num_vertices(),
+        el.num_vertices(),
+        el.num_edges()
+    )?;
+    for &(s, d, w) in el.edges() {
+        writeln!(writer, "{} {} {}", s + 1, d + 1, w)?;
+    }
+    Ok(())
+}
+
+/// Write an edge list to a file on disk.
+pub fn write_file(el: &EdgeList, path: impl AsRef<Path>) -> Result<(), MtxError> {
+    write(el, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_general_real() {
+        let data = "%%MatrixMarket matrix coordinate real general\n\
+                    % a comment\n\
+                    3 3 3\n\
+                    1 2 1.5\n\
+                    2 3 2.5\n\
+                    3 1 3.5\n";
+        let el = read(data.as_bytes()).unwrap();
+        assert_eq!(el.num_vertices(), 3);
+        assert_eq!(el.num_edges(), 3);
+        assert!(el.edges().contains(&(0, 1, 1.5)));
+        assert!(el.edges().contains(&(2, 0, 3.5)));
+    }
+
+    #[test]
+    fn reads_pattern_symmetric() {
+        let data = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                    4 4 2\n\
+                    2 1\n\
+                    4 3\n";
+        let el = read(data.as_bytes()).unwrap();
+        // each symmetric entry expands to two directed edges with weight 1
+        assert_eq!(el.num_edges(), 4);
+        assert!(el.edges().contains(&(1, 0, 1.0)));
+        assert!(el.edges().contains(&(0, 1, 1.0)));
+    }
+
+    #[test]
+    fn reads_rectangular_as_bipartite() {
+        let data = "%%MatrixMarket matrix coordinate integer general\n\
+                    2 3 2\n\
+                    1 1 5\n\
+                    2 3 4\n";
+        let el = read(data.as_bytes()).unwrap();
+        assert_eq!(el.num_vertices(), 5); // 2 rows + 3 cols
+        assert!(el.edges().contains(&(0, 2, 5.0)));
+        assert!(el.edges().contains(&(1, 4, 4.0)));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(read("not a matrix\n1 1 0\n".as_bytes()).is_err());
+        assert!(read("%%MatrixMarket matrix array real general\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_entry_count() {
+        let data = "%%MatrixMarket matrix coordinate real general\n\
+                    2 2 3\n\
+                    1 2 1.0\n";
+        assert!(matches!(read(data.as_bytes()), Err(MtxError::Parse(_))));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_entry() {
+        let data = "%%MatrixMarket matrix coordinate real general\n\
+                    2 2 1\n\
+                    3 1 1.0\n";
+        assert!(read(data.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let el = EdgeList::from_tuples(4, vec![(0, 1, 1.0), (2, 3, 2.0), (3, 0, 0.5)]);
+        let mut buf = Vec::new();
+        write(&el, &mut buf).unwrap();
+        let back = read(buf.as_slice()).unwrap();
+        assert_eq!(back.num_vertices(), 4);
+        let mut a: Vec<_> = el.edges().to_vec();
+        let mut b: Vec<_> = back.edges().to_vec();
+        a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("graphmat_mtx_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.mtx");
+        let el = EdgeList::from_tuples(3, vec![(0, 1, 1.0), (1, 2, 2.0)]);
+        write_file(&el, &path).unwrap();
+        let back = read_file(&path).unwrap();
+        assert_eq!(back.num_edges(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = read("".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("MatrixMarket"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Erdős–Rényi style uniform random graph generator.
+//!
+//! Not used by the paper directly, but useful as an unskewed control
+//! workload: on a uniform graph the load-balancing optimization of §4.5
+//! should matter much less than on RMAT, which the ablation benchmarks
+//! exploit. Also the workhorse for property tests that need "some random
+//! graph" without RMAT's heavy tail.
+
+use crate::edgelist::EdgeList;
+use graphmat_sparse::Index;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the uniform random graph generator.
+#[derive(Clone, Copy, Debug)]
+pub struct UniformConfig {
+    /// Number of vertices.
+    pub num_vertices: Index,
+    /// Number of directed edges to draw (duplicates allowed, self-loops
+    /// skipped).
+    pub num_edges: usize,
+    /// Inclusive integer weight range.
+    pub weight_range: (u32, u32),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for UniformConfig {
+    fn default() -> Self {
+        UniformConfig {
+            num_vertices: 1024,
+            num_edges: 8192,
+            weight_range: (1, 1),
+            seed: 42,
+        }
+    }
+}
+
+impl UniformConfig {
+    /// Create a configuration with the given size and default weights/seed.
+    pub fn new(num_vertices: Index, num_edges: usize) -> Self {
+        UniformConfig {
+            num_vertices,
+            num_edges,
+            ..Default::default()
+        }
+    }
+
+    /// Override the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the weight range.
+    pub fn with_weights(mut self, lo: u32, hi: u32) -> Self {
+        self.weight_range = (lo, hi);
+        self
+    }
+}
+
+/// Generate a uniform random directed graph.
+pub fn generate(config: &UniformConfig) -> EdgeList {
+    assert!(config.num_vertices >= 2);
+    let (wlo, whi) = config.weight_range;
+    assert!(wlo >= 1 && wlo <= whi);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut el = EdgeList::new(config.num_vertices);
+    for _ in 0..config.num_edges {
+        let s = rng.gen_range(0..config.num_vertices);
+        let d = rng.gen_range(0..config.num_vertices);
+        if s == d {
+            continue;
+        }
+        let w = if wlo == whi {
+            wlo as f32
+        } else {
+            rng.gen_range(wlo..=whi) as f32
+        };
+        el.push(s, d, w);
+    }
+    el
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_size_and_determinism() {
+        let cfg = UniformConfig::new(100, 1000).with_seed(1);
+        let a = generate(&cfg);
+        assert_eq!(a.num_vertices(), 100);
+        assert!(a.num_edges() <= 1000 && a.num_edges() > 900);
+        assert_eq!(a, generate(&cfg));
+    }
+
+    #[test]
+    fn no_self_loops_and_in_range() {
+        let el = generate(&UniformConfig::new(50, 500));
+        assert!(el.edges().iter().all(|&(s, d, _)| s != d && s < 50 && d < 50));
+    }
+
+    #[test]
+    fn degree_distribution_is_flat() {
+        let el = generate(&UniformConfig::new(256, 256 * 16).with_seed(9));
+        let st = el.stats();
+        // uniform graph: max degree within a small factor of the average
+        assert!((st.max_out_degree as f64) < 3.5 * st.avg_degree);
+    }
+
+    #[test]
+    fn weighted_generation() {
+        let el = generate(&UniformConfig::new(64, 512).with_weights(5, 9));
+        assert!(el.edges().iter().all(|&(_, _, w)| (5.0..=9.0).contains(&w)));
+    }
+}

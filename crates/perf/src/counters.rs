@@ -1,0 +1,153 @@
+//! Abstract operation counters.
+
+use std::ops::{Add, AddAssign};
+
+/// Counts of abstract operations performed during one framework run.
+///
+/// All engines in the workspace (GraphMat itself and the comparator
+/// baselines) fill one of these in while executing, using the same accounting
+/// rules so the numbers are comparable:
+///
+/// * one `edge_op` per edge traversal that contributes to the algorithm
+///   (message processed, relaxation attempted, intersection step, …);
+/// * one `vertex_op` per vertex-level update (APPLY, rank write, …);
+/// * one `message` per message materialised in memory;
+/// * one `overhead_op` per unit of framework bookkeeping that a
+///   hand-optimized native implementation would not perform (queue pushes,
+///   virtual calls, buffer copies, lock acquisitions, …);
+/// * `bytes_read` / `bytes_written` estimate data movement from the sizes of
+///   the structures actually touched.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CostCounters {
+    /// Edge-level useful work items.
+    pub edge_ops: u64,
+    /// Vertex-level useful work items.
+    pub vertex_ops: u64,
+    /// Messages materialised.
+    pub messages: u64,
+    /// Framework bookkeeping operations.
+    pub overhead_ops: u64,
+    /// Estimated bytes read from memory.
+    pub bytes_read: u64,
+    /// Estimated bytes written to memory.
+    pub bytes_written: u64,
+}
+
+impl CostCounters {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total operations (work + overhead) — the "instructions executed"
+    /// proxy of Figure 6.
+    pub fn total_ops(&self) -> u64 {
+        self.edge_ops + self.vertex_ops + self.messages + self.overhead_ops
+    }
+
+    /// Useful (non-overhead) operations.
+    pub fn useful_ops(&self) -> u64 {
+        self.edge_ops + self.vertex_ops
+    }
+
+    /// Total estimated bytes moved.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Record `n` edge operations.
+    pub fn add_edge_ops(&mut self, n: u64) {
+        self.edge_ops += n;
+    }
+
+    /// Record `n` vertex operations.
+    pub fn add_vertex_ops(&mut self, n: u64) {
+        self.vertex_ops += n;
+    }
+
+    /// Record `n` messages.
+    pub fn add_messages(&mut self, n: u64) {
+        self.messages += n;
+    }
+
+    /// Record `n` overhead operations.
+    pub fn add_overhead(&mut self, n: u64) {
+        self.overhead_ops += n;
+    }
+
+    /// Record an estimated read of `n` bytes.
+    pub fn add_bytes_read(&mut self, n: u64) {
+        self.bytes_read += n;
+    }
+
+    /// Record an estimated write of `n` bytes.
+    pub fn add_bytes_written(&mut self, n: u64) {
+        self.bytes_written += n;
+    }
+}
+
+impl Add for CostCounters {
+    type Output = CostCounters;
+
+    fn add(self, rhs: CostCounters) -> CostCounters {
+        CostCounters {
+            edge_ops: self.edge_ops + rhs.edge_ops,
+            vertex_ops: self.vertex_ops + rhs.vertex_ops,
+            messages: self.messages + rhs.messages,
+            overhead_ops: self.overhead_ops + rhs.overhead_ops,
+            bytes_read: self.bytes_read + rhs.bytes_read,
+            bytes_written: self.bytes_written + rhs.bytes_written,
+        }
+    }
+}
+
+impl AddAssign for CostCounters {
+    fn add_assign(&mut self, rhs: CostCounters) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_by_default() {
+        let c = CostCounters::new();
+        assert_eq!(c.total_ops(), 0);
+        assert_eq!(c.bytes_total(), 0);
+    }
+
+    #[test]
+    fn accumulation_methods() {
+        let mut c = CostCounters::new();
+        c.add_edge_ops(10);
+        c.add_vertex_ops(5);
+        c.add_messages(3);
+        c.add_overhead(2);
+        c.add_bytes_read(100);
+        c.add_bytes_written(50);
+        assert_eq!(c.total_ops(), 20);
+        assert_eq!(c.useful_ops(), 15);
+        assert_eq!(c.bytes_total(), 150);
+    }
+
+    #[test]
+    fn add_combines_fields() {
+        let a = CostCounters {
+            edge_ops: 1,
+            vertex_ops: 2,
+            messages: 3,
+            overhead_ops: 4,
+            bytes_read: 5,
+            bytes_written: 6,
+        };
+        let b = a;
+        let c = a + b;
+        assert_eq!(c.edge_ops, 2);
+        assert_eq!(c.overhead_ops, 8);
+        let mut d = a;
+        d += b;
+        assert_eq!(d, c);
+    }
+}

@@ -1,0 +1,28 @@
+//! Software cost model standing in for hardware performance counters.
+//!
+//! The paper explains *why* GraphMat beats the other frameworks with Intel
+//! PMU counters (Figure 6): instructions executed, stall cycles, read
+//! bandwidth and IPC. Those counters are not portable (and not available in a
+//! pure-Rust, laptop-scale reproduction), so this crate provides an abstract
+//! cost model that every engine in the workspace reports into:
+//!
+//! * **work operations** — per-edge and per-vertex useful work
+//!   ([`CostCounters::edge_ops`], [`CostCounters::vertex_ops`]);
+//! * **overhead operations** — framework bookkeeping that does not advance
+//!   the algorithm (copies, queue management, virtual dispatch, MPI-style
+//!   buffer packing in the CombBLAS-like baseline);
+//! * **bytes touched** — an estimate of memory traffic.
+//!
+//! [`PerfReport::from_counters`] then derives the Figure 6 proxies:
+//! an *instruction proxy* (work + overhead), a *stall proxy* (bytes touched
+//! that miss in a modelled cache), *read bandwidth* (bytes / second) and an
+//! *IPC proxy* (useful work per unit time). The absolute numbers are
+//! meaningless; what the benchmark reproduces is the *ordering and rough
+//! ratios between frameworks*, which is all Figure 6 is used for in the
+//! paper's argument (§5.3).
+
+pub mod counters;
+pub mod model;
+
+pub use counters::CostCounters;
+pub use model::PerfReport;

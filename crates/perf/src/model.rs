@@ -1,0 +1,129 @@
+//! Derived performance metrics (the Figure 6 proxies).
+
+use crate::counters::CostCounters;
+use std::time::Duration;
+
+/// Derived metrics for one framework run, analogous to the four hardware
+/// counter groups of the paper's Figure 6.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PerfReport {
+    /// Proxy for "instructions executed": total abstract operations.
+    pub instructions_proxy: f64,
+    /// Proxy for "stall cycles": bytes touched beyond what a perfectly
+    /// cache-resident run would need, weighted by overhead fraction.
+    pub stall_proxy: f64,
+    /// Read bandwidth proxy: bytes read per second of wall time.
+    pub read_bandwidth: f64,
+    /// IPC proxy: useful operations per microsecond of wall time.
+    pub ipc_proxy: f64,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+impl PerfReport {
+    /// Derive a report from raw counters and the measured wall time.
+    pub fn from_counters(counters: &CostCounters, elapsed: Duration) -> Self {
+        let secs = elapsed.as_secs_f64().max(1e-9);
+        let total_ops = counters.total_ops() as f64;
+        let overhead_fraction = if counters.total_ops() == 0 {
+            0.0
+        } else {
+            counters.overhead_ops as f64 / counters.total_ops() as f64
+        };
+        // Stalls grow with memory traffic and with the fraction of work that
+        // is bookkeeping (bookkeeping implies pointer chasing / poor locality
+        // in all the modelled frameworks).
+        let stall_proxy = counters.bytes_total() as f64 * (1.0 + 4.0 * overhead_fraction);
+        PerfReport {
+            instructions_proxy: total_ops,
+            stall_proxy,
+            read_bandwidth: counters.bytes_read as f64 / secs,
+            ipc_proxy: counters.useful_ops() as f64 / (secs * 1e6),
+            elapsed,
+        }
+    }
+
+    /// Normalise this report against a reference (the paper normalises every
+    /// framework to GraphMat). Each field becomes `self / reference`.
+    pub fn normalized_to(&self, reference: &PerfReport) -> NormalizedPerf {
+        let div = |a: f64, b: f64| if b.abs() < 1e-12 { 0.0 } else { a / b };
+        NormalizedPerf {
+            instructions: div(self.instructions_proxy, reference.instructions_proxy),
+            stall_cycles: div(self.stall_proxy, reference.stall_proxy),
+            read_bandwidth: div(self.read_bandwidth, reference.read_bandwidth),
+            ipc: div(self.ipc_proxy, reference.ipc_proxy),
+        }
+    }
+}
+
+/// A [`PerfReport`] expressed relative to a reference run (Figure 6's
+/// "normalized to GraphMat" y-axis).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NormalizedPerf {
+    /// Instructions relative to the reference (lower is better).
+    pub instructions: f64,
+    /// Stall cycles relative to the reference (lower is better).
+    pub stall_cycles: f64,
+    /// Read bandwidth relative to the reference (higher is better).
+    pub read_bandwidth: f64,
+    /// IPC relative to the reference (higher is better).
+    pub ipc: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters(edge: u64, overhead: u64, bytes: u64) -> CostCounters {
+        CostCounters {
+            edge_ops: edge,
+            vertex_ops: 0,
+            messages: 0,
+            overhead_ops: overhead,
+            bytes_read: bytes,
+            bytes_written: 0,
+        }
+    }
+
+    #[test]
+    fn report_scales_with_ops() {
+        let fast = PerfReport::from_counters(&counters(100, 0, 1000), Duration::from_millis(10));
+        let slow = PerfReport::from_counters(&counters(1000, 500, 1000), Duration::from_millis(10));
+        assert!(slow.instructions_proxy > fast.instructions_proxy);
+        assert!(slow.stall_proxy > fast.stall_proxy);
+    }
+
+    #[test]
+    fn ipc_rewards_fast_runs() {
+        let c = counters(1000, 0, 1000);
+        let fast = PerfReport::from_counters(&c, Duration::from_millis(1));
+        let slow = PerfReport::from_counters(&c, Duration::from_millis(100));
+        assert!(fast.ipc_proxy > slow.ipc_proxy);
+        assert!(fast.read_bandwidth > slow.read_bandwidth);
+    }
+
+    #[test]
+    fn normalization_to_self_is_one() {
+        let r = PerfReport::from_counters(&counters(500, 50, 2000), Duration::from_millis(5));
+        let n = r.normalized_to(&r);
+        assert!((n.instructions - 1.0).abs() < 1e-12);
+        assert!((n.stall_cycles - 1.0).abs() < 1e-12);
+        assert!((n.read_bandwidth - 1.0).abs() < 1e-12);
+        assert!((n.ipc - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_increases_stall_proxy() {
+        let clean = PerfReport::from_counters(&counters(1000, 0, 1000), Duration::from_millis(10));
+        let bloated =
+            PerfReport::from_counters(&counters(1000, 1000, 1000), Duration::from_millis(10));
+        assert!(bloated.stall_proxy > clean.stall_proxy);
+    }
+
+    #[test]
+    fn zero_counters_do_not_divide_by_zero() {
+        let z = PerfReport::from_counters(&CostCounters::new(), Duration::from_millis(1));
+        let n = z.normalized_to(&z);
+        assert_eq!(n.instructions, 0.0);
+    }
+}

@@ -1,0 +1,394 @@
+//! Packed bit vectors.
+//!
+//! GraphMat stores both the active-vertex set and the index part of its sparse
+//! vectors as bit vectors (paper §4.4.2): a bit per vertex plus a dense value
+//! array beats sorted `(index, value)` tuples because membership tests are O(1),
+//! the bit array is small enough to stay cache resident, and it can be shared
+//! read-only between all threads during the SpMV.
+//!
+//! Two variants are provided:
+//!
+//! * [`BitVec`] — single-owner bit vector with cheap word-level iteration.
+//! * [`AtomicBitVec`] — concurrently writable bit vector used when multiple
+//!   partitions may mark the same output vertex (e.g. the active set for the
+//!   next superstep).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const WORD_BITS: usize = 64;
+
+#[inline(always)]
+fn word_index(bit: usize) -> (usize, u64) {
+    (bit / WORD_BITS, 1u64 << (bit % WORD_BITS))
+}
+
+/// A fixed-length packed bit vector.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Create a bit vector of `len` bits, all cleared.
+    pub fn new(len: usize) -> Self {
+        BitVec {
+            words: vec![0u64; len.div_ceil(WORD_BITS)],
+            len,
+        }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the vector has zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Test bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[inline(always)]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let (w, mask) = word_index(i);
+        self.words[w] & mask != 0
+    }
+
+    /// Set bit `i` to 1. Returns the previous value.
+    #[inline(always)]
+    pub fn set(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let (w, mask) = word_index(i);
+        let prev = self.words[w] & mask != 0;
+        self.words[w] |= mask;
+        prev
+    }
+
+    /// Clear bit `i`.
+    #[inline(always)]
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let (w, mask) = word_index(i);
+        self.words[w] &= !mask;
+    }
+
+    /// Set bit `i` to `value`.
+    #[inline(always)]
+    pub fn assign(&mut self, i: usize, value: bool) {
+        if value {
+            self.set(i);
+        } else {
+            self.clear(i);
+        }
+    }
+
+    /// Clear every bit without reallocating.
+    pub fn clear_all(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Set every bit.
+    pub fn set_all(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = !0u64);
+        self.mask_tail();
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` if no bit is set.
+    pub fn none(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `true` if any bit is set.
+    pub fn any(&self) -> bool {
+        !self.none()
+    }
+
+    /// Iterate over the indices of set bits in increasing order.
+    pub fn iter_ones(&self) -> OnesIter<'_> {
+        OnesIter {
+            words: &self.words,
+            len: self.len,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Bitwise OR another bit vector of the same length into `self`.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn union_with(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "BitVec length mismatch in union_with");
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= *b;
+        }
+    }
+
+    /// Access the raw words (read-only). Mostly useful for tests and for the
+    /// word-at-a-time fast paths in the SpMV kernel.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Zero out the bits beyond `len` in the last word so `count_ones` and
+    /// iteration stay correct after `set_all`.
+    fn mask_tail(&mut self) {
+        let rem = self.len % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+}
+
+/// Iterator over set-bit indices of a [`BitVec`].
+pub struct OnesIter<'a> {
+    words: &'a [u64],
+    len: usize,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for OnesIter<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let tz = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                let idx = self.word_idx * WORD_BITS + tz;
+                if idx < self.len {
+                    return Some(idx);
+                } else {
+                    return None;
+                }
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+    }
+}
+
+/// A bit vector whose bits can be set concurrently from multiple threads.
+///
+/// Only `set` needs to be concurrent in GraphMat (threads mark vertices active
+/// for the next superstep); reads happen after a synchronisation point, so a
+/// relaxed ordering is sufficient.
+#[derive(Debug)]
+pub struct AtomicBitVec {
+    words: Vec<AtomicU64>,
+    len: usize,
+}
+
+impl AtomicBitVec {
+    /// Create an atomic bit vector of `len` bits, all cleared.
+    pub fn new(len: usize) -> Self {
+        AtomicBitVec {
+            words: (0..len.div_ceil(WORD_BITS)).map(|_| AtomicU64::new(0)).collect(),
+            len,
+        }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the vector has zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Atomically set bit `i`.
+    #[inline(always)]
+    pub fn set(&self, i: usize) {
+        debug_assert!(i < self.len);
+        let (w, mask) = word_index(i);
+        self.words[w].fetch_or(mask, Ordering::Relaxed);
+    }
+
+    /// Test bit `i` (relaxed load — callers must synchronise externally).
+    #[inline(always)]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let (w, mask) = word_index(i);
+        self.words[w].load(Ordering::Relaxed) & mask != 0
+    }
+
+    /// Convert into a plain [`BitVec`] (consumes the atomic storage).
+    pub fn into_bitvec(self) -> BitVec {
+        BitVec {
+            words: self.words.into_iter().map(|w| w.into_inner()).collect(),
+            len: self.len,
+        }
+    }
+
+    /// Snapshot the current contents into a plain [`BitVec`].
+    pub fn to_bitvec(&self) -> BitVec {
+        BitVec {
+            words: self.words.iter().map(|w| w.load(Ordering::Relaxed)).collect(),
+            len: self.len,
+        }
+    }
+
+    /// Clear all bits (not thread-safe with concurrent setters).
+    pub fn clear_all(&mut self) {
+        for w in &mut self.words {
+            *w.get_mut() = 0;
+        }
+    }
+
+    /// Number of set bits (relaxed snapshot).
+    pub fn count_ones(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_all_clear() {
+        let bv = BitVec::new(130);
+        assert_eq!(bv.len(), 130);
+        assert_eq!(bv.count_ones(), 0);
+        assert!(bv.none());
+        assert!(!bv.any());
+        for i in 0..130 {
+            assert!(!bv.get(i));
+        }
+    }
+
+    #[test]
+    fn set_get_clear_roundtrip() {
+        let mut bv = BitVec::new(200);
+        for i in (0..200).step_by(7) {
+            assert!(!bv.set(i));
+        }
+        for i in 0..200 {
+            assert_eq!(bv.get(i), i % 7 == 0);
+        }
+        // setting again reports previous value
+        assert!(bv.set(0));
+        bv.clear(0);
+        assert!(!bv.get(0));
+        assert_eq!(bv.count_ones(), (0..200).step_by(7).count() - 1);
+    }
+
+    #[test]
+    fn assign_sets_and_clears() {
+        let mut bv = BitVec::new(10);
+        bv.assign(3, true);
+        assert!(bv.get(3));
+        bv.assign(3, false);
+        assert!(!bv.get(3));
+    }
+
+    #[test]
+    fn iter_ones_matches_set_bits() {
+        let mut bv = BitVec::new(300);
+        let targets = [0usize, 1, 63, 64, 65, 127, 128, 255, 299];
+        for &t in &targets {
+            bv.set(t);
+        }
+        let got: Vec<usize> = bv.iter_ones().collect();
+        assert_eq!(got, targets.to_vec());
+    }
+
+    #[test]
+    fn set_all_respects_length() {
+        let mut bv = BitVec::new(70);
+        bv.set_all();
+        assert_eq!(bv.count_ones(), 70);
+        assert_eq!(bv.iter_ones().count(), 70);
+        bv.clear_all();
+        assert_eq!(bv.count_ones(), 0);
+    }
+
+    #[test]
+    fn union_with_merges() {
+        let mut a = BitVec::new(100);
+        let mut b = BitVec::new(100);
+        a.set(1);
+        a.set(50);
+        b.set(50);
+        b.set(99);
+        a.union_with(&b);
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![1, 50, 99]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn union_with_length_mismatch_panics() {
+        let mut a = BitVec::new(10);
+        let b = BitVec::new(11);
+        a.union_with(&b);
+    }
+
+    #[test]
+    fn empty_bitvec() {
+        let bv = BitVec::new(0);
+        assert!(bv.is_empty());
+        assert_eq!(bv.iter_ones().count(), 0);
+        assert!(bv.none());
+    }
+
+    #[test]
+    fn atomic_bitvec_set_and_snapshot() {
+        let abv = AtomicBitVec::new(128);
+        abv.set(0);
+        abv.set(64);
+        abv.set(127);
+        assert!(abv.get(0));
+        assert!(abv.get(64));
+        assert!(!abv.get(1));
+        assert_eq!(abv.count_ones(), 3);
+        let bv = abv.to_bitvec();
+        assert_eq!(bv.iter_ones().collect::<Vec<_>>(), vec![0, 64, 127]);
+        let bv2 = abv.into_bitvec();
+        assert_eq!(bv, bv2);
+    }
+
+    #[test]
+    fn atomic_bitvec_concurrent_sets() {
+        use std::sync::Arc;
+        let abv = Arc::new(AtomicBitVec::new(10_000));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let abv = Arc::clone(&abv);
+            handles.push(std::thread::spawn(move || {
+                for i in (t..10_000).step_by(4) {
+                    abv.set(i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(abv.count_ones(), 10_000);
+    }
+}

@@ -1,0 +1,225 @@
+//! Partition-parallel execution with dynamic scheduling.
+//!
+//! The paper parallelizes the generalized SpMV by giving each thread matrix
+//! partitions to process, using OpenMP dynamic scheduling so that threads that
+//! finish light partitions steal the remaining heavy ones (§4.5, optimizations
+//! 3 and 4). [`Executor::run_dynamic`] reproduces that: a shared atomic
+//! counter hands out task (partition) indices to a fixed set of scoped
+//! threads until the queue is exhausted.
+//!
+//! The executor is intentionally tiny: GraphMat's parallelism need is exactly
+//! "N independent tasks, dynamically scheduled, results collected", and
+//! building it directly on `crossbeam::scope` keeps the dependency surface
+//! small and the scheduling behaviour transparent for the Figure 7 ablation.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fixed-width parallel executor (one OS thread per lane).
+#[derive(Clone, Copy, Debug)]
+pub struct Executor {
+    nthreads: usize,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::new(available_threads())
+    }
+}
+
+/// Number of hardware threads available to this process (at least 1).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+impl Executor {
+    /// Create an executor that uses `nthreads` worker threads (values below 1
+    /// are clamped to 1).
+    pub fn new(nthreads: usize) -> Self {
+        Executor {
+            nthreads: nthreads.max(1),
+        }
+    }
+
+    /// Create a sequential executor.
+    pub fn sequential() -> Self {
+        Executor { nthreads: 1 }
+    }
+
+    /// Number of worker threads.
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Run `f(task)` for every task index in `0..ntasks`, dynamically
+    /// scheduled across the executor's threads, and return the results in
+    /// task order.
+    ///
+    /// With one thread (or one task) everything runs inline on the caller's
+    /// thread — important both for determinism in tests and so that the
+    /// single-threaded baseline of the scalability experiment (Figure 5) pays
+    /// no threading overhead.
+    pub fn run_dynamic<T, F>(&self, ntasks: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if ntasks == 0 {
+            return Vec::new();
+        }
+        let workers = self.nthreads.min(ntasks);
+        if workers == 1 {
+            return (0..ntasks).map(&f).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let mut collected: Vec<(usize, T)> = Vec::with_capacity(ntasks);
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    let f = &f;
+                    scope.spawn(move |_| {
+                        let mut local: Vec<(usize, T)> = Vec::new();
+                        loop {
+                            let task = next.fetch_add(1, Ordering::Relaxed);
+                            if task >= ntasks {
+                                break;
+                            }
+                            local.push((task, f(task)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                collected.extend(h.join().expect("worker thread panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+
+        collected.sort_unstable_by_key(|(i, _)| *i);
+        debug_assert_eq!(collected.len(), ntasks);
+        collected.into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// Run `f(task)` for side effects only (no results collected).
+    pub fn for_each_dynamic<F>(&self, ntasks: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let _ = self.run_dynamic(ntasks, |t| {
+            f(t);
+        });
+    }
+
+    /// Split the half-open range `0..n` into one contiguous chunk per thread
+    /// and run `f(thread_id, start, end)` on each. Used for embarrassingly
+    /// parallel loops over vertices (e.g. the APPLY phase).
+    pub fn run_chunked<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize, usize, usize) + Sync,
+    {
+        if n == 0 {
+            return;
+        }
+        let workers = self.nthreads.min(n);
+        if workers == 1 {
+            f(0, 0, n);
+            return;
+        }
+        let chunk = n.div_ceil(workers);
+        crossbeam::scope(|scope| {
+            for t in 0..workers {
+                let f = &f;
+                let start = t * chunk;
+                let end = ((t + 1) * chunk).min(n);
+                if start >= end {
+                    continue;
+                }
+                scope.spawn(move |_| f(t, start, end));
+            }
+        })
+        .expect("crossbeam scope failed");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn sequential_runs_in_order() {
+        let ex = Executor::sequential();
+        let out = ex.run_dynamic(5, |i| i * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn parallel_results_in_task_order() {
+        let ex = Executor::new(4);
+        let out = ex.run_dynamic(100, |i| i as u64 * 2);
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn zero_tasks_is_empty() {
+        let ex = Executor::new(4);
+        let out: Vec<u32> = ex.run_dynamic(0, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_tasks() {
+        let ex = Executor::new(16);
+        let out = ex.run_dynamic(3, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn for_each_visits_every_task_once() {
+        let ex = Executor::new(4);
+        let counter = AtomicU64::new(0);
+        ex.for_each_dynamic(1000, |_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn run_chunked_covers_range_exactly_once() {
+        let ex = Executor::new(3);
+        let n = 1000;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        ex.run_chunked(n, |_, start, end| {
+            for i in start..end {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn run_chunked_empty() {
+        let ex = Executor::new(3);
+        ex.run_chunked(0, |_, _, _| panic!("should not be called"));
+    }
+
+    #[test]
+    fn executor_clamps_to_one_thread() {
+        let ex = Executor::new(0);
+        assert_eq!(ex.nthreads(), 1);
+    }
+
+    #[test]
+    fn default_uses_available_parallelism() {
+        let ex = Executor::default();
+        assert!(ex.nthreads() >= 1);
+        assert_eq!(ex.nthreads(), available_threads());
+    }
+}

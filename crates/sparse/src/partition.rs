@@ -1,0 +1,344 @@
+//! 1-D row partitioning of DCSC matrices.
+//!
+//! GraphMat partitions the (transposed) adjacency matrix along rows into
+//! *many more partitions than threads* and schedules them dynamically; this
+//! is the "load balancing" optimization of §4.5 (and the `nthreads*8`
+//! argument in the paper's appendix listing). Each partition is stored as an
+//! independent DCSC structure (paper §4.4.1), which is exactly what
+//! [`PartitionedDcsc`] holds.
+//!
+//! Two partitioning policies are provided:
+//!
+//! * [`RowPartitioner::even_rows`] — equal-sized row ranges (what a naive
+//!   implementation would do);
+//! * [`RowPartitioner::balanced_nnz`] — row ranges balanced by non-zero
+//!   count, which matters on the skewed degree distributions of RMAT /
+//!   social graphs.
+
+use crate::coo::Coo;
+use crate::dcsc::Dcsc;
+use crate::{ix, Index};
+
+/// A contiguous range of rows assigned to one partition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RowRange {
+    /// First row (inclusive).
+    pub start: Index,
+    /// One past the last row (exclusive).
+    pub end: Index,
+}
+
+impl RowRange {
+    /// Number of rows in the range.
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// `true` if the range contains no rows.
+    pub fn is_empty(&self) -> bool {
+        self.end == self.start
+    }
+
+    /// `true` if `row` falls inside the range.
+    #[inline(always)]
+    pub fn contains(&self, row: Index) -> bool {
+        row >= self.start && row < self.end
+    }
+}
+
+/// Policies for splitting `nrows` rows into partitions.
+pub struct RowPartitioner;
+
+impl RowPartitioner {
+    /// Split into `nparts` ranges of (nearly) equal row count.
+    pub fn even_rows(nrows: Index, nparts: usize) -> Vec<RowRange> {
+        let nparts = nparts.max(1);
+        let nrows_us = ix(nrows);
+        let base = nrows_us / nparts;
+        let extra = nrows_us % nparts;
+        let mut ranges = Vec::with_capacity(nparts);
+        let mut start = 0usize;
+        for p in 0..nparts {
+            let len = base + usize::from(p < extra);
+            ranges.push(RowRange {
+                start: start as Index,
+                end: (start + len) as Index,
+            });
+            start += len;
+        }
+        debug_assert_eq!(start, nrows_us);
+        ranges
+    }
+
+    /// Split into at most `nparts` ranges whose total non-zero counts are
+    /// approximately balanced, given per-row non-zero counts.
+    ///
+    /// Rows are never split, so a single very heavy row forms its own
+    /// partition. Returned ranges always cover `0..row_nnz.len()` and are
+    /// contiguous and non-overlapping.
+    pub fn balanced_nnz(row_nnz: &[usize], nparts: usize) -> Vec<RowRange> {
+        let nparts = nparts.max(1);
+        let nrows = row_nnz.len();
+        let total: usize = row_nnz.iter().sum();
+        if nrows == 0 {
+            return vec![RowRange { start: 0, end: 0 }];
+        }
+        let target = (total / nparts).max(1);
+        let mut ranges = Vec::with_capacity(nparts);
+        let mut start = 0usize;
+        let mut acc = 0usize;
+        for (r, &cnt) in row_nnz.iter().enumerate() {
+            acc += cnt;
+            let remaining_parts = nparts - ranges.len();
+            let remaining_rows = nrows - r - 1;
+            // close the partition when we reach the target, but keep enough
+            // rows for the remaining partitions to be non-degenerate
+            if acc >= target && remaining_parts > 1 && remaining_rows + 1 >= remaining_parts {
+                ranges.push(RowRange {
+                    start: start as Index,
+                    end: (r + 1) as Index,
+                });
+                start = r + 1;
+                acc = 0;
+            }
+        }
+        ranges.push(RowRange {
+            start: start as Index,
+            end: nrows as Index,
+        });
+        ranges
+    }
+}
+
+/// One row partition of a matrix: a row range plus the DCSC holding exactly
+/// the entries whose row falls in that range. Row indices inside the DCSC are
+/// *global* (not rebased), so SpMV output indices need no translation.
+#[derive(Clone, Debug)]
+pub struct Partition<T> {
+    /// The rows this partition owns.
+    pub rows: RowRange,
+    /// The entries of those rows, as a DCSC over the full matrix shape.
+    pub matrix: Dcsc<T>,
+}
+
+impl<T> Partition<T> {
+    /// Number of non-zeros in this partition.
+    pub fn nnz(&self) -> usize {
+        self.matrix.nnz()
+    }
+}
+
+/// A sparse matrix split into 1-D row partitions, each an independent DCSC.
+#[derive(Clone, Debug)]
+pub struct PartitionedDcsc<T> {
+    nrows: Index,
+    ncols: Index,
+    partitions: Vec<Partition<T>>,
+}
+
+impl<T: Clone> PartitionedDcsc<T> {
+    /// Partition a COO matrix into the given row ranges.
+    ///
+    /// # Panics
+    /// Panics if the ranges do not cover `0..nrows` contiguously.
+    pub fn from_coo(coo: &Coo<T>, ranges: &[RowRange]) -> Self {
+        assert!(!ranges.is_empty(), "at least one partition required");
+        assert_eq!(ranges[0].start, 0, "partitions must start at row 0");
+        assert_eq!(
+            ranges.last().unwrap().end,
+            coo.nrows(),
+            "partitions must cover all rows"
+        );
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "partitions must be contiguous");
+        }
+
+        // Bucket entries by partition. A linear scan with binary search over
+        // range starts keeps this O(nnz log nparts).
+        let starts: Vec<Index> = ranges.iter().map(|r| r.start).collect();
+        let mut buckets: Vec<Vec<(Index, Index, T)>> = vec![Vec::new(); ranges.len()];
+        for (r, c, v) in coo.entries() {
+            let p = match starts.binary_search(r) {
+                Ok(i) => i,
+                Err(i) => i - 1,
+            };
+            buckets[p].push((*r, *c, v.clone()));
+        }
+
+        let partitions = ranges
+            .iter()
+            .zip(buckets.into_iter())
+            .map(|(range, mut entries)| {
+                entries.sort_unstable_by_key(|&(r, c, _)| (c, r));
+                Partition {
+                    rows: *range,
+                    matrix: Dcsc::from_col_sorted(coo.nrows(), coo.ncols(), &entries),
+                }
+            })
+            .collect();
+
+        PartitionedDcsc {
+            nrows: coo.nrows(),
+            ncols: coo.ncols(),
+            partitions,
+        }
+    }
+
+    /// Partition with `nparts` nnz-balanced row ranges.
+    pub fn from_coo_balanced(coo: &Coo<T>, nparts: usize) -> Self {
+        let ranges = RowPartitioner::balanced_nnz(&coo.row_counts(), nparts);
+        Self::from_coo(coo, &ranges)
+    }
+
+    /// Partition with `nparts` equal-row-count ranges.
+    pub fn from_coo_even(coo: &Coo<T>, nparts: usize) -> Self {
+        let ranges = RowPartitioner::even_rows(coo.nrows(), nparts);
+        Self::from_coo(coo, &ranges)
+    }
+}
+
+impl<T> PartitionedDcsc<T> {
+    /// Number of rows of the whole matrix.
+    pub fn nrows(&self) -> Index {
+        self.nrows
+    }
+
+    /// Number of columns of the whole matrix.
+    pub fn ncols(&self) -> Index {
+        self.ncols
+    }
+
+    /// Total number of non-zeros across partitions.
+    pub fn nnz(&self) -> usize {
+        self.partitions.iter().map(|p| p.nnz()).sum()
+    }
+
+    /// Number of partitions.
+    pub fn n_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Access the partitions.
+    pub fn partitions(&self) -> &[Partition<T>] {
+        &self.partitions
+    }
+
+    /// Access one partition.
+    pub fn partition(&self, i: usize) -> &Partition<T> {
+        &self.partitions[i]
+    }
+
+    /// Iterate over all entries as `(row, col, &value)` (partition order).
+    pub fn iter(&self) -> impl Iterator<Item = (Index, Index, &T)> + '_ {
+        self.partitions.iter().flat_map(|p| p.matrix.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Coo<i32> {
+        let mut m = Coo::new(8, 8);
+        // a heavy row 0, lighter others
+        for c in 1..8 {
+            m.push(0, c, c as i32);
+        }
+        m.push(3, 1, 100);
+        m.push(5, 2, 200);
+        m.push(7, 0, 300);
+        m
+    }
+
+    #[test]
+    fn even_rows_covers_everything() {
+        let ranges = RowPartitioner::even_rows(10, 3);
+        assert_eq!(ranges.len(), 3);
+        assert_eq!(ranges[0], RowRange { start: 0, end: 4 });
+        assert_eq!(ranges[1], RowRange { start: 4, end: 7 });
+        assert_eq!(ranges[2], RowRange { start: 7, end: 10 });
+        assert_eq!(ranges.iter().map(|r| r.len()).sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn even_rows_more_parts_than_rows() {
+        let ranges = RowPartitioner::even_rows(2, 5);
+        assert_eq!(ranges.len(), 5);
+        assert_eq!(ranges.iter().map(|r| r.len()).sum::<usize>(), 2);
+        assert_eq!(ranges.last().unwrap().end, 2);
+    }
+
+    #[test]
+    fn balanced_nnz_splits_by_weight() {
+        // 100 nnz in row 0, 1 nnz in each of rows 1..=4
+        let row_nnz = vec![100, 1, 1, 1, 1];
+        let ranges = RowPartitioner::balanced_nnz(&row_nnz, 2);
+        assert_eq!(ranges.len(), 2);
+        assert_eq!(ranges[0], RowRange { start: 0, end: 1 });
+        assert_eq!(ranges[1], RowRange { start: 1, end: 5 });
+    }
+
+    #[test]
+    fn balanced_nnz_handles_uniform() {
+        let row_nnz = vec![2; 12];
+        let ranges = RowPartitioner::balanced_nnz(&row_nnz, 4);
+        assert_eq!(ranges.last().unwrap().end, 12);
+        assert!(ranges.len() <= 4);
+        let covered: usize = ranges.iter().map(|r| r.len()).sum();
+        assert_eq!(covered, 12);
+    }
+
+    #[test]
+    fn balanced_nnz_empty_matrix() {
+        let ranges = RowPartitioner::balanced_nnz(&[], 4);
+        assert_eq!(ranges.len(), 1);
+        assert!(ranges[0].is_empty());
+    }
+
+    #[test]
+    fn partitioned_dcsc_preserves_entries() {
+        let coo = sample();
+        let pd = PartitionedDcsc::from_coo_even(&coo, 3);
+        assert_eq!(pd.nnz(), coo.nnz());
+        assert_eq!(pd.n_partitions(), 3);
+        let mut got: Vec<(u32, u32, i32)> = pd.iter().map(|(r, c, v)| (r, c, *v)).collect();
+        let mut expect: Vec<(u32, u32, i32)> =
+            coo.entries().iter().map(|&(r, c, v)| (r, c, v)).collect();
+        got.sort();
+        expect.sort();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn partition_rows_are_disjoint_and_owned() {
+        let coo = sample();
+        let pd = PartitionedDcsc::from_coo_balanced(&coo, 4);
+        for p in pd.partitions() {
+            for (r, _, _) in p.matrix.iter() {
+                assert!(p.rows.contains(r), "row {r} outside {:?}", p.rows);
+            }
+        }
+        // ranges contiguous
+        for w in pd.partitions().windows(2) {
+            assert_eq!(w[0].rows.end, w[1].rows.start);
+        }
+    }
+
+    #[test]
+    fn balanced_beats_even_on_skew() {
+        let coo = sample();
+        let even = PartitionedDcsc::from_coo_even(&coo, 4);
+        let balanced = PartitionedDcsc::from_coo_balanced(&coo, 4);
+        let max_even = even.partitions().iter().map(|p| p.nnz()).max().unwrap();
+        let max_bal = balanced.partitions().iter().map(|p| p.nnz()).max().unwrap();
+        assert!(max_bal <= max_even);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_covering_ranges_panic() {
+        let coo = sample();
+        let ranges = vec![RowRange { start: 0, end: 4 }];
+        let _ = PartitionedDcsc::from_coo(&coo, &ranges);
+    }
+}

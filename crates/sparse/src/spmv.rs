@@ -1,0 +1,317 @@
+//! Generalized sparse matrix – sparse vector multiplication.
+//!
+//! This is Algorithm 1 of the paper: walk the non-empty columns `j` of (a
+//! partition of) `Gᵀ`; if `j` is present in the sparse input vector `x`,
+//! combine `x[j]` with every stored entry `(k, j)` using the generalized
+//! multiply, and fold the results into `y[k]` with the generalized add.
+//!
+//! Three entry points are provided:
+//!
+//! * [`gspmv_dcsc`] — sequential kernel over a single DCSC, generic over the
+//!   multiply/add closures (the multiply also receives the destination row
+//!   index `k`, which is how `graphmat-core` gives `PROCESS_MESSAGE` access
+//!   to the destination vertex's property — GraphMat's key frontend
+//!   extension over CombBLAS, §4.2).
+//! * [`gspmv`] — partition-parallel kernel over a [`PartitionedDcsc`], using
+//!   an [`Executor`] for dynamic scheduling. Each partition owns a disjoint
+//!   row range, so partial outputs never conflict and are concatenated at the
+//!   end.
+//! * [`gspmv_semiring`] — convenience wrapper taking a [`Semiring`] instead
+//!   of closures (used by the plain linear-algebra benches and the
+//!   CombBLAS-style baseline).
+
+use crate::dcsc::Dcsc;
+use crate::parallel::Executor;
+use crate::partition::PartitionedDcsc;
+use crate::semiring::Semiring;
+use crate::spvec::{MessageVector, SparseVector};
+use crate::Index;
+
+/// Sequential generalized SpMV over a single DCSC matrix.
+///
+/// * `multiply(x_j, edge, k)` — combine the input-vector entry at column `j`
+///   with the matrix entry at `(k, j)`; `k` is the destination row.
+/// * `add(acc, value)` — fold a product into the accumulator for row `k`.
+///
+/// Returns a sparse vector whose set entries are exactly the rows that
+/// received at least one product.
+pub fn gspmv_dcsc<X, E, Y, V, M, A>(
+    matrix: &Dcsc<E>,
+    x: &V,
+    multiply: &M,
+    add: &A,
+) -> SparseVector<Y>
+where
+    V: MessageVector<X>,
+    Y: Clone + Default,
+    M: Fn(&X, &E, Index) -> Y,
+    A: Fn(&mut Y, Y),
+{
+    let mut y: SparseVector<Y> = SparseVector::new(matrix.nrows() as usize);
+    gspmv_dcsc_into(matrix, x, multiply, add, &mut y);
+    y
+}
+
+/// Like [`gspmv_dcsc`] but accumulating into an existing output vector
+/// (entries already present are folded into with `add`).
+pub fn gspmv_dcsc_into<X, E, Y, V, M, A>(
+    matrix: &Dcsc<E>,
+    x: &V,
+    multiply: &M,
+    add: &A,
+    y: &mut SparseVector<Y>,
+) where
+    V: MessageVector<X>,
+    Y: Clone + Default,
+    M: Fn(&X, &E, Index) -> Y,
+    A: Fn(&mut Y, Y),
+{
+    // Algorithm 1: for each non-empty column j of Gᵀ present in x,
+    // process every stored row k and reduce into y[k].
+    for (j, rows, edges) in matrix.iter_cols() {
+        if let Some(xj) = x.get(j) {
+            for (k, e) in rows.iter().zip(edges) {
+                let product = multiply(xj, e, *k);
+                y.merge(*k, product, |acc, v| add(acc, v));
+            }
+        }
+    }
+}
+
+/// Partition-parallel generalized SpMV (Algorithm 1 + optimizations 3 and 4
+/// of §4.5). Partitions are processed dynamically by the executor's threads;
+/// since partitions own disjoint row ranges their partial outputs are simply
+/// concatenated into the final sparse vector.
+pub fn gspmv<X, E, Y, V, M, A>(
+    matrix: &PartitionedDcsc<E>,
+    x: &V,
+    multiply: &M,
+    add: &A,
+    executor: &Executor,
+) -> SparseVector<Y>
+where
+    V: MessageVector<X> + Sync,
+    X: Sync,
+    E: Sync,
+    Y: Clone + Default + Send,
+    M: Fn(&X, &E, Index) -> Y + Sync,
+    A: Fn(&mut Y, Y) + Sync,
+{
+    let n = matrix.nrows() as usize;
+    let partials: Vec<SparseVector<Y>> = executor.run_dynamic(matrix.n_partitions(), |p| {
+        let part = matrix.partition(p);
+        gspmv_dcsc(&part.matrix, x, multiply, add)
+    });
+
+    // Stitch the disjoint partial outputs together. Each partial only has
+    // entries inside its partition's row range, so plain `set` is correct.
+    let mut y: SparseVector<Y> = SparseVector::new(n);
+    for partial in &partials {
+        for (k, v) in partial.iter() {
+            y.set(k, v.clone());
+        }
+    }
+    y
+}
+
+/// Generalized SpMV where the multiply/add come from a [`Semiring`].
+pub fn gspmv_semiring<S, V>(
+    matrix: &PartitionedDcsc<S::E>,
+    x: &V,
+    semiring: &S,
+    executor: &Executor,
+) -> SparseVector<S::Y>
+where
+    S: Semiring,
+    S::X: Sync,
+    S::E: Sync,
+    S::Y: Clone + Default + Send,
+    V: MessageVector<S::X> + Sync,
+{
+    gspmv(
+        matrix,
+        x,
+        &|x: &S::X, e: &S::E, _k: Index| semiring.multiply(x, e),
+        &|acc: &mut S::Y, v: S::Y| semiring.add(acc, v),
+        executor,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use crate::semiring::{MinPlus, PlusTimes};
+
+    /// The 5-vertex weighted graph of the paper's Figure 3 (SSSP example).
+    /// Vertices A..E = 0..4; edges (src, dst, weight).
+    fn figure3_graph_transpose() -> Coo<f32> {
+        // Gᵀ as drawn in Figure 3(b): row = destination, column = source.
+        let edges: [(u32, u32, f32); 7] = [
+            (0, 1, 1.0), // A->B w1   => Gᵀ[1][0]
+            (0, 2, 3.0), // A->C w3
+            (0, 3, 2.0), // A->D w2
+            (1, 2, 1.0), // B->C w1
+            (2, 3, 2.0), // C->D w2
+            (3, 4, 2.0), // D->E w2
+            (4, 0, 4.0), // E->A w4
+        ];
+        let mut gt = Coo::new(5, 5);
+        for (src, dst, w) in edges {
+            gt.push(dst, src, w); // transpose: row = dst, col = src
+        }
+        gt
+    }
+
+    #[test]
+    fn figure3_iteration0_matches_paper() {
+        // x = {A: 0}; process = msg + edge; reduce = min
+        let gt = PartitionedDcsc::from_coo_even(&figure3_graph_transpose(), 2);
+        let mut x: SparseVector<f32> = SparseVector::new(5);
+        x.set(0, 0.0);
+        let y = gspmv(
+            &gt,
+            &x,
+            &|m: &f32, e: &f32, _| m + e,
+            &|acc: &mut f32, v| *acc = acc.min(v),
+            &Executor::sequential(),
+        );
+        // Paper iteration 0 result: B=1, C=3, D=2 (A and E unset)
+        assert_eq!(y.to_entries(), vec![(1, 1.0), (2, 3.0), (3, 2.0)]);
+    }
+
+    #[test]
+    fn figure3_iteration1_matches_paper() {
+        let gt = PartitionedDcsc::from_coo_even(&figure3_graph_transpose(), 2);
+        // frontier after iteration 0: B=1, C=3, D=2
+        let mut x: SparseVector<f32> = SparseVector::new(5);
+        x.set(1, 1.0);
+        x.set(2, 3.0);
+        x.set(3, 2.0);
+        let y = gspmv(
+            &gt,
+            &x,
+            &|m: &f32, e: &f32, _| m + e,
+            &|acc: &mut f32, v| *acc = acc.min(v),
+            &Executor::new(2),
+        );
+        // Paper iteration 1 reduced values: C=2, D=5, E=4
+        assert_eq!(y.to_entries(), vec![(2, 2.0), (3, 5.0), (4, 4.0)]);
+    }
+
+    #[test]
+    fn in_degree_example_from_figure1() {
+        // Figure 1: multiply Gᵀ by all-ones to get in-degrees.
+        // Graph: A->B, A->C, B->C, C->D, D->? use 4 vertices A..D
+        let mut gt: Coo<f64> = Coo::new(4, 4);
+        for (src, dst) in [(0u32, 1u32), (0, 2), (1, 2), (2, 3)] {
+            gt.push(dst, src, 1.0);
+        }
+        let pd = PartitionedDcsc::from_coo_even(&gt, 3);
+        let ones = SparseVector::full(4, 1.0f64);
+        let y = gspmv_semiring(&pd, &ones, &PlusTimes, &Executor::sequential());
+        // in-degrees: A=0 (unset), B=1, C=2, D=1
+        assert_eq!(y.get(0), None);
+        assert_eq!(y.get(1), Some(&1.0));
+        assert_eq!(y.get(2), Some(&2.0));
+        assert_eq!(y.get(3), Some(&1.0));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        // random-ish structured matrix, compare 1-thread vs many-thread output
+        let mut coo: Coo<f64> = Coo::new(64, 64);
+        let mut state = 12345u64;
+        for _ in 0..400 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let r = ((state >> 33) % 64) as u32;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let c = ((state >> 33) % 64) as u32;
+            coo.push(r, c, ((state >> 40) % 10) as f64 + 1.0);
+        }
+        coo.dedup_by(|a, _| *a);
+        let pd_seq = PartitionedDcsc::from_coo_even(&coo, 1);
+        let pd_par = PartitionedDcsc::from_coo_balanced(&coo, 16);
+        let mut x: SparseVector<f64> = SparseVector::new(64);
+        for i in (0..64).step_by(3) {
+            x.set(i, (i + 1) as f64);
+        }
+        let seq = gspmv_semiring(&pd_seq, &x, &PlusTimes, &Executor::sequential());
+        let par = gspmv_semiring(&pd_par, &x, &PlusTimes, &Executor::new(4));
+        assert_eq!(seq.to_entries(), par.to_entries());
+    }
+
+    #[test]
+    fn matches_dense_reference() {
+        let mut coo: Coo<f64> = Coo::new(10, 10);
+        for i in 0..10u32 {
+            for j in 0..10u32 {
+                if (i * 7 + j * 3) % 4 == 0 {
+                    coo.push(i, j, (i + 2 * j) as f64);
+                }
+            }
+        }
+        let dense = crate::csr::Csr::from_coo(&coo).to_dense();
+        let pd = PartitionedDcsc::from_coo_balanced(&coo, 4);
+        let x_dense: Vec<f64> = (0..10).map(|i| i as f64 * 0.5).collect();
+        let mut x: SparseVector<f64> = SparseVector::new(10);
+        for (i, v) in x_dense.iter().enumerate() {
+            x.set(i as u32, *v);
+        }
+        let y = gspmv_semiring(&pd, &x, &PlusTimes, &Executor::new(2));
+        for r in 0..10usize {
+            let expect: f64 = (0..10).map(|c| dense[r][c] * x_dense[c]).sum();
+            let got = y.get(r as u32).copied().unwrap_or(0.0);
+            assert!((expect - got).abs() < 1e-9, "row {r}: {expect} vs {got}");
+        }
+    }
+
+    #[test]
+    fn min_plus_semiring_runs() {
+        let mut gt: Coo<f32> = Coo::new(3, 3);
+        gt.push(1, 0, 5.0);
+        gt.push(2, 1, 2.0);
+        let pd = PartitionedDcsc::from_coo_even(&gt, 1);
+        let mut x: SparseVector<f32> = SparseVector::new(3);
+        x.set(0, 0.0);
+        x.set(1, 100.0);
+        let y = gspmv_semiring(&pd, &x, &MinPlus, &Executor::sequential());
+        assert_eq!(y.get(1), Some(&5.0));
+        assert_eq!(y.get(2), Some(&102.0));
+    }
+
+    #[test]
+    fn empty_frontier_produces_empty_output() {
+        let gt = PartitionedDcsc::from_coo_even(&figure3_graph_transpose(), 2);
+        let x: SparseVector<f32> = SparseVector::new(5);
+        let y = gspmv(
+            &gt,
+            &x,
+            &|m: &f32, e: &f32, _| m + e,
+            &|acc: &mut f32, v| *acc = acc.min(v),
+            &Executor::new(2),
+        );
+        assert_eq!(y.nnz(), 0);
+    }
+
+    #[test]
+    fn multiply_sees_destination_row() {
+        // The destination row index must be passed through so the engine can
+        // read destination vertex state (GraphMat's extension, §4.2).
+        let mut gt: Coo<i32> = Coo::new(4, 4);
+        gt.push(3, 0, 1);
+        gt.push(2, 0, 1);
+        let pd = PartitionedDcsc::from_coo_even(&gt, 1);
+        let mut x: SparseVector<i32> = SparseVector::new(4);
+        x.set(0, 10);
+        let y = gspmv(
+            &pd,
+            &x,
+            &|m: &i32, _e: &i32, k: Index| m + k as i32,
+            &|acc: &mut i32, v| *acc += v,
+            &Executor::sequential(),
+        );
+        assert_eq!(y.get(2), Some(&12));
+        assert_eq!(y.get(3), Some(&13));
+    }
+}

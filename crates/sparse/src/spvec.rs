@@ -1,0 +1,360 @@
+//! Sparse vectors.
+//!
+//! The paper considers two sparse-vector representations (§4.4.2):
+//!
+//! 1. a variable-sized array of sorted `(index, value)` tuples, and
+//! 2. a bit vector marking the valid indices plus a constant-size (number of
+//!    vertices) value array storing values only at valid indices.
+//!
+//! Option 2 wins across all algorithms and graphs — membership tests inside
+//! the SpMV inner loop become a single bit probe, and the bit vector is small
+//! enough to be shared and cached by all threads — so [`SparseVector`] is the
+//! default used throughout the engine. [`SortedSparseVector`] implements
+//! option 1 and exists so the Figure 7 "+bitvector" ablation can quantify the
+//! difference.
+//!
+//! Both implement [`MessageVector`], the minimal interface the generalized
+//! SpMV needs from its input vector.
+
+use crate::bitvec::BitVec;
+use crate::{ix, Index};
+
+/// The read interface the generalized SpMV requires from its input vector.
+pub trait MessageVector<T> {
+    /// Logical length (number of vertices).
+    fn len(&self) -> usize;
+    /// `true` if no entries are set.
+    fn is_empty(&self) -> bool {
+        self.nnz() == 0
+    }
+    /// Number of set entries.
+    fn nnz(&self) -> usize;
+    /// Is index `i` present?
+    fn contains(&self, i: Index) -> bool;
+    /// Borrow the value at `i`, if present.
+    fn get(&self, i: Index) -> Option<&T>;
+}
+
+/// Bit-vector backed sparse vector (the paper's option 2).
+///
+/// Values are stored in a dense array indexed by vertex id; validity is
+/// tracked by a [`BitVec`]. `T: Default` supplies the placeholder stored at
+/// unset slots.
+#[derive(Clone, Debug)]
+pub struct SparseVector<T> {
+    valid: BitVec,
+    values: Vec<T>,
+    nnz: usize,
+}
+
+impl<T: Clone + Default> SparseVector<T> {
+    /// Create an empty sparse vector of logical length `n`.
+    pub fn new(n: usize) -> Self {
+        SparseVector {
+            valid: BitVec::new(n),
+            values: vec![T::default(); n],
+            nnz: 0,
+        }
+    }
+
+    /// Create a vector with every index set to `value` (e.g. the all-ones
+    /// vector used for degree calculation in the paper's Figure 1).
+    pub fn full(n: usize, value: T) -> Self {
+        let mut valid = BitVec::new(n);
+        valid.set_all();
+        SparseVector {
+            valid,
+            values: vec![value; n],
+            nnz: n,
+        }
+    }
+}
+
+impl<T> SparseVector<T> {
+    /// Set index `i` to `value`, overwriting any previous value.
+    #[inline(always)]
+    pub fn set(&mut self, i: Index, value: T) {
+        if !self.valid.set(ix(i)) {
+            self.nnz += 1;
+        }
+        self.values[ix(i)] = value;
+    }
+
+    /// Remove index `i` (the stored value slot keeps its last contents).
+    pub fn unset(&mut self, i: Index) {
+        if self.valid.get(ix(i)) {
+            self.valid.clear(ix(i));
+            self.nnz -= 1;
+        }
+    }
+
+    /// Mutable access to the value at `i`, if present.
+    #[inline(always)]
+    pub fn get_mut(&mut self, i: Index) -> Option<&mut T> {
+        if self.valid.get(ix(i)) {
+            Some(&mut self.values[ix(i)])
+        } else {
+            None
+        }
+    }
+
+    /// Insert-or-update: if `i` is present, `merge(existing, value)`,
+    /// otherwise set it to `value`. This is exactly the `REDUCE` accumulation
+    /// of Algorithm 1 line 7.
+    #[inline(always)]
+    pub fn merge(&mut self, i: Index, value: T, merge: impl FnOnce(&mut T, T)) {
+        if self.valid.get(ix(i)) {
+            merge(&mut self.values[ix(i)], value);
+        } else {
+            self.valid.set(ix(i));
+            self.values[ix(i)] = value;
+            self.nnz += 1;
+        }
+    }
+
+    /// Iterate over `(index, &value)` pairs in increasing index order.
+    pub fn iter(&self) -> impl Iterator<Item = (Index, &T)> + '_ {
+        self.valid
+            .iter_ones()
+            .map(move |i| (i as Index, &self.values[i]))
+    }
+
+    /// Clear all entries without deallocating.
+    pub fn clear(&mut self) {
+        self.valid.clear_all();
+        self.nnz = 0;
+    }
+
+    /// The validity bit vector (shared read-only across threads in the SpMV).
+    pub fn valid_bits(&self) -> &BitVec {
+        &self.valid
+    }
+
+    /// Raw dense value storage (values at unset indices are unspecified).
+    pub fn raw_values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Collect into a `Vec<(Index, T)>` (for tests / display).
+    pub fn to_entries(&self) -> Vec<(Index, T)>
+    where
+        T: Clone,
+    {
+        self.iter().map(|(i, v)| (i, v.clone())).collect()
+    }
+}
+
+impl<T> MessageVector<T> for SparseVector<T> {
+    #[inline(always)]
+    fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    #[inline(always)]
+    fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    #[inline(always)]
+    fn contains(&self, i: Index) -> bool {
+        self.valid.get(ix(i))
+    }
+
+    #[inline(always)]
+    fn get(&self, i: Index) -> Option<&T> {
+        if self.valid.get(ix(i)) {
+            Some(&self.values[ix(i)])
+        } else {
+            None
+        }
+    }
+}
+
+/// Sorted `(index, value)` tuple sparse vector (the paper's option 1).
+///
+/// Membership tests are `O(log nnz)` binary searches; kept only for the
+/// Figure 7 ablation that shows why the bit-vector representation wins.
+#[derive(Clone, Debug, Default)]
+pub struct SortedSparseVector<T> {
+    len: usize,
+    entries: Vec<(Index, T)>,
+}
+
+impl<T> SortedSparseVector<T> {
+    /// Create an empty vector of logical length `n`.
+    pub fn new(n: usize) -> Self {
+        SortedSparseVector {
+            len: n,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Set index `i` to `value`, keeping entries sorted.
+    pub fn set(&mut self, i: Index, value: T) {
+        match self.entries.binary_search_by_key(&i, |e| e.0) {
+            Ok(pos) => self.entries[pos].1 = value,
+            Err(pos) => self.entries.insert(pos, (i, value)),
+        }
+    }
+
+    /// Insert-or-update, mirroring [`SparseVector::merge`].
+    pub fn merge(&mut self, i: Index, value: T, merge: impl FnOnce(&mut T, T)) {
+        match self.entries.binary_search_by_key(&i, |e| e.0) {
+            Ok(pos) => merge(&mut self.entries[pos].1, value),
+            Err(pos) => self.entries.insert(pos, (i, value)),
+        }
+    }
+
+    /// Iterate over `(index, &value)` pairs in increasing index order.
+    pub fn iter(&self) -> impl Iterator<Item = (Index, &T)> + '_ {
+        self.entries.iter().map(|(i, v)| (*i, v))
+    }
+
+    /// Clear all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+impl<T> MessageVector<T> for SortedSparseVector<T> {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    #[inline]
+    fn contains(&self, i: Index) -> bool {
+        self.entries.binary_search_by_key(&i, |e| e.0).is_ok()
+    }
+
+    #[inline]
+    fn get(&self, i: Index) -> Option<&T> {
+        self.entries
+            .binary_search_by_key(&i, |e| e.0)
+            .ok()
+            .map(|pos| &self.entries[pos].1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_vector_set_get() {
+        let mut v: SparseVector<f32> = SparseVector::new(10);
+        assert_eq!(v.nnz(), 0);
+        assert!(v.is_empty());
+        v.set(3, 1.5);
+        v.set(7, 2.5);
+        assert_eq!(v.nnz(), 2);
+        assert!(v.contains(3));
+        assert!(!v.contains(4));
+        assert_eq!(v.get(7), Some(&2.5));
+        assert_eq!(v.get(0), None);
+        assert_eq!(MessageVector::len(&v), 10);
+    }
+
+    #[test]
+    fn sparse_vector_overwrite_does_not_double_count() {
+        let mut v: SparseVector<i32> = SparseVector::new(5);
+        v.set(2, 1);
+        v.set(2, 9);
+        assert_eq!(v.nnz(), 1);
+        assert_eq!(v.get(2), Some(&9));
+    }
+
+    #[test]
+    fn sparse_vector_unset() {
+        let mut v: SparseVector<i32> = SparseVector::new(5);
+        v.set(2, 1);
+        v.unset(2);
+        assert_eq!(v.nnz(), 0);
+        assert!(!v.contains(2));
+        v.unset(2); // idempotent
+        assert_eq!(v.nnz(), 0);
+    }
+
+    #[test]
+    fn sparse_vector_merge_accumulates() {
+        let mut v: SparseVector<i32> = SparseVector::new(5);
+        v.merge(1, 10, |a, b| *a += b);
+        v.merge(1, 5, |a, b| *a += b);
+        v.merge(2, 7, |a, b| *a += b);
+        assert_eq!(v.get(1), Some(&15));
+        assert_eq!(v.get(2), Some(&7));
+        assert_eq!(v.nnz(), 2);
+    }
+
+    #[test]
+    fn sparse_vector_full_and_clear() {
+        let mut v = SparseVector::full(4, 1.0f64);
+        assert_eq!(v.nnz(), 4);
+        assert_eq!(v.iter().count(), 4);
+        v.clear();
+        assert_eq!(v.nnz(), 0);
+        assert_eq!(v.iter().count(), 0);
+    }
+
+    #[test]
+    fn sparse_vector_iter_sorted() {
+        let mut v: SparseVector<u32> = SparseVector::new(100);
+        for i in [90u32, 5, 40, 7] {
+            v.set(i, i * 2);
+        }
+        let entries = v.to_entries();
+        assert_eq!(entries, vec![(5, 10), (7, 14), (40, 80), (90, 180)]);
+    }
+
+    #[test]
+    fn sparse_vector_get_mut() {
+        let mut v: SparseVector<i32> = SparseVector::new(5);
+        v.set(1, 3);
+        *v.get_mut(1).unwrap() = 4;
+        assert_eq!(v.get(1), Some(&4));
+        assert!(v.get_mut(0).is_none());
+    }
+
+    #[test]
+    fn sorted_vector_basics() {
+        let mut v: SortedSparseVector<i32> = SortedSparseVector::new(50);
+        v.set(20, 1);
+        v.set(10, 2);
+        v.set(20, 3);
+        assert_eq!(v.nnz(), 2);
+        assert!(v.contains(10));
+        assert!(!v.contains(11));
+        assert_eq!(v.get(20), Some(&3));
+        assert_eq!(MessageVector::len(&v), 50);
+        let collected: Vec<(u32, i32)> = v.iter().map(|(i, x)| (i, *x)).collect();
+        assert_eq!(collected, vec![(10, 2), (20, 3)]);
+    }
+
+    #[test]
+    fn sorted_vector_merge() {
+        let mut v: SortedSparseVector<i32> = SortedSparseVector::new(10);
+        v.merge(3, 5, |a, b| *a += b);
+        v.merge(3, 6, |a, b| *a += b);
+        assert_eq!(v.get(3), Some(&11));
+        v.clear();
+        assert_eq!(v.nnz(), 0);
+    }
+
+    #[test]
+    fn both_representations_agree() {
+        let mut bv: SparseVector<i64> = SparseVector::new(64);
+        let mut sv: SortedSparseVector<i64> = SortedSparseVector::new(64);
+        for (i, val) in [(5u32, 1i64), (63, 2), (0, 3), (31, 4), (5, 9)] {
+            bv.set(i, val);
+            sv.set(i, val);
+        }
+        for i in 0..64u32 {
+            assert_eq!(bv.contains(i), sv.contains(i), "index {i}");
+            assert_eq!(bv.get(i), sv.get(i), "index {i}");
+        }
+        assert_eq!(bv.nnz(), sv.nnz());
+    }
+}

@@ -1,0 +1,59 @@
+//! # GraphMat-RS
+//!
+//! A Rust reproduction of *GraphMat: High performance graph analytics made
+//! productive* (Sundaram et al., VLDB 2015).
+//!
+//! GraphMat exposes a **vertex-programming** frontend — you write
+//! `send_message` / `process_message` / `reduce` / `apply` callbacks — and
+//! executes it as **generalized sparse matrix–sparse vector multiplication**
+//! over the transposed adjacency matrix, stored in DCSC format and processed
+//! by a partition-parallel backend.
+//!
+//! This umbrella crate re-exports the whole workspace so that examples,
+//! integration tests and downstream users can depend on a single crate.
+//!
+//! ```
+//! use graphmat::prelude::*;
+//!
+//! // Build a tiny directed graph and run PageRank through the GraphMat engine.
+//! let edges = EdgeList::from_tuples(3, vec![(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0), (0, 2, 1.0)]);
+//! let ranks = pagerank(&edges, &PageRankConfig::default(), &RunOptions::default());
+//! assert_eq!(ranks.values.len(), 3);
+//! // vertex 2 has two in-links and ends up with the highest rank
+//! assert!(ranks.values[2] > ranks.values[0]);
+//! ```
+
+pub use graphmat_algorithms as algorithms;
+pub use graphmat_baselines as baselines;
+pub use graphmat_core as core;
+pub use graphmat_io as io;
+pub use graphmat_perf as perf;
+pub use graphmat_sparse as sparse;
+
+/// Commonly used types for writing and running vertex programs.
+pub mod prelude {
+    pub use graphmat_algorithms::bfs::{bfs, BfsConfig};
+    pub use graphmat_algorithms::collaborative_filtering::{
+        collaborative_filtering, rmse, CfConfig,
+    };
+    pub use graphmat_algorithms::connected_components::{
+        component_count, connected_components, CcConfig,
+    };
+    pub use graphmat_algorithms::degree::{in_degrees, out_degrees};
+    pub use graphmat_algorithms::delta_pagerank::{delta_pagerank, DeltaPageRankConfig};
+    pub use graphmat_algorithms::pagerank::{pagerank, PageRankConfig};
+    pub use graphmat_algorithms::sssp::{sssp, SsspConfig};
+    pub use graphmat_algorithms::triangle_count::{
+        total_triangles, triangle_count, TriangleCountConfig,
+    };
+    pub use graphmat_algorithms::AlgorithmOutput;
+    pub use graphmat_core::{
+        run_graph_program, ActivityPolicy, DispatchMode, EdgeDirection, Graph, GraphBuildOptions,
+        GraphProgram, RunOptions, RunResult, RunStats, VectorKind, VertexId,
+    };
+    pub use graphmat_io::bipartite::BipartiteConfig;
+    pub use graphmat_io::edgelist::EdgeList;
+    pub use graphmat_io::grid::GridConfig;
+    pub use graphmat_io::rmat::RmatConfig;
+    pub use graphmat_sparse::spvec::SparseVector;
+}

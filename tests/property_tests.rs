@@ -1,0 +1,119 @@
+//! Property-based tests over the whole stack: random graphs in, invariants
+//! out. These complement the per-module proptests in `graphmat-sparse` by
+//! exercising the public API end to end.
+
+use graphmat::baselines::native;
+use graphmat::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random directed graph as (vertex count, edge list).
+fn arb_graph(max_vertices: u32, max_edges: usize) -> impl Strategy<Value = EdgeList> {
+    (2..max_vertices).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n, 1u32..10), 1..max_edges).prop_map(move |edges| {
+            let tuples: Vec<(u32, u32, f32)> = edges
+                .into_iter()
+                .filter(|(s, d, _)| s != d)
+                .map(|(s, d, w)| (s, d, w as f32))
+                .collect();
+            EdgeList::from_tuples(n, tuples)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sssp_matches_dijkstra_on_random_graphs(edges in arb_graph(60, 300)) {
+        let source = 0;
+        let gm = sssp(&edges, &SsspConfig::from_source(source), &RunOptions::sequential());
+        let reference = graphmat_algorithms::sssp::sssp_reference(&edges, source);
+        for (v, (a, b)) in gm.values.iter().zip(reference.iter()).enumerate() {
+            if *b == f32::MAX {
+                prop_assert_eq!(*a, f32::MAX, "vertex {}", v);
+            } else {
+                prop_assert!((a - b).abs() < 1e-3, "vertex {}: {} vs {}", v, a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_distances_are_consistent_with_edges(edges in arb_graph(60, 300)) {
+        let out = bfs(&edges, &BfsConfig::from_root(0), &RunOptions::sequential());
+        let sym = edges.symmetrized();
+        // triangle inequality over every (undirected) edge: |d(u) - d(v)| <= 1
+        for &(u, v, _) in sym.edges() {
+            let (du, dv) = (out.values[u as usize], out.values[v as usize]);
+            if du != u32::MAX && dv != u32::MAX {
+                prop_assert!(du.abs_diff(dv) <= 1, "edge ({u},{v}): {du} vs {dv}");
+            } else {
+                // reachability is symmetric on a symmetrized graph
+                prop_assert_eq!(du, dv);
+            }
+        }
+        prop_assert_eq!(out.values[0], 0);
+    }
+
+    #[test]
+    fn triangle_count_matches_bruteforce(edges in arb_graph(40, 200)) {
+        let out = triangle_count(&edges, &TriangleCountConfig::default(), &RunOptions::sequential());
+        let expected = graphmat_algorithms::triangle_count::triangle_count_reference(&edges);
+        prop_assert_eq!(total_triangles(&out), expected);
+    }
+
+    #[test]
+    fn connected_components_match_union_find(edges in arb_graph(60, 200)) {
+        let out = connected_components(&edges, &CcConfig::default(), &RunOptions::sequential());
+        let expected = graphmat_algorithms::connected_components::connected_components_reference(&edges);
+        prop_assert_eq!(out.values, expected);
+    }
+
+    #[test]
+    fn pagerank_matches_native_and_preserves_positivity(edges in arb_graph(50, 250)) {
+        let iterations = 6;
+        let gm = pagerank(&edges, &PageRankConfig { iterations, ..Default::default() },
+                          &RunOptions::sequential());
+        let nat = native::pagerank(&edges, 0.15, iterations, 1);
+        for v in 0..edges.num_vertices() as usize {
+            prop_assert!(gm.values[v] > 0.0);
+            prop_assert!(gm.values[v].is_finite());
+            if edges.in_degrees()[v] > 0 {
+                prop_assert!((gm.values[v] - nat.values[v]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn degree_programs_match_edge_list(edges in arb_graph(50, 250)) {
+        let ins = in_degrees(&edges, &RunOptions::sequential());
+        let outs = out_degrees(&edges, &RunOptions::sequential());
+        let expect_in: Vec<u64> = edges.in_degrees().iter().map(|&d| d as u64).collect();
+        let expect_out: Vec<u64> = edges.out_degrees().iter().map(|&d| d as u64).collect();
+        prop_assert_eq!(ins.values, expect_in);
+        prop_assert_eq!(outs.values, expect_out);
+    }
+
+    #[test]
+    fn parallel_run_equals_sequential_run(edges in arb_graph(50, 250)) {
+        let seq = sssp(&edges, &SsspConfig::from_source(0), &RunOptions::sequential());
+        let par = sssp(&edges, &SsspConfig::from_source(0), &RunOptions::default().with_threads(4));
+        prop_assert_eq!(seq.values, par.values);
+    }
+
+    #[test]
+    fn dispatch_and_vector_ablations_do_not_change_results(edges in arb_graph(40, 200)) {
+        let base = sssp(&edges, &SsspConfig::from_source(0), &RunOptions::sequential());
+        let dynamic = sssp(
+            &edges,
+            &SsspConfig::from_source(0),
+            &RunOptions::sequential().with_dispatch(DispatchMode::Dynamic),
+        );
+        let sorted = sssp(
+            &edges,
+            &SsspConfig::from_source(0),
+            &RunOptions::sequential().with_vector(VectorKind::Sorted),
+        );
+        prop_assert_eq!(&base.values, &dynamic.values);
+        prop_assert_eq!(&base.values, &sorted.values);
+    }
+}

@@ -28,7 +28,7 @@ use graphmat_core::{
     RunOptions, VertexId,
 };
 use graphmat_io::bipartite::RatingsGraph;
-use graphmat_io::edgelist::EdgeList;
+use graphmat_io::edgelist::{EdgeList, EdgeWeight};
 
 /// Collaborative filtering parameters.
 #[derive(Clone, Copy, Debug)]
@@ -68,16 +68,19 @@ pub struct CfVertex {
     pub features: Vec<f64>,
 }
 
-/// The gradient-descent CF vertex program.
-pub struct CfProgram {
+/// The gradient-descent CF vertex program. Generic over any scalar-readable
+/// rating type (`f32` by default, integer star ratings work too).
+pub struct CfProgram<E = f32> {
     lambda: f64,
     gamma: f64,
+    _edge: std::marker::PhantomData<E>,
 }
 
-impl GraphProgram for CfProgram {
+impl<E: EdgeWeight> GraphProgram for CfProgram<E> {
     type VertexProp = CfVertex;
     type Message = Vec<f64>;
     type Reduced = Vec<f64>;
+    type Edge = E;
 
     fn direction(&self) -> EdgeDirection {
         EdgeDirection::Both
@@ -91,14 +94,14 @@ impl GraphProgram for CfProgram {
         }
     }
 
-    fn process_message(&self, msg: &Vec<f64>, rating: f32, dst: &CfVertex) -> Vec<f64> {
+    fn process_message(&self, msg: &Vec<f64>, rating: &E, dst: &CfVertex) -> Vec<f64> {
         // e = G_uv − p_other · p_self ; contribution = e * p_other
         let dot: f64 = msg
             .iter()
             .zip(dst.features.iter())
             .map(|(a, b)| a * b)
             .sum();
-        let error = rating as f64 - dot;
+        let error = rating.weight() as f64 - dot;
         msg.iter().map(|x| error * x).collect()
     }
 
@@ -134,8 +137,8 @@ pub fn collaborative_filtering(
 
 /// Run collaborative filtering on a raw bipartite edge list (edges must run
 /// from user vertices to item vertices; weights are ratings).
-pub fn collaborative_filtering_edges(
-    edges: &EdgeList,
+pub fn collaborative_filtering_edges<E: EdgeWeight>(
+    edges: &EdgeList<E>,
     config: &CfConfig,
     options: &RunOptions,
 ) -> AlgorithmOutput<Vec<f64>> {
@@ -145,7 +148,7 @@ pub fn collaborative_filtering_edges(
         "collaborative filtering scatters along both directions; \
          build_in_edges must stay enabled"
     );
-    let mut graph: Graph<CfVertex> = Graph::from_edge_list(edges, config.build);
+    let mut graph: Graph<CfVertex, E> = Graph::from_edge_list(edges, config.build);
     let k = config.latent_dims;
     let seed = config.seed;
     graph.init_properties(|v| CfVertex {
@@ -153,9 +156,10 @@ pub fn collaborative_filtering_edges(
     });
     graph.set_all_active();
 
-    let program = CfProgram {
+    let program = CfProgram::<E> {
         lambda: config.lambda,
         gamma: config.gamma,
+        _edge: std::marker::PhantomData,
     };
     let run_opts = RunOptions {
         max_iterations: Some(options.max_iterations.unwrap_or(config.iterations)),
@@ -189,18 +193,18 @@ fn init_feature(seed: u64, v: VertexId, i: usize, k: usize) -> f64 {
 }
 
 /// Root-mean-square error of the factorization over the given ratings.
-pub fn rmse(edges: &EdgeList, features: &[Vec<f64>]) -> f64 {
+pub fn rmse<E: EdgeWeight>(edges: &EdgeList<E>, features: &[Vec<f64>]) -> f64 {
     if edges.num_edges() == 0 {
         return 0.0;
     }
     let mut sum = 0.0f64;
-    for &(u, v, rating) in edges.edges() {
-        let prediction: f64 = features[u as usize]
+    for (u, v, rating) in edges.edges() {
+        let prediction: f64 = features[*u as usize]
             .iter()
-            .zip(features[v as usize].iter())
+            .zip(features[*v as usize].iter())
             .map(|(a, b)| a * b)
             .sum();
-        let err = rating as f64 - prediction;
+        let err = rating.weight() as f64 - prediction;
         sum += err * err;
     }
     (sum / edges.num_edges() as f64).sqrt()

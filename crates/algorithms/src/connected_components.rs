@@ -33,13 +33,25 @@ impl Default for CcConfig {
     }
 }
 
-/// The label-propagation vertex program.
-pub struct CcProgram;
+/// The label-propagation vertex program. Generic over the (ignored) edge
+/// type; `CcProgram<()>` is the unweighted fast path.
+pub struct CcProgram<E = ()> {
+    _edge: std::marker::PhantomData<E>,
+}
 
-impl GraphProgram for CcProgram {
+impl<E> Default for CcProgram<E> {
+    fn default() -> Self {
+        CcProgram {
+            _edge: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<E: Clone + Send + Sync> GraphProgram for CcProgram<E> {
     type VertexProp = u32;
     type Message = u32;
     type Reduced = u32;
+    type Edge = E;
 
     fn direction(&self) -> EdgeDirection {
         EdgeDirection::Out
@@ -49,7 +61,7 @@ impl GraphProgram for CcProgram {
         Some(*label)
     }
 
-    fn process_message(&self, msg: &u32, _edge: f32, _dst: &u32) -> u32 {
+    fn process_message(&self, msg: &u32, _edge: &E, _dst: &u32) -> u32 {
         *msg
     }
 
@@ -68,8 +80,8 @@ impl GraphProgram for CcProgram {
 
 /// Compute connected components; the result maps every vertex to the minimum
 /// vertex id in its component.
-pub fn connected_components(
-    edges: &EdgeList,
+pub fn connected_components<E: Clone + Send + Sync>(
+    edges: &EdgeList<E>,
     config: &CcConfig,
     options: &RunOptions,
 ) -> AlgorithmOutput<u32> {
@@ -80,10 +92,10 @@ pub fn connected_components(
     } else {
         edges
     };
-    let mut graph: Graph<u32> = Graph::from_edge_list(edges, config.build);
+    let mut graph: Graph<u32, E> = Graph::from_edge_list(edges, config.build);
     graph.init_properties(|v| v);
     graph.set_all_active();
-    let result = run_graph_program(&CcProgram, &mut graph, options);
+    let result = run_graph_program(&CcProgram::<E>::default(), &mut graph, options);
     AlgorithmOutput {
         values: graph.properties().to_vec(),
         stats: result.stats,
@@ -100,10 +112,10 @@ pub fn component_count(labels: &[u32]) -> usize {
 }
 
 /// Union-find reference implementation used by tests.
-pub fn connected_components_reference(edges: &EdgeList) -> Vec<u32> {
+pub fn connected_components_reference<E>(edges: &EdgeList<E>) -> Vec<u32> {
     let n = edges.num_vertices() as usize;
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+    fn find(parent: &mut [usize], x: usize) -> usize {
         let mut root = x;
         while parent[root] != root {
             root = parent[root];
@@ -124,8 +136,8 @@ pub fn connected_components_reference(edges: &EdgeList) -> Vec<u32> {
     }
     // canonical label: minimum id in the component
     let mut label = vec![0u32; n];
-    for v in 0..n {
-        label[v] = find(&mut parent, v) as u32;
+    for (v, slot) in label.iter_mut().enumerate() {
+        *slot = find(&mut parent, v) as u32;
     }
     label
 }

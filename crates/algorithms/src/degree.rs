@@ -14,15 +14,18 @@ use graphmat_core::{
 };
 use graphmat_io::edgelist::EdgeList;
 
-/// Degree-counting vertex program; `DIR` selects which matrix is traversed.
-struct DegreeProgram {
+/// Degree-counting vertex program; the direction field selects which matrix
+/// is traversed. Generic over the (ignored) edge type.
+struct DegreeProgram<E> {
     direction: EdgeDirection,
+    _edge: std::marker::PhantomData<E>,
 }
 
-impl GraphProgram for DegreeProgram {
+impl<E: Clone + Send + Sync> GraphProgram for DegreeProgram<E> {
     type VertexProp = u64;
     type Message = u64;
     type Reduced = u64;
+    type Edge = E;
 
     fn direction(&self) -> EdgeDirection {
         self.direction
@@ -32,7 +35,7 @@ impl GraphProgram for DegreeProgram {
         Some(1)
     }
 
-    fn process_message(&self, _msg: &u64, _edge: f32, _dst: &u64) -> u64 {
+    fn process_message(&self, _msg: &u64, _edge: &E, _dst: &u64) -> u64 {
         1
     }
 
@@ -45,10 +48,17 @@ impl GraphProgram for DegreeProgram {
     }
 }
 
-fn run_degree(edges: &EdgeList, direction: EdgeDirection, options: &RunOptions) -> AlgorithmOutput<u64> {
-    let mut graph: Graph<u64> = Graph::from_edge_list(edges, GraphBuildOptions::default());
+fn run_degree<E: Clone + Send + Sync>(
+    edges: &EdgeList<E>,
+    direction: EdgeDirection,
+    options: &RunOptions,
+) -> AlgorithmOutput<u64> {
+    let mut graph: Graph<u64, E> = Graph::from_edge_list(edges, GraphBuildOptions::default());
     graph.set_all_active();
-    let program = DegreeProgram { direction };
+    let program = DegreeProgram {
+        direction,
+        _edge: std::marker::PhantomData,
+    };
     let opts = RunOptions {
         max_iterations: Some(1),
         ..*options
@@ -62,12 +72,18 @@ fn run_degree(edges: &EdgeList, direction: EdgeDirection, options: &RunOptions) 
 }
 
 /// In-degree of every vertex, computed as `Gᵀ · 1` (Figure 1 of the paper).
-pub fn in_degrees(edges: &EdgeList, options: &RunOptions) -> AlgorithmOutput<u64> {
+pub fn in_degrees<E: Clone + Send + Sync>(
+    edges: &EdgeList<E>,
+    options: &RunOptions,
+) -> AlgorithmOutput<u64> {
     run_degree(edges, EdgeDirection::Out, options)
 }
 
 /// Out-degree of every vertex, computed as `G · 1`.
-pub fn out_degrees(edges: &EdgeList, options: &RunOptions) -> AlgorithmOutput<u64> {
+pub fn out_degrees<E: Clone + Send + Sync>(
+    edges: &EdgeList<E>,
+    options: &RunOptions,
+) -> AlgorithmOutput<u64> {
     run_degree(edges, EdgeDirection::In, options)
 }
 
@@ -75,7 +91,7 @@ pub fn out_degrees(edges: &EdgeList, options: &RunOptions) -> AlgorithmOutput<u6
 mod tests {
     use super::*;
 
-    fn figure1_graph() -> EdgeList {
+    fn figure1_graph() -> EdgeList<()> {
         // Figure 1: A->B, A->C, B->C, C->D  (A=0, B=1, C=2, D=3)
         EdgeList::from_pairs(4, vec![(0, 1), (0, 2), (1, 2), (2, 3)])
     }

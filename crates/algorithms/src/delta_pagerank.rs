@@ -67,15 +67,17 @@ pub struct DeltaPrVertex {
     pub degree: u32,
 }
 
-struct DeltaPageRankProgram {
+struct DeltaPageRankProgram<E> {
     random_surf: f64,
     tolerance: f64,
+    _edge: std::marker::PhantomData<E>,
 }
 
-impl GraphProgram for DeltaPageRankProgram {
+impl<E: Clone + Send + Sync> GraphProgram for DeltaPageRankProgram<E> {
     type VertexProp = DeltaPrVertex;
     type Message = f64;
     type Reduced = f64;
+    type Edge = E;
 
     fn direction(&self) -> EdgeDirection {
         EdgeDirection::Out
@@ -89,7 +91,7 @@ impl GraphProgram for DeltaPageRankProgram {
         }
     }
 
-    fn process_message(&self, msg: &f64, _edge: f32, _dst: &DeltaPrVertex) -> f64 {
+    fn process_message(&self, msg: &f64, _edge: &E, _dst: &DeltaPrVertex) -> f64 {
         *msg
     }
 
@@ -113,13 +115,13 @@ impl GraphProgram for DeltaPageRankProgram {
 /// tolerance. The returned ranks satisfy the same fixed-point equation as
 /// [`crate::pagerank::pagerank`]; they differ from a truncated
 /// fixed-iteration run only by the tolerance.
-pub fn delta_pagerank(
-    edges: &EdgeList,
+pub fn delta_pagerank<E: Clone + Send + Sync>(
+    edges: &EdgeList<E>,
     config: &DeltaPageRankConfig,
     options: &RunOptions,
 ) -> AlgorithmOutput<f64> {
     assert!(config.tolerance > 0.0, "tolerance must be positive");
-    let mut graph: Graph<DeltaPrVertex> = Graph::from_edge_list(edges, config.build);
+    let mut graph: Graph<DeltaPrVertex, E> = Graph::from_edge_list(edges, config.build);
     let degrees: Vec<u32> = graph.out_degrees().to_vec();
     let r = config.random_surf;
     graph.init_properties(|v| DeltaPrVertex {
@@ -129,9 +131,10 @@ pub fn delta_pagerank(
     });
     graph.set_all_active();
 
-    let program = DeltaPageRankProgram {
+    let program = DeltaPageRankProgram::<E> {
         random_surf: config.random_surf,
         tolerance: config.tolerance,
+        _edge: std::marker::PhantomData,
     };
     let run_opts = RunOptions {
         max_iterations: Some(config.max_iterations),
@@ -158,7 +161,11 @@ mod tests {
     #[test]
     fn converges_before_the_iteration_cap() {
         let el = test_graph();
-        let out = delta_pagerank(&el, &DeltaPageRankConfig::default(), &RunOptions::sequential());
+        let out = delta_pagerank(
+            &el,
+            &DeltaPageRankConfig::default(),
+            &RunOptions::sequential(),
+        );
         assert!(out.converged);
         assert!(out.stats.iterations < 500);
     }

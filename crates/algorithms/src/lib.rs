@@ -22,6 +22,15 @@
 //! [`graphmat_core::GraphProgram`], and a driver function that initialises
 //! vertex properties / the active set, calls
 //! [`graphmat_core::run_graph_program`] and extracts the result.
+//!
+//! All drivers are **generic over the edge value type**. Structure-only
+//! algorithms (BFS, connected components, degree, triangle counting,
+//! PageRank) accept any `EdgeList<E>` and simply ignore the values — run
+//! them on an `EdgeList<()>` for the zero-cost unweighted fast path, where
+//! the adjacency matrices store no edge value bytes at all. Weight-consuming
+//! algorithms (SSSP, collaborative filtering) bound their edge type with
+//! [`graphmat_io::edgelist::EdgeWeight`], so `f32`, integer weights and
+//! even `()` (unit weights) all work without touching the backend.
 
 pub mod bfs;
 pub mod collaborative_filtering;

@@ -54,15 +54,19 @@ pub struct PageRankVertex {
     pub degree: u32,
 }
 
-/// The PageRank vertex program.
-pub struct PageRankProgram {
+/// The PageRank vertex program. Edge values are never read, so the program
+/// is generic over the edge type; `PageRankProgram<()>` runs on unweighted
+/// graphs with no edge value bytes in the matrix.
+pub struct PageRankProgram<E = f32> {
     random_surf: f64,
+    _edge: std::marker::PhantomData<E>,
 }
 
-impl GraphProgram for PageRankProgram {
+impl<E: Clone + Send + Sync> GraphProgram for PageRankProgram<E> {
     type VertexProp = PageRankVertex;
     type Message = f64;
     type Reduced = f64;
+    type Edge = E;
 
     fn direction(&self) -> EdgeDirection {
         EdgeDirection::Out
@@ -76,7 +80,7 @@ impl GraphProgram for PageRankProgram {
         }
     }
 
-    fn process_message(&self, msg: &f64, _edge: f32, _dst: &PageRankVertex) -> f64 {
+    fn process_message(&self, msg: &f64, _edge: &E, _dst: &PageRankVertex) -> f64 {
         *msg
     }
 
@@ -89,13 +93,14 @@ impl GraphProgram for PageRankProgram {
     }
 }
 
-/// Run PageRank and return the per-vertex ranks.
-pub fn pagerank(
-    edges: &EdgeList,
+/// Run PageRank and return the per-vertex ranks. Accepts any edge value
+/// type — ranks depend only on the graph structure.
+pub fn pagerank<E: Clone + Send + Sync>(
+    edges: &EdgeList<E>,
     config: &PageRankConfig,
     options: &RunOptions,
 ) -> AlgorithmOutput<f64> {
-    let mut graph: Graph<PageRankVertex> = Graph::from_edge_list(edges, config.build);
+    let mut graph: Graph<PageRankVertex, E> = Graph::from_edge_list(edges, config.build);
     let degrees: Vec<u32> = graph.out_degrees().to_vec();
     graph.init_properties(|v| PageRankVertex {
         rank: 1.0,
@@ -103,8 +108,9 @@ pub fn pagerank(
     });
     graph.set_all_active();
 
-    let program = PageRankProgram {
+    let program = PageRankProgram::<E> {
         random_surf: config.random_surf,
+        _edge: std::marker::PhantomData,
     };
     let run_opts = RunOptions {
         max_iterations: Some(options.max_iterations.unwrap_or(config.iterations)),
@@ -124,15 +130,15 @@ pub fn pagerank(
 
 /// Dense reference implementation used by tests: straightforward iteration of
 /// the paper's equation 1 over an adjacency list.
-pub fn pagerank_reference(edges: &EdgeList, random_surf: f64, iterations: usize) -> Vec<f64> {
+pub fn pagerank_reference<E>(edges: &EdgeList<E>, random_surf: f64, iterations: usize) -> Vec<f64> {
     let n = edges.num_vertices() as usize;
     let degrees = edges.out_degrees();
     let mut ranks = vec![1.0f64; n];
     for _ in 0..iterations {
         let mut incoming = vec![0.0f64; n];
-        for &(u, v, _) in edges.edges() {
-            if degrees[u as usize] > 0 {
-                incoming[v as usize] += ranks[u as usize] / degrees[u as usize] as f64;
+        for (u, v, _) in edges.edges() {
+            if degrees[*u as usize] > 0 {
+                incoming[*v as usize] += ranks[*u as usize] / degrees[*u as usize] as f64;
             }
         }
         for v in 0..n {
@@ -153,7 +159,7 @@ pub fn pagerank_reference(edges: &EdgeList, random_surf: f64, iterations: usize)
 mod tests {
     use super::*;
 
-    fn triangle_graph() -> EdgeList {
+    fn triangle_graph() -> EdgeList<()> {
         // 0 -> 1 -> 2 -> 0 plus 0 -> 2
         EdgeList::from_pairs(3, vec![(0, 1), (1, 2), (2, 0), (0, 2)])
     }
@@ -218,9 +224,8 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential() {
-        let el = graphmat_io::rmat::generate(
-            &graphmat_io::rmat::RmatConfig::graph500(9).with_seed(77),
-        );
+        let el =
+            graphmat_io::rmat::generate(&graphmat_io::rmat::RmatConfig::graph500(9).with_seed(77));
         let cfg = PageRankConfig {
             iterations: 5,
             ..Default::default()

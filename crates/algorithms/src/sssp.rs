@@ -11,7 +11,7 @@ use crate::AlgorithmOutput;
 use graphmat_core::{
     run_graph_program, EdgeDirection, Graph, GraphBuildOptions, GraphProgram, RunOptions, VertexId,
 };
-use graphmat_io::edgelist::EdgeList;
+use graphmat_io::edgelist::{EdgeList, EdgeWeight};
 
 /// Distance value meaning "unreachable".
 pub const UNREACHABLE: f32 = f32::MAX;
@@ -44,13 +44,26 @@ impl SsspConfig {
     }
 }
 
-/// The SSSP vertex program (the paper's appendix `class SSSP`).
-pub struct SsspProgram;
+/// The SSSP vertex program (the paper's appendix `class SSSP`). Generic
+/// over any scalar-readable edge type: `f32` weights, integer weights
+/// (`u32`, `u8`, …) or `()` (every hop costs 1).
+pub struct SsspProgram<E = f32> {
+    _edge: std::marker::PhantomData<E>,
+}
 
-impl GraphProgram for SsspProgram {
+impl<E> Default for SsspProgram<E> {
+    fn default() -> Self {
+        SsspProgram {
+            _edge: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<E: EdgeWeight> GraphProgram for SsspProgram<E> {
     type VertexProp = f32;
     type Message = f32;
     type Reduced = f32;
+    type Edge = E;
 
     fn direction(&self) -> EdgeDirection {
         EdgeDirection::Out
@@ -60,8 +73,8 @@ impl GraphProgram for SsspProgram {
         Some(*dist)
     }
 
-    fn process_message(&self, msg: &f32, edge: f32, _dst: &f32) -> f32 {
-        msg + edge
+    fn process_message(&self, msg: &f32, edge: &E, _dst: &f32) -> f32 {
+        msg + edge.weight()
     }
 
     fn reduce(&self, acc: &mut f32, value: f32) {
@@ -79,19 +92,26 @@ impl GraphProgram for SsspProgram {
 
 /// Run SSSP and return the per-vertex distance from the source
 /// ([`UNREACHABLE`] for vertices with no path).
-pub fn sssp(edges: &EdgeList, config: &SsspConfig, options: &RunOptions) -> AlgorithmOutput<f32> {
+///
+/// Accepts any [`EdgeWeight`] edge type: `f32`, integer weights such as
+/// `u32`, or `()` for hop counts.
+pub fn sssp<E: EdgeWeight>(
+    edges: &EdgeList<E>,
+    config: &SsspConfig,
+    options: &RunOptions,
+) -> AlgorithmOutput<f32> {
     assert!(
         config.source < edges.num_vertices(),
         "SSSP source {} out of range ({} vertices)",
         config.source,
         edges.num_vertices()
     );
-    let mut graph: Graph<f32> = Graph::from_edge_list(edges, config.build);
+    let mut graph: Graph<f32, E> = Graph::from_edge_list(edges, config.build);
     graph.set_all_properties(UNREACHABLE);
     graph.set_property(config.source, 0.0);
     graph.set_active(config.source);
 
-    let result = run_graph_program(&SsspProgram, &mut graph, options);
+    let result = run_graph_program(&SsspProgram::<E>::default(), &mut graph, options);
     AlgorithmOutput {
         values: graph.properties().to_vec(),
         stats: result.stats,
@@ -101,14 +121,14 @@ pub fn sssp(edges: &EdgeList, config: &SsspConfig, options: &RunOptions) -> Algo
 
 /// Dijkstra reference implementation used by tests (requires non-negative
 /// weights, which all the generators guarantee).
-pub fn sssp_reference(edges: &EdgeList, source: VertexId) -> Vec<f32> {
+pub fn sssp_reference<E: EdgeWeight>(edges: &EdgeList<E>, source: VertexId) -> Vec<f32> {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
 
     let n = edges.num_vertices() as usize;
     let mut adj: Vec<Vec<(usize, f32)>> = vec![Vec::new(); n];
-    for &(s, d, w) in edges.edges() {
-        adj[s as usize].push((d as usize, w));
+    for (s, d, w) in edges.edges() {
+        adj[*s as usize].push((*d as usize, w.weight()));
     }
     let mut dist = vec![UNREACHABLE; n];
     dist[source as usize] = 0.0;
@@ -154,7 +174,11 @@ mod tests {
 
     #[test]
     fn figure3_distances() {
-        let out = sssp(&figure3(), &SsspConfig::from_source(0), &RunOptions::sequential());
+        let out = sssp(
+            &figure3(),
+            &SsspConfig::from_source(0),
+            &RunOptions::sequential(),
+        );
         assert_eq!(out.values, vec![0.0, 1.0, 2.0, 2.0, 4.0]);
         assert!(out.converged);
     }
@@ -166,7 +190,11 @@ mod tests {
                 .with_weights(1, 20)
                 .with_seed(4),
         );
-        let out = sssp(&el, &SsspConfig::from_source(7), &RunOptions::default().with_threads(4));
+        let out = sssp(
+            &el,
+            &SsspConfig::from_source(7),
+            &RunOptions::default().with_threads(4),
+        );
         let reference = sssp_reference(&el, 7);
         for (i, (a, b)) in out.values.iter().zip(reference.iter()).enumerate() {
             assert!((a - b).abs() < 1e-4, "vertex {i}: {a} vs {b}");
@@ -212,6 +240,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn out_of_range_source_panics() {
-        let _ = sssp(&figure3(), &SsspConfig::from_source(9), &RunOptions::sequential());
+        let _ = sssp(
+            &figure3(),
+            &SsspConfig::from_source(9),
+            &RunOptions::sequential(),
+        );
     }
 }

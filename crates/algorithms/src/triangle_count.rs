@@ -53,13 +53,25 @@ pub struct TriangleVertex {
     pub triangles: u64,
 }
 
-/// Phase 1: collect in-neighbour lists.
-struct CollectNeighbors;
+/// Phase 1: collect in-neighbour lists. Generic over the (ignored) edge
+/// type; `E = ()` is the unweighted fast path.
+struct CollectNeighbors<E> {
+    _edge: std::marker::PhantomData<E>,
+}
 
-impl GraphProgram for CollectNeighbors {
+impl<E> Default for CollectNeighbors<E> {
+    fn default() -> Self {
+        CollectNeighbors {
+            _edge: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<E: Clone + Send + Sync> GraphProgram for CollectNeighbors<E> {
     type VertexProp = TriangleVertex;
     type Message = VertexId;
     type Reduced = Vec<VertexId>;
+    type Edge = E;
 
     fn direction(&self) -> EdgeDirection {
         EdgeDirection::Out
@@ -69,7 +81,7 @@ impl GraphProgram for CollectNeighbors {
         Some(v)
     }
 
-    fn process_message(&self, msg: &VertexId, _edge: f32, _dst: &TriangleVertex) -> Vec<VertexId> {
+    fn process_message(&self, msg: &VertexId, _edge: &E, _dst: &TriangleVertex) -> Vec<VertexId> {
         vec![*msg]
     }
 
@@ -86,12 +98,23 @@ impl GraphProgram for CollectNeighbors {
 }
 
 /// Phase 2: intersect neighbour lists.
-struct CountTriangles;
+struct CountTriangles<E> {
+    _edge: std::marker::PhantomData<E>,
+}
 
-impl GraphProgram for CountTriangles {
+impl<E> Default for CountTriangles<E> {
+    fn default() -> Self {
+        CountTriangles {
+            _edge: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<E: Clone + Send + Sync> GraphProgram for CountTriangles<E> {
     type VertexProp = TriangleVertex;
     type Message = Vec<VertexId>;
     type Reduced = u64;
+    type Edge = E;
 
     fn direction(&self) -> EdgeDirection {
         EdgeDirection::Out
@@ -105,7 +128,7 @@ impl GraphProgram for CountTriangles {
         }
     }
 
-    fn process_message(&self, msg: &Vec<VertexId>, _edge: f32, dst: &TriangleVertex) -> u64 {
+    fn process_message(&self, msg: &Vec<VertexId>, _edge: &E, dst: &TriangleVertex) -> u64 {
         sorted_intersection_size(msg, &dst.neighbors)
     }
 
@@ -137,8 +160,9 @@ fn sorted_intersection_size(a: &[VertexId], b: &[VertexId]) -> u64 {
 }
 
 /// Count triangles. Returns the total count and the per-vertex counts.
-pub fn triangle_count(
-    edges: &EdgeList,
+/// Accepts any edge value type — triangles depend only on the structure.
+pub fn triangle_count<E: Clone + Send + Sync>(
+    edges: &EdgeList<E>,
     config: &TriangleCountConfig,
     options: &RunOptions,
 ) -> AlgorithmOutput<u64> {
@@ -150,7 +174,7 @@ pub fn triangle_count(
         edges
     };
 
-    let mut graph: Graph<TriangleVertex> = Graph::from_edge_list(edges, config.build);
+    let mut graph: Graph<TriangleVertex, E> = Graph::from_edge_list(edges, config.build);
 
     // Phase 1: one superstep building the in-neighbour lists.
     graph.set_all_active();
@@ -158,11 +182,11 @@ pub fn triangle_count(
         max_iterations: Some(1),
         ..*options
     };
-    let phase1 = run_graph_program(&CollectNeighbors, &mut graph, &phase1_opts);
+    let phase1 = run_graph_program(&CollectNeighbors::<E>::default(), &mut graph, &phase1_opts);
 
     // Phase 2: one superstep intersecting the lists.
     graph.set_all_active();
-    let phase2 = run_graph_program(&CountTriangles, &mut graph, &phase1_opts);
+    let phase2 = run_graph_program(&CountTriangles::<E>::default(), &mut graph, &phase1_opts);
 
     let mut stats = phase1.stats;
     for step in &phase2.stats.supersteps {
@@ -182,7 +206,7 @@ pub fn total_triangles(output: &AlgorithmOutput<u64>) -> u64 {
 }
 
 /// Brute-force reference count used by tests (O(V·d²)).
-pub fn triangle_count_reference(edges: &EdgeList) -> u64 {
+pub fn triangle_count_reference<E: Clone>(edges: &EdgeList<E>) -> u64 {
     let dag = edges.to_dag();
     let n = dag.num_vertices() as usize;
     let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
@@ -208,14 +232,22 @@ mod tests {
     #[test]
     fn single_triangle() {
         let el = EdgeList::from_pairs(4, vec![(0, 1), (1, 2), (2, 0), (2, 3)]);
-        let out = triangle_count(&el, &TriangleCountConfig::default(), &RunOptions::sequential());
+        let out = triangle_count(
+            &el,
+            &TriangleCountConfig::default(),
+            &RunOptions::sequential(),
+        );
         assert_eq!(total_triangles(&out), 1);
     }
 
     #[test]
     fn two_triangles_sharing_an_edge() {
         let el = EdgeList::from_pairs(4, vec![(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
-        let out = triangle_count(&el, &TriangleCountConfig::default(), &RunOptions::sequential());
+        let out = triangle_count(
+            &el,
+            &TriangleCountConfig::default(),
+            &RunOptions::sequential(),
+        );
         assert_eq!(total_triangles(&out), 2);
         assert_eq!(total_triangles(&out), triangle_count_reference(&el));
     }
@@ -229,7 +261,11 @@ mod tests {
             }
         }
         let el = EdgeList::from_pairs(5, pairs);
-        let out = triangle_count(&el, &TriangleCountConfig::default(), &RunOptions::sequential());
+        let out = triangle_count(
+            &el,
+            &TriangleCountConfig::default(),
+            &RunOptions::sequential(),
+        );
         assert_eq!(total_triangles(&out), 10); // C(5,3)
     }
 
@@ -237,7 +273,11 @@ mod tests {
     fn triangle_free_graph() {
         // a star has no triangles
         let el = EdgeList::from_pairs(5, vec![(0, 1), (0, 2), (0, 3), (0, 4)]);
-        let out = triangle_count(&el, &TriangleCountConfig::default(), &RunOptions::sequential());
+        let out = triangle_count(
+            &el,
+            &TriangleCountConfig::default(),
+            &RunOptions::sequential(),
+        );
         assert_eq!(total_triangles(&out), 0);
     }
 
@@ -263,13 +303,20 @@ mod tests {
             &RunOptions::default().with_threads(4),
         );
         assert_eq!(total_triangles(&out), triangle_count_reference(&el));
-        assert!(total_triangles(&out) > 0, "RMAT graph should contain triangles");
+        assert!(
+            total_triangles(&out) > 0,
+            "RMAT graph should contain triangles"
+        );
     }
 
     #[test]
     fn exactly_two_supersteps_of_work() {
         let el = EdgeList::from_pairs(4, vec![(0, 1), (1, 2), (2, 0)]);
-        let out = triangle_count(&el, &TriangleCountConfig::default(), &RunOptions::sequential());
+        let out = triangle_count(
+            &el,
+            &TriangleCountConfig::default(),
+            &RunOptions::sequential(),
+        );
         assert_eq!(out.stats.iterations, 2);
     }
 }

@@ -18,7 +18,7 @@
 
 use crate::BaselineRun;
 use graphmat_io::bipartite::RatingsGraph;
-use graphmat_io::edgelist::EdgeList;
+use graphmat_io::edgelist::{EdgeList, EdgeWeight};
 use graphmat_perf::CostCounters;
 use graphmat_sparse::csr::Csr;
 use graphmat_sparse::parallel::Executor;
@@ -49,13 +49,14 @@ fn simulate_mpi_copies<T: Clone>(frontier: &SparseVector<T>, counters: &mut Cost
     }
 }
 
-fn transpose_partitioned(edges: &EdgeList, nparts: usize) -> PartitionedDcsc<f32> {
+fn transpose_partitioned<E: Clone>(edges: &EdgeList<E>, nparts: usize) -> PartitionedDcsc<E> {
     PartitionedDcsc::from_coo_balanced(&edges.to_transpose_coo(), nparts.max(1))
 }
 
-/// PageRank on the semiring engine.
-pub fn pagerank(
-    edges: &EdgeList,
+/// PageRank on the semiring engine. Any edge type works — the semiring
+/// multiply ignores the matrix value.
+pub fn pagerank<E: Clone + Send + Sync>(
+    edges: &EdgeList<E>,
     random_surf: f64,
     iterations: usize,
     nthreads: usize,
@@ -80,16 +81,16 @@ pub fn pagerank(
             &gt,
             &frontier,
             // pure semiring multiply: no destination-vertex access
-            &|msg: &f64, _e: &f32, _k: Index| *msg,
+            &|msg: &f64, _e: &E, _k: Index| *msg,
             &|acc: &mut f64, v: f64| *acc += v,
             &executor,
         );
         counters.add_edge_ops(gt.nnz() as u64);
         counters.add_messages(frontier.nnz() as u64);
         counters.add_bytes_read(gt.nnz() as u64 * 12);
-        for v in 0..n {
+        for (v, rank) in ranks.iter_mut().enumerate() {
             if let Some(sum) = sums.get(v as Index) {
-                ranks[v] = random_surf + (1.0 - random_surf) * sum;
+                *rank = random_surf + (1.0 - random_surf) * sum;
             }
         }
         counters.add_vertex_ops(n as u64);
@@ -102,8 +103,13 @@ pub fn pagerank(
     }
 }
 
-/// BFS on the semiring engine (boolean frontier expansion).
-pub fn bfs(edges: &EdgeList, root: Index, nthreads: usize) -> BaselineRun<u32> {
+/// BFS on the semiring engine (boolean frontier expansion). Any edge type
+/// works, including the unweighted `()`.
+pub fn bfs<E: Clone + Send + Sync>(
+    edges: &EdgeList<E>,
+    root: Index,
+    nthreads: usize,
+) -> BaselineRun<u32> {
     let sym = edges.symmetrized();
     let n = sym.num_vertices() as usize;
     let executor = Executor::new(nthreads.max(1));
@@ -123,7 +129,7 @@ pub fn bfs(edges: &EdgeList, root: Index, nthreads: usize) -> BaselineRun<u32> {
         let reached = gspmv(
             &gt,
             &frontier,
-            &|level: &u32, _e: &f32, _k: Index| level + 1,
+            &|level: &u32, _e: &E, _k: Index| level + 1,
             &|acc: &mut u32, v: u32| *acc = (*acc).min(v),
             &executor,
         );
@@ -152,8 +158,13 @@ pub fn bfs(edges: &EdgeList, root: Index, nthreads: usize) -> BaselineRun<u32> {
     }
 }
 
-/// SSSP on the semiring engine (min-plus frontier relaxation).
-pub fn sssp(edges: &EdgeList, source: Index, nthreads: usize) -> BaselineRun<f32> {
+/// SSSP on the semiring engine (min-plus frontier relaxation). Accepts any
+/// scalar-readable edge weight type.
+pub fn sssp<E: EdgeWeight>(
+    edges: &EdgeList<E>,
+    source: Index,
+    nthreads: usize,
+) -> BaselineRun<f32> {
     let n = edges.num_vertices() as usize;
     let executor = Executor::new(nthreads.max(1));
     let gt = transpose_partitioned(edges, nthreads.max(1) * 4);
@@ -172,7 +183,7 @@ pub fn sssp(edges: &EdgeList, source: Index, nthreads: usize) -> BaselineRun<f32
         let relaxed = gspmv(
             &gt,
             &frontier,
-            &|d: &f32, w: &f32, _k: Index| d + w,
+            &|d: &f32, w: &E, _k: Index| d + w.weight(),
             &|acc: &mut f32, v: f32| *acc = acc.min(v),
             &executor,
         );
@@ -205,7 +216,10 @@ pub fn sssp(edges: &EdgeList, source: Index, nthreads: usize) -> BaselineRun<f32
 /// for a framework whose multiply cannot look at the destination vertex.
 /// Also reports the intermediate-product count that makes this approach blow
 /// up on large graphs.
-pub fn triangle_count(edges: &EdgeList, _nthreads: usize) -> BaselineRun<u64> {
+pub fn triangle_count<E: Clone + Send + Sync>(
+    edges: &EdgeList<E>,
+    _nthreads: usize,
+) -> BaselineRun<u64> {
     let dag = edges.to_dag();
     // unweighted boolean structure: triangle counting ignores edge weights
     let adj_f64 = Csr::from_coo(&dag.to_adjacency_coo().map(|_| 1.0f64));

@@ -8,7 +8,7 @@
 
 use crate::BaselineRun;
 use graphmat_io::bipartite::RatingsGraph;
-use graphmat_io::edgelist::EdgeList;
+use graphmat_io::edgelist::{EdgeList, EdgeWeight};
 use graphmat_perf::CostCounters;
 use graphmat_sparse::coo::Coo;
 use graphmat_sparse::csr::Csr;
@@ -17,17 +17,18 @@ use graphmat_sparse::Index;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::time::Instant;
 
-fn csr_from_edges(edges: &EdgeList) -> Csr<f32> {
+fn csr_from_edges<E: Clone>(edges: &EdgeList<E>) -> Csr<E> {
     Csr::from_coo(&edges.to_adjacency_coo())
 }
 
-fn csr_transpose_from_edges(edges: &EdgeList) -> Csr<f32> {
+fn csr_transpose_from_edges<E: Clone>(edges: &EdgeList<E>) -> Csr<E> {
     Csr::from_coo(&edges.to_transpose_coo())
 }
 
-/// Native PageRank: pull-based iteration over the transposed CSR.
-pub fn pagerank(
-    edges: &EdgeList,
+/// Native PageRank: pull-based iteration over the transposed CSR. Edge
+/// values are ignored, so any edge type works.
+pub fn pagerank<E: Clone + Send + Sync>(
+    edges: &EdgeList<E>,
     random_surf: f64,
     iterations: usize,
     nthreads: usize,
@@ -50,6 +51,9 @@ pub fn pagerank(
             .collect();
         let next_ptr = SharedSlice::new(&mut next);
         let ranks_ref = &ranks;
+        // indexing by the chunk range is the point here: disjoint ranges of
+        // `next` are written through the shared pointer
+        #[allow(clippy::needless_range_loop)]
         executor.run_chunked(n, |_, lo, hi| {
             for v in lo..hi {
                 let (srcs, _) = gt.row(v as Index);
@@ -83,8 +87,13 @@ pub fn pagerank(
     }
 }
 
-/// Native BFS: frontier queue over the symmetrized CSR.
-pub fn bfs(edges: &EdgeList, root: Index, nthreads: usize) -> BaselineRun<u32> {
+/// Native BFS: frontier queue over the symmetrized CSR. Edge values are
+/// ignored, so any edge type works (including the unweighted `()`).
+pub fn bfs<E: Clone + Send + Sync>(
+    edges: &EdgeList<E>,
+    root: Index,
+    nthreads: usize,
+) -> BaselineRun<u32> {
     let sym = edges.symmetrized();
     let adj = csr_from_edges(&sym);
     let n = sym.num_vertices() as usize;
@@ -123,8 +132,13 @@ pub fn bfs(edges: &EdgeList, root: Index, nthreads: usize) -> BaselineRun<u32> {
     }
 }
 
-/// Native SSSP: Bellman-Ford with an active frontier over CSR.
-pub fn sssp(edges: &EdgeList, source: Index, nthreads: usize) -> BaselineRun<f32> {
+/// Native SSSP: Bellman-Ford with an active frontier over CSR. Accepts any
+/// scalar-readable edge weight type.
+pub fn sssp<E: EdgeWeight>(
+    edges: &EdgeList<E>,
+    source: Index,
+    nthreads: usize,
+) -> BaselineRun<f32> {
     let adj = csr_from_edges(edges);
     let n = edges.num_vertices() as usize;
     let _ = nthreads;
@@ -143,8 +157,8 @@ pub fn sssp(edges: &EdgeList, source: Index, nthreads: usize) -> BaselineRun<f32
             let (neighbors, weights) = adj.row(u);
             counters.add_edge_ops(neighbors.len() as u64);
             let du = dist[u as usize];
-            for (&v, &w) in neighbors.iter().zip(weights) {
-                let candidate = du + w;
+            for (&v, w) in neighbors.iter().zip(weights) {
+                let candidate = du + w.weight();
                 if candidate < dist[v as usize] {
                     dist[v as usize] = candidate;
                     if !touched[v as usize] {
@@ -166,7 +180,11 @@ pub fn sssp(edges: &EdgeList, source: Index, nthreads: usize) -> BaselineRun<f32
 }
 
 /// Native triangle counting: sorted adjacency-list intersection on the DAG.
-pub fn triangle_count(edges: &EdgeList, nthreads: usize) -> BaselineRun<u64> {
+/// Edge values are ignored, so any edge type works.
+pub fn triangle_count<E: Clone + Send + Sync>(
+    edges: &EdgeList<E>,
+    nthreads: usize,
+) -> BaselineRun<u64> {
     let dag = edges.to_dag();
     let adj = csr_from_edges(&dag);
     let n = dag.num_vertices() as usize;
@@ -199,7 +217,10 @@ pub fn triangle_count(edges: &EdgeList, nthreads: usize) -> BaselineRun<u64> {
             }
         }
     });
-    let values: Vec<u64> = per_vertex.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+    let values: Vec<u64> = per_vertex
+        .iter()
+        .map(|a| a.load(Ordering::Relaxed))
+        .collect();
     let mut counters = CostCounters::new();
     counters.add_edge_ops(counters_edges.load(Ordering::Relaxed));
     counters.add_vertex_ops(n as u64);

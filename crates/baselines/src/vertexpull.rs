@@ -13,37 +13,41 @@
 
 use crate::BaselineRun;
 use graphmat_io::bipartite::RatingsGraph;
-use graphmat_io::edgelist::EdgeList;
+use graphmat_io::edgelist::{EdgeList, EdgeWeight};
 use graphmat_perf::CostCounters;
 use graphmat_sparse::parallel::Executor;
 use graphmat_sparse::Index;
-use parking_lot::Mutex;
+use std::marker::PhantomData;
+use std::sync::Mutex;
 use std::time::Instant;
 
-/// Adjacency-list representation used by the GAS engine.
-pub struct AdjacencyGraph {
-    /// For every vertex, its in-neighbours and the weight of the edge.
-    pub in_edges: Vec<Vec<(Index, f32)>>,
-    /// For every vertex, its out-neighbours and the weight of the edge.
-    pub out_edges: Vec<Vec<(Index, f32)>>,
+/// Adjacency-list representation used by the GAS engine, generic over the
+/// edge value type.
+pub struct AdjacencyGraph<E = f32> {
+    /// For every vertex, its in-neighbours and the value of the edge.
+    pub in_edges: Vec<Vec<(Index, E)>>,
+    /// For every vertex, its out-neighbours and the value of the edge.
+    pub out_edges: Vec<Vec<(Index, E)>>,
 }
 
-impl AdjacencyGraph {
+impl<E: Clone> AdjacencyGraph<E> {
     /// Build the adjacency lists from an edge list.
-    pub fn from_edge_list(edges: &EdgeList) -> Self {
+    pub fn from_edge_list(edges: &EdgeList<E>) -> Self {
         let n = edges.num_vertices() as usize;
-        let mut in_edges = vec![Vec::new(); n];
-        let mut out_edges = vec![Vec::new(); n];
-        for &(s, d, w) in edges.edges() {
-            out_edges[s as usize].push((d, w));
-            in_edges[d as usize].push((s, w));
+        let mut in_edges: Vec<Vec<(Index, E)>> = vec![Vec::new(); n];
+        let mut out_edges: Vec<Vec<(Index, E)>> = vec![Vec::new(); n];
+        for (s, d, w) in edges.edges() {
+            out_edges[*s as usize].push((*d, w.clone()));
+            in_edges[*d as usize].push((*s, w.clone()));
         }
         AdjacencyGraph {
             in_edges,
             out_edges,
         }
     }
+}
 
+impl<E> AdjacencyGraph<E> {
     /// Number of vertices.
     pub fn num_vertices(&self) -> usize {
         self.in_edges.len()
@@ -58,11 +62,18 @@ pub trait GasProgram: Sync {
     type State: Clone + Send + Sync;
     /// The gathered/accumulated type.
     type Gather: Clone + Send + Sync;
+    /// The edge value type of the graphs this program gathers over.
+    type Edge: Clone + Send + Sync;
 
     /// Neutral element of the gather sum.
     fn gather_init(&self) -> Self::Gather;
     /// Gather contribution of in-edge `(src → v)`.
-    fn gather(&self, src_state: &Self::State, edge: f32, v_state: &Self::State) -> Self::Gather;
+    fn gather(
+        &self,
+        src_state: &Self::State,
+        edge: &Self::Edge,
+        v_state: &Self::State,
+    ) -> Self::Gather;
     /// Combine two gather values.
     fn combine(&self, acc: &mut Self::Gather, value: Self::Gather);
     /// Apply the combined gather value; return `true` if the vertex changed
@@ -77,7 +88,7 @@ pub trait GasProgram: Sync {
 /// for fixed-iteration algorithms (PageRank, gradient-descent CF): every
 /// vertex keeps broadcasting regardless of whether its own state changed.
 pub fn run_gas<P: GasProgram>(
-    graph: &AdjacencyGraph,
+    graph: &AdjacencyGraph<P::Edge>,
     program: &P,
     mut states: Vec<P::State>,
     initial_active: Vec<bool>,
@@ -115,7 +126,8 @@ pub fn run_gas<P: GasProgram>(
         counters.add_overhead(n as u64); // state snapshot copy (BSP-consistency)
         let results = Mutex::new(Vec::<(usize, P::State, bool)>::with_capacity(to_run.len()));
         // dyn-dispatched callbacks, as GraphLab's engine would perform them
-        let gather_dyn: &(dyn Fn(&P::State, f32, &P::State) -> P::Gather + Sync) =
+        #[allow(clippy::type_complexity)]
+        let gather_dyn: &(dyn Fn(&P::State, &P::Edge, &P::State) -> P::Gather + Sync) =
             &|s, e, d| program.gather(s, e, d);
         let combine_dyn: &(dyn Fn(&mut P::Gather, P::Gather) + Sync) =
             &|acc, v| program.combine(acc, v);
@@ -124,9 +136,9 @@ pub fn run_gas<P: GasProgram>(
             let mut local = Vec::with_capacity(hi - lo);
             for &v in &to_run[lo..hi] {
                 let mut acc = program.gather_init();
-                for &(u, w) in &graph.in_edges[v] {
-                    if active[u as usize] {
-                        let contrib = gather_dyn(&snapshot[u as usize], w, &snapshot[v]);
+                for (u, w) in &graph.in_edges[v] {
+                    if active[*u as usize] {
+                        let contrib = gather_dyn(&snapshot[*u as usize], w, &snapshot[v]);
                         combine_dyn(&mut acc, contrib);
                     }
                 }
@@ -134,16 +146,11 @@ pub fn run_gas<P: GasProgram>(
                 let changed = program.apply(&acc, &mut state);
                 local.push((v, state, changed));
             }
-            results.lock().extend(local);
+            results.lock().unwrap().extend(local);
         });
 
-        let results = results.into_inner();
-        counters.add_edge_ops(
-            to_run
-                .iter()
-                .map(|&v| graph.in_edges[v].len() as u64)
-                .sum(),
-        );
+        let results = results.into_inner().unwrap();
+        counters.add_edge_ops(to_run.iter().map(|&v| graph.in_edges[v].len() as u64).sum());
         counters.add_messages(results.len() as u64);
         counters.add_vertex_ops(results.len() as u64);
         counters.add_bytes_read(
@@ -166,27 +173,29 @@ pub fn run_gas<P: GasProgram>(
 }
 
 /// PageRank under the GAS engine.
-pub fn pagerank(
-    edges: &EdgeList,
+pub fn pagerank<E: Clone + Send + Sync>(
+    edges: &EdgeList<E>,
     random_surf: f64,
     iterations: usize,
     nthreads: usize,
 ) -> BaselineRun<f64> {
-    struct Pr {
+    struct Pr<E> {
         random_surf: f64,
+        _edge: PhantomData<E>,
     }
     #[derive(Clone)]
     struct State {
         rank: f64,
         degree: u32,
     }
-    impl GasProgram for Pr {
+    impl<E: Clone + Send + Sync> GasProgram for Pr<E> {
         type State = State;
         type Gather = f64;
+        type Edge = E;
         fn gather_init(&self) -> f64 {
             0.0
         }
-        fn gather(&self, src: &State, _e: f32, _v: &State) -> f64 {
+        fn gather(&self, src: &State, _e: &E, _v: &State) -> f64 {
             if src.degree > 0 {
                 src.rank / src.degree as f64
             } else {
@@ -217,7 +226,10 @@ pub fn pagerank(
     let start = Instant::now();
     let (states, counters, iters) = run_gas(
         &graph,
-        &Pr { random_surf },
+        &Pr {
+            random_surf,
+            _edge: PhantomData,
+        },
         states,
         vec![true; graph.num_vertices()],
         Some(iterations),
@@ -232,16 +244,21 @@ pub fn pagerank(
     }
 }
 
-/// BFS under the GAS engine.
-pub fn bfs(edges: &EdgeList, root: Index, nthreads: usize) -> BaselineRun<u32> {
-    struct Bfs;
-    impl GasProgram for Bfs {
+/// BFS under the GAS engine. Any edge type works, including `()`.
+pub fn bfs<E: Clone + Send + Sync>(
+    edges: &EdgeList<E>,
+    root: Index,
+    nthreads: usize,
+) -> BaselineRun<u32> {
+    struct Bfs<E>(PhantomData<E>);
+    impl<E: Clone + Send + Sync> GasProgram for Bfs<E> {
         type State = u32;
         type Gather = u32;
+        type Edge = E;
         fn gather_init(&self) -> u32 {
             u32::MAX
         }
-        fn gather(&self, src: &u32, _e: f32, _v: &u32) -> u32 {
+        fn gather(&self, src: &u32, _e: &E, _v: &u32) -> u32 {
             src.saturating_add(1)
         }
         fn combine(&self, acc: &mut u32, v: u32) {
@@ -264,7 +281,15 @@ pub fn bfs(edges: &EdgeList, root: Index, nthreads: usize) -> BaselineRun<u32> {
     let mut active = vec![false; graph.num_vertices()];
     active[root as usize] = true;
     let start = Instant::now();
-    let (states, counters, iters) = run_gas(&graph, &Bfs, states, active, None, false, nthreads);
+    let (states, counters, iters) = run_gas(
+        &graph,
+        &Bfs(PhantomData),
+        states,
+        active,
+        None,
+        false,
+        nthreads,
+    );
     BaselineRun {
         values: states,
         elapsed: start.elapsed(),
@@ -273,20 +298,25 @@ pub fn bfs(edges: &EdgeList, root: Index, nthreads: usize) -> BaselineRun<u32> {
     }
 }
 
-/// SSSP under the GAS engine.
-pub fn sssp(edges: &EdgeList, source: Index, nthreads: usize) -> BaselineRun<f32> {
-    struct Sssp;
-    impl GasProgram for Sssp {
+/// SSSP under the GAS engine. Accepts any scalar-readable edge weight type.
+pub fn sssp<E: EdgeWeight>(
+    edges: &EdgeList<E>,
+    source: Index,
+    nthreads: usize,
+) -> BaselineRun<f32> {
+    struct Sssp<E>(PhantomData<E>);
+    impl<E: EdgeWeight> GasProgram for Sssp<E> {
         type State = f32;
         type Gather = f32;
+        type Edge = E;
         fn gather_init(&self) -> f32 {
             f32::MAX
         }
-        fn gather(&self, src: &f32, e: f32, _v: &f32) -> f32 {
+        fn gather(&self, src: &f32, e: &E, _v: &f32) -> f32 {
             if *src == f32::MAX {
                 f32::MAX
             } else {
-                src + e
+                src + e.weight()
             }
         }
         fn combine(&self, acc: &mut f32, v: f32) {
@@ -308,7 +338,15 @@ pub fn sssp(edges: &EdgeList, source: Index, nthreads: usize) -> BaselineRun<f32
     let mut active = vec![false; graph.num_vertices()];
     active[source as usize] = true;
     let start = Instant::now();
-    let (states, counters, iters) = run_gas(&graph, &Sssp, states, active, None, false, nthreads);
+    let (states, counters, iters) = run_gas(
+        &graph,
+        &Sssp(PhantomData),
+        states,
+        active,
+        None,
+        false,
+        nthreads,
+    );
     BaselineRun {
         values: states,
         elapsed: start.elapsed(),
@@ -321,7 +359,10 @@ pub fn sssp(edges: &EdgeList, source: Index, nthreads: usize) -> BaselineRun<f32
 /// in-neighbour ids (round 1), then gathers intersection counts (round 2) —
 /// the same two-phase structure as GraphMat's, but paying the adjacency-list
 /// engine's per-edge overheads.
-pub fn triangle_count(edges: &EdgeList, nthreads: usize) -> BaselineRun<u64> {
+pub fn triangle_count<E: Clone + Send + Sync>(
+    edges: &EdgeList<E>,
+    nthreads: usize,
+) -> BaselineRun<u64> {
     let dag = edges.to_dag();
     let graph = AdjacencyGraph::from_edge_list(&dag);
     let n = graph.num_vertices();
@@ -331,21 +372,23 @@ pub fn triangle_count(edges: &EdgeList, nthreads: usize) -> BaselineRun<u64> {
     let start = Instant::now();
     // Round 1: collect sorted in-neighbour lists (materialised per vertex).
     let mut lists: Vec<Vec<Index>> = vec![Vec::new(); n];
-    for v in 0..n {
-        let mut list: Vec<Index> = graph.in_edges[v].iter().map(|&(u, _)| u).collect();
+    for (v, slot) in lists.iter_mut().enumerate() {
+        let mut list: Vec<Index> = graph.in_edges[v].iter().map(|(u, _)| *u).collect();
         list.sort_unstable();
         list.dedup();
         counters.add_edge_ops(graph.in_edges[v].len() as u64);
         counters.add_overhead(list.len() as u64); // per-vertex hash/list build
-        lists[v] = list;
+        *slot = list;
     }
     // Round 2: for every edge (u -> v), intersect list(u) with list(v).
-    let per_vertex: Vec<std::sync::atomic::AtomicU64> =
-        (0..n).map(|_| std::sync::atomic::AtomicU64::new(0)).collect();
+    let per_vertex: Vec<std::sync::atomic::AtomicU64> = (0..n)
+        .map(|_| std::sync::atomic::AtomicU64::new(0))
+        .collect();
     let edge_ops = std::sync::atomic::AtomicU64::new(0);
     executor.run_chunked(n, |_, lo, hi| {
         for u in lo..hi {
-            for &(v, _) in &graph.out_edges[u] {
+            for (v, _) in &graph.out_edges[u] {
+                let v = *v;
                 let (a, b) = (&lists[u], &lists[v as usize]);
                 let (mut i, mut j) = (0usize, 0usize);
                 let mut count = 0u64;
@@ -360,7 +403,10 @@ pub fn triangle_count(edges: &EdgeList, nthreads: usize) -> BaselineRun<u64> {
                         }
                     }
                 }
-                edge_ops.fetch_add((a.len() + b.len()) as u64, std::sync::atomic::Ordering::Relaxed);
+                edge_ops.fetch_add(
+                    (a.len() + b.len()) as u64,
+                    std::sync::atomic::Ordering::Relaxed,
+                );
                 per_vertex[v as usize].fetch_add(count, std::sync::atomic::Ordering::Relaxed);
             }
         }
@@ -403,17 +449,18 @@ pub fn collaborative_filtering(
     impl GasProgram for Cf {
         type State = State;
         type Gather = Vec<f64>;
+        type Edge = f32;
         fn gather_init(&self) -> Vec<f64> {
             Vec::new()
         }
-        fn gather(&self, src: &State, rating: f32, v: &State) -> Vec<f64> {
+        fn gather(&self, src: &State, rating: &f32, v: &State) -> Vec<f64> {
             let dot: f64 = src
                 .features
                 .iter()
                 .zip(v.features.iter())
                 .map(|(a, b)| a * b)
                 .sum();
-            let err = rating as f64 - dot;
+            let err = *rating as f64 - dot;
             src.features.iter().map(|x| err * x).collect()
         }
         fn combine(&self, acc: &mut Vec<f64>, value: Vec<f64>) {

@@ -13,13 +13,13 @@
 use crate::native::{self, atomic_min_f32};
 use crate::BaselineRun;
 use graphmat_io::bipartite::RatingsGraph;
-use graphmat_io::edgelist::EdgeList;
+use graphmat_io::edgelist::{EdgeList, EdgeWeight};
 use graphmat_perf::CostCounters;
 use graphmat_sparse::csr::Csr;
 use graphmat_sparse::parallel::Executor;
 use graphmat_sparse::Index;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Work chunk size: Galois schedules work in chunks to amortise queue
@@ -27,8 +27,13 @@ use std::time::Instant;
 const CHUNK: usize = 64;
 
 /// Asynchronous SSSP: chunked Bellman-Ford worklist with atomic distance
-/// updates (reads fresh values written earlier in the same round).
-pub fn sssp(edges: &EdgeList, source: Index, nthreads: usize) -> BaselineRun<f32> {
+/// updates (reads fresh values written earlier in the same round). Accepts
+/// any scalar-readable edge weight type.
+pub fn sssp<E: EdgeWeight>(
+    edges: &EdgeList<E>,
+    source: Index,
+    nthreads: usize,
+) -> BaselineRun<f32> {
     let adj = Csr::from_coo(&edges.to_adjacency_coo());
     let n = edges.num_vertices() as usize;
     let executor = Executor::new(nthreads.max(1));
@@ -53,16 +58,16 @@ pub fn sssp(edges: &EdgeList, source: Index, nthreads: usize) -> BaselineRun<f32
                 let du = f32::from_bits(dist[u as usize].load(Ordering::Relaxed));
                 let (neighbors, weights) = adj.row(u);
                 edge_ops.fetch_add(neighbors.len() as u64, Ordering::Relaxed);
-                for (&v, &w) in neighbors.iter().zip(weights) {
-                    let candidate = du + w;
+                for (&v, w) in neighbors.iter().zip(weights) {
+                    let candidate = du + w.weight();
                     if atomic_min_f32(&dist[v as usize], candidate) {
                         local_next.push(v);
                     }
                 }
             }
-            next.lock().extend(local_next);
+            next.lock().unwrap().extend(local_next);
         });
-        let mut next = next.into_inner();
+        let mut next = next.into_inner().unwrap();
         next.sort_unstable();
         next.dedup();
         worklist = next;
@@ -86,7 +91,12 @@ pub fn sssp(edges: &EdgeList, source: Index, nthreads: usize) -> BaselineRun<f32
 }
 
 /// Asynchronous BFS over the symmetrized graph with atomic level updates.
-pub fn bfs(edges: &EdgeList, root: Index, nthreads: usize) -> BaselineRun<u32> {
+/// Any edge type works, including the unweighted `()`.
+pub fn bfs<E: Clone + Send + Sync>(
+    edges: &EdgeList<E>,
+    root: Index,
+    nthreads: usize,
+) -> BaselineRun<u32> {
     let sym = edges.symmetrized();
     let adj = Csr::from_coo(&sym.to_adjacency_coo());
     let n = sym.num_vertices() as usize;
@@ -118,9 +128,9 @@ pub fn bfs(edges: &EdgeList, root: Index, nthreads: usize) -> BaselineRun<u32> {
                     }
                 }
             }
-            next.lock().extend(local);
+            next.lock().unwrap().extend(local);
         });
-        frontier = next.into_inner();
+        frontier = next.into_inner().unwrap();
     }
 
     let values: Vec<u32> = dist.iter().map(|d| d.load(Ordering::Relaxed)).collect();
@@ -140,8 +150,8 @@ pub fn bfs(edges: &EdgeList, root: Index, nthreads: usize) -> BaselineRun<u32> {
 /// Round-based PageRank with per-task scheduling overhead (asynchrony does
 /// not help PageRank, so Galois runs it much like native code plus the
 /// worklist machinery).
-pub fn pagerank(
-    edges: &EdgeList,
+pub fn pagerank<E: Clone + Send + Sync>(
+    edges: &EdgeList<E>,
     random_surf: f64,
     iterations: usize,
     nthreads: usize,
@@ -156,7 +166,10 @@ pub fn pagerank(
 /// Triangle counting (Galois is slightly ahead of GraphMat here in the paper
 /// thanks to better IPC; structurally it is the native intersection count
 /// plus task overhead).
-pub fn triangle_count(edges: &EdgeList, nthreads: usize) -> BaselineRun<u64> {
+pub fn triangle_count<E: Clone + Send + Sync>(
+    edges: &EdgeList<E>,
+    nthreads: usize,
+) -> BaselineRun<u64> {
     let mut run = native::triangle_count(edges, nthreads);
     run.counters.add_overhead(edges.num_vertices() as u64);
     run
@@ -193,7 +206,11 @@ mod tests {
     use graphmat_io::uniform::{self, UniformConfig};
 
     fn graph() -> EdgeList {
-        uniform::generate(&UniformConfig::new(128, 1024).with_weights(1, 9).with_seed(6))
+        uniform::generate(
+            &UniformConfig::new(128, 1024)
+                .with_weights(1, 9)
+                .with_seed(6),
+        )
     }
 
     #[test]

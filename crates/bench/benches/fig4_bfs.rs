@@ -13,7 +13,9 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new(fw.name(), "livejournal-like"),
             &fw,
-            |b, &fw| b.iter(|| run_graph_algorithm(fw, Algorithm::Bfs, "livejournal-like", &edges, 0)),
+            |b, &fw| {
+                b.iter(|| run_graph_algorithm(fw, Algorithm::Bfs, "livejournal-like", &edges, 0))
+            },
         );
     }
     group.finish();

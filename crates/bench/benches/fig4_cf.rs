@@ -10,9 +10,11 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4d_cf");
     group.sample_size(10);
     for &fw in Framework::figure4() {
-        group.bench_with_input(BenchmarkId::new(fw.name(), "netflix-like"), &fw, |b, &fw| {
-            b.iter(|| run_cf(fw, "netflix-like", &ratings, 0))
-        });
+        group.bench_with_input(
+            BenchmarkId::new(fw.name(), "netflix-like"),
+            &fw,
+            |b, &fw| b.iter(|| run_cf(fw, "netflix-like", &ratings, 0)),
+        );
     }
     group.finish();
 }

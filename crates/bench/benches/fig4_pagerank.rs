@@ -10,9 +10,13 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4a_pagerank");
     group.sample_size(10);
     for &fw in Framework::figure4() {
-        group.bench_with_input(BenchmarkId::new(fw.name(), "facebook-like"), &fw, |b, &fw| {
-            b.iter(|| run_graph_algorithm(fw, Algorithm::PageRank, "facebook-like", &edges, 0))
-        });
+        group.bench_with_input(
+            BenchmarkId::new(fw.name(), "facebook-like"),
+            &fw,
+            |b, &fw| {
+                b.iter(|| run_graph_algorithm(fw, Algorithm::PageRank, "facebook-like", &edges, 0))
+            },
+        );
     }
     group.finish();
 }

@@ -24,7 +24,9 @@ fn bench(c: &mut Criterion) {
                 BenchmarkId::new(fw.name(), format!("{t}threads")),
                 &(fw, t),
                 |b, &(fw, t)| {
-                    b.iter(|| run_graph_algorithm(fw, Algorithm::PageRank, "facebook-like", &edges, t))
+                    b.iter(|| {
+                        run_graph_algorithm(fw, Algorithm::PageRank, "facebook-like", &edges, t)
+                    })
                 },
             );
         }

@@ -11,11 +11,46 @@ fn bench(c: &mut Criterion) {
     let edges = load(DatasetId::FacebookLike, DatasetScale::Tiny);
     let max = available_threads();
     let configs: Vec<(&str, usize, DispatchMode, VectorKind, usize, bool)> = vec![
-        ("naive", 1, DispatchMode::Dynamic, VectorKind::Sorted, 1, false),
-        ("bitvector", 1, DispatchMode::Dynamic, VectorKind::Bitvector, 1, false),
-        ("ipo", 1, DispatchMode::Static, VectorKind::Bitvector, 1, false),
-        ("parallel", max, DispatchMode::Static, VectorKind::Bitvector, 1, false),
-        ("load_balance", max, DispatchMode::Static, VectorKind::Bitvector, 8, true),
+        (
+            "naive",
+            1,
+            DispatchMode::Dynamic,
+            VectorKind::Sorted,
+            1,
+            false,
+        ),
+        (
+            "bitvector",
+            1,
+            DispatchMode::Dynamic,
+            VectorKind::Bitvector,
+            1,
+            false,
+        ),
+        (
+            "ipo",
+            1,
+            DispatchMode::Static,
+            VectorKind::Bitvector,
+            1,
+            false,
+        ),
+        (
+            "parallel",
+            max,
+            DispatchMode::Static,
+            VectorKind::Bitvector,
+            1,
+            false,
+        ),
+        (
+            "load_balance",
+            max,
+            DispatchMode::Static,
+            VectorKind::Bitvector,
+            8,
+            true,
+        ),
     ];
     let mut group = c.benchmark_group("fig7_ablation_pagerank");
     group.sample_size(10);

@@ -1,7 +1,8 @@
 //! Microbenchmarks of the sparse backend itself: generalized SpMV throughput
-//! for the bitvector vs sorted sparse-vector representations and for
-//! different partition counts. These support the §4.5 optimization
-//! discussion rather than a specific figure.
+//! for the bitvector vs sorted sparse-vector representations, for different
+//! partition counts, and — the generic-edge payoff — for weighted (`f32`)
+//! versus unweighted (`()`) matrices of the same topology. These support the
+//! §4.5 optimization discussion rather than a specific figure.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphmat_io::rmat::{self, RmatConfig};
@@ -52,24 +53,59 @@ fn bench(c: &mut Criterion) {
         })
     });
 
+    // Weighted vs unweighted SpMV over the SAME topology: the `()`-edge
+    // matrix stores no value array (zero bytes/edge vs 4 bytes/edge), so a
+    // bandwidth-bound traversal — BFS-style level expansion here — has
+    // strictly less memory traffic to move.
+    let unweighted_matrix =
+        PartitionedDcsc::from_coo_balanced(&el.topology().to_transpose_coo(), threads * 8);
+    println!(
+        "matrix bytes: weighted (f32 edges) = {}, unweighted (() edges) = {} ({} bytes/edge saved)",
+        matrix.bytes(),
+        unweighted_matrix.bytes(),
+        (matrix.bytes() - unweighted_matrix.bytes()) / matrix.nnz().max(1)
+    );
+    let mut level_frontier: SparseVector<u32> = SparseVector::new(n);
+    for v in (0..n as u32).step_by(2) {
+        level_frontier.set(v, 1);
+    }
+    group.bench_function("weighted_edges_f32", |b| {
+        b.iter(|| {
+            gspmv(
+                &matrix,
+                &level_frontier,
+                &|level: &u32, _e: &f32, _k: Index| level + 1,
+                &|acc: &mut u32, v: u32| *acc = (*acc).min(v),
+                &executor,
+            )
+        })
+    });
+    group.bench_function("unweighted_edges_unit", |b| {
+        b.iter(|| {
+            gspmv(
+                &unweighted_matrix,
+                &level_frontier,
+                &|level: &u32, _e: &(), _k: Index| level + 1,
+                &|acc: &mut u32, v: u32| *acc = (*acc).min(v),
+                &executor,
+            )
+        })
+    });
+
     // partition-count sweep (load balancing)
     for parts in [1usize, threads, threads * 8] {
         let pd = PartitionedDcsc::from_coo_balanced(&coo, parts);
-        group.bench_with_input(
-            BenchmarkId::new("partitions", parts),
-            &pd,
-            |b, pd| {
-                b.iter(|| {
-                    gspmv(
-                        pd,
-                        &bitvec_frontier,
-                        &|m: &f32, e: &f32, _k: Index| m + e,
-                        &|acc: &mut f32, v: f32| *acc = acc.min(v),
-                        &executor,
-                    )
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("partitions", parts), &pd, |b, pd| {
+            b.iter(|| {
+                gspmv(
+                    pd,
+                    &bitvec_frontier,
+                    &|m: &f32, e: &f32, _k: Index| m + e,
+                    &|acc: &mut f32, v: f32| *acc = acc.min(v),
+                    &executor,
+                )
+            })
+        });
     }
     group.finish();
 }

@@ -80,10 +80,22 @@ fn main() {
     }
     let mut all_measurements: Vec<Measurement> = Vec::new();
     let fig4 = [
-        ("fig4a", Algorithm::PageRank, "Figure 4a: PageRank (time per iteration, seconds)"),
+        (
+            "fig4a",
+            Algorithm::PageRank,
+            "Figure 4a: PageRank (time per iteration, seconds)",
+        ),
         ("fig4b", Algorithm::Bfs, "Figure 4b: BFS (total seconds)"),
-        ("fig4c", Algorithm::TriangleCount, "Figure 4c: Triangle Counting (total seconds)"),
-        ("fig4d", Algorithm::CollaborativeFiltering, "Figure 4d: Collaborative Filtering (time per iteration, seconds)"),
+        (
+            "fig4c",
+            Algorithm::TriangleCount,
+            "Figure 4c: Triangle Counting (total seconds)",
+        ),
+        (
+            "fig4d",
+            Algorithm::CollaborativeFiltering,
+            "Figure 4d: Collaborative Filtering (time per iteration, seconds)",
+        ),
         ("fig4e", Algorithm::Sssp, "Figure 4e: SSSP (total seconds)"),
     ];
     for (flag, alg, title) in fig4 {
@@ -113,7 +125,10 @@ fn main() {
 }
 
 fn table1(opts: &Options) {
-    println!("Table 1: datasets (synthetic stand-ins at {:?} scale)\n", opts.scale);
+    println!(
+        "Table 1: datasets (synthetic stand-ins at {:?} scale)\n",
+        opts.scale
+    );
     let headers = vec![
         "dataset".to_string(),
         "stands in for".to_string(),
@@ -229,7 +244,10 @@ fn table3(opts: &Options) {
         .map(|(alg, s)| vec![alg.name().to_string(), format!("{s:.2}")])
         .collect();
     let overall = harness::geomean(&rows_data.iter().map(|(_, s)| *s).collect::<Vec<_>>());
-    rows.push(vec!["Overall (geomean)".to_string(), format!("{overall:.2}")]);
+    rows.push(vec![
+        "Overall (geomean)".to_string(),
+        format!("{overall:.2}"),
+    ]);
     println!("{}", harness::render_table(&headers, &rows));
 }
 
@@ -247,8 +265,16 @@ fn figure5(opts: &Options) {
     }
 
     for (title, alg, dataset) in [
-        ("Figure 5a: PageRank on facebook-like", Algorithm::PageRank, DatasetId::FacebookLike),
-        ("Figure 5b: SSSP on flickr-like", Algorithm::Sssp, DatasetId::FlickrLike),
+        (
+            "Figure 5a: PageRank on facebook-like",
+            Algorithm::PageRank,
+            DatasetId::FacebookLike,
+        ),
+        (
+            "Figure 5b: SSSP on flickr-like",
+            Algorithm::Sssp,
+            DatasetId::FlickrLike,
+        ),
     ] {
         println!("{title}");
         let edges = datasets::load(dataset, opts.scale);
@@ -277,10 +303,8 @@ fn figure6(measurements: &[Measurement]) {
         Algorithm::CollaborativeFiltering,
         Algorithm::Sssp,
     ] {
-        let subset: Vec<&Measurement> = measurements
-            .iter()
-            .filter(|m| m.algorithm == alg)
-            .collect();
+        let subset: Vec<&Measurement> =
+            measurements.iter().filter(|m| m.algorithm == alg).collect();
         if subset.is_empty() {
             continue;
         }
@@ -326,7 +350,11 @@ fn figure6(measurements: &[Measurement]) {
 fn figure7(opts: &Options) {
     println!("Figure 7: cumulative effect of the backend optimizations\n");
     for (title, alg, dataset) in [
-        ("PageRank / facebook-like", Algorithm::PageRank, DatasetId::FacebookLike),
+        (
+            "PageRank / facebook-like",
+            Algorithm::PageRank,
+            DatasetId::FacebookLike,
+        ),
         ("SSSP / flickr-like", Algorithm::Sssp, DatasetId::FlickrLike),
     ] {
         println!("{title}");

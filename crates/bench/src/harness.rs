@@ -122,7 +122,9 @@ pub fn run_graph_algorithm(
         "use run_cf for collaborative filtering"
     );
     let (seconds, counters, total) = match framework {
-        Framework::GraphMat => run_graphmat(algorithm, edges, nthreads, GraphBuildOptions::default()),
+        Framework::GraphMat => {
+            run_graphmat(algorithm, edges, nthreads, GraphBuildOptions::default())
+        }
         Framework::Native => run_native(algorithm, edges, nthreads),
         Framework::CombBlasLike => run_comb(algorithm, edges, nthreads),
         Framework::GraphLabLike => run_vertexpull(algorithm, edges, nthreads),
@@ -165,25 +167,49 @@ pub fn run_cf(
         }
         Framework::Native => {
             let run = native::collaborative_filtering(
-                ratings, CF_DIMS, 0.05, 0.002, CF_ITERATIONS, 7, nthreads,
+                ratings,
+                CF_DIMS,
+                0.05,
+                0.002,
+                CF_ITERATIONS,
+                7,
+                nthreads,
             );
             (run.counters, run.elapsed, run.iterations.max(1))
         }
         Framework::CombBlasLike => {
             let run = comb::collaborative_filtering(
-                ratings, CF_DIMS, 0.05, 0.002, CF_ITERATIONS, 7, nthreads,
+                ratings,
+                CF_DIMS,
+                0.05,
+                0.002,
+                CF_ITERATIONS,
+                7,
+                nthreads,
             );
             (run.counters, run.elapsed, run.iterations.max(1))
         }
         Framework::GraphLabLike => {
             let run = vertexpull::collaborative_filtering(
-                ratings, CF_DIMS, 0.05, 0.002, CF_ITERATIONS, 7, nthreads,
+                ratings,
+                CF_DIMS,
+                0.05,
+                0.002,
+                CF_ITERATIONS,
+                7,
+                nthreads,
             );
             (run.counters, run.elapsed, run.iterations.max(1))
         }
         Framework::GaloisLike => {
             let run = worklist::collaborative_filtering(
-                ratings, CF_DIMS, 0.05, 0.002, CF_ITERATIONS, 7, nthreads,
+                ratings,
+                CF_DIMS,
+                0.05,
+                0.002,
+                CF_ITERATIONS,
+                7,
+                nthreads,
             );
             (run.counters, run.elapsed, run.iterations.max(1))
         }
@@ -259,7 +285,11 @@ fn per_iteration_seconds(elapsed: Duration, iterations: usize, per_iter: bool) -
     }
 }
 
-fn run_native(algorithm: Algorithm, edges: &EdgeList, nthreads: usize) -> (f64, CostCounters, Duration) {
+fn run_native(
+    algorithm: Algorithm,
+    edges: &EdgeList,
+    nthreads: usize,
+) -> (f64, CostCounters, Duration) {
     match algorithm {
         Algorithm::PageRank => {
             let run = native::pagerank(edges, 0.15, PR_ITERATIONS, nthreads);
@@ -285,7 +315,11 @@ fn run_native(algorithm: Algorithm, edges: &EdgeList, nthreads: usize) -> (f64, 
     }
 }
 
-fn run_comb(algorithm: Algorithm, edges: &EdgeList, nthreads: usize) -> (f64, CostCounters, Duration) {
+fn run_comb(
+    algorithm: Algorithm,
+    edges: &EdgeList,
+    nthreads: usize,
+) -> (f64, CostCounters, Duration) {
     match algorithm {
         Algorithm::PageRank => {
             let run = comb::pagerank(edges, 0.15, PR_ITERATIONS, nthreads);
@@ -383,7 +417,13 @@ pub fn figure4(algorithm: Algorithm, scale: DatasetScale, nthreads: usize) -> Ve
         } else {
             let edges = datasets::load(id, scale);
             for &fw in Framework::figure4() {
-                out.push(run_graph_algorithm(fw, algorithm, id.name(), &edges, nthreads));
+                out.push(run_graph_algorithm(
+                    fw,
+                    algorithm,
+                    id.name(),
+                    &edges,
+                    nthreads,
+                ));
             }
         }
     }
@@ -431,10 +471,7 @@ pub fn table2_speedups(measurements: &[Measurement]) -> Vec<(Framework, f64)> {
 
 /// Table 3: geometric-mean slowdown of GraphMat with respect to native code
 /// per algorithm (values > 1 mean GraphMat is slower).
-pub fn table3_slowdowns(
-    scale: DatasetScale,
-    nthreads: usize,
-) -> Vec<(Algorithm, f64)> {
+pub fn table3_slowdowns(scale: DatasetScale, nthreads: usize) -> Vec<(Algorithm, f64)> {
     let algorithms = [
         Algorithm::PageRank,
         Algorithm::Bfs,
@@ -453,8 +490,7 @@ pub fn table3_slowdowns(
                 ratios.push(gm.seconds / nat.seconds.max(1e-12));
             } else {
                 let edges = datasets::load(id, scale);
-                let gm =
-                    run_graph_algorithm(Framework::GraphMat, alg, id.name(), &edges, nthreads);
+                let gm = run_graph_algorithm(Framework::GraphMat, alg, id.name(), &edges, nthreads);
                 let nat = run_graph_algorithm(Framework::Native, alg, id.name(), &edges, nthreads);
                 ratios.push(gm.seconds / nat.seconds.max(1e-12));
             }
@@ -487,11 +523,46 @@ pub fn figure7_ablation(
     assert!(matches!(algorithm, Algorithm::PageRank | Algorithm::Sssp));
     // (label, threads, dispatch, vector, partitions per thread, balanced)
     let steps: Vec<(&'static str, usize, DispatchMode, VectorKind, usize, bool)> = vec![
-        ("naive (scalar)", 1, DispatchMode::Dynamic, VectorKind::Sorted, 1, false),
-        ("+bitvector", 1, DispatchMode::Dynamic, VectorKind::Bitvector, 1, false),
-        ("+ipo (inlined)", 1, DispatchMode::Static, VectorKind::Bitvector, 1, false),
-        ("+parallel", nthreads, DispatchMode::Static, VectorKind::Bitvector, 1, false),
-        ("+load balance", nthreads, DispatchMode::Static, VectorKind::Bitvector, 8, true),
+        (
+            "naive (scalar)",
+            1,
+            DispatchMode::Dynamic,
+            VectorKind::Sorted,
+            1,
+            false,
+        ),
+        (
+            "+bitvector",
+            1,
+            DispatchMode::Dynamic,
+            VectorKind::Bitvector,
+            1,
+            false,
+        ),
+        (
+            "+ipo (inlined)",
+            1,
+            DispatchMode::Static,
+            VectorKind::Bitvector,
+            1,
+            false,
+        ),
+        (
+            "+parallel",
+            nthreads,
+            DispatchMode::Static,
+            VectorKind::Bitvector,
+            1,
+            false,
+        ),
+        (
+            "+load balance",
+            nthreads,
+            DispatchMode::Static,
+            VectorKind::Bitvector,
+            8,
+            true,
+        ),
     ];
 
     let mut out = Vec::new();

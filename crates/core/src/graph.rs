@@ -18,10 +18,10 @@
 //! serialising on one heavy partition.
 
 use crate::program::VertexId;
+use graphmat_io::edgelist::EdgeList;
 use graphmat_sparse::bitvec::BitVec;
 use graphmat_sparse::parallel::available_threads;
 use graphmat_sparse::partition::{PartitionedDcsc, RowPartitioner};
-use graphmat_io::edgelist::EdgeList;
 
 /// Options controlling graph construction.
 #[derive(Clone, Copy, Debug)]
@@ -79,25 +79,28 @@ impl GraphBuildOptions {
     }
 }
 
-/// A graph prepared for GraphMat execution, with vertex properties of type `V`.
+/// A graph prepared for GraphMat execution, with vertex properties of type
+/// `V` and edge values of type `E` (`f32` by default; `()` for unweighted
+/// graphs, whose matrices then store no edge value bytes at all).
 #[derive(Clone, Debug)]
-pub struct Graph<V> {
+pub struct Graph<V, E = f32> {
     nvertices: VertexId,
     nedges: usize,
     /// `Gᵀ`: row = destination, column = source. Used for out-edge scatter.
-    out_matrix: PartitionedDcsc<f32>,
+    out_matrix: PartitionedDcsc<E>,
     /// `G`: row = source, column = destination. Used for in-edge scatter.
-    in_matrix: Option<PartitionedDcsc<f32>>,
+    in_matrix: Option<PartitionedDcsc<E>>,
     out_degrees: Vec<u32>,
     in_degrees: Vec<u32>,
     properties: Vec<V>,
     active: BitVec,
 }
 
-impl<V: Clone + Default> Graph<V> {
+impl<V: Clone + Default, E: Clone> Graph<V, E> {
     /// Build a graph from an edge list, initialising every vertex property to
-    /// `V::default()` and every vertex to inactive.
-    pub fn from_edge_list(edges: &EdgeList, options: GraphBuildOptions) -> Self {
+    /// `V::default()` and every vertex to inactive. The edge value type of
+    /// the edge list carries over into the DCSC matrices unchanged.
+    pub fn from_edge_list(edges: &EdgeList<E>, options: GraphBuildOptions) -> Self {
         let n = edges.num_vertices();
         let nparts = options.effective_partitions().max(1);
 
@@ -137,7 +140,7 @@ impl<V: Clone + Default> Graph<V> {
     }
 }
 
-impl<V> Graph<V> {
+impl<V, E> Graph<V, E> {
     /// Number of vertices.
     pub fn num_vertices(&self) -> VertexId {
         self.nvertices
@@ -169,18 +172,25 @@ impl<V> Graph<V> {
     }
 
     /// The partitioned `Gᵀ` used for out-edge traversal.
-    pub fn out_matrix(&self) -> &PartitionedDcsc<f32> {
+    pub fn out_matrix(&self) -> &PartitionedDcsc<E> {
         &self.out_matrix
     }
 
     /// The partitioned `G` used for in-edge traversal, if it was built.
-    pub fn in_matrix(&self) -> Option<&PartitionedDcsc<f32>> {
+    pub fn in_matrix(&self) -> Option<&PartitionedDcsc<E>> {
         self.in_matrix.as_ref()
     }
 
     /// Number of matrix partitions.
     pub fn num_partitions(&self) -> usize {
         self.out_matrix.n_partitions()
+    }
+
+    /// Total in-memory footprint of the adjacency matrices in bytes,
+    /// including stored edge values. For `E = ()` this is pure index cost —
+    /// the visible payoff of the unweighted fast path.
+    pub fn matrix_bytes(&self) -> usize {
+        self.out_matrix.bytes() + self.in_matrix.as_ref().map_or(0, |m| m.bytes())
     }
 
     // ---- vertex properties -------------------------------------------------
@@ -271,7 +281,13 @@ mod tests {
     fn small_graph() -> Graph<f32> {
         let el = EdgeList::from_tuples(
             4,
-            vec![(0, 1, 1.0), (0, 2, 2.0), (1, 2, 3.0), (2, 3, 4.0), (3, 0, 5.0)],
+            vec![
+                (0, 1, 1.0),
+                (0, 2, 2.0),
+                (1, 2, 3.0),
+                (2, 3, 4.0),
+                (3, 0, 5.0),
+            ],
         );
         Graph::from_edge_list(&el, GraphBuildOptions::default().with_partitions(2))
     }
@@ -300,10 +316,7 @@ mod tests {
     fn transpose_orientation_is_correct() {
         let g = small_graph();
         // edge 0 -> 1 must appear in Gᵀ as (row=1, col=0)
-        assert!(g
-            .out_matrix()
-            .iter()
-            .any(|(r, c, _)| r == 1 && c == 0));
+        assert!(g.out_matrix().iter().any(|(r, c, _)| r == 1 && c == 0));
         // and in G as (row=0, col=1)
         assert!(g
             .in_matrix()
@@ -357,11 +370,36 @@ mod tests {
         // requested 8 × threads partition count
         let n = 4096u32;
         let el = EdgeList::from_pairs(n, (0..n - 1).map(|v| (v, v + 1)));
-        let g: Graph<u32> = Graph::from_edge_list(&el, GraphBuildOptions::default());
+        let g: Graph<u32, ()> = Graph::from_edge_list(&el, GraphBuildOptions::default());
         assert!(g.num_partitions() >= 8);
         assert_eq!(
             g.num_partitions(),
             8 * graphmat_sparse::parallel::available_threads()
+        );
+    }
+
+    #[test]
+    fn unweighted_graph_sheds_edge_value_bytes() {
+        let weighted = small_graph();
+        let el = EdgeList::from_tuples(
+            4,
+            vec![
+                (0, 1, 1.0),
+                (0, 2, 2.0),
+                (1, 2, 3.0),
+                (2, 3, 4.0),
+                (3, 0, 5.0),
+            ],
+        );
+        let unweighted: Graph<f32, ()> = Graph::from_edge_list(
+            &el.topology(),
+            GraphBuildOptions::default().with_partitions(2),
+        );
+        assert_eq!(unweighted.num_edges(), weighted.num_edges());
+        assert_eq!(
+            weighted.matrix_bytes() - unweighted.matrix_bytes(),
+            2 * weighted.num_edges() * std::mem::size_of::<f32>(),
+            "both matrices should drop exactly 4 bytes/edge of values"
         );
     }
 

@@ -9,12 +9,21 @@
 //! SpMV over the DCSC-partitioned transposed adjacency matrix (Algorithms 1
 //! and 2 of the paper).
 //!
+//! The whole stack is generic over the **edge value type**: a program
+//! declares `GraphProgram::Edge` and runs on a `Graph<V, E>` whose DCSC
+//! matrices store exactly that type. `Edge = ()` is the zero-cost unweighted
+//! fast path — `Vec<()>` stores nothing, so BFS, connected components,
+//! degree and triangle counting traverse matrices with no edge value bytes
+//! at all.
+//!
 //! Module map:
 //!
-//! * [`program`] — the `GraphProgram` trait and edge-direction selection.
+//! * [`program`] — the `GraphProgram` trait (including the `Edge` associated
+//!   type and a migration guide from the old hardcoded-`f32` API) and
+//!   edge-direction selection.
 //! * [`graph`] — [`graph::Graph`]: vertex properties, the active set, and the
 //!   partitioned adjacency matrices (`Gᵀ` for out-edge traversal, `G` for
-//!   in-edge traversal).
+//!   in-edge traversal), generic over the edge type.
 //! * [`engine`] — one superstep: build the message vector from active
 //!   vertices, run the generalized SpMV, return the reduced values.
 //! * [`runner`] — the iteration loop with convergence detection and the

@@ -1,9 +1,10 @@
 //! The `GraphProgram` trait: GraphMat's vertex-programming frontend.
 //!
-//! A graph program is "templatized with 3 types" in the original C++ (see the
-//! paper's appendix): the message type, the processed/reduced value type and
-//! the vertex property type. The Rust equivalent is a trait with three
-//! associated types and the four user callbacks of Figure 2:
+//! A graph program is "templatized with 3 types" *plus the edge value type*
+//! in the original C++ (see the paper's appendix). The Rust equivalent is a
+//! trait with four associated types — the message type, the
+//! processed/reduced value type, the vertex property type and the **edge
+//! type** — and the four user callbacks of Figure 2:
 //!
 //! * [`GraphProgram::send_message`] — read the vertex property of an active
 //!   vertex and produce the message it broadcasts this superstep;
@@ -20,6 +21,41 @@
 //! Together, `process_message` + `reduce` form the generalized SpMV
 //! multiply/add pair; `send_message` builds the sparse input vector; `apply`
 //! writes the output vector back into vertex state.
+//!
+//! # The `Edge` associated type
+//!
+//! [`GraphProgram::Edge`] selects the edge value type the program traverses:
+//! the graph passed to [`crate::runner::run_graph_program`] must be a
+//! `Graph<VertexProp, Edge>`, and its DCSC matrices store exactly that type.
+//! Two cases matter in practice:
+//!
+//! * **weighted programs** (`Edge = f32`, `u32`, …) read the value in
+//!   `process_message`, e.g. SSSP's `msg + edge`;
+//! * **unweighted programs** (`Edge = ()`) ignore it — and because `Vec<()>`
+//!   stores nothing, the adjacency matrices shed 4 bytes per edge of memory
+//!   traffic, a real speedup for a bandwidth-bound SpMV. BFS, connected
+//!   components, degree and triangle counting all use this fast path.
+//!
+//! # Migration from the pre-`Edge` API
+//!
+//! Earlier versions hardcoded `f32` edges. Porting a program is mechanical:
+//!
+//! ```text
+//! // before
+//! fn process_message(&self, msg: &f32, edge: f32, dst: &f32) -> f32 {
+//!     msg + edge
+//! }
+//!
+//! // after: declare the edge type, take it by reference
+//! type Edge = f32;
+//! fn process_message(&self, msg: &f32, edge: &f32, dst: &f32) -> f32 {
+//!     msg + edge
+//! }
+//! ```
+//!
+//! Programs that never looked at `edge` should declare `type Edge = ()` and
+//! build their graph from an `EdgeList<()>` (e.g. `EdgeList::from_pairs` or
+//! `EdgeList::topology()`) to get the unweighted fast path for free.
 
 /// Identifier of a vertex (a row/column of the adjacency matrix).
 pub type VertexId = graphmat_sparse::Index;
@@ -57,6 +93,7 @@ pub enum EdgeDirection {
 ///     type VertexProp = f32;   // current best distance
 ///     type Message = f32;      // distance of the sender
 ///     type Reduced = f32;      // candidate distance
+///     type Edge = f32;         // edge length
 ///
 ///     fn direction(&self) -> EdgeDirection { EdgeDirection::Out }
 ///
@@ -64,7 +101,7 @@ pub enum EdgeDirection {
 ///         Some(*dist)
 ///     }
 ///
-///     fn process_message(&self, msg: &f32, edge: f32, _dst: &f32) -> f32 {
+///     fn process_message(&self, msg: &f32, edge: &f32, _dst: &f32) -> f32 {
 ///         msg + edge
 ///     }
 ///
@@ -77,6 +114,29 @@ pub enum EdgeDirection {
 ///     }
 /// }
 /// ```
+///
+/// An unweighted program declares `type Edge = ()` and simply ignores the
+/// edge argument:
+///
+/// ```
+/// use graphmat_core::program::{GraphProgram, VertexId};
+///
+/// struct HopCount;
+///
+/// impl GraphProgram for HopCount {
+///     type VertexProp = u32;
+///     type Message = u32;
+///     type Reduced = u32;
+///     type Edge = ();          // zero bytes per edge in the matrix
+///
+///     fn send_message(&self, _v: VertexId, d: &u32) -> Option<u32> { Some(*d) }
+///     fn process_message(&self, msg: &u32, _edge: &(), _dst: &u32) -> u32 {
+///         msg.saturating_add(1)
+///     }
+///     fn reduce(&self, acc: &mut u32, v: u32) { *acc = (*acc).min(v); }
+///     fn apply(&self, r: &u32, d: &mut u32) { *d = (*d).min(*r); }
+/// }
+/// ```
 pub trait GraphProgram: Sync {
     /// Per-vertex state. Equality is used to detect whether APPLY changed the
     /// vertex (changed vertices become active for the next superstep).
@@ -87,6 +147,10 @@ pub trait GraphProgram: Sync {
     type Message: Clone + Default + Send + Sync;
     /// The processed-message / reduced-value type.
     type Reduced: Clone + Default + Send + Sync;
+    /// The edge value type of the graphs this program runs on. Use `()` for
+    /// unweighted traversal — the adjacency matrices then store no edge
+    /// values at all.
+    type Edge: Clone + Send + Sync;
 
     /// Which edges messages are scattered along. Defaults to out-edges.
     fn direction(&self) -> EdgeDirection {
@@ -102,7 +166,7 @@ pub trait GraphProgram: Sync {
     fn process_message(
         &self,
         message: &Self::Message,
-        edge: f32,
+        edge: &Self::Edge,
         dst_prop: &Self::VertexProp,
     ) -> Self::Reduced;
 
@@ -130,13 +194,39 @@ mod tests {
         type VertexProp = u32;
         type Message = u32;
         type Reduced = u32;
+        type Edge = ();
 
         fn send_message(&self, _v: VertexId, p: &u32) -> Option<u32> {
             Some(*p)
         }
 
-        fn process_message(&self, m: &u32, _e: f32, _d: &u32) -> u32 {
+        fn process_message(&self, m: &u32, _e: &(), _d: &u32) -> u32 {
             *m + 1
+        }
+
+        fn reduce(&self, acc: &mut u32, v: u32) {
+            *acc = (*acc).max(v);
+        }
+
+        fn apply(&self, r: &u32, p: &mut u32) {
+            *p = *r;
+        }
+    }
+
+    struct Weighted;
+
+    impl GraphProgram for Weighted {
+        type VertexProp = u32;
+        type Message = u32;
+        type Reduced = u32;
+        type Edge = u32;
+
+        fn send_message(&self, _v: VertexId, p: &u32) -> Option<u32> {
+            Some(*p)
+        }
+
+        fn process_message(&self, m: &u32, e: &u32, _d: &u32) -> u32 {
+            m + e
         }
 
         fn reduce(&self, acc: &mut u32, v: u32) {
@@ -157,12 +247,19 @@ mod tests {
     fn callbacks_compose() {
         let p = Minimal;
         let msg = p.send_message(0, &41).unwrap();
-        let processed = p.process_message(&msg, 1.0, &0);
+        let processed = p.process_message(&msg, &(), &0);
         let mut acc = 0;
         p.reduce(&mut acc, processed);
         let mut prop = 0;
         p.apply(&acc, &mut prop);
         assert_eq!(prop, 42);
+    }
+
+    #[test]
+    fn integer_edge_values_flow_through_process_message() {
+        let p = Weighted;
+        let processed = p.process_message(&40, &2, &0);
+        assert_eq!(processed, 42);
     }
 
     #[test]

@@ -35,11 +35,14 @@ pub struct RunResult {
 /// active). On return the graph holds the final vertex properties.
 pub fn run_graph_program<P: GraphProgram>(
     program: &P,
-    graph: &mut Graph<P::VertexProp>,
+    graph: &mut Graph<P::VertexProp, P::Edge>,
     options: &RunOptions,
 ) -> RunResult {
     let executor = options.executor();
-    let mut stats = RunStats::default();
+    let mut stats = RunStats {
+        matrix_bytes: graph.matrix_bytes(),
+        ..RunStats::default()
+    };
     let mut converged = false;
     let mut iteration = 0usize;
 
@@ -88,7 +91,7 @@ pub fn run_graph_program<P: GraphProgram>(
 /// `(apply_time, vertices_changed)`.
 fn apply_phase<P: GraphProgram>(
     program: &P,
-    graph: &mut Graph<P::VertexProp>,
+    graph: &mut Graph<P::VertexProp, P::Edge>,
     output: &SuperstepOutput<P::Reduced>,
     executor: &Executor,
 ) -> (std::time::Duration, usize) {
@@ -96,9 +99,8 @@ fn apply_phase<P: GraphProgram>(
     let n = graph.num_vertices() as usize;
     let updated: Vec<Index> = output.reduced.iter().map(|(k, _)| k).collect();
     let new_active = AtomicBitVec::new(n);
-    let changed_total;
 
-    if executor.nthreads() == 1 || updated.len() < 2048 {
+    let changed_total = if executor.nthreads() == 1 || updated.len() < 2048 {
         // Sequential APPLY: cheap frontiers (e.g. road-network SSSP) must not
         // pay thread-spawn overhead every superstep — this is exactly the
         // "small per-iteration overhead" property the paper credits for
@@ -118,7 +120,7 @@ fn apply_phase<P: GraphProgram>(
                 changed += 1;
             }
         }
-        changed_total = changed;
+        changed
     } else {
         // Parallel APPLY over disjoint chunks of the updated-vertex list.
         // Each vertex id appears exactly once, so the unsafe shared-slice
@@ -147,8 +149,8 @@ fn apply_phase<P: GraphProgram>(
                 changed
             },
         );
-        changed_total = changed_counts.into_iter().sum();
-    }
+        changed_counts.into_iter().sum()
+    };
 
     graph.replace_active(new_active.into_bitvec());
     (apply_start.elapsed(), changed_total)
@@ -210,6 +212,7 @@ mod tests {
         type VertexProp = f32;
         type Message = f32;
         type Reduced = f32;
+        type Edge = f32;
 
         fn direction(&self) -> EdgeDirection {
             EdgeDirection::Out
@@ -219,7 +222,7 @@ mod tests {
             Some(*dist)
         }
 
-        fn process_message(&self, msg: &f32, edge: f32, _dst: &f32) -> f32 {
+        fn process_message(&self, msg: &f32, edge: &f32, _dst: &f32) -> f32 {
             msg + edge
         }
 
@@ -336,12 +339,13 @@ mod tests {
         type VertexProp = f64;
         type Message = f64;
         type Reduced = f64;
+        type Edge = f32;
 
         fn send_message(&self, _v: VertexId, rank: &f64) -> Option<f64> {
             Some(*rank)
         }
 
-        fn process_message(&self, msg: &f64, _edge: f32, _dst: &f64) -> f64 {
+        fn process_message(&self, msg: &f64, _edge: &f32, _dst: &f64) -> f64 {
             *msg
         }
 

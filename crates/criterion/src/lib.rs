@@ -1,0 +1,273 @@
+//! A tiny, dependency-free benchmark harness exposing the subset of the
+//! `criterion` API that the GraphMat-RS benches use.
+//!
+//! The build environment is offline, so the real `criterion` crate cannot be
+//! fetched; this workspace-local stand-in keeps the bench sources unchanged.
+//! Semantics:
+//!
+//! * under `cargo bench` (cargo passes `--bench`) every benchmark runs a
+//!   warm-up iteration followed by `sample_size` timed iterations and prints
+//!   min / mean / max wall time;
+//! * under `cargo test` (no `--bench` argument) every benchmark body runs a
+//!   single iteration as a smoke test, exactly like the real criterion.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver, normally constructed by [`criterion_main!`].
+pub struct Criterion {
+    bench_mode: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion::from_args()
+    }
+}
+
+impl Criterion {
+    /// Build a driver from the process arguments: `--bench` (what `cargo
+    /// bench` passes) selects full measurement, anything else smoke mode.
+    pub fn from_args() -> Self {
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            bench_mode,
+            default_sample_size: 10,
+        }
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            bench_mode: self.bench_mode,
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Run a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let bench_mode = self.bench_mode;
+        let samples = self.default_sample_size;
+        run_one(bench_mode, "", &id.into().label, samples, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    bench_mode: bool,
+    name: String,
+    sample_size: usize,
+    // lifetime parameter kept for API compatibility with the real criterion
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed iterations per benchmark in bench mode.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            self.bench_mode,
+            &self.name,
+            &id.into().label,
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Benchmark a closure that receives a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            self.bench_mode,
+            &self.name,
+            &id.into().label,
+            self.sample_size,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Close the group (no-op; prints a separator in bench mode).
+    pub fn finish(self) {
+        if self.bench_mode {
+            println!();
+        }
+    }
+}
+
+fn run_one<F>(bench_mode: bool, group: &str, label: &str, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let full = if group.is_empty() {
+        label.to_string()
+    } else {
+        format!("{group}/{label}")
+    };
+    if !bench_mode {
+        // cargo test smoke run: one iteration, no timing output
+        let mut b = Bencher {
+            timed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        return;
+    }
+    // warm-up
+    let mut b = Bencher {
+        timed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            timed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        if b.iters > 0 {
+            times.push(b.timed.as_secs_f64() / b.iters as f64);
+        }
+    }
+    if times.is_empty() {
+        println!("{full:<60} (no iterations)");
+        return;
+    }
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = times.iter().cloned().fold(0.0f64, f64::max);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    println!(
+        "{full:<60} min {:>10.3} ms   mean {:>10.3} ms   max {:>10.3} ms",
+        min * 1e3,
+        mean * 1e3,
+        max * 1e3
+    );
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] times the payload.
+pub struct Bencher {
+    timed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time one call of `f` (the caller loops us via sampling).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.timed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Identifier combining a function name and a parameter, as in criterion.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Group several bench functions under one name, as criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate the `main` that runs every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_each_bench_once() {
+        let mut c = Criterion {
+            bench_mode: false,
+            default_sample_size: 10,
+        };
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0;
+        group.sample_size(50).bench_function("x", |b| {
+            runs += 1;
+            b.iter(|| 1 + 1)
+        });
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).label, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").label, "p");
+    }
+}

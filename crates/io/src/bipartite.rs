@@ -13,9 +13,8 @@
 //! `0..num_users` are users and `num_users..num_users+num_items` are items.
 
 use crate::edgelist::EdgeList;
+use crate::rng::StdRng;
 use graphmat_sparse::Index;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Configuration for the bipartite ratings generator.
 #[derive(Clone, Copy, Debug)]
@@ -179,10 +178,7 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(generate(&cfg).edges, generate(&cfg).edges);
-        assert_ne!(
-            generate(&cfg).edges,
-            generate(&cfg.with_seed(99)).edges
-        );
+        assert_ne!(generate(&cfg).edges, generate(&cfg.with_seed(99)).edges);
     }
 
     #[test]

@@ -170,9 +170,11 @@ impl DatasetId {
 pub fn load(id: DatasetId, scale: DatasetScale) -> EdgeList {
     let s = scale.rmat_scale();
     match id {
-        DatasetId::RmatGraph500 => {
-            with_weights(rmat::generate(&RmatConfig::graph500(s).with_seed(101)), 1, 16)
-        }
+        DatasetId::RmatGraph500 => with_weights(
+            rmat::generate(&RmatConfig::graph500(s).with_seed(101)),
+            1,
+            16,
+        ),
         DatasetId::RmatTriangle => {
             rmat::generate(&RmatConfig::triangle_counting(scale.tc_scale()).with_seed(102))
         }
@@ -183,7 +185,11 @@ pub fn load(id: DatasetId, scale: DatasetScale) -> EdgeList {
             16,
         ),
         DatasetId::FacebookLike => with_weights(
-            rmat::generate(&RmatConfig::graph500(s.saturating_sub(1)).with_seed(202).with_edge_factor(14)),
+            rmat::generate(
+                &RmatConfig::graph500(s.saturating_sub(1))
+                    .with_seed(202)
+                    .with_edge_factor(14),
+            ),
             1,
             16,
         ),
@@ -193,7 +199,11 @@ pub fn load(id: DatasetId, scale: DatasetScale) -> EdgeList {
             16,
         ),
         DatasetId::FlickrLike => with_weights(
-            rmat::generate(&RmatConfig::graph500(s.saturating_sub(2)).with_seed(204).with_edge_factor(12)),
+            rmat::generate(
+                &RmatConfig::graph500(s.saturating_sub(2))
+                    .with_seed(204)
+                    .with_edge_factor(12),
+            ),
             1,
             64,
         ),
@@ -312,6 +322,9 @@ mod tests {
     #[test]
     fn weights_in_expected_range() {
         let el = load(DatasetId::RmatGraph500, DatasetScale::Tiny);
-        assert!(el.edges().iter().all(|&(_, _, w)| (1.0..=16.0).contains(&w)));
+        assert!(el
+            .edges()
+            .iter()
+            .all(|&(_, _, w)| (1.0..=16.0).contains(&w)));
     }
 }

@@ -2,6 +2,18 @@
 //!
 //! Every generator and reader in this crate produces an [`EdgeList`]; the
 //! graph structures in `graphmat-core` and the baselines are built from one.
+//!
+//! The edge list is **generic over the edge value type `E`**, mirroring the
+//! original GraphMat C++ frontend which templatizes the edge type alongside
+//! the three vertex-program types (paper §4.2 and appendix):
+//!
+//! * `EdgeList<f32>` (the default) is a conventionally weighted graph;
+//! * `EdgeList<()>` is an *unweighted* graph whose edge values occupy zero
+//!   bytes — DCSC matrices built from it store no value array at all, which
+//!   removes 4 bytes/edge of memory traffic from the bandwidth-bound SpMV;
+//! * any other `E` (integer weights, `u8` capacities, struct-valued edges)
+//!   flows through the whole stack unchanged.
+//!
 //! The pre-processing methods implement §5.1 of the paper:
 //!
 //! * self-loops are always removed;
@@ -14,14 +26,77 @@
 use graphmat_sparse::coo::Coo;
 use graphmat_sparse::Index;
 
-/// A weighted directed edge list with a fixed vertex count.
-#[derive(Clone, Debug, PartialEq)]
-pub struct EdgeList {
-    num_vertices: Index,
-    edges: Vec<(Index, Index, f32)>,
+/// Edge values that can be read as a scalar weight.
+///
+/// Algorithms that consume weights (SSSP's distance relaxation,
+/// collaborative filtering's ratings) accept any `E: EdgeWeight` instead of
+/// hardcoding `f32`. The `()` impl treats every edge as weight `1`, so
+/// unweighted graphs run through weighted algorithms with hop-count
+/// semantics.
+pub trait EdgeWeight: Clone + Send + Sync {
+    /// The scalar weight of this edge value.
+    fn weight(&self) -> f32;
 }
 
-impl EdgeList {
+impl EdgeWeight for f32 {
+    #[inline(always)]
+    fn weight(&self) -> f32 {
+        *self
+    }
+}
+
+impl EdgeWeight for f64 {
+    #[inline(always)]
+    fn weight(&self) -> f32 {
+        *self as f32
+    }
+}
+
+impl EdgeWeight for u8 {
+    #[inline(always)]
+    fn weight(&self) -> f32 {
+        *self as f32
+    }
+}
+
+impl EdgeWeight for u16 {
+    #[inline(always)]
+    fn weight(&self) -> f32 {
+        *self as f32
+    }
+}
+
+impl EdgeWeight for u32 {
+    #[inline(always)]
+    fn weight(&self) -> f32 {
+        *self as f32
+    }
+}
+
+impl EdgeWeight for i32 {
+    #[inline(always)]
+    fn weight(&self) -> f32 {
+        *self as f32
+    }
+}
+
+impl EdgeWeight for () {
+    /// An unweighted edge counts as one unit (hop).
+    #[inline(always)]
+    fn weight(&self) -> f32 {
+        1.0
+    }
+}
+
+/// A directed edge list with a fixed vertex count and edge values of type
+/// `E` (`f32` weights by default; `()` for unweighted graphs).
+#[derive(Clone, Debug, PartialEq)]
+pub struct EdgeList<E = f32> {
+    num_vertices: Index,
+    edges: Vec<(Index, Index, E)>,
+}
+
+impl<E> EdgeList<E> {
     /// Create an empty edge list over `num_vertices` vertices.
     pub fn new(num_vertices: Index) -> Self {
         EdgeList {
@@ -34,7 +109,7 @@ impl EdgeList {
     ///
     /// # Panics
     /// Panics if an endpoint is out of range.
-    pub fn from_tuples(num_vertices: Index, edges: Vec<(Index, Index, f32)>) -> Self {
+    pub fn from_tuples(num_vertices: Index, edges: Vec<(Index, Index, E)>) -> Self {
         for &(s, d, _) in &edges {
             assert!(
                 s < num_vertices && d < num_vertices,
@@ -45,12 +120,6 @@ impl EdgeList {
             num_vertices,
             edges,
         }
-    }
-
-    /// Create an unweighted (weight 1.0) edge list from `(src, dst)` pairs.
-    pub fn from_pairs(num_vertices: Index, pairs: impl IntoIterator<Item = (Index, Index)>) -> Self {
-        let edges = pairs.into_iter().map(|(s, d)| (s, d, 1.0)).collect();
-        Self::from_tuples(num_vertices, edges)
     }
 
     /// Number of vertices.
@@ -68,14 +137,14 @@ impl EdgeList {
         self.edges.is_empty()
     }
 
-    /// Append an edge.
-    pub fn push(&mut self, src: Index, dst: Index, weight: f32) {
+    /// Append an edge with value `weight`.
+    pub fn push(&mut self, src: Index, dst: Index, weight: E) {
         assert!(src < self.num_vertices && dst < self.num_vertices);
         self.edges.push((src, dst, weight));
     }
 
     /// The edges as `(src, dst, weight)` tuples.
-    pub fn edges(&self) -> &[(Index, Index, f32)] {
+    pub fn edges(&self) -> &[(Index, Index, E)] {
         &self.edges
     }
 
@@ -104,67 +173,40 @@ impl EdgeList {
 
     /// Remove duplicate `(src, dst)` pairs, keeping the first weight.
     pub fn dedup(&mut self) {
-        self.edges.sort_unstable_by_key(|&(s, d, _)| (s, d));
+        self.edges.sort_by_key(|&(s, d, _)| (s, d));
         self.edges.dedup_by_key(|&mut (s, d, _)| (s, d));
     }
 
-    /// Return a symmetrized copy (both directions of every edge), as the
-    /// paper does for BFS and as the first step of triangle counting.
-    pub fn symmetrized(&self) -> EdgeList {
-        let mut edges = Vec::with_capacity(self.edges.len() * 2);
-        for &(s, d, w) in &self.edges {
-            edges.push((s, d, w));
-            if s != d {
-                edges.push((d, s, w));
-            }
+    /// Replace every edge value using `f(src, dst, &weight)`.
+    pub fn map_weights(&mut self, mut f: impl FnMut(Index, Index, &E) -> E) {
+        for (s, d, w) in &mut self.edges {
+            *w = f(*s, *d, w);
         }
-        let mut out = EdgeList {
-            num_vertices: self.num_vertices,
-            edges,
-        };
-        out.dedup();
-        out
     }
 
-    /// Return the DAG used for triangle counting: symmetrize, then keep only
-    /// edges with `dst > src` (the strict upper triangle of the adjacency
-    /// matrix).
-    pub fn to_dag(&self) -> EdgeList {
-        let sym = self.symmetrized();
+    /// Convert to a new edge list with edge values of a different type,
+    /// produced by `f(src, dst, &weight)`. This is how a weighted graph is
+    /// re-typed (e.g. `f32` → `u32` integer weights) without rebuilding it.
+    pub fn map_values<E2>(&self, mut f: impl FnMut(Index, Index, &E) -> E2) -> EdgeList<E2> {
         EdgeList {
-            num_vertices: sym.num_vertices,
-            edges: sym
+            num_vertices: self.num_vertices,
+            edges: self
                 .edges
-                .into_iter()
-                .filter(|&(s, d, _)| d > s)
+                .iter()
+                .map(|(s, d, w)| (*s, *d, f(*s, *d, w)))
                 .collect(),
         }
     }
 
-    /// Replace every weight using `f(src, dst, weight)`.
-    pub fn map_weights(&mut self, mut f: impl FnMut(Index, Index, f32) -> f32) {
-        for (s, d, w) in &mut self.edges {
-            *w = f(*s, *d, *w);
+    /// The unweighted view of this graph: same vertices and edges, `()`
+    /// values. Graphs built from the result store **no edge value bytes** in
+    /// their DCSC matrices — the zero-cost fast path for BFS, connected
+    /// components, degree and triangle counting.
+    pub fn topology(&self) -> EdgeList<()> {
+        EdgeList {
+            num_vertices: self.num_vertices,
+            edges: self.edges.iter().map(|&(s, d, _)| (s, d, ())).collect(),
         }
-    }
-
-    /// Convert to a COO adjacency matrix `A` (row = src, col = dst).
-    pub fn to_adjacency_coo(&self) -> Coo<f32> {
-        let mut coo = Coo::with_capacity(self.num_vertices, self.num_vertices, self.edges.len());
-        for &(s, d, w) in &self.edges {
-            coo.push(s, d, w);
-        }
-        coo
-    }
-
-    /// Convert to the transposed adjacency matrix `Aᵀ` (row = dst, col = src),
-    /// which is what the GraphMat SpMV over out-edges consumes.
-    pub fn to_transpose_coo(&self) -> Coo<f32> {
-        let mut coo = Coo::with_capacity(self.num_vertices, self.num_vertices, self.edges.len());
-        for &(s, d, w) in &self.edges {
-            coo.push(d, s, w);
-        }
-        coo
     }
 
     /// Basic structural statistics, used to print Table 1.
@@ -187,6 +229,79 @@ impl EdgeList {
             },
             isolated_vertices: isolated,
         }
+    }
+}
+
+impl<E: Clone> EdgeList<E> {
+    /// Return a symmetrized copy (both directions of every edge, each keeping
+    /// the original edge value), as the paper does for BFS and as the first
+    /// step of triangle counting.
+    pub fn symmetrized(&self) -> EdgeList<E> {
+        let mut edges = Vec::with_capacity(self.edges.len() * 2);
+        for (s, d, w) in &self.edges {
+            edges.push((*s, *d, w.clone()));
+            if s != d {
+                edges.push((*d, *s, w.clone()));
+            }
+        }
+        let mut out = EdgeList {
+            num_vertices: self.num_vertices,
+            edges,
+        };
+        out.dedup();
+        out
+    }
+
+    /// Return the DAG used for triangle counting: symmetrize, then keep only
+    /// edges with `dst > src` (the strict upper triangle of the adjacency
+    /// matrix). Edge values ride along unchanged.
+    pub fn to_dag(&self) -> EdgeList<E> {
+        let sym = self.symmetrized();
+        EdgeList {
+            num_vertices: sym.num_vertices,
+            edges: sym.edges.into_iter().filter(|&(s, d, _)| d > s).collect(),
+        }
+    }
+
+    /// Convert to a COO adjacency matrix `A` (row = src, col = dst).
+    pub fn to_adjacency_coo(&self) -> Coo<E> {
+        let mut coo = Coo::with_capacity(self.num_vertices, self.num_vertices, self.edges.len());
+        for (s, d, w) in &self.edges {
+            coo.push(*s, *d, w.clone());
+        }
+        coo
+    }
+
+    /// Convert to the transposed adjacency matrix `Aᵀ` (row = dst, col = src),
+    /// which is what the GraphMat SpMV over out-edges consumes.
+    pub fn to_transpose_coo(&self) -> Coo<E> {
+        let mut coo = Coo::with_capacity(self.num_vertices, self.num_vertices, self.edges.len());
+        for (s, d, w) in &self.edges {
+            coo.push(*d, *s, w.clone());
+        }
+        coo
+    }
+}
+
+impl EdgeList<()> {
+    /// Create an unweighted edge list from `(src, dst)` pairs.
+    ///
+    /// The result is `EdgeList<()>`: edge values occupy zero bytes end to
+    /// end, so the DCSC matrices of graphs built from it carry no value
+    /// array. Use [`EdgeList::map_values`] (or build with
+    /// [`EdgeList::from_tuples`]) when actual weights are needed.
+    pub fn from_pairs(
+        num_vertices: Index,
+        pairs: impl IntoIterator<Item = (Index, Index)>,
+    ) -> Self {
+        let edges = pairs.into_iter().map(|(s, d)| (s, d, ())).collect();
+        Self::from_tuples(num_vertices, edges)
+    }
+
+    /// Attach weights to an unweighted graph, producing `EdgeList<E>` with
+    /// `f(src, dst)` as each edge's value.
+    pub fn with_weights<E>(&self, mut f: impl FnMut(Index, Index) -> E) -> EdgeList<E> {
+        self.map_values(|s, d, _| f(s, d))
     }
 }
 
@@ -268,12 +383,31 @@ mod tests {
     }
 
     #[test]
+    fn symmetrized_preserves_generic_edge_values() {
+        // integer-weighted graph: the reverse edge carries the same value
+        let el: EdgeList<u32> = EdgeList::from_tuples(3, vec![(0, 1, 7), (1, 2, 9)]);
+        let sym = el.symmetrized();
+        assert!(sym.edges().contains(&(1, 0, 7)));
+        assert!(sym.edges().contains(&(2, 1, 9)));
+        // and unweighted graphs symmetrize too
+        let unweighted = EdgeList::from_pairs(3, vec![(0, 1)]);
+        assert_eq!(unweighted.symmetrized().num_edges(), 2);
+    }
+
+    #[test]
     fn dag_keeps_upper_triangle_only() {
         let el = sample();
         let dag = el.to_dag();
         assert!(dag.edges().iter().all(|&(s, d, _)| d > s));
         // undirected edges {0,1},{1,2},{0,2},{3,4} -> 4 DAG edges
         assert_eq!(dag.num_edges(), 4);
+    }
+
+    #[test]
+    fn dag_preserves_generic_edge_values() {
+        let el: EdgeList<u32> = EdgeList::from_tuples(3, vec![(1, 0, 5)]);
+        let dag = el.to_dag();
+        assert_eq!(dag.edges(), &[(0, 1, 5)]);
     }
 
     #[test]
@@ -295,6 +429,30 @@ mod tests {
     }
 
     #[test]
+    fn map_values_changes_edge_type() {
+        let el = sample();
+        let ints: EdgeList<u32> = el.map_values(|_, _, w| *w as u32);
+        assert_eq!(ints.num_edges(), el.num_edges());
+        assert!(ints.edges().contains(&(3, 4, 5)));
+    }
+
+    #[test]
+    fn topology_drops_weights() {
+        let el = sample();
+        let topo = el.topology();
+        assert_eq!(topo.num_edges(), el.num_edges());
+        assert_eq!(topo.num_vertices(), el.num_vertices());
+        assert!(topo.edges().contains(&(3, 4, ())));
+    }
+
+    #[test]
+    fn with_weights_reattaches() {
+        let topo = EdgeList::from_pairs(3, vec![(0, 1), (1, 2)]);
+        let weighted: EdgeList<f32> = topo.with_weights(|s, d| (s + d) as f32);
+        assert!(weighted.edges().contains(&(1, 2, 3.0)));
+    }
+
+    #[test]
     fn stats_are_consistent() {
         let el = sample();
         let st = el.stats();
@@ -306,8 +464,18 @@ mod tests {
     }
 
     #[test]
-    fn from_pairs_gives_unit_weights() {
+    fn from_pairs_is_unweighted() {
         let el = EdgeList::from_pairs(3, vec![(0, 1), (1, 2)]);
-        assert!(el.edges().iter().all(|&(_, _, w)| w == 1.0));
+        assert_eq!(el.num_edges(), 2);
+        assert_eq!(std::mem::size_of_val(&el.edges()[0]), 8); // two u32 ids, zero value bytes
+    }
+
+    #[test]
+    fn edge_weight_trait_reads_scalars() {
+        assert_eq!(2.5f32.weight(), 2.5);
+        assert_eq!(3u32.weight(), 3.0);
+        assert_eq!(7u8.weight(), 7.0);
+        assert_eq!((-2i32).weight(), -2.0);
+        assert_eq!(().weight(), 1.0);
     }
 }

@@ -10,9 +10,8 @@
 //! and a few long-range "highway" shortcuts.
 
 use crate::edgelist::EdgeList;
+use crate::rng::StdRng;
 use graphmat_sparse::Index;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Configuration for the grid road-network generator.
 #[derive(Clone, Copy, Debug)]
@@ -187,7 +186,10 @@ mod tests {
     fn deterministic_per_seed() {
         let cfg = GridConfig::square(12).with_seed(5);
         assert_eq!(generate(&cfg), generate(&cfg));
-        assert_ne!(generate(&cfg), generate(&GridConfig::square(12).with_seed(6)));
+        assert_ne!(
+            generate(&cfg),
+            generate(&GridConfig::square(12).with_seed(6))
+        );
     }
 
     #[test]

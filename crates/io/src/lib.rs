@@ -14,11 +14,14 @@
 //! * [`uniform`] — an Erdős–Rényi generator for unskewed control workloads.
 //! * [`mtx`] — MatrixMarket coordinate-format reader/writer (the format the
 //!   original GraphMat's `ReadMTX` consumed).
-//! * [`edgelist`] — the in-memory edge-list container plus the pre-processing
-//!   passes of §5.1 (self-loop removal, deduplication, symmetrization,
-//!   upper-triangle DAG extraction).
+//! * [`edgelist`] — the in-memory edge-list container (generic over the edge
+//!   value type `E`, with `EdgeList<()>` as the zero-cost unweighted case)
+//!   plus the pre-processing passes of §5.1 (self-loop removal,
+//!   deduplication, symmetrization, upper-triangle DAG extraction).
 //! * [`datasets`] — a registry of named benchmark datasets mirroring Table 1
 //!   at laptop-friendly scales.
+//! * [`rng`] — the deterministic SplitMix64 generator backing every
+//!   generator above.
 
 pub mod bipartite;
 pub mod datasets;
@@ -26,6 +29,7 @@ pub mod edgelist;
 pub mod grid;
 pub mod mtx;
 pub mod rmat;
+pub mod rng;
 pub mod uniform;
 
-pub use edgelist::EdgeList;
+pub use edgelist::{EdgeList, EdgeWeight};

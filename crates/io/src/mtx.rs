@@ -12,6 +12,77 @@ use graphmat_sparse::Index;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
 
+/// Edge value types that can round-trip through a MatrixMarket file.
+///
+/// `f32` is the conventional choice; `()` maps to the `pattern` field type
+/// (structure only, no stored values); integers map to `integer`.
+pub trait MtxValue: Sized {
+    /// The MatrixMarket field type [`write`] emits for this edge type
+    /// (`real`, `integer` or `pattern`).
+    const FIELD: &'static str = "real";
+    /// `true` for value-less (`pattern`) edge types such as `()`.
+    const PATTERN: bool = false;
+    /// Build an edge value from a parsed scalar (`1.0` for pattern files).
+    fn from_f64(value: f64) -> Self;
+    /// The scalar written to the file for this edge value.
+    fn to_f64(&self) -> f64;
+}
+
+impl MtxValue for f32 {
+    fn from_f64(value: f64) -> Self {
+        value as f32
+    }
+
+    fn to_f64(&self) -> f64 {
+        *self as f64
+    }
+}
+
+impl MtxValue for f64 {
+    fn from_f64(value: f64) -> Self {
+        value
+    }
+
+    fn to_f64(&self) -> f64 {
+        *self
+    }
+}
+
+impl MtxValue for u32 {
+    const FIELD: &'static str = "integer";
+
+    fn from_f64(value: f64) -> Self {
+        value as u32
+    }
+
+    fn to_f64(&self) -> f64 {
+        *self as f64
+    }
+}
+
+impl MtxValue for i32 {
+    const FIELD: &'static str = "integer";
+
+    fn from_f64(value: f64) -> Self {
+        value as i32
+    }
+
+    fn to_f64(&self) -> f64 {
+        *self as f64
+    }
+}
+
+impl MtxValue for () {
+    const FIELD: &'static str = "pattern";
+    const PATTERN: bool = true;
+
+    fn from_f64(_value: f64) -> Self {}
+
+    fn to_f64(&self) -> f64 {
+        1.0
+    }
+}
+
 /// Errors produced by the MatrixMarket reader.
 #[derive(Debug)]
 pub enum MtxError {
@@ -49,19 +120,25 @@ fn parse_err(msg: impl Into<String>) -> MtxError {
     MtxError::Parse(msg.into())
 }
 
-/// Read a MatrixMarket graph from any reader.
+/// Read a MatrixMarket graph with `f32` edge weights (the common case).
+///
+/// See [`read_typed`] for other edge value types, including the unweighted
+/// `EdgeList<()>`.
+pub fn read<R: Read>(reader: R) -> Result<EdgeList, MtxError> {
+    read_typed(reader)
+}
+
+/// Read a MatrixMarket graph from any reader into an `EdgeList<E>`.
 ///
 /// Rectangular matrices are supported (useful for bipartite ratings
 /// matrices): the resulting edge list has `max(nrows, ncols)` vertices, and
 /// for rectangular inputs the column ids are shifted by `nrows` so that rows
 /// and columns occupy disjoint vertex ranges.
-pub fn read<R: Read>(reader: R) -> Result<EdgeList, MtxError> {
+pub fn read_typed<E: MtxValue, R: Read>(reader: R) -> Result<EdgeList<E>, MtxError> {
     let mut lines = BufReader::new(reader).lines();
 
     // Header: %%MatrixMarket matrix coordinate <field> <symmetry>
-    let header = lines
-        .next()
-        .ok_or_else(|| parse_err("empty file"))??;
+    let header = lines.next().ok_or_else(|| parse_err("empty file"))??;
     let header_lc = header.to_ascii_lowercase();
     let tokens: Vec<&str> = header_lc.split_whitespace().collect();
     if tokens.len() < 5 || !tokens[0].starts_with("%%matrixmarket") {
@@ -128,7 +205,7 @@ pub fn read<R: Read>(reader: R) -> Result<EdgeList, MtxError> {
         if r == 0 || c == 0 || r > nrows || c > ncols {
             return Err(parse_err(format!("entry ({r},{c}) out of bounds")));
         }
-        let value: f32 = if pattern {
+        let value: f64 = if pattern {
             1.0
         } else {
             it.next()
@@ -142,9 +219,9 @@ pub fn read<R: Read>(reader: R) -> Result<EdgeList, MtxError> {
         } else {
             (c - 1) as Index
         };
-        el.push(src, dst, value);
+        el.push(src, dst, E::from_f64(value));
         if symmetric && src != dst {
-            el.push(dst, src, value);
+            el.push(dst, src, E::from_f64(value));
         }
         count += 1;
     }
@@ -156,14 +233,24 @@ pub fn read<R: Read>(reader: R) -> Result<EdgeList, MtxError> {
     Ok(el)
 }
 
-/// Read a MatrixMarket file from disk.
+/// Read a MatrixMarket file from disk with `f32` edge weights.
 pub fn read_file(path: impl AsRef<Path>) -> Result<EdgeList, MtxError> {
     read(std::fs::File::open(path)?)
 }
 
-/// Write an edge list as a `general real` MatrixMarket coordinate file.
-pub fn write<W: Write>(el: &EdgeList, mut writer: W) -> Result<(), MtxError> {
-    writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
+/// Read a MatrixMarket file from disk into an `EdgeList<E>`.
+pub fn read_file_typed<E: MtxValue>(path: impl AsRef<Path>) -> Result<EdgeList<E>, MtxError> {
+    read_typed(std::fs::File::open(path)?)
+}
+
+/// Write an edge list as a `general` MatrixMarket coordinate file.
+///
+/// The field type follows the edge type ([`MtxValue::FIELD`]): floats
+/// produce a `real` file, integers an `integer` file, and `EdgeList<()>` a
+/// `pattern` file with no stored values.
+pub fn write<E: MtxValue, W: Write>(el: &EdgeList<E>, mut writer: W) -> Result<(), MtxError> {
+    let field = E::FIELD;
+    writeln!(writer, "%%MatrixMarket matrix coordinate {field} general")?;
     writeln!(writer, "% written by graphmat-io")?;
     writeln!(
         writer,
@@ -172,14 +259,18 @@ pub fn write<W: Write>(el: &EdgeList, mut writer: W) -> Result<(), MtxError> {
         el.num_vertices(),
         el.num_edges()
     )?;
-    for &(s, d, w) in el.edges() {
-        writeln!(writer, "{} {} {}", s + 1, d + 1, w)?;
+    for (s, d, w) in el.edges() {
+        if E::PATTERN {
+            writeln!(writer, "{} {}", s + 1, d + 1)?;
+        } else {
+            writeln!(writer, "{} {} {}", s + 1, d + 1, w.to_f64())?;
+        }
     }
     Ok(())
 }
 
 /// Write an edge list to a file on disk.
-pub fn write_file(el: &EdgeList, path: impl AsRef<Path>) -> Result<(), MtxError> {
+pub fn write_file<E: MtxValue>(el: &EdgeList<E>, path: impl AsRef<Path>) -> Result<(), MtxError> {
     write(el, std::fs::File::create(path)?)
 }
 
@@ -273,6 +364,28 @@ mod tests {
         let back = read_file(&path).unwrap();
         assert_eq!(back.num_edges(), 2);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unweighted_pattern_roundtrip() {
+        let el = EdgeList::from_pairs(4, vec![(0, 1), (2, 3), (3, 0)]);
+        let mut buf = Vec::new();
+        write(&el, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("%%MatrixMarket matrix coordinate pattern general"));
+        let back: EdgeList<()> = read_typed(buf.as_slice()).unwrap();
+        assert_eq!(back, el);
+    }
+
+    #[test]
+    fn integer_weights_roundtrip_as_integer_field() {
+        let el: EdgeList<u32> = EdgeList::from_tuples(3, vec![(0, 1, 4), (1, 2, 9)]);
+        let mut buf = Vec::new();
+        write(&el, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("%%MatrixMarket matrix coordinate integer general"));
+        let back: EdgeList<u32> = read_typed(buf.as_slice()).unwrap();
+        assert_eq!(back, el);
     }
 
     #[test]

@@ -14,9 +14,8 @@
 //! distributions of social graphs, which is what stresses load balancing.
 
 use crate::edgelist::EdgeList;
+use crate::rng::StdRng;
 use graphmat_sparse::Index;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Configuration for the RMAT generator.
 #[derive(Clone, Copy, Debug)]
@@ -122,7 +121,10 @@ impl RmatConfig {
 /// Generate an RMAT edge list. Self-loops are removed (as the paper always
 /// does); duplicate edges are kept, matching the Graph500 specification.
 pub fn generate(config: &RmatConfig) -> EdgeList {
-    assert!(config.scale >= 1 && config.scale <= 30, "scale out of range");
+    assert!(
+        config.scale >= 1 && config.scale <= 30,
+        "scale out of range"
+    );
     assert!(
         config.a + config.b + config.c <= 1.0 + 1e-9,
         "quadrant probabilities must sum to at most 1"

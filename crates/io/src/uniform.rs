@@ -7,9 +7,8 @@
 //! graph" without RMAT's heavy tail.
 
 use crate::edgelist::EdgeList;
+use crate::rng::StdRng;
 use graphmat_sparse::Index;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Configuration for the uniform random graph generator.
 #[derive(Clone, Copy, Debug)]
@@ -98,7 +97,10 @@ mod tests {
     #[test]
     fn no_self_loops_and_in_range() {
         let el = generate(&UniformConfig::new(50, 500));
-        assert!(el.edges().iter().all(|&(s, d, _)| s != d && s < 50 && d < 50));
+        assert!(el
+            .edges()
+            .iter()
+            .all(|&(s, d, _)| s != d && s < 50 && d < 50));
     }
 
     #[test]

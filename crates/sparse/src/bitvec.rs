@@ -202,7 +202,9 @@ impl AtomicBitVec {
     /// Create an atomic bit vector of `len` bits, all cleared.
     pub fn new(len: usize) -> Self {
         AtomicBitVec {
-            words: (0..len.div_ceil(WORD_BITS)).map(|_| AtomicU64::new(0)).collect(),
+            words: (0..len.div_ceil(WORD_BITS))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
             len,
         }
     }
@@ -246,7 +248,11 @@ impl AtomicBitVec {
     /// Snapshot the current contents into a plain [`BitVec`].
     pub fn to_bitvec(&self) -> BitVec {
         BitVec {
-            words: self.words.iter().map(|w| w.load(Ordering::Relaxed)).collect(),
+            words: self
+                .words
+                .iter()
+                .map(|w| w.load(Ordering::Relaxed))
+                .collect(),
             len: self.len,
         }
     }

@@ -43,9 +43,7 @@ impl<T> Coo<T> {
     /// # Panics
     /// Panics (in debug builds) if any coordinate is out of range.
     pub fn from_entries(nrows: Index, ncols: Index, entries: Vec<(Index, Index, T)>) -> Self {
-        debug_assert!(entries
-            .iter()
-            .all(|&(r, c, _)| r < nrows && c < ncols));
+        debug_assert!(entries.iter().all(|&(r, c, _)| r < nrows && c < ncols));
         Coo {
             nrows,
             ncols,

@@ -49,7 +49,10 @@ impl<T: Clone> Csr<T> {
             ncols,
             row_ptr,
             col_idx,
-            values: values.into_iter().map(|v| v.expect("slot filled")).collect(),
+            values: values
+                .into_iter()
+                .map(|v| v.expect("slot filled"))
+                .collect(),
         };
         csr.sort_rows();
         csr

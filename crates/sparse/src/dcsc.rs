@@ -48,7 +48,9 @@ impl<T: Clone> Dcsc<T> {
     /// This is the workhorse used by the partitioner, which buckets a graph's
     /// edges into row ranges and builds one DCSC per range.
     pub fn from_col_sorted(nrows: Index, ncols: Index, entries: &[(Index, Index, T)]) -> Self {
-        debug_assert!(entries.windows(2).all(|w| (w[0].1, w[0].0) <= (w[1].1, w[1].0)));
+        debug_assert!(entries
+            .windows(2)
+            .all(|w| (w[0].1, w[0].0) <= (w[1].1, w[1].0)));
         let nnz = entries.len();
         let mut jc: Vec<Index> = Vec::new();
         let mut cp: Vec<usize> = Vec::new();
@@ -167,6 +169,15 @@ impl<T> Dcsc<T> {
             + self.cp.len() * std::mem::size_of::<usize>()
             + self.ir.len() * std::mem::size_of::<Index>()
     }
+
+    /// Total memory footprint in bytes: indices plus the stored edge values.
+    ///
+    /// For an unweighted matrix (`T = ()`) the value term is zero, so
+    /// `bytes() == index_bytes()` — the zero-cost fast path this crate's
+    /// generic edge typing exists for.
+    pub fn bytes(&self) -> usize {
+        self.index_bytes() + self.values.len() * std::mem::size_of::<T>()
+    }
 }
 
 #[cfg(test)]
@@ -243,17 +254,27 @@ mod tests {
         let csr = Csr::from_coo(&coo);
         let dt = Dcsc::transpose_of_csr(&csr);
         // Aᵀ has entry (c, r) for every A entry (r, c)
-        let mut expect: Vec<(u32, u32, i32)> = coo
-            .entries()
-            .iter()
-            .map(|&(r, c, v)| (c, r, v))
-            .collect();
+        let mut expect: Vec<(u32, u32, i32)> =
+            coo.entries().iter().map(|&(r, c, v)| (c, r, v)).collect();
         expect.sort();
         let mut got: Vec<(u32, u32, i32)> = dt.iter().map(|(r, c, v)| (r, c, *v)).collect();
         got.sort();
         assert_eq!(got, expect);
         assert_eq!(dt.nrows(), 5);
         assert_eq!(dt.ncols(), 5);
+    }
+
+    #[test]
+    fn unweighted_values_cost_zero_bytes() {
+        let coo = sample_coo();
+        let weighted = Dcsc::from_coo(&coo);
+        let unweighted = Dcsc::from_coo(&coo.clone().map(|_| ()));
+        assert_eq!(unweighted.nnz(), weighted.nnz());
+        assert_eq!(unweighted.bytes(), unweighted.index_bytes());
+        assert_eq!(
+            weighted.bytes(),
+            weighted.index_bytes() + weighted.nnz() * std::mem::size_of::<i32>()
+        );
     }
 
     #[test]

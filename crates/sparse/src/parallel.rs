@@ -9,8 +9,9 @@
 //!
 //! The executor is intentionally tiny: GraphMat's parallelism need is exactly
 //! "N independent tasks, dynamically scheduled, results collected", and
-//! building it directly on `crossbeam::scope` keeps the dependency surface
-//! small and the scheduling behaviour transparent for the Figure 7 ablation.
+//! building it directly on [`std::thread::scope`] keeps the dependency
+//! surface empty and the scheduling behaviour transparent for the Figure 7
+//! ablation.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -75,12 +76,12 @@ impl Executor {
 
         let next = AtomicUsize::new(0);
         let mut collected: Vec<(usize, T)> = Vec::with_capacity(ntasks);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let next = &next;
                     let f = &f;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut local: Vec<(usize, T)> = Vec::new();
                         loop {
                             let task = next.fetch_add(1, Ordering::Relaxed);
@@ -96,8 +97,7 @@ impl Executor {
             for h in handles {
                 collected.extend(h.join().expect("worker thread panicked"));
             }
-        })
-        .expect("crossbeam scope failed");
+        });
 
         collected.sort_unstable_by_key(|(i, _)| *i);
         debug_assert_eq!(collected.len(), ntasks);
@@ -130,7 +130,7 @@ impl Executor {
             return;
         }
         let chunk = n.div_ceil(workers);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for t in 0..workers {
                 let f = &f;
                 let start = t * chunk;
@@ -138,10 +138,9 @@ impl Executor {
                 if start >= end {
                     continue;
                 }
-                scope.spawn(move |_| f(t, start, end));
+                scope.spawn(move || f(t, start, end));
             }
-        })
-        .expect("crossbeam scope failed");
+        });
     }
 }
 
@@ -197,8 +196,8 @@ mod tests {
         let n = 1000;
         let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
         ex.run_chunked(n, |_, start, end| {
-            for i in start..end {
-                hits[i].fetch_add(1, Ordering::Relaxed);
+            for hit in &hits[start..end] {
+                hit.fetch_add(1, Ordering::Relaxed);
             }
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));

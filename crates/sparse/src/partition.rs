@@ -167,7 +167,7 @@ impl<T: Clone> PartitionedDcsc<T> {
 
         let partitions = ranges
             .iter()
-            .zip(buckets.into_iter())
+            .zip(buckets)
             .map(|(range, mut entries)| {
                 entries.sort_unstable_by_key(|&(r, c, _)| (c, r));
                 Partition {
@@ -231,6 +231,17 @@ impl<T> PartitionedDcsc<T> {
     /// Iterate over all entries as `(row, col, &value)` (partition order).
     pub fn iter(&self) -> impl Iterator<Item = (Index, Index, &T)> + '_ {
         self.partitions.iter().flat_map(|p| p.matrix.iter())
+    }
+
+    /// Memory footprint of the index structures across all partitions.
+    pub fn index_bytes(&self) -> usize {
+        self.partitions.iter().map(|p| p.matrix.index_bytes()).sum()
+    }
+
+    /// Total memory footprint (indices + edge values) across all partitions.
+    /// Zero value bytes when `T = ()`.
+    pub fn bytes(&self) -> usize {
+        self.partitions.iter().map(|p| p.matrix.bytes()).sum()
     }
 }
 

@@ -206,7 +206,10 @@ mod tests {
 
     #[test]
     fn fn_semiring_wraps_closures() {
-        let s = FnSemiring::new(|x: &i32, e: &i32| x * e, |acc: &mut i32, v| *acc = (*acc).max(v));
+        let s = FnSemiring::new(
+            |x: &i32, e: &i32| x * e,
+            |acc: &mut i32, v| *acc = (*acc).max(v),
+        );
         assert_eq!(s.multiply(&2, &5), 10);
         let mut acc = 3;
         s.add(&mut acc, 10);

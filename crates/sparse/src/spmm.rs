@@ -71,12 +71,7 @@ where
 /// Masked SpGEMM: compute only the entries of `A ⊗ B` whose coordinates are
 /// present in `mask`, returning them as a COO. This is the
 /// `C = (A·B) .* mask` pattern used by matrix-style triangle counting.
-pub fn spgemm_masked<S, M>(
-    a: &Csr<S::X>,
-    b: &Csr<S::E>,
-    mask: &Csr<M>,
-    semiring: &S,
-) -> Coo<S::Y>
+pub fn spgemm_masked<S, M>(a: &Csr<S::X>, b: &Csr<S::E>, mask: &Csr<M>, semiring: &S) -> Coo<S::Y>
 where
     S: Semiring,
     S::X: Clone,
@@ -118,7 +113,9 @@ where
 
 /// Sum all values of a COO result (used to total triangle counts).
 pub fn sum_values<T, Acc>(coo: &Coo<T>, init: Acc, mut fold: impl FnMut(Acc, &T) -> Acc) -> Acc {
-    coo.entries().iter().fold(init, |acc, (_, _, v)| fold(acc, v))
+    coo.entries()
+        .iter()
+        .fold(init, |acc, (_, _, v)| fold(acc, v))
 }
 
 #[cfg(test)]
@@ -183,7 +180,13 @@ mod tests {
     fn masked_spgemm_two_triangles() {
         // triangles: (0,1,2) and (1,2,3)
         let adj = csr_from(
-            &[(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0), (1, 3, 1.0), (2, 3, 1.0)],
+            &[
+                (0, 1, 1.0),
+                (0, 2, 1.0),
+                (1, 2, 1.0),
+                (1, 3, 1.0),
+                (2, 3, 1.0),
+            ],
             4,
         );
         let masked = spgemm_masked(&adj, &adj, &adj, &PlusTimes);

@@ -259,8 +259,8 @@ mod tests {
             x.set(i as u32, *v);
         }
         let y = gspmv_semiring(&pd, &x, &PlusTimes, &Executor::new(2));
-        for r in 0..10usize {
-            let expect: f64 = (0..10).map(|c| dense[r][c] * x_dense[c]).sum();
+        for (r, row) in dense.iter().enumerate() {
+            let expect: f64 = (0..10).map(|c| row[c] * x_dense[c]).sum();
             let got = y.get(r as u32).copied().unwrap_or(0.0);
             assert!((expect - got).abs() < 1e-9, "row {r}: {expect} vs {got}");
         }

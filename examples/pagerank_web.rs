@@ -57,7 +57,11 @@ fn main() {
 
     // Show the top-ranked vertices.
     let mut order: Vec<usize> = (0..graphmat_run.values.len()).collect();
-    order.sort_by(|&a, &b| graphmat_run.values[b].partial_cmp(&graphmat_run.values[a]).unwrap());
+    order.sort_by(|&a, &b| {
+        graphmat_run.values[b]
+            .partial_cmp(&graphmat_run.values[a])
+            .unwrap()
+    });
     println!("top 5 vertices by rank:");
     for &v in order.iter().take(5) {
         println!(

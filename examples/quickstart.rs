@@ -20,6 +20,8 @@ impl GraphProgram for Sssp {
     type VertexProp = f32;
     type Message = f32;
     type Reduced = f32;
+    /// Edges carry `f32` lengths (use `()` for unweighted programs).
+    type Edge = f32;
 
     /// Perform path traversals only via out-edges.
     fn direction(&self) -> EdgeDirection {
@@ -32,7 +34,7 @@ impl GraphProgram for Sssp {
     }
 
     /// Process message: add the edge weight to the incoming distance.
-    fn process_message(&self, message: &f32, edge_weight: f32, _dst: &f32) -> f32 {
+    fn process_message(&self, message: &f32, edge_weight: &f32, _dst: &f32) -> f32 {
         message + edge_weight
     }
 
@@ -78,9 +80,14 @@ fn main() {
     let result = run_graph_program(&Sssp, &mut graph, &RunOptions::default());
 
     println!("SSSP from vertex A on the paper's Figure 3 graph");
-    println!("  converged: {} after {} supersteps", result.converged, result.stats.iterations);
-    println!("  time in generalized SpMV: {:.1}% of the run",
-        result.stats.spmv_fraction() * 100.0);
+    println!(
+        "  converged: {} after {} supersteps",
+        result.converged, result.stats.iterations
+    );
+    println!(
+        "  time in generalized SpMV: {:.1}% of the run",
+        result.stats.spmv_fraction() * 100.0
+    );
     for (name, v) in ["A", "B", "C", "D", "E"].iter().zip(0u32..) {
         println!("  distance({name}) = {}", graph.property(v));
     }

@@ -61,7 +61,8 @@ fn main() {
         .filter(|&&(u, _, _)| u == user)
         .map(|&(_, item, _)| item)
         .collect();
-    let mut predictions: Vec<(u32, f64)> = (ratings.num_users..ratings.num_users + ratings.num_items)
+    let mut predictions: Vec<(u32, f64)> = (ratings.num_users
+        ..ratings.num_users + ratings.num_items)
         .filter(|item| !seen.contains(item))
         .map(|item| {
             let score: f64 = trained.values[user as usize]
@@ -74,7 +75,10 @@ fn main() {
         .collect();
     predictions.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
 
-    println!("user {user} has rated {} items; top 5 recommendations:", seen.len());
+    println!(
+        "user {user} has rated {} items; top 5 recommendations:",
+        seen.len()
+    );
     for (item, score) in predictions.iter().take(5) {
         println!(
             "  item {:>5}  predicted rating {score:.2}",

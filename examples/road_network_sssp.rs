@@ -31,7 +31,11 @@ fn main() {
     let source = config.vertex(0, 0);
 
     // GraphMat.
-    let gm = sssp(&edges, &SsspConfig::from_source(source), &RunOptions::default());
+    let gm = sssp(
+        &edges,
+        &SsspConfig::from_source(source),
+        &RunOptions::default(),
+    );
     println!(
         "GraphMat      : {:>8.1} ms, {:>4} supersteps",
         gm.stats.total_time.as_secs_f64() * 1000.0,

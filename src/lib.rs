@@ -9,8 +9,22 @@
 //! over the transposed adjacency matrix, stored in DCSC format and processed
 //! by a partition-parallel backend.
 //!
-//! This umbrella crate re-exports the whole workspace so that examples,
-//! integration tests and downstream users can depend on a single crate.
+//! Like the original C++ (which templatizes the edge type alongside the
+//! three vertex-program types), the whole stack is **generic over the edge
+//! value type**:
+//!
+//! * a vertex program declares [`core::program::GraphProgram::Edge`] and
+//!   receives `&Self::Edge` in `process_message`;
+//! * graphs are `Graph<VertexProp, Edge>` and edge lists are `EdgeList<E>`
+//!   (`f32` by default);
+//! * `Edge = ()` is the **zero-cost unweighted fast path**: `Vec<()>` stores
+//!   nothing, so the DCSC matrices carry no edge value bytes at all — 4
+//!   bytes/edge less memory traffic for a bandwidth-bound SpMV. BFS,
+//!   connected components, degree and triangle counting all accept
+//!   `EdgeList<()>` (build one with `EdgeList::from_pairs` or strip weights
+//!   with `EdgeList::topology()`).
+//!
+//! ## Weighted quickstart
 //!
 //! ```
 //! use graphmat::prelude::*;
@@ -22,6 +36,40 @@
 //! // vertex 2 has two in-links and ends up with the highest rank
 //! assert!(ranks.values[2] > ranks.values[0]);
 //! ```
+//!
+//! ## Unweighted quickstart
+//!
+//! ```
+//! use graphmat::prelude::*;
+//!
+//! // from_pairs builds an EdgeList<()> — no weight bytes anywhere.
+//! let edges = EdgeList::from_pairs(4, vec![(0, 1), (1, 2), (2, 3)]);
+//! let out = bfs(&edges, &BfsConfig::from_root(0), &RunOptions::default());
+//! assert_eq!(out.values, vec![0, 1, 2, 3]);
+//! // the run reports the matrix footprint: pure index bytes, zero value bytes
+//! assert!(out.stats.matrix_bytes > 0);
+//! ```
+//!
+//! ## Migrating from the hardcoded-`f32` edge API
+//!
+//! Older versions fixed the edge type to `f32`. The port is mechanical:
+//!
+//! 1. add `type Edge = f32;` (or `()`, `u32`, …) to each `GraphProgram`
+//!    impl;
+//! 2. change `process_message(&self, msg, edge: f32, dst)` to take
+//!    `edge: &Self::Edge`;
+//! 3. programs that never read `edge` should declare `type Edge = ()` and be
+//!    fed an `EdgeList<()>` to drop the weight storage entirely;
+//! 4. algorithms that consume weights generically (SSSP, collaborative
+//!    filtering) bound their edge type with
+//!    [`io::edgelist::EdgeWeight`], which any scalar-like edge type
+//!    implements (`()` reads as weight `1`).
+//!
+//! See [`core::program`] for the full trait documentation and
+//! `examples/unweighted_bfs.rs` for a complete unweighted program.
+//!
+//! This umbrella crate re-exports the whole workspace so that examples,
+//! integration tests and downstream users can depend on a single crate.
 
 pub use graphmat_algorithms as algorithms;
 pub use graphmat_baselines as baselines;
@@ -52,7 +100,7 @@ pub mod prelude {
         GraphProgram, RunOptions, RunResult, RunStats, VectorKind, VertexId,
     };
     pub use graphmat_io::bipartite::BipartiteConfig;
-    pub use graphmat_io::edgelist::EdgeList;
+    pub use graphmat_io::edgelist::{EdgeList, EdgeWeight};
     pub use graphmat_io::grid::GridConfig;
     pub use graphmat_io::rmat::RmatConfig;
     pub use graphmat_sparse::spvec::SparseVector;

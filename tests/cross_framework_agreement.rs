@@ -43,9 +43,15 @@ fn pagerank_all_engines_agree() {
             continue;
         }
         let reference = nat.values[v];
-        assert!((gm.values[v] - reference).abs() < 1e-9, "graphmat vertex {v}");
+        assert!(
+            (gm.values[v] - reference).abs() < 1e-9,
+            "graphmat vertex {v}"
+        );
         assert!((cb.values[v] - reference).abs() < 1e-9, "comb vertex {v}");
-        assert!((wl.values[v] - reference).abs() < 1e-9, "worklist vertex {v}");
+        assert!(
+            (wl.values[v] - reference).abs() < 1e-9,
+            "worklist vertex {v}"
+        );
     }
 
     let gl = vertexpull::pagerank(&edges, 0.15, iterations, 0);
@@ -53,7 +59,10 @@ fn pagerank_all_engines_agree() {
         if edges.in_degrees()[v] == 0 {
             continue;
         }
-        assert!((gl.values[v] - nat.values[v]).abs() < 1e-9, "gas vertex {v}");
+        assert!(
+            (gl.values[v] - nat.values[v]).abs() < 1e-9,
+            "gas vertex {v}"
+        );
     }
 }
 
@@ -76,7 +85,11 @@ fn bfs_all_engines_agree() {
 fn sssp_all_engines_agree_on_road_network() {
     let edges = road_graph();
     let source = 0;
-    let gm = sssp(&edges, &SsspConfig::from_source(source), &RunOptions::default());
+    let gm = sssp(
+        &edges,
+        &SsspConfig::from_source(source),
+        &RunOptions::default(),
+    );
     let nat = native::sssp(&edges, source, 0);
     let cb = comb::sssp(&edges, source, 0);
     let gl = vertexpull::sssp(&edges, source, 0);
@@ -101,7 +114,11 @@ fn sssp_all_engines_agree_on_road_network() {
 #[test]
 fn triangle_counts_agree_across_engines() {
     let edges = load(DatasetId::RmatTriangle, DatasetScale::Tiny);
-    let gm = triangle_count(&edges, &TriangleCountConfig::default(), &RunOptions::default());
+    let gm = triangle_count(
+        &edges,
+        &TriangleCountConfig::default(),
+        &RunOptions::default(),
+    );
     let expected = native::triangle_count(&edges, 0).values.iter().sum::<u64>();
     assert_eq!(total_triangles(&gm), expected);
     assert_eq!(
@@ -109,11 +126,17 @@ fn triangle_counts_agree_across_engines() {
         expected
     );
     assert_eq!(
-        vertexpull::triangle_count(&edges, 0).values.iter().sum::<u64>(),
+        vertexpull::triangle_count(&edges, 0)
+            .values
+            .iter()
+            .sum::<u64>(),
         expected
     );
     assert_eq!(
-        worklist::triangle_count(&edges, 0).values.iter().sum::<u64>(),
+        worklist::triangle_count(&edges, 0)
+            .values
+            .iter()
+            .sum::<u64>(),
         expected
     );
     assert!(expected > 0, "the RMAT TC graph should contain triangles");
@@ -135,15 +158,45 @@ fn collaborative_filtering_engines_agree() {
     let gm = collaborative_filtering(&ratings, &cfg, &RunOptions::default());
     let nat = native::collaborative_filtering(&ratings, 6, cfg.lambda, cfg.gamma, 5, cfg.seed, 0);
     let cb = comb::collaborative_filtering(&ratings, 6, cfg.lambda, cfg.gamma, 5, cfg.seed, 0);
-    let gl = vertexpull::collaborative_filtering(&ratings, 6, cfg.lambda, cfg.gamma, 5, cfg.seed, 0);
+    let gl =
+        vertexpull::collaborative_filtering(&ratings, 6, cfg.lambda, cfg.gamma, 5, cfg.seed, 0);
     for v in 0..ratings.edges.num_vertices() as usize {
         for k in 0..6 {
             let reference = nat.values[v][k];
-            assert!((gm.values[v][k] - reference).abs() < 1e-9, "graphmat {v},{k}");
+            assert!(
+                (gm.values[v][k] - reference).abs() < 1e-9,
+                "graphmat {v},{k}"
+            );
             assert!((cb.values[v][k] - reference).abs() < 1e-9, "comb {v},{k}");
             assert!((gl.values[v][k] - reference).abs() < 1e-9, "gas {v},{k}");
         }
     }
+}
+
+#[test]
+fn unweighted_bfs_agrees_across_every_baseline() {
+    // The generic-edge API end to end: a zero-byte EdgeList<()> flows through
+    // GraphMat AND all four comparator engines, and everyone agrees with the
+    // weighted run on the same topology.
+    let weighted = social_graph();
+    let edges: EdgeList<()> = weighted.topology();
+    let root = 3;
+    let reference = bfs(
+        &weighted,
+        &BfsConfig::from_root(root),
+        &RunOptions::default(),
+    );
+
+    let gm = bfs(&edges, &BfsConfig::from_root(root), &RunOptions::default());
+    let nat = native::bfs(&edges, root, 0);
+    let cb = comb::bfs(&edges, root, 0);
+    let gl = vertexpull::bfs(&edges, root, 0);
+    let wl = worklist::bfs(&edges, root, 0);
+    assert_eq!(gm.values, reference.values);
+    assert_eq!(nat.values, reference.values);
+    assert_eq!(cb.values, reference.values);
+    assert_eq!(gl.values, reference.values);
+    assert_eq!(wl.values, reference.values);
 }
 
 #[test]

@@ -81,7 +81,11 @@ fn mtx_roundtrip_feeds_the_engine() {
     assert_eq!(reloaded.num_edges(), edges.num_edges());
 
     let a = sssp(&edges, &SsspConfig::from_source(0), &RunOptions::default());
-    let b = sssp(&reloaded, &SsspConfig::from_source(0), &RunOptions::default());
+    let b = sssp(
+        &reloaded,
+        &SsspConfig::from_source(0),
+        &RunOptions::default(),
+    );
     assert_eq!(a.values, b.values);
 }
 

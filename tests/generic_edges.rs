@@ -1,0 +1,211 @@
+//! Integration tests for the generic edge type flowing end to end:
+//! unweighted (`()`) runs must agree with `f32` runs on the same topology,
+//! integer weights must work through SSSP, and the unweighted fast path must
+//! actually shed its edge value bytes.
+
+use graphmat::prelude::*;
+use graphmat_io::datasets::{load, DatasetId, DatasetScale};
+use graphmat_io::uniform::{self, UniformConfig};
+
+fn weighted_graph() -> EdgeList {
+    load(DatasetId::FacebookLike, DatasetScale::Tiny)
+}
+
+#[test]
+fn unweighted_bfs_matches_weighted_topology() {
+    let weighted = weighted_graph();
+    let unweighted: EdgeList<()> = weighted.topology();
+    let cfg = BfsConfig::from_root(0);
+    let a = bfs(&weighted, &cfg, &RunOptions::default());
+    let b = bfs(&unweighted, &cfg, &RunOptions::default());
+    assert_eq!(a.values, b.values);
+    assert_eq!(a.stats.iterations, b.stats.iterations);
+}
+
+#[test]
+fn unweighted_connected_components_match_weighted_topology() {
+    let weighted = weighted_graph();
+    let unweighted = weighted.topology();
+    let a = connected_components(&weighted, &CcConfig::default(), &RunOptions::default());
+    let b = connected_components(&unweighted, &CcConfig::default(), &RunOptions::default());
+    assert_eq!(a.values, b.values);
+}
+
+#[test]
+fn unweighted_degrees_match_weighted_topology() {
+    let weighted = weighted_graph();
+    let unweighted = weighted.topology();
+    assert_eq!(
+        in_degrees(&weighted, &RunOptions::sequential()).values,
+        in_degrees(&unweighted, &RunOptions::sequential()).values,
+    );
+    assert_eq!(
+        out_degrees(&weighted, &RunOptions::sequential()).values,
+        out_degrees(&unweighted, &RunOptions::sequential()).values,
+    );
+}
+
+#[test]
+fn unweighted_triangle_count_matches_weighted_topology() {
+    let weighted = load(DatasetId::RmatTriangle, DatasetScale::Tiny);
+    let unweighted = weighted.topology();
+    let cfg = TriangleCountConfig::default();
+    let a = triangle_count(&weighted, &cfg, &RunOptions::default());
+    let b = triangle_count(&unweighted, &cfg, &RunOptions::default());
+    assert_eq!(a.values, b.values);
+    assert!(total_triangles(&a) > 0);
+}
+
+#[test]
+fn integer_weight_sssp_matches_f32() {
+    // u32 edge weights end to end: generate integer weights, run both the
+    // f32 and the u32 instantiations, plus the Dijkstra reference.
+    let f32_edges = uniform::generate(
+        &UniformConfig::new(200, 1500)
+            .with_weights(1, 20)
+            .with_seed(4),
+    );
+    let u32_edges: EdgeList<u32> = f32_edges.map_values(|_, _, w| *w as u32);
+    let cfg = SsspConfig::from_source(7);
+    let from_f32 = sssp(&f32_edges, &cfg, &RunOptions::default().with_threads(4));
+    let from_u32 = sssp(&u32_edges, &cfg, &RunOptions::default().with_threads(4));
+    assert_eq!(from_f32.values, from_u32.values);
+    let reference = graphmat_algorithms::sssp::sssp_reference(&u32_edges, 7);
+    for (v, (a, b)) in from_u32.values.iter().zip(reference.iter()).enumerate() {
+        assert!((a - b).abs() < 1e-4, "vertex {v}: {a} vs {b}");
+    }
+}
+
+#[test]
+fn unweighted_sssp_counts_hops() {
+    // () edges read as weight 1, so SSSP on EdgeList<()> is BFS hop counting.
+    let edges = weighted_graph().symmetrized();
+    let hops = sssp(
+        &edges.topology(),
+        &SsspConfig::from_source(0),
+        &RunOptions::default(),
+    );
+    let levels = bfs(
+        &edges.topology(),
+        &BfsConfig {
+            root: 0,
+            symmetrize: false,
+            ..Default::default()
+        },
+        &RunOptions::default(),
+    );
+    for (v, (d, l)) in hops.values.iter().zip(levels.values.iter()).enumerate() {
+        if *l == u32::MAX {
+            assert_eq!(*d, f32::MAX, "vertex {v}");
+        } else {
+            assert_eq!(*d, *l as f32, "vertex {v}");
+        }
+    }
+}
+
+#[test]
+fn unweighted_matrices_store_no_value_bytes() {
+    let weighted = weighted_graph();
+    let unweighted = weighted.topology();
+    let build = GraphBuildOptions::default().with_in_edges(false);
+    let gw: Graph<u32, f32> = Graph::from_edge_list(&weighted, build);
+    let gu: Graph<u32, ()> = Graph::from_edge_list(&unweighted, build);
+    assert_eq!(gw.num_edges(), gu.num_edges());
+    assert_eq!(
+        gw.matrix_bytes() - gu.matrix_bytes(),
+        gw.num_edges() * std::mem::size_of::<f32>(),
+        "the unweighted graph must shed exactly 4 bytes per edge"
+    );
+}
+
+#[test]
+fn run_stats_surface_the_memory_saving() {
+    let weighted = weighted_graph();
+    let unweighted = weighted.topology();
+    let cfg = BfsConfig::from_root(0);
+    let a = bfs(&weighted, &cfg, &RunOptions::default());
+    let b = bfs(&unweighted, &cfg, &RunOptions::default());
+    assert!(a.stats.matrix_bytes > b.stats.matrix_bytes);
+    assert!(b.stats.matrix_bytes > 0);
+}
+
+#[test]
+fn struct_valued_edges_flow_through_the_engine() {
+    // A custom edge struct: SSSP-style relaxation over a "road segment" that
+    // carries both a length and a lane count, demonstrating that new edge
+    // types need no backend changes.
+    #[derive(Clone, Debug, PartialEq)]
+    struct Road {
+        length: f32,
+        lanes: u8,
+    }
+
+    struct RoadSssp;
+
+    impl GraphProgram for RoadSssp {
+        type VertexProp = f32;
+        type Message = f32;
+        type Reduced = f32;
+        type Edge = Road;
+
+        fn send_message(&self, _v: VertexId, d: &f32) -> Option<f32> {
+            Some(*d)
+        }
+
+        fn process_message(&self, msg: &f32, edge: &Road, _dst: &f32) -> f32 {
+            // narrow roads cost double
+            msg + edge.length * if edge.lanes < 2 { 2.0 } else { 1.0 }
+        }
+
+        fn reduce(&self, acc: &mut f32, v: f32) {
+            if v < *acc {
+                *acc = v;
+            }
+        }
+
+        fn apply(&self, r: &f32, d: &mut f32) {
+            if *r < *d {
+                *d = *r;
+            }
+        }
+    }
+
+    let edges: EdgeList<Road> = EdgeList::from_tuples(
+        3,
+        vec![
+            (
+                0,
+                1,
+                Road {
+                    length: 1.0,
+                    lanes: 1,
+                },
+            ), // effective 2.0
+            (
+                0,
+                2,
+                Road {
+                    length: 3.0,
+                    lanes: 4,
+                },
+            ), // effective 3.0
+            (
+                1,
+                2,
+                Road {
+                    length: 0.5,
+                    lanes: 2,
+                },
+            ), // effective 0.5
+        ],
+    );
+    let mut graph: Graph<f32, Road> =
+        Graph::from_edge_list(&edges, GraphBuildOptions::default().with_partitions(2));
+    graph.set_all_properties(f32::MAX);
+    graph.set_property(0, 0.0);
+    graph.set_active(0);
+    let result = run_graph_program(&RoadSssp, &mut graph, &RunOptions::sequential());
+    assert!(result.converged);
+    assert_eq!(*graph.property(1), 2.0);
+    assert_eq!(*graph.property(2), 2.5); // 0->1->2 beats the direct wide road
+}

@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphmat_io::rmat::{self, RmatConfig};
 use graphmat_sparse::parallel::{available_threads, Executor};
 use graphmat_sparse::partition::PartitionedDcsc;
-use graphmat_sparse::spmv::gspmv;
+use graphmat_sparse::spmv::{gspmv, gspmv_into};
 use graphmat_sparse::spvec::{SortedSparseVector, SparseVector};
 use graphmat_sparse::Index;
 
@@ -39,6 +39,22 @@ fn bench(c: &mut Criterion) {
                 &|acc: &mut f32, v: f32| *acc = acc.min(v),
                 &executor,
             )
+        })
+    });
+    // Steady-state engine configuration: output vector reused across calls
+    // (what the superstep workspace does) — the allocation-free hot path.
+    let mut reused_output: SparseVector<f32> = SparseVector::new(n);
+    group.bench_function("bitvector_frontier_reused_output", |b| {
+        b.iter(|| {
+            gspmv_into(
+                &matrix,
+                &bitvec_frontier,
+                &|m: &f32, e: &f32, _k: Index| m + e,
+                &|acc: &mut f32, v: f32| *acc = acc.min(v),
+                &executor,
+                &mut reused_output,
+            );
+            reused_output.nnz()
         })
     });
     group.bench_function("sorted_frontier", |b| {

@@ -19,7 +19,7 @@
 
 use crate::program::VertexId;
 use graphmat_io::edgelist::EdgeList;
-use graphmat_sparse::bitvec::BitVec;
+use graphmat_sparse::bitvec::{AtomicBitVec, BitVec};
 use graphmat_sparse::parallel::available_threads;
 use graphmat_sparse::partition::{PartitionedDcsc, RowPartitioner};
 
@@ -267,10 +267,11 @@ impl<V, E> Graph<V, E> {
         &self.active
     }
 
-    /// Replace the active set (used by the runner between supersteps).
-    pub(crate) fn replace_active(&mut self, new_active: BitVec) {
-        debug_assert_eq!(new_active.len(), self.active.len());
-        self.active = new_active;
+    /// Overwrite the active set from the concurrently-built next-superstep
+    /// bit vector, reusing the existing storage (used by the runner between
+    /// supersteps; no allocation).
+    pub(crate) fn load_active_from(&mut self, src: &AtomicBitVec) {
+        self.active.load_from(src);
     }
 }
 

@@ -25,9 +25,12 @@
 //!   partitioned adjacency matrices (`Gᵀ` for out-edge traversal, `G` for
 //!   in-edge traversal), generic over the edge type.
 //! * [`engine`] — one superstep: build the message vector from active
-//!   vertices, run the generalized SpMV, return the reduced values.
+//!   vertices (in parallel over active-bitvector words for large frontiers),
+//!   run the generalized SpMV into a reusable workspace.
 //! * [`runner`] — the iteration loop with convergence detection and the
-//!   APPLY phase (Algorithm 2).
+//!   APPLY phase (Algorithm 2). One persistent worker pool and one
+//!   workspace serve the whole run: the superstep loop spawns no threads
+//!   and is allocation-free in the steady state.
 //! * [`options`] — run-time knobs (threads, dispatch mode, sparse-vector
 //!   representation) including the ablation toggles for the paper's Figure 7.
 //! * [`stats`] — per-superstep and whole-run statistics plus the cost-model
@@ -43,5 +46,5 @@ pub mod stats;
 pub use graph::{Graph, GraphBuildOptions};
 pub use options::{ActivityPolicy, DispatchMode, RunOptions, VectorKind};
 pub use program::{EdgeDirection, GraphProgram, VertexId};
-pub use runner::{run_graph_program, RunResult};
+pub use runner::{run_graph_program, run_graph_program_with, RunResult};
 pub use stats::{RunStats, SuperstepStats};

@@ -131,7 +131,10 @@ impl RunOptions {
         }
     }
 
-    /// Build the executor for this configuration.
+    /// Build the executor for this configuration. For more than one thread
+    /// this spawns the persistent worker pool, so build it once per run (as
+    /// `run_graph_program` does) or once per process and share it across
+    /// runs via `run_graph_program_with` — never per superstep.
     pub fn executor(&self) -> Executor {
         Executor::new(self.effective_threads())
     }

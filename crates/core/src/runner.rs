@@ -5,16 +5,25 @@
 //! parallel model: state written by APPLY becomes visible only in the next
 //! superstep (§4.1). After APPLY, exactly the vertices whose property changed
 //! are active for the next superstep (Algorithm 2 lines 12–13).
+//!
+//! # Execution resources
+//!
+//! One [`Executor`] (a persistent pool of parked worker threads) and one
+//! [`Workspace`] (message/output/work-list buffers) are created per run and
+//! reused by every superstep — the loop itself spawns no threads and
+//! allocates nothing in the steady state. [`run_graph_program`] builds both
+//! from the [`RunOptions`]; [`run_graph_program_with`] accepts a
+//! caller-owned executor so several runs (e.g. benchmark iterations) can
+//! share one pool.
 
-use crate::engine::{superstep, SuperstepOutput};
+use crate::engine::{superstep_into, Workspace, PARALLEL_PHASE_MIN_WORK};
 use crate::graph::Graph;
 use crate::options::{ActivityPolicy, RunOptions};
 use crate::program::GraphProgram;
 use crate::stats::{RunStats, SuperstepStats};
-use graphmat_sparse::bitvec::AtomicBitVec;
-use graphmat_sparse::parallel::Executor;
+use graphmat_sparse::parallel::{chunks, Executor};
 use graphmat_sparse::spvec::MessageVector;
-use graphmat_sparse::Index;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// The outcome of a `run_graph_program` invocation.
@@ -33,16 +42,33 @@ pub struct RunResult {
 /// initial state; algorithms are expected to set both before calling this
 /// (see the paper's appendix: set the source distance to 0 and mark it
 /// active). On return the graph holds the final vertex properties.
+///
+/// Builds one worker pool from `options` for the whole run; to reuse a pool
+/// across several runs, use [`run_graph_program_with`].
 pub fn run_graph_program<P: GraphProgram>(
     program: &P,
     graph: &mut Graph<P::VertexProp, P::Edge>,
     options: &RunOptions,
 ) -> RunResult {
     let executor = options.executor();
+    run_graph_program_with(program, graph, options, &executor)
+}
+
+/// Like [`run_graph_program`], but on a caller-provided executor, so the
+/// worker pool can be shared across runs. `options.nthreads` is ignored in
+/// favour of the executor's lane count.
+pub fn run_graph_program_with<P: GraphProgram>(
+    program: &P,
+    graph: &mut Graph<P::VertexProp, P::Edge>,
+    options: &RunOptions,
+    executor: &Executor,
+) -> RunResult {
     let mut stats = RunStats {
         matrix_bytes: graph.matrix_bytes(),
+        nthreads: executor.nthreads(),
         ..RunStats::default()
     };
+    let mut ws = Workspace::<P>::new(graph.num_vertices() as usize, options);
     let mut converged = false;
     let mut iteration = 0usize;
 
@@ -52,19 +78,20 @@ pub fn run_graph_program<P: GraphProgram>(
                 break;
             }
         }
-        if graph.active_count() == 0 {
+        let active_before = graph.active_count();
+        if active_before == 0 {
             converged = true;
             break;
         }
 
-        let active_before = graph.active_count();
-        let output = superstep(graph, program, options, &executor);
-        let changed = apply_phase(program, graph, &output, &executor);
+        let output = superstep_into(graph, program, options, executor, active_before, &mut ws);
+        let vertices_updated = ws.reduced().nnz();
+        let (apply_time, vertices_changed) = apply_phase(program, graph, &mut ws, executor);
 
         // Fixed-iteration algorithms (PageRank, gradient-descent CF) need
         // every vertex to rebroadcast each superstep even when its own state
         // did not change; frontier algorithms activate only changed vertices.
-        if options.activity == ActivityPolicy::AlwaysAll && changed.1 > 0 {
+        if options.activity == ActivityPolicy::AlwaysAll && vertices_changed > 0 {
             graph.set_all_active();
         }
 
@@ -73,50 +100,54 @@ pub fn run_graph_program<P: GraphProgram>(
             active_vertices: active_before,
             messages_sent: output.messages_sent,
             edges_processed: output.edges_processed,
-            vertices_updated: output.reduced.nnz(),
-            vertices_changed: changed.1,
+            vertices_updated,
+            vertices_changed,
             send_time: output.send_time,
             spmv_time: output.spmv_time,
-            apply_time: changed.0,
+            apply_time,
         };
         stats.record(step, options.record_supersteps);
-        program.on_superstep_end(iteration, changed.1);
+        program.on_superstep_end(iteration, vertices_changed);
         iteration += 1;
     }
 
     RunResult { stats, converged }
 }
 
-/// APPLY the reduced values, update the active set, and return
-/// `(apply_time, vertices_changed)`.
+/// APPLY the reduced values in the workspace, update the graph's active set,
+/// and return `(apply_time, vertices_changed)`. Reuses the workspace's
+/// `updated` list and `next_active` bit vector — no per-superstep
+/// allocation.
 fn apply_phase<P: GraphProgram>(
     program: &P,
     graph: &mut Graph<P::VertexProp, P::Edge>,
-    output: &SuperstepOutput<P::Reduced>,
+    ws: &mut Workspace<P>,
     executor: &Executor,
 ) -> (std::time::Duration, usize) {
     let apply_start = Instant::now();
-    let n = graph.num_vertices() as usize;
-    let updated: Vec<Index> = output.reduced.iter().map(|(k, _)| k).collect();
-    let new_active = AtomicBitVec::new(n);
+    let Workspace {
+        reduced,
+        updated,
+        next_active,
+        ..
+    } = ws;
+    updated.clear();
+    updated.extend(reduced.iter().map(|(k, _)| k));
+    next_active.clear_all();
 
-    let changed_total = if executor.nthreads() == 1 || updated.len() < 2048 {
-        // Sequential APPLY: cheap frontiers (e.g. road-network SSSP) must not
-        // pay thread-spawn overhead every superstep — this is exactly the
-        // "small per-iteration overhead" property the paper credits for
-        // GraphMat's SSSP advantage (§5.2.1).
+    let changed_total = if executor.nthreads() == 1 || updated.len() < PARALLEL_PHASE_MIN_WORK {
+        // Sequential APPLY for small work lists (see the threshold's doc).
         let mut changed = 0usize;
         let props = graph.properties_mut();
-        for &v in &updated {
-            let reduced = output
-                .reduced
+        for &v in updated.iter() {
+            let reduced = reduced
                 .get(v)
                 .expect("updated vertex must have a reduced value");
             let slot = &mut props[v as usize];
             let old = slot.clone();
             program.apply(reduced, slot);
             if *slot != old {
-                new_active.set(v as usize);
+                next_active.set(v as usize);
                 changed += 1;
             }
         }
@@ -126,47 +157,35 @@ fn apply_phase<P: GraphProgram>(
         // Each vertex id appears exactly once, so the unsafe shared-slice
         // writes never alias.
         let props_ptr = SharedProps::new(graph.properties_mut());
-        let changed_counts = executor.run_dynamic(
-            chunk_count(updated.len(), executor.nthreads()),
-            |chunk_idx| {
-                let (start, end) = chunk_bounds(updated.len(), executor.nthreads(), chunk_idx);
-                let mut changed = 0usize;
-                for &v in &updated[start..end] {
-                    let reduced = output
-                        .reduced
-                        .get(v)
-                        .expect("updated vertex must have a reduced value");
-                    // SAFETY: vertex ids in `updated` are unique, so each
-                    // property slot is written by exactly one chunk.
-                    let slot = unsafe { props_ptr.get_mut(v as usize) };
-                    let old = slot.clone();
-                    program.apply(reduced, slot);
-                    if *slot != old {
-                        new_active.set(v as usize);
-                        changed += 1;
-                    }
+        let reduced = &*reduced;
+        let updated = &updated[..];
+        let next_active = &*next_active;
+        let ch = chunks(updated.len(), executor.nthreads() * 4);
+        let changed = AtomicUsize::new(0);
+        executor.for_each_dynamic(ch.count(), |chunk_idx| {
+            let (start, end) = ch.bounds(chunk_idx);
+            let mut local_changed = 0usize;
+            for &v in &updated[start..end] {
+                let reduced = reduced
+                    .get(v)
+                    .expect("updated vertex must have a reduced value");
+                // SAFETY: vertex ids in `updated` are unique, so each
+                // property slot is written by exactly one chunk.
+                let slot = unsafe { props_ptr.get_mut(v as usize) };
+                let old = slot.clone();
+                program.apply(reduced, slot);
+                if *slot != old {
+                    next_active.set(v as usize);
+                    local_changed += 1;
                 }
-                changed
-            },
-        );
-        changed_counts.into_iter().sum()
+            }
+            changed.fetch_add(local_changed, Ordering::Relaxed);
+        });
+        changed.load(Ordering::Relaxed)
     };
 
-    graph.replace_active(new_active.into_bitvec());
+    graph.load_active_from(next_active);
     (apply_start.elapsed(), changed_total)
-}
-
-fn chunk_count(len: usize, nthreads: usize) -> usize {
-    // a few chunks per thread keeps the APPLY balanced without oversplitting
-    (nthreads * 4).min(len.max(1))
-}
-
-fn chunk_bounds(len: usize, nthreads: usize, chunk_idx: usize) -> (usize, usize) {
-    let chunks = chunk_count(len, nthreads);
-    let per = len.div_ceil(chunks);
-    let start = chunk_idx * per;
-    let end = ((chunk_idx + 1) * per).min(len);
-    (start.min(len), end)
 }
 
 /// A raw pointer to the vertex-property slice that can be shared across the
@@ -323,12 +342,38 @@ mod tests {
         g.set_active(0);
         let result = run_graph_program(&Sssp, &mut g, &RunOptions::sequential());
         assert_eq!(result.stats.supersteps.len(), result.stats.iterations);
+        assert_eq!(result.stats.nthreads, 1);
         let first = &result.stats.supersteps[0];
         assert_eq!(first.active_vertices, 1);
         assert_eq!(first.messages_sent, 1);
         assert_eq!(first.edges_processed, 3);
         assert_eq!(first.vertices_updated, 3);
         assert!(result.stats.edges_processed >= 3);
+    }
+
+    #[test]
+    fn run_with_shared_executor_matches_run_with_owned_pool() {
+        let executor = Executor::new(4);
+        let options = RunOptions::default().with_threads(4);
+        let run_shared = |ex: &Executor| {
+            let mut g = figure3_graph();
+            g.set_all_properties(f32::MAX);
+            g.set_property(0, 0.0);
+            g.set_active(0);
+            run_graph_program_with(&Sssp, &mut g, &options, ex);
+            g.properties().to_vec()
+        };
+        // The same executor serves several runs.
+        let first = run_shared(&executor);
+        let second = run_shared(&executor);
+        assert_eq!(first, second);
+
+        let mut g = figure3_graph();
+        g.set_all_properties(f32::MAX);
+        g.set_property(0, 0.0);
+        g.set_active(0);
+        run_graph_program(&Sssp, &mut g, &options);
+        assert_eq!(first, g.properties().to_vec());
     }
 
     /// PageRank-style program where every vertex is active every iteration;

@@ -119,9 +119,39 @@ impl BitVec {
     pub fn iter_ones(&self) -> OnesIter<'_> {
         OnesIter {
             words: &self.words,
+            base: 0,
             len: self.len,
             word_idx: 0,
             current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Iterate over the set bits whose word index lies in
+    /// `word_start..word_end` — the unit the parallel SEND phase chunks the
+    /// active set by, so that concurrent chunks never share a 64-bit word.
+    pub fn iter_ones_in_words(&self, word_start: usize, word_end: usize) -> OnesIter<'_> {
+        let end = word_end.min(self.words.len());
+        let start = word_start.min(end);
+        let words = &self.words[start..end];
+        OnesIter {
+            words,
+            base: start * WORD_BITS,
+            len: self.len,
+            word_idx: 0,
+            current: words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Overwrite this bit vector's contents from an [`AtomicBitVec`] of the
+    /// same length, without allocating. This is how the runner recycles the
+    /// active set between supersteps.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn load_from(&mut self, src: &AtomicBitVec) {
+        assert_eq!(self.len, src.len, "BitVec length mismatch in load_from");
+        for (dst, src) in self.words.iter_mut().zip(src.words.iter()) {
+            *dst = src.load(Ordering::Relaxed);
         }
     }
 
@@ -142,6 +172,12 @@ impl BitVec {
         &self.words
     }
 
+    /// Mutable access to the raw words, for the sparse-vector writers that
+    /// hand disjoint word ranges to different threads.
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
     /// Zero out the bits beyond `len` in the last word so `count_ones` and
     /// iteration stay correct after `set_all`.
     fn mask_tail(&mut self) {
@@ -154,9 +190,11 @@ impl BitVec {
     }
 }
 
-/// Iterator over set-bit indices of a [`BitVec`].
+/// Iterator over set-bit indices of a [`BitVec`] (optionally restricted to a
+/// word range, in which case `base` is the bit index of the first word).
 pub struct OnesIter<'a> {
     words: &'a [u64],
+    base: usize,
     len: usize,
     word_idx: usize,
     current: u64,
@@ -171,7 +209,7 @@ impl Iterator for OnesIter<'_> {
             if self.current != 0 {
                 let tz = self.current.trailing_zeros() as usize;
                 self.current &= self.current - 1;
-                let idx = self.word_idx * WORD_BITS + tz;
+                let idx = self.base + self.word_idx * WORD_BITS + tz;
                 if idx < self.len {
                     return Some(idx);
                 } else {
@@ -377,6 +415,46 @@ mod tests {
         assert_eq!(bv.iter_ones().collect::<Vec<_>>(), vec![0, 64, 127]);
         let bv2 = abv.into_bitvec();
         assert_eq!(bv, bv2);
+    }
+
+    #[test]
+    fn iter_ones_in_words_matches_full_iteration() {
+        let mut bv = BitVec::new(300);
+        let targets = [0usize, 1, 63, 64, 65, 127, 128, 255, 299];
+        for &t in &targets {
+            bv.set(t);
+        }
+        // Any word-range split must partition the full iteration.
+        for split in [0usize, 1, 2, 3, 4] {
+            let lo: Vec<usize> = bv.iter_ones_in_words(0, split).collect();
+            let hi: Vec<usize> = bv.iter_ones_in_words(split, bv.words().len()).collect();
+            let mut all = lo;
+            all.extend(hi);
+            assert_eq!(all, targets.to_vec(), "split at word {split}");
+        }
+        // Out-of-range word bounds are clamped, not panicking.
+        assert_eq!(bv.iter_ones_in_words(90, 100).count(), 0);
+    }
+
+    #[test]
+    fn load_from_atomic_reuses_storage() {
+        let mut bv = BitVec::new(130);
+        bv.set(5);
+        let abv = AtomicBitVec::new(130);
+        abv.set(0);
+        abv.set(64);
+        abv.set(129);
+        bv.load_from(&abv);
+        assert_eq!(bv.iter_ones().collect::<Vec<_>>(), vec![0, 64, 129]);
+        assert!(!bv.get(5), "old contents must be overwritten");
+    }
+
+    #[test]
+    #[should_panic]
+    fn load_from_length_mismatch_panics() {
+        let mut bv = BitVec::new(10);
+        let abv = AtomicBitVec::new(11);
+        bv.load_from(&abv);
     }
 
     #[test]

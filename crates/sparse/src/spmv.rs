@@ -12,10 +12,12 @@
 //!   index `k`, which is how `graphmat-core` gives `PROCESS_MESSAGE` access
 //!   to the destination vertex's property — GraphMat's key frontend
 //!   extension over CombBLAS, §4.2).
-//! * [`gspmv`] — partition-parallel kernel over a [`PartitionedDcsc`], using
-//!   an [`Executor`] for dynamic scheduling. Each partition owns a disjoint
-//!   row range, so partial outputs never conflict and are concatenated at the
-//!   end.
+//! * [`gspmv_into`] / [`gspmv`] — partition-parallel kernel over a
+//!   [`PartitionedDcsc`], using an [`Executor`] for dynamic scheduling. Each
+//!   partition owns a disjoint row range, so all partitions write directly
+//!   into **one** shared output vector through a disjoint-row-range writer —
+//!   no per-partition partial vectors, no stitch pass, zero allocation in
+//!   `gspmv_into` (see its "Allocation contract" section).
 //! * [`gspmv_semiring`] — convenience wrapper taking a [`Semiring`] instead
 //!   of closures (used by the plain linear-algebra benches and the
 //!   CombBLAS-style baseline).
@@ -66,22 +68,103 @@ pub fn gspmv_dcsc_into<X, E, Y, V, M, A>(
     M: Fn(&X, &E, Index) -> Y,
     A: Fn(&mut Y, Y),
 {
-    // Algorithm 1: for each non-empty column j of Gᵀ present in x,
-    // process every stored row k and reduce into y[k].
+    walk_columns(matrix, x, multiply, |k, product| {
+        y.merge(k, product, |acc, v| add(acc, v))
+    });
+}
+
+/// The Algorithm-1 column walk shared by the sequential and parallel kernels:
+/// for each non-empty column `j` of (a partition of) `Gᵀ` present in `x`,
+/// multiply `x[j]` against every stored entry `(k, j)` and hand the
+/// `(row, product)` pair to `sink` — which reduces into either a plain
+/// [`SparseVector`] or a shard of one.
+#[inline(always)]
+fn walk_columns<X, E, Y, V, M>(
+    matrix: &Dcsc<E>,
+    x: &V,
+    multiply: &M,
+    mut sink: impl FnMut(Index, Y),
+) where
+    V: MessageVector<X>,
+    M: Fn(&X, &E, Index) -> Y,
+{
     for (j, rows, edges) in matrix.iter_cols() {
         if let Some(xj) = x.get(j) {
             for (k, e) in rows.iter().zip(edges) {
-                let product = multiply(xj, e, *k);
-                y.merge(*k, product, |acc, v| add(acc, v));
+                sink(*k, multiply(xj, e, *k));
             }
         }
     }
 }
 
 /// Partition-parallel generalized SpMV (Algorithm 1 + optimizations 3 and 4
-/// of §4.5). Partitions are processed dynamically by the executor's threads;
-/// since partitions own disjoint row ranges their partial outputs are simply
-/// concatenated into the final sparse vector.
+/// of §4.5), writing into a caller-provided output vector.
+///
+/// `y` is cleared and then filled in place. All partitions write directly
+/// into `y` through a disjoint-row-range writer ([`SparseVector::sharded`]):
+/// each partition owns a contiguous, non-overlapping row range (a
+/// [`PartitionedDcsc`] construction invariant), so no two tasks ever touch
+/// the same output entry and no stitching pass is needed.
+///
+/// # Allocation contract
+///
+/// Steady-state cost is **O(active entries) work and zero allocation** —
+/// this function never allocates, regardless of thread or partition count.
+/// The first version of this kernel allocated one O(n) `SparseVector` per
+/// partition (O(n · partitions) zero-initialised memory per superstep with
+/// the paper's `8 × threads` partitioning) and then stitched the partials
+/// sequentially; that cost is gone. Callers running many supersteps should
+/// reuse one `y` across calls (the engine's workspace does exactly that).
+pub fn gspmv_into<X, E, Y, V, M, A>(
+    matrix: &PartitionedDcsc<E>,
+    x: &V,
+    multiply: &M,
+    add: &A,
+    executor: &Executor,
+    y: &mut SparseVector<Y>,
+) where
+    V: MessageVector<X> + Sync,
+    X: Sync,
+    E: Sync,
+    Y: Clone + Default + Send,
+    M: Fn(&X, &E, Index) -> Y + Sync,
+    A: Fn(&mut Y, Y) + Sync,
+{
+    assert_eq!(
+        y.len(),
+        matrix.nrows() as usize,
+        "output vector length must match the matrix row count"
+    );
+    y.clear();
+    if x.nnz() == 0 {
+        return;
+    }
+    let nparts = matrix.n_partitions();
+    if executor.nthreads() == 1 || nparts == 1 {
+        for part in matrix.partitions() {
+            gspmv_dcsc_into(&part.matrix, x, multiply, add, y);
+        }
+        return;
+    }
+
+    let shards = y.sharded();
+    executor.for_each_dynamic(nparts, |p| {
+        let part = matrix.partition(p);
+        let mut newly_set = 0usize;
+        walk_columns(&part.matrix, x, multiply, |k, product| {
+            // SAFETY: partitions own disjoint row ranges, so row `k` is
+            // merged by this task only (the same argument that makes the
+            // runner's parallel APPLY sound).
+            unsafe { shards.merge(k, product, &mut newly_set, |acc, v| add(acc, v)) };
+        });
+        shards.commit(newly_set);
+    });
+    drop(shards); // folds the per-task counts into y's nnz
+}
+
+/// Partition-parallel generalized SpMV returning a freshly allocated output
+/// vector. Convenience wrapper over [`gspmv_into`] — hot loops should call
+/// [`gspmv_into`] with a reused vector instead.
 pub fn gspmv<X, E, Y, V, M, A>(
     matrix: &PartitionedDcsc<E>,
     x: &V,
@@ -97,20 +180,8 @@ where
     M: Fn(&X, &E, Index) -> Y + Sync,
     A: Fn(&mut Y, Y) + Sync,
 {
-    let n = matrix.nrows() as usize;
-    let partials: Vec<SparseVector<Y>> = executor.run_dynamic(matrix.n_partitions(), |p| {
-        let part = matrix.partition(p);
-        gspmv_dcsc(&part.matrix, x, multiply, add)
-    });
-
-    // Stitch the disjoint partial outputs together. Each partial only has
-    // entries inside its partition's row range, so plain `set` is correct.
-    let mut y: SparseVector<Y> = SparseVector::new(n);
-    for partial in &partials {
-        for (k, v) in partial.iter() {
-            y.set(k, v.clone());
-        }
-    }
+    let mut y: SparseVector<Y> = SparseVector::new(matrix.nrows() as usize);
+    gspmv_into(matrix, x, multiply, add, executor, &mut y);
     y
 }
 
@@ -239,6 +310,99 @@ mod tests {
         let seq = gspmv_semiring(&pd_seq, &x, &PlusTimes, &Executor::sequential());
         let par = gspmv_semiring(&pd_par, &x, &PlusTimes, &Executor::new(4));
         assert_eq!(seq.to_entries(), par.to_entries());
+    }
+
+    #[test]
+    fn shared_output_matches_stitch_on_unbalanced_partitions() {
+        // Regression test for the shared-output rewrite of `gspmv`: heavily
+        // unbalanced partitions (one huge, several tiny, boundaries inside a
+        // single 64-bit bitmap word) must produce exactly what sequential
+        // per-partition accumulation — the old stitch path — produced.
+        use crate::partition::RowRange;
+        let n = 150u32;
+        let mut coo: Coo<i64> = Coo::new(n, n);
+        let mut state = 99u64;
+        for _ in 0..1200 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let r = ((state >> 33) % 150) as u32;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let c = ((state >> 33) % 150) as u32;
+            coo.push(r, c, ((state >> 40) % 100) as i64 - 50);
+        }
+        // Word-unaligned, very skewed ranges: 0..130 | 130..131 | 131..133 | 133..150
+        let ranges = [
+            RowRange { start: 0, end: 130 },
+            RowRange {
+                start: 130,
+                end: 131,
+            },
+            RowRange {
+                start: 131,
+                end: 133,
+            },
+            RowRange {
+                start: 133,
+                end: 150,
+            },
+        ];
+        let pd = PartitionedDcsc::from_coo(&coo, &ranges);
+        let mut x: SparseVector<i64> = SparseVector::new(n as usize);
+        for i in (0..n).step_by(2) {
+            x.set(i, i as i64 + 1);
+        }
+
+        // Old stitch-path semantics: sequential partial per partition, then set.
+        let mut stitched: SparseVector<i64> = SparseVector::new(n as usize);
+        for part in pd.partitions() {
+            let partial: SparseVector<i64> =
+                gspmv_dcsc(&part.matrix, &x, &|m, e, _| m * e, &|a: &mut i64, v| {
+                    *a += v
+                });
+            for (k, v) in partial.iter() {
+                stitched.set(k, *v);
+            }
+        }
+
+        let shared = gspmv(
+            &pd,
+            &x,
+            &|m: &i64, e: &i64, _| m * e,
+            &|a: &mut i64, v| *a += v,
+            &Executor::new(4),
+        );
+        assert_eq!(shared.nnz(), stitched.nnz());
+        assert_eq!(shared.to_entries(), stitched.to_entries());
+    }
+
+    #[test]
+    fn gspmv_into_reuses_output_and_clears_stale_entries() {
+        let gt = PartitionedDcsc::from_coo_even(&figure3_graph_transpose(), 2);
+        let mut y: SparseVector<f32> = SparseVector::new(5);
+        let ex = Executor::new(2);
+        // First superstep: frontier {A}.
+        let mut x: SparseVector<f32> = SparseVector::new(5);
+        x.set(0, 0.0);
+        gspmv_into(
+            &gt,
+            &x,
+            &|m: &f32, e: &f32, _| m + e,
+            &|acc: &mut f32, v| *acc = acc.min(v),
+            &ex,
+            &mut y,
+        );
+        assert_eq!(y.to_entries(), vec![(1, 1.0), (2, 3.0), (3, 2.0)]);
+        // Reuse y for a different frontier: stale entries must vanish.
+        x.clear();
+        x.set(3, 2.0);
+        gspmv_into(
+            &gt,
+            &x,
+            &|m: &f32, e: &f32, _| m + e,
+            &|acc: &mut f32, v| *acc = acc.min(v),
+            &ex,
+            &mut y,
+        );
+        assert_eq!(y.to_entries(), vec![(4, 4.0)]);
     }
 
     #[test]

@@ -15,9 +15,29 @@
 //!
 //! Both implement [`MessageVector`], the minimal interface the generalized
 //! SpMV needs from its input vector.
+//!
+//! # Concurrent writers
+//!
+//! Two write handles let multiple threads populate **one** [`SparseVector`]
+//! in place, which is what keeps the superstep hot path allocation-free:
+//!
+//! * [`Sharded`] (from [`SparseVector::sharded`]) — for writers that own
+//!   *disjoint index sets* whose boundaries are not word-aligned, e.g. the
+//!   row partitions of the generalized SpMV. Validity bits are published
+//!   with atomic `fetch_or` because neighbouring shards can share a 64-bit
+//!   word at a range boundary.
+//! * [`WordRangeWriter`] (inside [`SparseVector::fill_words_parallel`]) —
+//!   for writers chunked on *word boundaries*, e.g. the SEND phase scanning
+//!   the active-vertex bit vector. No atomics needed: chunks never share a
+//!   word.
 
 use crate::bitvec::BitVec;
+use crate::parallel::{chunks, Executor};
 use crate::{ix, Index};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+const WORD_BITS: usize = 64;
 
 /// The read interface the generalized SpMV requires from its input vector.
 pub trait MessageVector<T> {
@@ -142,6 +162,231 @@ impl<T> SparseVector<T> {
     {
         self.iter().map(|(i, v)| (i, v.clone())).collect()
     }
+
+    /// Logical length (number of vertices); same as
+    /// [`MessageVector::len`], provided inherently for convenience.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if no entries are set.
+    pub fn is_empty(&self) -> bool {
+        self.nnz == 0
+    }
+
+    /// Number of set entries; same as [`MessageVector::nnz`], provided
+    /// inherently for convenience.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Create a shared handle through which multiple threads may merge
+    /// entries concurrently, provided they touch **disjoint index sets**
+    /// (see [`Sharded::merge`]). Dropping the handle folds the threads'
+    /// newly-set counts back into `nnz`.
+    pub fn sharded(&mut self) -> Sharded<'_, T> {
+        Sharded {
+            values: self.values.as_mut_ptr(),
+            words: self.valid.words_mut().as_mut_ptr(),
+            len: self.values.len(),
+            added: AtomicUsize::new(0),
+            nnz: &mut self.nnz as *mut usize,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Populate the vector in parallel from **word-aligned chunks** of its
+    /// index space. `f` is invoked once per chunk with a [`WordRangeWriter`]
+    /// restricted to that chunk's word range `[word_start, word_end)`; since
+    /// the executor hands each chunk to exactly one lane and no two chunks
+    /// share a 64-bit validity word, all writes are plain (non-atomic) and
+    /// race-free. `nnz` is updated once at the end.
+    ///
+    /// The index space is over-split into several word chunks per lane and
+    /// dynamically scheduled, so a frontier clustered in one contiguous id
+    /// range (e.g. a BFS wavefront on a locality-ordered graph) does not
+    /// serialize on a single lane.
+    ///
+    /// This is the SEND-phase primitive: the engine scans the active-vertex
+    /// bit vector word range and inserts one message per sending vertex,
+    /// with no allocation and no locks.
+    pub fn fill_words_parallel<F>(&mut self, executor: &Executor, f: F)
+    where
+        T: Send,
+        F: Fn(&mut WordRangeWriter<'_, T>) + Sync,
+    {
+        let nwords = self.valid.words().len();
+        if nwords == 0 {
+            return;
+        }
+        let added = AtomicUsize::new(0);
+        let parts = RawParts {
+            values: self.values.as_mut_ptr(),
+            words: self.valid.words_mut().as_mut_ptr(),
+            len: self.values.len(),
+        };
+        let ch = chunks(nwords, executor.nthreads() * 4);
+        executor.for_each_dynamic(ch.count(), |chunk_idx| {
+            let (word_start, word_end) = ch.bounds(chunk_idx);
+            let mut writer = WordRangeWriter {
+                parts,
+                word_start,
+                word_end,
+                added: 0,
+                _marker: PhantomData,
+            };
+            f(&mut writer);
+            added.fetch_add(writer.added, Ordering::Relaxed);
+        });
+        self.nnz += added.load(Ordering::Relaxed);
+    }
+}
+
+/// Raw storage pointers of a [`SparseVector`], shared across the lanes of a
+/// parallel fill. Disjointness of the written regions is enforced by the
+/// writer types built on top.
+struct RawParts<T> {
+    values: *mut T,
+    words: *mut u64,
+    len: usize,
+}
+
+impl<T> Clone for RawParts<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for RawParts<T> {}
+
+// SAFETY: the pointers come from an exclusive (&mut) borrow of the vector
+// that outlives the parallel region, and the writer types only touch
+// disjoint regions from different threads.
+unsafe impl<T: Send> Send for RawParts<T> {}
+unsafe impl<T: Send> Sync for RawParts<T> {}
+
+/// Concurrent merge handle for writers owning disjoint index sets (e.g. the
+/// disjoint row ranges of SpMV partitions). Created by
+/// [`SparseVector::sharded`].
+///
+/// Because two shards may share a validity *word* (range boundaries are not
+/// word-aligned), validity bits are read and published atomically; values
+/// need no atomics since indices are disjoint.
+pub struct Sharded<'a, T> {
+    values: *mut T,
+    words: *mut u64,
+    len: usize,
+    added: AtomicUsize,
+    nnz: *mut usize,
+    _marker: PhantomData<&'a mut SparseVector<T>>,
+}
+
+// SAFETY: see `RawParts`; additionally `added` is atomic and `nnz` is only
+// dereferenced in Drop, after all threads are done (the borrow rules force
+// the parallel region to end before the handle can be dropped by its owner).
+unsafe impl<T: Send> Send for Sharded<'_, T> {}
+unsafe impl<T: Send> Sync for Sharded<'_, T> {}
+
+impl<T> Sharded<'_, T> {
+    /// Insert-or-update entry `i`, mirroring [`SparseVector::merge`].
+    /// `newly_set` is the caller's thread-local counter of entries this
+    /// thread set for the first time; pass its final value to
+    /// [`Sharded::commit`] once the thread's work is done.
+    ///
+    /// # Safety
+    /// For the whole time the handle is shared, index `i` must be written by
+    /// **at most one** thread (disjoint index ownership). `i` must be within
+    /// bounds.
+    #[inline(always)]
+    pub unsafe fn merge(
+        &self,
+        i: Index,
+        value: T,
+        newly_set: &mut usize,
+        merge: impl FnOnce(&mut T, T),
+    ) {
+        let i = ix(i);
+        debug_assert!(i < self.len, "index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % WORD_BITS);
+        // Neighbouring shards may concurrently update other bits of this
+        // word, so all word accesses go through an atomic view.
+        let word = &*(self.words.add(i / WORD_BITS) as *const AtomicU64);
+        if word.load(Ordering::Relaxed) & mask != 0 {
+            merge(&mut *self.values.add(i), value);
+        } else {
+            *self.values.add(i) = value;
+            word.fetch_or(mask, Ordering::Relaxed);
+            *newly_set += 1;
+        }
+    }
+
+    /// Fold a thread's local newly-set count into the vector's `nnz`
+    /// (applied when the handle is dropped).
+    pub fn commit(&self, newly_set: usize) {
+        self.added.fetch_add(newly_set, Ordering::Relaxed);
+    }
+}
+
+impl<T> Drop for Sharded<'_, T> {
+    fn drop(&mut self) {
+        // SAFETY: the exclusive borrow of the vector is still alive and all
+        // worker threads have finished (the executor joins before returning).
+        unsafe { *self.nnz += self.added.load(Ordering::Relaxed) };
+    }
+}
+
+/// Write handle restricted to one word-aligned chunk of a [`SparseVector`],
+/// handed out by [`SparseVector::fill_words_parallel`]. All writes are plain
+/// stores; the containment check in [`WordRangeWriter::set`] is what makes
+/// the shared-nothing claim sound, so it is a hard assert.
+pub struct WordRangeWriter<'a, T> {
+    parts: RawParts<T>,
+    word_start: usize,
+    word_end: usize,
+    added: usize,
+    _marker: PhantomData<&'a mut SparseVector<T>>,
+}
+
+impl<T> WordRangeWriter<'_, T> {
+    /// The word range `[start, end)` this writer may touch.
+    pub fn word_range(&self) -> (usize, usize) {
+        (self.word_start, self.word_end)
+    }
+
+    /// The index range `[start, end)` this writer may set.
+    pub fn index_range(&self) -> (usize, usize) {
+        (
+            self.word_start * WORD_BITS,
+            (self.word_end * WORD_BITS).min(self.parts.len),
+        )
+    }
+
+    /// Set index `i` to `value`, overwriting any previous value (same
+    /// semantics as [`SparseVector::set`]).
+    ///
+    /// # Panics
+    /// Panics if `i` falls outside this writer's word range.
+    #[inline(always)]
+    pub fn set(&mut self, i: Index, value: T) {
+        let i = ix(i);
+        let w = i / WORD_BITS;
+        assert!(
+            w >= self.word_start && w < self.word_end && i < self.parts.len,
+            "index {i} outside this writer's word range [{}, {})",
+            self.word_start,
+            self.word_end
+        );
+        // SAFETY: the assert above confines `i` to this chunk's words, and
+        // chunks are disjoint across threads.
+        unsafe {
+            *self.parts.values.add(i) = value;
+            let word = self.parts.words.add(w);
+            let mask = 1u64 << (i % WORD_BITS);
+            if *word & mask == 0 {
+                *word |= mask;
+                self.added += 1;
+            }
+        }
+    }
 }
 
 impl<T> MessageVector<T> for SparseVector<T> {
@@ -174,7 +419,13 @@ impl<T> MessageVector<T> for SparseVector<T> {
 ///
 /// Membership tests are `O(log nnz)` binary searches; kept only for the
 /// Figure 7 ablation that shows why the bit-vector representation wins.
-#[derive(Clone, Debug, Default)]
+///
+/// There is deliberately no `Default` impl: a defaulted vector would have
+/// logical length 0 yet silently accept out-of-range writes, making
+/// [`MessageVector::len`] lie about the domain. Construct with
+/// [`SortedSparseVector::new`]; writes are bounds-checked in debug builds,
+/// matching [`SparseVector`].
+#[derive(Clone, Debug)]
 pub struct SortedSparseVector<T> {
     len: usize,
     entries: Vec<(Index, T)>,
@@ -191,6 +442,7 @@ impl<T> SortedSparseVector<T> {
 
     /// Set index `i` to `value`, keeping entries sorted.
     pub fn set(&mut self, i: Index, value: T) {
+        debug_assert!(ix(i) < self.len, "index {i} out of range {}", self.len);
         match self.entries.binary_search_by_key(&i, |e| e.0) {
             Ok(pos) => self.entries[pos].1 = value,
             Err(pos) => self.entries.insert(pos, (i, value)),
@@ -199,6 +451,7 @@ impl<T> SortedSparseVector<T> {
 
     /// Insert-or-update, mirroring [`SparseVector::merge`].
     pub fn merge(&mut self, i: Index, value: T, merge: impl FnOnce(&mut T, T)) {
+        debug_assert!(ix(i) < self.len, "index {i} out of range {}", self.len);
         match self.entries.binary_search_by_key(&i, |e| e.0) {
             Ok(pos) => merge(&mut self.entries[pos].1, value),
             Err(pos) => self.entries.insert(pos, (i, value)),
@@ -341,6 +594,114 @@ mod tests {
         assert_eq!(v.get(3), Some(&11));
         v.clear();
         assert_eq!(v.nnz(), 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out of range")]
+    fn sorted_vector_out_of_bounds_set_panics_in_debug() {
+        let mut v: SortedSparseVector<i32> = SortedSparseVector::new(5);
+        v.set(5, 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out of range")]
+    fn sorted_vector_out_of_bounds_merge_panics_in_debug() {
+        let mut v: SortedSparseVector<i32> = SortedSparseVector::new(3);
+        v.merge(7, 1, |a, b| *a += b);
+    }
+
+    #[test]
+    fn sharded_merge_matches_sequential_merge() {
+        // Disjoint index ranges with a boundary inside one 64-bit word.
+        let mut expected: SparseVector<u64> = SparseVector::new(200);
+        for i in 0..200u32 {
+            expected.merge(i, i as u64, |a, b| *a += b);
+            if i % 3 == 0 {
+                expected.merge(i, 1, |a, b| *a += b);
+            }
+        }
+        let mut v: SparseVector<u64> = SparseVector::new(200);
+        {
+            let shards = v.sharded();
+            let ranges = [(0u32, 70u32), (70, 130), (130, 200)];
+            std::thread::scope(|scope| {
+                for (lo, hi) in ranges {
+                    let shards = &shards;
+                    scope.spawn(move || {
+                        let mut newly = 0usize;
+                        for i in lo..hi {
+                            // SAFETY: ranges are disjoint.
+                            unsafe { shards.merge(i, i as u64, &mut newly, |a, b| *a += b) };
+                            if i % 3 == 0 {
+                                unsafe { shards.merge(i, 1, &mut newly, |a, b| *a += b) };
+                            }
+                        }
+                        shards.commit(newly);
+                    });
+                }
+            });
+        }
+        assert_eq!(v.nnz(), expected.nnz());
+        assert_eq!(v.to_entries(), expected.to_entries());
+    }
+
+    #[test]
+    fn fill_words_parallel_matches_sequential_set() {
+        let ex = Executor::new(4);
+        let mut par: SparseVector<u32> = SparseVector::new(1000);
+        par.fill_words_parallel(&ex, |w| {
+            let (lo, hi) = w.index_range();
+            for i in (lo..hi).filter(|i| i % 7 == 0) {
+                w.set(i as Index, i as u32 * 2);
+            }
+        });
+        let mut seq: SparseVector<u32> = SparseVector::new(1000);
+        for i in (0..1000).step_by(7) {
+            seq.set(i as Index, i as u32 * 2);
+        }
+        assert_eq!(par.nnz(), seq.nnz());
+        assert_eq!(par.to_entries(), seq.to_entries());
+    }
+
+    #[test]
+    fn fill_words_parallel_accumulates_nnz_across_calls() {
+        let ex = Executor::sequential();
+        let mut v: SparseVector<u8> = SparseVector::new(128);
+        v.fill_words_parallel(&ex, |w| {
+            let (lo, hi) = w.index_range();
+            for i in lo..hi.min(10) {
+                w.set(i as Index, 1);
+            }
+        });
+        assert_eq!(v.nnz(), 10);
+        // Second fill over the same indices must not double-count.
+        v.fill_words_parallel(&ex, |w| {
+            let (lo, hi) = w.index_range();
+            for i in lo..hi.min(10) {
+                w.set(i as Index, 2);
+            }
+        });
+        assert_eq!(v.nnz(), 10);
+        assert_eq!(v.get(0), Some(&2));
+    }
+
+    #[test]
+    #[should_panic(expected = "word range")]
+    fn word_range_writer_rejects_out_of_chunk_index() {
+        let mut v: SparseVector<u8> = SparseVector::new(256);
+        // Sequential executor → a single chunk covering everything, so build
+        // a writer over a sub-range via a 4-lane executor and write outside.
+        let ex = Executor::new(4);
+        v.fill_words_parallel(&ex, |w| {
+            let (lo, _) = w.word_range();
+            if lo > 0 {
+                w.set(0, 1); // outside this chunk
+            } else {
+                w.set(255, 1); // outside chunk 0 (4 words split across lanes)
+            }
+        });
     }
 
     #[test]

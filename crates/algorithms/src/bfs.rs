@@ -12,8 +12,10 @@
 //! memory traffic versus an `f32`-weighted graph of the same topology.
 
 use crate::AlgorithmOutput;
+use graphmat_core::error::Result;
 use graphmat_core::{
-    run_graph_program, EdgeDirection, Graph, GraphBuildOptions, GraphProgram, RunOptions, VertexId,
+    run_graph_program, ActivityPolicy, EdgeDirection, Graph, GraphBuildOptions, GraphProgram,
+    RunOptions, Session, Topology, VertexId,
 };
 use graphmat_io::edgelist::EdgeList;
 
@@ -135,6 +137,37 @@ pub fn bfs<E: Clone + Send + Sync>(
     }
 }
 
+/// Run BFS over a pre-built shared topology through a [`Session`] and
+/// return the per-vertex hop distance from the root.
+///
+/// The serving-shape entry point: build the topology once
+/// (`session.build_graph(&edges.symmetrized()).in_edges(false).finish()?`),
+/// share it via `Arc`, and call this from any number of threads
+/// concurrently. Unlike [`bfs`], no preprocessing happens here — symmetrize
+/// the edge list before building if the search should ignore direction.
+///
+/// # Errors
+///
+/// [`graphmat_core::GraphMatError::VertexOutOfRange`] if `root` is not a
+/// vertex of the topology.
+pub fn bfs_on<E: Clone + Send + Sync>(
+    session: &Session,
+    topology: &Topology<E>,
+    root: VertexId,
+) -> Result<AlgorithmOutput<u32>> {
+    session
+        .run(topology, BfsProgram::<E>::default())
+        .init_all(UNREACHED)
+        .seed_with(root, 0)
+        // BFS semantics are fixed: frontier-driven, run to convergence —
+        // session-wide run defaults must not silently truncate or
+        // over-activate the search.
+        .activity(ActivityPolicy::Changed)
+        .until_convergence()
+        .execute()
+        .map(AlgorithmOutput::from)
+}
+
 /// Queue-based reference BFS used by tests.
 pub fn bfs_reference<E: Clone>(edges: &EdgeList<E>, root: VertexId, symmetrize: bool) -> Vec<u32> {
     let symmetric;
@@ -214,6 +247,54 @@ mod tests {
     fn out_of_range_root_panics() {
         let el = chain_with_branch();
         let _ = bfs(&el, &BfsConfig::from_root(99), &RunOptions::sequential());
+    }
+
+    #[test]
+    fn session_driver_matches_facade() {
+        let el = chain_with_branch();
+        let session = Session::sequential();
+        let topo = session
+            .build_graph(&el.symmetrized())
+            .in_edges(false)
+            .finish()
+            .unwrap();
+        let on = bfs_on(&session, &topo, 0).unwrap();
+        let facade = bfs(&el, &BfsConfig::from_root(0), &RunOptions::sequential());
+        assert_eq!(on.values, facade.values);
+        assert!(on.converged);
+
+        // Misuse is an error, not a panic.
+        let err = bfs_on(&session, &topo, 99).unwrap_err();
+        assert_eq!(
+            err,
+            graphmat_core::GraphMatError::VertexOutOfRange {
+                vertex: 99,
+                num_vertices: 6
+            }
+        );
+    }
+
+    #[test]
+    fn session_run_defaults_cannot_truncate_the_search() {
+        // A session whose run defaults cap iterations at 1 (say, for
+        // PageRank-style workloads) must not silently truncate a
+        // convergence-driven driver: bfs_on pins its own termination.
+        use graphmat_core::{RunOptions, SessionOptions};
+        let session = Session::new(
+            SessionOptions::default()
+                .with_threads(1)
+                .with_run_defaults(RunOptions::sequential().with_max_iterations(1)),
+        )
+        .unwrap();
+        let el = chain_with_branch();
+        let topo = session
+            .build_graph(&el.symmetrized())
+            .in_edges(false)
+            .finish()
+            .unwrap();
+        let out = bfs_on(&session, &topo, 0).unwrap();
+        assert!(out.converged);
+        assert_eq!(out.values, vec![0, 1, 2, 3, 2, UNREACHED]);
     }
 
     #[test]

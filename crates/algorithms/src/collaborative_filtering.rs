@@ -23,9 +23,10 @@
 //! pure-semiring frameworks lack.
 
 use crate::AlgorithmOutput;
+use graphmat_core::error::Result;
 use graphmat_core::{
     run_graph_program, ActivityPolicy, EdgeDirection, Graph, GraphBuildOptions, GraphProgram,
-    RunOptions, VertexId,
+    RunOptions, Session, Topology, VertexId,
 };
 use graphmat_io::bipartite::RatingsGraph;
 use graphmat_io::edgelist::{EdgeList, EdgeWeight};
@@ -180,6 +181,59 @@ pub fn collaborative_filtering_edges<E: EdgeWeight>(
     }
 }
 
+/// Run collaborative filtering over a pre-built shared topology through a
+/// [`Session`].
+///
+/// The serving-shape variant of [`collaborative_filtering_edges`]. The
+/// topology must be built from the bipartite ratings edge list **with
+/// in-edges enabled** (the default) — the program scatters in both
+/// directions, and a topology without the `G` matrix yields
+/// [`graphmat_core::GraphMatError::MissingInMatrix`]. `config.build` is
+/// ignored. A `config.iterations` of `0` returns the deterministic initial
+/// latent vectors without running.
+pub fn collaborative_filtering_on<E: EdgeWeight>(
+    session: &Session,
+    topology: &Topology<E>,
+    config: &CfConfig,
+) -> Result<AlgorithmOutput<Vec<f64>>> {
+    if config.latent_dims == 0 {
+        return Err(graphmat_core::GraphMatError::InvalidParameter(
+            "collaborative filtering needs at least one latent dimension",
+        ));
+    }
+    let k = config.latent_dims;
+    let seed = config.seed;
+    let initial = move |v: VertexId| CfVertex {
+        features: (0..k).map(|i| init_feature(seed, v, i, k)).collect(),
+    };
+    if config.iterations == 0 {
+        let n = topology.num_vertices();
+        return Ok(AlgorithmOutput {
+            values: (0..n).map(|v| initial(v).features).collect(),
+            stats: crate::zero_superstep_stats(topology, session),
+            converged: false,
+        });
+    }
+
+    let program = CfProgram::<E> {
+        lambda: config.lambda,
+        gamma: config.gamma,
+        _edge: std::marker::PhantomData,
+    };
+    let outcome = session
+        .run(topology, program)
+        .init_with(initial)
+        .activate_all()
+        .activity(ActivityPolicy::AlwaysAll)
+        .max_iterations(config.iterations)
+        .execute()?;
+    Ok(AlgorithmOutput {
+        values: outcome.values.into_iter().map(|p| p.features).collect(),
+        stats: outcome.stats,
+        converged: outcome.converged,
+    })
+}
+
 /// Deterministic pseudo-random initial feature value in `[0, 1/√K)`.
 fn init_feature(seed: u64, v: VertexId, i: usize, k: usize) -> f64 {
     let mut h = seed
@@ -286,6 +340,41 @@ mod tests {
                 assert!((x - y).abs() < 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn session_driver_matches_facade_and_needs_in_edges() {
+        let ratings = small_ratings();
+        let cfg = CfConfig {
+            latent_dims: 4,
+            iterations: 5,
+            ..Default::default()
+        };
+        let session = Session::sequential();
+        let topo = session.build_graph(&ratings.edges).finish().unwrap();
+        let on = collaborative_filtering_on(&session, &topo, &cfg).unwrap();
+        let facade = collaborative_filtering(&ratings, &cfg, &RunOptions::sequential());
+        assert_eq!(on.values, facade.values);
+
+        let out_only = session
+            .build_graph(&ratings.edges)
+            .in_edges(false)
+            .finish()
+            .unwrap();
+        assert_eq!(
+            collaborative_filtering_on(&session, &out_only, &cfg).unwrap_err(),
+            graphmat_core::GraphMatError::MissingInMatrix
+        );
+
+        // Invalid config is an error on the session path, never a panic.
+        let bad = CfConfig {
+            latent_dims: 0,
+            ..cfg
+        };
+        assert!(matches!(
+            collaborative_filtering_on(&session, &topo, &bad).unwrap_err(),
+            graphmat_core::GraphMatError::InvalidParameter(_)
+        ));
     }
 
     #[test]

@@ -9,8 +9,10 @@
 //! paper's productivity claim.
 
 use crate::AlgorithmOutput;
+use graphmat_core::error::Result;
 use graphmat_core::{
-    run_graph_program, EdgeDirection, Graph, GraphBuildOptions, GraphProgram, RunOptions, VertexId,
+    run_graph_program, ActivityPolicy, EdgeDirection, Graph, GraphBuildOptions, GraphProgram,
+    RunOptions, Session, Topology, VertexId,
 };
 use graphmat_io::edgelist::EdgeList;
 
@@ -103,6 +105,29 @@ pub fn connected_components<E: Clone + Send + Sync>(
     }
 }
 
+/// Compute connected components over a pre-built shared topology through a
+/// [`Session`].
+///
+/// The serving-shape entry point. Connected components are defined on the
+/// undirected graph, so build the topology from a **symmetrized** edge list
+/// (`session.build_graph(&edges.symmetrized()).in_edges(false).finish()?`);
+/// no preprocessing happens here.
+pub fn connected_components_on<E: Clone + Send + Sync>(
+    session: &Session,
+    topology: &Topology<E>,
+) -> Result<AlgorithmOutput<u32>> {
+    session
+        .run(topology, CcProgram::<E>::default())
+        .init_with(|v| v)
+        .activate_all()
+        // Label propagation must run until no label changes; don't let
+        // session run defaults truncate or over-activate it.
+        .activity(ActivityPolicy::Changed)
+        .until_convergence()
+        .execute()
+        .map(AlgorithmOutput::from)
+}
+
 /// Number of distinct components in a label assignment.
 pub fn component_count(labels: &[u32]) -> usize {
     let mut sorted: Vec<u32> = labels.to_vec();
@@ -167,6 +192,20 @@ mod tests {
         );
         let reference = connected_components_reference(&el);
         assert_eq!(out.values, reference);
+    }
+
+    #[test]
+    fn session_driver_matches_facade() {
+        let el = EdgeList::from_pairs(6, vec![(0, 1), (1, 2), (3, 4)]);
+        let session = Session::sequential();
+        let topo = session
+            .build_graph(&el.symmetrized())
+            .in_edges(false)
+            .finish()
+            .unwrap();
+        let on = connected_components_on(&session, &topo).unwrap();
+        let facade = connected_components(&el, &CcConfig::default(), &RunOptions::sequential());
+        assert_eq!(on.values, facade.values);
     }
 
     #[test]

@@ -9,8 +9,10 @@
 //! bookkeeping.
 
 use crate::AlgorithmOutput;
+use graphmat_core::error::Result;
 use graphmat_core::{
-    run_graph_program, EdgeDirection, Graph, GraphBuildOptions, GraphProgram, RunOptions, VertexId,
+    run_graph_program, EdgeDirection, Graph, GraphBuildOptions, GraphProgram, RunOptions, Session,
+    Topology, VertexId,
 };
 use graphmat_io::edgelist::EdgeList;
 
@@ -87,6 +89,49 @@ pub fn out_degrees<E: Clone + Send + Sync>(
     run_degree(edges, EdgeDirection::In, options)
 }
 
+fn run_degree_on<E: Clone + Send + Sync>(
+    session: &Session,
+    topology: &Topology<E>,
+    direction: EdgeDirection,
+) -> Result<AlgorithmOutput<u64>> {
+    let program = DegreeProgram {
+        direction,
+        _edge: std::marker::PhantomData::<E>,
+    };
+    let outcome = session
+        .run(topology, program)
+        .activate_all()
+        .max_iterations(1)
+        .execute()?;
+    Ok(AlgorithmOutput {
+        values: outcome.values,
+        stats: outcome.stats,
+        converged: true,
+    })
+}
+
+/// In-degrees over a pre-built shared topology through a [`Session`]
+/// (serving-shape variant of [`in_degrees`]).
+pub fn in_degrees_on<E: Clone + Send + Sync>(
+    session: &Session,
+    topology: &Topology<E>,
+) -> Result<AlgorithmOutput<u64>> {
+    run_degree_on(session, topology, EdgeDirection::Out)
+}
+
+/// Out-degrees over a pre-built shared topology through a [`Session`].
+///
+/// # Errors
+///
+/// [`graphmat_core::GraphMatError::MissingInMatrix`] if the topology was
+/// built with `in_edges(false)` — the out-degree SpMV traverses `G`.
+pub fn out_degrees_on<E: Clone + Send + Sync>(
+    session: &Session,
+    topology: &Topology<E>,
+) -> Result<AlgorithmOutput<u64>> {
+    run_degree_on(session, topology, EdgeDirection::In)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,6 +164,24 @@ mod tests {
         let expect_out: Vec<u64> = el.out_degrees().iter().map(|&d| d as u64).collect();
         assert_eq!(ins.values, expect_in);
         assert_eq!(outs.values, expect_out);
+    }
+
+    #[test]
+    fn session_drivers_match_facades_and_surface_missing_in_matrix() {
+        let el = figure1_graph();
+        let session = Session::sequential();
+        let topo = session.build_graph(&el).finish().unwrap();
+        let ins = in_degrees_on(&session, &topo).unwrap();
+        let outs = out_degrees_on(&session, &topo).unwrap();
+        assert_eq!(ins.values, vec![0, 1, 2, 1]);
+        assert_eq!(outs.values, vec![2, 1, 1, 0]);
+
+        let out_only = session.build_graph(&el).in_edges(false).finish().unwrap();
+        assert!(in_degrees_on(&session, &out_only).is_ok());
+        assert_eq!(
+            out_degrees_on(&session, &out_only).unwrap_err(),
+            graphmat_core::GraphMatError::MissingInMatrix
+        );
     }
 
     #[test]

@@ -26,8 +26,10 @@
 //! (and the difference propagates downstream).
 
 use crate::AlgorithmOutput;
+use graphmat_core::error::Result;
 use graphmat_core::{
-    run_graph_program, EdgeDirection, Graph, GraphBuildOptions, GraphProgram, RunOptions, VertexId,
+    run_graph_program, EdgeDirection, Graph, GraphBuildOptions, GraphProgram, RunOptions, Session,
+    Topology, VertexId,
 };
 use graphmat_io::edgelist::EdgeList;
 
@@ -149,6 +151,58 @@ pub fn delta_pagerank<E: Clone + Send + Sync>(
     }
 }
 
+/// Run delta-PageRank over a pre-built shared topology through a
+/// [`Session`] (serving-shape variant of [`delta_pagerank`]; `config.build`
+/// is ignored).
+pub fn delta_pagerank_on<E: Clone + Send + Sync>(
+    session: &Session,
+    topology: &Topology<E>,
+    config: &DeltaPageRankConfig,
+) -> Result<AlgorithmOutput<f64>> {
+    // NaN must be rejected alongside non-positive values — a NaN tolerance
+    // would make every `increment.abs() >= tolerance` false and return a
+    // bogus "converged" result.
+    if config.tolerance.is_nan() || config.tolerance <= 0.0 {
+        return Err(graphmat_core::GraphMatError::InvalidParameter(
+            "delta-PageRank tolerance must be positive",
+        ));
+    }
+    // Zero iterations returns the initial state without running, matching
+    // the facade and the other fixed-iteration session drivers.
+    if config.max_iterations == 0 {
+        return Ok(AlgorithmOutput {
+            values: vec![config.random_surf; topology.num_vertices() as usize],
+            stats: crate::zero_superstep_stats(topology, session),
+            converged: false,
+        });
+    }
+    let degrees = topology.out_degrees();
+    let r = config.random_surf;
+    let program = DeltaPageRankProgram::<E> {
+        random_surf: config.random_surf,
+        tolerance: config.tolerance,
+        _edge: std::marker::PhantomData,
+    };
+    let outcome = session
+        .run(topology, program)
+        .init_with(|v| DeltaPrVertex {
+            rank: r,
+            delta: r,
+            degree: degrees[v as usize],
+        })
+        .activate_all()
+        // The whole point of the delta formulation is a shrinking
+        // changed-only frontier; pin it against session defaults.
+        .activity(graphmat_core::ActivityPolicy::Changed)
+        .max_iterations(config.max_iterations)
+        .execute()?;
+    Ok(AlgorithmOutput {
+        values: outcome.values.iter().map(|p| p.rank).collect(),
+        stats: outcome.stats,
+        converged: outcome.converged,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,6 +277,18 @@ mod tests {
     }
 
     #[test]
+    fn session_driver_matches_facade_bit_for_bit() {
+        let el = test_graph();
+        let cfg = DeltaPageRankConfig::default();
+        let session = Session::sequential();
+        let topo = session.build_graph(&el).in_edges(false).finish().unwrap();
+        let on = delta_pagerank_on(&session, &topo, &cfg).unwrap();
+        let facade = delta_pagerank(&el, &cfg, &RunOptions::sequential());
+        assert_eq!(on.values, facade.values);
+        assert_eq!(on.converged, facade.converged);
+    }
+
+    #[test]
     fn parallel_matches_sequential() {
         let el = test_graph();
         let cfg = DeltaPageRankConfig::default();
@@ -230,6 +296,42 @@ mod tests {
         let par = delta_pagerank(&el, &cfg, &RunOptions::default().with_threads(4));
         for (a, b) in seq.values.iter().zip(par.values.iter()) {
             assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_iterations_returns_initial_ranks_like_the_facade() {
+        let el = test_graph();
+        let cfg = DeltaPageRankConfig {
+            max_iterations: 0,
+            ..Default::default()
+        };
+        let session = Session::sequential();
+        let topo = session.build_graph(&el).in_edges(false).finish().unwrap();
+        let on = delta_pagerank_on(&session, &topo, &cfg).unwrap();
+        let facade = delta_pagerank(&el, &cfg, &RunOptions::sequential());
+        assert_eq!(on.values, facade.values);
+        assert!(on.values.iter().all(|&r| r == cfg.random_surf));
+        assert!(!on.converged);
+    }
+
+    #[test]
+    fn zero_tolerance_is_an_error_on_the_session_path() {
+        let el = test_graph();
+        let session = Session::sequential();
+        let topo = session.build_graph(&el).in_edges(false).finish().unwrap();
+        for tolerance in [0.0, -1.0, f64::NAN] {
+            let bad = DeltaPageRankConfig {
+                tolerance,
+                ..Default::default()
+            };
+            assert!(
+                matches!(
+                    delta_pagerank_on(&session, &topo, &bad).unwrap_err(),
+                    graphmat_core::GraphMatError::InvalidParameter(_)
+                ),
+                "tolerance {tolerance} must be rejected"
+            );
         }
     }
 

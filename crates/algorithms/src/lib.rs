@@ -19,9 +19,21 @@
 //!
 //! Every algorithm follows the same pattern as the paper's appendix listing:
 //! a `*Config` struct, a `Program` implementing
-//! [`graphmat_core::GraphProgram`], and a driver function that initialises
-//! vertex properties / the active set, calls
-//! [`graphmat_core::run_graph_program`] and extracts the result.
+//! [`graphmat_core::GraphProgram`], and **two** drivers:
+//!
+//! * a legacy one-shot driver (`bfs`, `pagerank`, …) that takes an edge
+//!   list, builds a private fused [`graphmat_core::Graph`] and runs once —
+//!   convenient for scripts, but every call rebuilds the matrix;
+//! * a session driver (`bfs_on`, `pagerank_on`, …) taking
+//!   `&`[`graphmat_core::Session`] `+ &`[`graphmat_core::Topology`] — the
+//!   serving shape: the topology is built once (see
+//!   [`graphmat_core::Session::build_graph`]), shared via `Arc`, and any
+//!   number of these drivers can run against it **concurrently** from
+//!   different threads through one session. Session drivers return
+//!   `Result<AlgorithmOutput<_>, GraphMatError>` instead of panicking, and
+//!   they do *not* preprocess the graph — symmetrize / DAG-reduce the edge
+//!   list before building the topology (each driver documents what it
+//!   expects).
 //!
 //! All drivers are **generic over the edge value type**. Structure-only
 //! algorithms (BFS, connected components, degree, triangle counting,
@@ -51,4 +63,28 @@ pub struct AlgorithmOutput<T> {
     pub stats: graphmat_core::RunStats,
     /// Whether the run converged before hitting the iteration limit.
     pub converged: bool,
+}
+
+impl<T> From<graphmat_core::RunOutcome<T>> for AlgorithmOutput<T> {
+    fn from(outcome: graphmat_core::RunOutcome<T>) -> Self {
+        AlgorithmOutput {
+            values: outcome.values,
+            stats: outcome.stats,
+            converged: outcome.converged,
+        }
+    }
+}
+
+/// Stats for a session driver's zero-iteration short-circuit: no supersteps
+/// ran, but the environment facts (matrix footprint, lane count) are still
+/// reported, matching what the legacy facade's zero-superstep run records.
+pub(crate) fn zero_superstep_stats<E>(
+    topology: &graphmat_core::Topology<E>,
+    session: &graphmat_core::Session,
+) -> graphmat_core::RunStats {
+    graphmat_core::RunStats {
+        matrix_bytes: topology.matrix_bytes(),
+        nthreads: session.nthreads(),
+        ..Default::default()
+    }
 }

@@ -13,9 +13,10 @@
 //! runs a fixed number of iterations by default.
 
 use crate::AlgorithmOutput;
+use graphmat_core::error::Result;
 use graphmat_core::{
     run_graph_program, ActivityPolicy, EdgeDirection, Graph, GraphBuildOptions, GraphProgram,
-    RunOptions, VertexId,
+    RunOptions, Session, Topology, VertexId,
 };
 use graphmat_io::edgelist::EdgeList;
 
@@ -128,6 +129,52 @@ pub fn pagerank<E: Clone + Send + Sync>(
     }
 }
 
+/// Run PageRank over a pre-built shared topology through a [`Session`].
+///
+/// The serving-shape variant of [`pagerank`]: ranks depend only on the
+/// structure, so one `Arc<Topology>` serves this and any other session
+/// driver concurrently. `config.build` is ignored (the topology is already
+/// built). A `config.iterations` of `0` returns the initial ranks (1.0
+/// everywhere) without running.
+pub fn pagerank_on<E: Clone + Send + Sync>(
+    session: &Session,
+    topology: &Topology<E>,
+    config: &PageRankConfig,
+) -> Result<AlgorithmOutput<f64>> {
+    /// Every vertex starts at rank 1.0 (the paper's initialisation).
+    const INITIAL_RANK: f64 = 1.0;
+    let n = topology.num_vertices() as usize;
+    if config.iterations == 0 {
+        return Ok(AlgorithmOutput {
+            values: vec![INITIAL_RANK; n],
+            stats: crate::zero_superstep_stats(topology, session),
+            converged: false,
+        });
+    }
+    // Borrowed, not cloned: the init closure lives only as long as the
+    // builder, so the topology's degree array is read in place per query.
+    let degrees = topology.out_degrees();
+    let program = PageRankProgram::<E> {
+        random_surf: config.random_surf,
+        _edge: std::marker::PhantomData,
+    };
+    let outcome = session
+        .run(topology, program)
+        .init_with(|v| PageRankVertex {
+            rank: INITIAL_RANK,
+            degree: degrees[v as usize],
+        })
+        .activate_all()
+        .activity(ActivityPolicy::AlwaysAll)
+        .max_iterations(config.iterations)
+        .execute()?;
+    Ok(AlgorithmOutput {
+        values: outcome.values.iter().map(|p| p.rank).collect(),
+        stats: outcome.stats,
+        converged: outcome.converged,
+    })
+}
+
 /// Dense reference implementation used by tests: straightforward iteration of
 /// the paper's equation 1 over an adjacency list.
 pub fn pagerank_reference<E>(edges: &EdgeList<E>, random_surf: f64, iterations: usize) -> Vec<f64> {
@@ -220,6 +267,20 @@ mod tests {
         let out = pagerank(&el, &PageRankConfig::default(), &RunOptions::sequential());
         assert!(out.values.iter().all(|r| r.is_finite()));
         assert!(out.values[3] > 0.0);
+    }
+
+    #[test]
+    fn session_driver_matches_facade_bit_for_bit() {
+        let el = triangle_graph();
+        let cfg = PageRankConfig {
+            iterations: 15,
+            ..Default::default()
+        };
+        let session = Session::sequential();
+        let topo = session.build_graph(&el).in_edges(false).finish().unwrap();
+        let on = pagerank_on(&session, &topo, &cfg).unwrap();
+        let facade = pagerank(&el, &cfg, &RunOptions::sequential());
+        assert_eq!(on.values, facade.values);
     }
 
     #[test]

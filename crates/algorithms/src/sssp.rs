@@ -8,8 +8,10 @@
 //! new distance.
 
 use crate::AlgorithmOutput;
+use graphmat_core::error::Result;
 use graphmat_core::{
-    run_graph_program, EdgeDirection, Graph, GraphBuildOptions, GraphProgram, RunOptions, VertexId,
+    run_graph_program, ActivityPolicy, EdgeDirection, Graph, GraphBuildOptions, GraphProgram,
+    RunOptions, Session, Topology, VertexId,
 };
 use graphmat_io::edgelist::{EdgeList, EdgeWeight};
 
@@ -117,6 +119,34 @@ pub fn sssp<E: EdgeWeight>(
         stats: result.stats,
         converged: result.converged,
     }
+}
+
+/// Run SSSP over a pre-built shared topology through a [`Session`] and
+/// return the per-vertex distance from `source` ([`UNREACHABLE`] where no
+/// path exists).
+///
+/// The serving-shape entry point: one `Arc<Topology>` can serve this and
+/// other session drivers concurrently from many threads.
+///
+/// # Errors
+///
+/// [`graphmat_core::GraphMatError::VertexOutOfRange`] if `source` is not a
+/// vertex of the topology.
+pub fn sssp_on<E: EdgeWeight>(
+    session: &Session,
+    topology: &Topology<E>,
+    source: VertexId,
+) -> Result<AlgorithmOutput<f32>> {
+    session
+        .run(topology, SsspProgram::<E>::default())
+        .init_all(UNREACHABLE)
+        .seed_with(source, 0.0)
+        // Bellman-Ford must relax until quiescent with a changed-only
+        // frontier; don't let session run defaults truncate it.
+        .activity(ActivityPolicy::Changed)
+        .until_convergence()
+        .execute()
+        .map(AlgorithmOutput::from)
 }
 
 /// Dijkstra reference implementation used by tests (requires non-negative
@@ -235,6 +265,23 @@ mod tests {
             .supersteps
             .iter()
             .all(|s| s.active_vertices <= el.num_vertices() as usize));
+    }
+
+    #[test]
+    fn session_driver_matches_facade_and_rejects_bad_sources() {
+        let el = figure3();
+        let session = Session::sequential();
+        let topo = session.build_graph(&el).in_edges(false).finish().unwrap();
+        let on = sssp_on(&session, &topo, 0).unwrap();
+        assert_eq!(on.values, vec![0.0, 1.0, 2.0, 2.0, 4.0]);
+        let err = sssp_on(&session, &topo, 9).unwrap_err();
+        assert_eq!(
+            err,
+            graphmat_core::GraphMatError::VertexOutOfRange {
+                vertex: 9,
+                num_vertices: 5
+            }
+        );
     }
 
     #[test]

@@ -19,8 +19,10 @@
 //! (§5.2.1) — the behaviour the CombBLAS-style baseline reproduces.
 
 use crate::AlgorithmOutput;
+use graphmat_core::error::Result;
 use graphmat_core::{
-    run_graph_program, EdgeDirection, Graph, GraphBuildOptions, GraphProgram, RunOptions, VertexId,
+    run_graph_program, EdgeDirection, Graph, GraphBuildOptions, GraphProgram, RunOptions, Session,
+    Topology, VertexId, VertexState,
 };
 use graphmat_io::edgelist::EdgeList;
 
@@ -188,16 +190,67 @@ pub fn triangle_count<E: Clone + Send + Sync>(
     graph.set_all_active();
     let phase2 = run_graph_program(&CountTriangles::<E>::default(), &mut graph, &phase1_opts);
 
-    let mut stats = phase1.stats;
-    for step in &phase2.stats.supersteps {
-        stats.record(*step, true);
-    }
+    let stats = merge_phase_stats(phase1.stats, &phase2.stats);
 
     AlgorithmOutput {
         values: graph.properties().iter().map(|p| p.triangles).collect(),
         stats,
         converged: true,
     }
+}
+
+/// Count triangles over a pre-built shared topology through a [`Session`].
+///
+/// The serving-shape entry point. The topology must already be the strict
+/// upper-triangle DAG the algorithm expects — build it from
+/// `edges.to_dag()` (`session.build_graph(&edges.to_dag()).in_edges(false)`
+/// `.finish()?`); no preprocessing happens here.
+///
+/// Both vertex programs run through one pooled [`VertexState`]: phase 2
+/// intersects the neighbour lists phase 1 stored in the same state — the
+/// two-phase shape is exactly what per-run state (as opposed to
+/// graph-owned state) makes natural.
+pub fn triangle_count_on<E: Clone + Send + Sync + 'static>(
+    session: &Session,
+    topology: &Topology<E>,
+) -> Result<AlgorithmOutput<u64>> {
+    let mut state: VertexState<TriangleVertex> = VertexState::for_topology(topology);
+
+    let phase1 = session
+        .run(topology, CollectNeighbors::<E>::default())
+        .activate_all()
+        .max_iterations(1)
+        .execute_with(&mut state)?;
+    let phase2 = session
+        .run(topology, CountTriangles::<E>::default())
+        .activate_all()
+        .max_iterations(1)
+        .execute_with(&mut state)?;
+
+    let stats = merge_phase_stats(phase1.stats, &phase2.stats);
+    Ok(AlgorithmOutput {
+        values: state.properties().iter().map(|p| p.triangles).collect(),
+        stats,
+        converged: true,
+    })
+}
+
+/// Fold phase 2's run statistics into phase 1's. Works from the aggregate
+/// totals, not the per-superstep detail, so nothing is lost when
+/// `record_supersteps` is off (the detail, when present, is appended too).
+fn merge_phase_stats(
+    mut stats: graphmat_core::RunStats,
+    phase2: &graphmat_core::RunStats,
+) -> graphmat_core::RunStats {
+    stats.iterations += phase2.iterations;
+    stats.total_time += phase2.total_time;
+    stats.send_time += phase2.send_time;
+    stats.spmv_time += phase2.spmv_time;
+    stats.apply_time += phase2.apply_time;
+    stats.edges_processed += phase2.edges_processed;
+    stats.messages_sent += phase2.messages_sent;
+    stats.supersteps.extend(phase2.supersteps.iter().copied());
+    stats
 }
 
 /// Total number of triangles (sum of the per-vertex counts).
@@ -307,6 +360,46 @@ mod tests {
             total_triangles(&out) > 0,
             "RMAT graph should contain triangles"
         );
+    }
+
+    #[test]
+    fn session_driver_matches_facade_on_rmat() {
+        let el = graphmat_io::rmat::generate(
+            &graphmat_io::rmat::RmatConfig::triangle_counting(7).with_seed(5),
+        );
+        let session = Session::sequential();
+        let topo = session
+            .build_graph(&el.to_dag())
+            .in_edges(false)
+            .finish()
+            .unwrap();
+        let on = triangle_count_on(&session, &topo).unwrap();
+        let facade = triangle_count(
+            &el,
+            &TriangleCountConfig::default(),
+            &RunOptions::sequential(),
+        );
+        assert_eq!(on.values, facade.values);
+        assert_eq!(total_triangles(&on), triangle_count_reference(&el));
+    }
+
+    #[test]
+    fn phase_stats_survive_suppressed_superstep_detail() {
+        // With record_supersteps off the per-superstep log is empty; the
+        // merged stats must still account for both phases' totals.
+        let el = EdgeList::from_pairs(4, vec![(0, 1), (1, 2), (2, 0)]);
+        let out = triangle_count(
+            &el,
+            &TriangleCountConfig::default(),
+            &RunOptions {
+                record_supersteps: false,
+                ..RunOptions::sequential()
+            },
+        );
+        assert_eq!(total_triangles(&out), 1);
+        assert_eq!(out.stats.iterations, 2);
+        assert!(out.stats.edges_processed > 0);
+        assert!(out.stats.supersteps.is_empty());
     }
 
     #[test]

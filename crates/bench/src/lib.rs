@@ -2,7 +2,7 @@
 //! paper.
 //!
 //! The [`harness`] module contains the shared machinery: running one
-//! algorithm under one framework ([`harness::run_algorithm`]), collecting
+//! algorithm under one framework ([`harness::run_graph_algorithm`]), collecting
 //! wall time and cost counters, and formatting the paper's tables. The
 //! `figures` binary (`cargo run -p graphmat-bench --bin figures --release`)
 //! drives it to print text versions of Table 1–3 and Figures 4–7; the

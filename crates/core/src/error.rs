@@ -1,0 +1,128 @@
+//! Error type for the fallible `Session`/`Topology`/`VertexState` frontend.
+//!
+//! The original seed API panicked on misuse — an out-of-range vertex id died
+//! deep inside `Vec` indexing, an in-edge program on an out-only graph hit an
+//! `expect`. The redesigned frontend returns [`GraphMatError`] from every
+//! fallible path instead, so a serving layer embedding the engine can turn
+//! bad queries into error responses rather than crashed workers. The
+//! deprecated [`crate::graph::Graph`] facade keeps the panicking behaviour
+//! for compatibility, but its panic messages now carry the same diagnostic
+//! payload (vertex id and vertex count) as the typed errors.
+
+use crate::program::VertexId;
+
+/// Convenience alias used across the `Session` frontend.
+pub type Result<T> = std::result::Result<T, GraphMatError>;
+
+/// Everything that can go wrong when building a [`crate::topology::Topology`]
+/// or running a vertex program through a [`crate::session::Session`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphMatError {
+    /// A vertex id was outside `0..num_vertices`.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: VertexId,
+        /// Number of vertices in the graph the id was used against.
+        num_vertices: VertexId,
+    },
+    /// A thread count of zero was requested (e.g.
+    /// `SessionOptions::threads == 0` passed explicitly).
+    ZeroThreads,
+    /// An iteration limit of zero supersteps was requested on a run builder.
+    ZeroIterations,
+    /// A topology build was attempted from an edge list with no edges.
+    EmptyEdgeList,
+    /// A [`crate::state::VertexState`] was used with a
+    /// [`crate::topology::Topology`] of a different vertex count.
+    StateLengthMismatch {
+        /// Vertices the state was allocated for.
+        state_vertices: usize,
+        /// Vertices in the topology it was paired with.
+        topology_vertices: usize,
+    },
+    /// The program scatters along in-edges but the topology was built with
+    /// `build_in_edges = false`, so there is no `G` matrix to traverse.
+    MissingInMatrix,
+    /// An algorithm configuration value cannot drive a run (e.g. zero
+    /// latent dimensions for collaborative filtering, a non-positive
+    /// delta-PageRank tolerance). The payload names the parameter and the
+    /// constraint it violated.
+    InvalidParameter(&'static str),
+}
+
+impl std::fmt::Display for GraphMatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphMatError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex {vertex} out of range: the graph has {num_vertices} vertices \
+                 (valid ids are 0..{num_vertices})"
+            ),
+            GraphMatError::ZeroThreads => {
+                write!(f, "a session needs at least one thread (got 0)")
+            }
+            GraphMatError::ZeroIterations => write!(
+                f,
+                "max_iterations must be at least 1 (use an unseeded run or skip the run \
+                 entirely for zero supersteps)"
+            ),
+            GraphMatError::EmptyEdgeList => {
+                write!(f, "cannot build a topology from an edge list with no edges")
+            }
+            GraphMatError::StateLengthMismatch {
+                state_vertices,
+                topology_vertices,
+            } => write!(
+                f,
+                "vertex state sized for {state_vertices} vertices used with a topology \
+                 of {topology_vertices} vertices"
+            ),
+            GraphMatError::MissingInMatrix => write!(
+                f,
+                "program scatters along in-edges but the topology was built with \
+                 build_in_edges = false"
+            ),
+            GraphMatError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphMatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_vertex_id_and_count() {
+        let msg = GraphMatError::VertexOutOfRange {
+            vertex: 99,
+            num_vertices: 6,
+        }
+        .to_string();
+        assert!(msg.contains("99"), "{msg}");
+        assert!(msg.contains('6'), "{msg}");
+    }
+
+    #[test]
+    fn display_includes_state_and_topology_lengths() {
+        let msg = GraphMatError::StateLengthMismatch {
+            state_vertices: 4,
+            topology_vertices: 8,
+        }
+        .to_string();
+        assert!(msg.contains('4') && msg.contains('8'), "{msg}");
+    }
+
+    #[test]
+    fn errors_are_comparable_and_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(GraphMatError::ZeroThreads);
+        assert!(!e.to_string().is_empty());
+        assert_eq!(GraphMatError::EmptyEdgeList, GraphMatError::EmptyEdgeList);
+        assert_ne!(GraphMatError::ZeroThreads, GraphMatError::ZeroIterations);
+    }
+}

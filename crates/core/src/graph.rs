@@ -1,99 +1,42 @@
-//! The graph container: vertex properties, active set, and the partitioned
-//! adjacency matrices.
+//! The legacy fused graph container, kept as a thin facade.
 //!
-//! A [`Graph`] owns
+//! **Soft-deprecated.** `Graph<V, E>` predates the
+//! [`Topology`] / [`VertexState`] split: it fuses
+//! the immutable adjacency matrices with the per-run mutable state (vertex
+//! properties + active set) in one struct, which forces `&mut` access for
+//! any run and therefore a full matrix clone for any second concurrent run.
+//! New code should use [`crate::session::Session`] to build an
+//! `Arc<Topology<E>>` once and run any number of programs against it, each
+//! with its own `VertexState<V>` — see the crate-level migration table.
 //!
-//! * the transposed adjacency matrix `Gᵀ` split into 1-D row partitions of
-//!   DCSC (paper §4.4.1) — this is what out-edge message scattering multiplies
-//!   against, because `y = Gᵀ·x` delivers each source's message to the rows
-//!   (destinations) of its out-edges;
-//! * optionally the non-transposed matrix `G` for in-edge scattering;
-//! * one user-defined property value per vertex;
-//! * the active-vertex bit vector (paper §4.3: "the set of active vertices is
-//!   maintained using a boolean array for performance reasons").
-//!
-//! The number of partitions defaults to `8 × available threads`, matching the
-//! `nthreads * 8` choice in the paper's appendix listing, and partitions are
-//! balanced by edge count to keep the skewed RMAT/social graphs from
-//! serialising on one heavy partition.
+//! The facade remains because the old API is convenient for single-query
+//! scripts and because removing it would turn a migration into a rewrite:
+//! every inherent method below delegates to the topology or state half, at
+//! zero cost (the struct is literally the pair). `#[deprecated]` is not used
+//! so existing `-D warnings` builds keep compiling; the docs are the
+//! deprecation notice.
 
 use crate::program::VertexId;
+use crate::state::VertexState;
+use crate::topology::Topology;
 use graphmat_io::edgelist::EdgeList;
-use graphmat_sparse::bitvec::{AtomicBitVec, BitVec};
-use graphmat_sparse::parallel::available_threads;
-use graphmat_sparse::partition::{PartitionedDcsc, RowPartitioner};
+use graphmat_sparse::bitvec::BitVec;
+use graphmat_sparse::partition::PartitionedDcsc;
 
-/// Options controlling graph construction.
-#[derive(Clone, Copy, Debug)]
-pub struct GraphBuildOptions {
-    /// Number of matrix partitions; `0` picks `partition_factor × threads`.
-    pub num_partitions: usize,
-    /// Multiplier applied to the thread count when `num_partitions == 0`
-    /// (the paper uses 8).
-    pub partition_factor: usize,
-    /// Balance partitions by edge count (`true`, the paper's load-balancing
-    /// optimization) or split rows evenly (`false`, the naive layout used as
-    /// the Figure 7 baseline).
-    pub balance_partitions: bool,
-    /// Also build the non-transposed matrix so programs can scatter along
-    /// in-edges ([`crate::program::EdgeDirection::In`] / `Both`).
-    pub build_in_edges: bool,
-}
-
-impl Default for GraphBuildOptions {
-    fn default() -> Self {
-        GraphBuildOptions {
-            num_partitions: 0,
-            partition_factor: 8,
-            balance_partitions: true,
-            build_in_edges: true,
-        }
-    }
-}
-
-impl GraphBuildOptions {
-    /// Explicitly set the number of partitions.
-    pub fn with_partitions(mut self, n: usize) -> Self {
-        self.num_partitions = n;
-        self
-    }
-
-    /// Enable or disable nnz-balanced partitioning.
-    pub fn with_balancing(mut self, balance: bool) -> Self {
-        self.balance_partitions = balance;
-        self
-    }
-
-    /// Enable or disable construction of the in-edge matrix.
-    pub fn with_in_edges(mut self, build: bool) -> Self {
-        self.build_in_edges = build;
-        self
-    }
-
-    fn effective_partitions(&self) -> usize {
-        if self.num_partitions == 0 {
-            (self.partition_factor.max(1)) * available_threads()
-        } else {
-            self.num_partitions
-        }
-    }
-}
+pub use crate::topology::GraphBuildOptions;
 
 /// A graph prepared for GraphMat execution, with vertex properties of type
 /// `V` and edge values of type `E` (`f32` by default; `()` for unweighted
 /// graphs, whose matrices then store no edge value bytes at all).
+///
+/// This is the pre-`Session` facade: exactly one [`Topology`] paired with
+/// exactly one [`VertexState`]. Prefer building the two halves separately
+/// through [`crate::session::Session`] — that is what allows concurrent runs
+/// over one shared matrix.
 #[derive(Clone, Debug)]
 pub struct Graph<V, E = f32> {
-    nvertices: VertexId,
-    nedges: usize,
-    /// `Gᵀ`: row = destination, column = source. Used for out-edge scatter.
-    out_matrix: PartitionedDcsc<E>,
-    /// `G`: row = source, column = destination. Used for in-edge scatter.
-    in_matrix: Option<PartitionedDcsc<E>>,
-    out_degrees: Vec<u32>,
-    in_degrees: Vec<u32>,
-    properties: Vec<V>,
-    active: BitVec,
+    topology: Topology<E>,
+    state: VertexState<V>,
 }
 
 impl<V: Clone + Default, E: Clone> Graph<V, E> {
@@ -101,108 +44,114 @@ impl<V: Clone + Default, E: Clone> Graph<V, E> {
     /// `V::default()` and every vertex to inactive. The edge value type of
     /// the edge list carries over into the DCSC matrices unchanged.
     pub fn from_edge_list(edges: &EdgeList<E>, options: GraphBuildOptions) -> Self {
-        let n = edges.num_vertices();
-        let nparts = options.effective_partitions().max(1);
-
-        let transpose_coo = edges.to_transpose_coo();
-        let out_matrix = if options.balance_partitions {
-            let ranges = RowPartitioner::balanced_nnz(&transpose_coo.row_counts(), nparts);
-            PartitionedDcsc::from_coo(&transpose_coo, &ranges)
-        } else {
-            PartitionedDcsc::from_coo_even(&transpose_coo, nparts)
-        };
-
-        let in_matrix = if options.build_in_edges {
-            let adj_coo = edges.to_adjacency_coo();
-            Some(if options.balance_partitions {
-                let ranges = RowPartitioner::balanced_nnz(&adj_coo.row_counts(), nparts);
-                PartitionedDcsc::from_coo(&adj_coo, &ranges)
-            } else {
-                PartitionedDcsc::from_coo_even(&adj_coo, nparts)
-            })
-        } else {
-            None
-        };
-
-        let out_degrees: Vec<u32> = edges.out_degrees().into_iter().map(|d| d as u32).collect();
-        let in_degrees: Vec<u32> = edges.in_degrees().into_iter().map(|d| d as u32).collect();
-
-        Graph {
-            nvertices: n,
-            nedges: edges.num_edges(),
-            out_matrix,
-            in_matrix,
-            out_degrees,
-            in_degrees,
-            properties: vec![V::default(); n as usize],
-            active: BitVec::new(n as usize),
-        }
+        let topology = Topology::from_edge_list(edges, options);
+        let state = VertexState::for_topology(&topology);
+        Graph { topology, state }
     }
 }
 
 impl<V, E> Graph<V, E> {
+    /// Pair an existing topology with an existing state. Panics if the two
+    /// halves disagree on the vertex count (use
+    /// [`VertexState::check_matches`] for the fallible check).
+    pub fn from_parts(topology: Topology<E>, state: VertexState<V>) -> Self {
+        if let Err(e) = state.check_matches(&topology) {
+            panic!("{e}");
+        }
+        Graph { topology, state }
+    }
+
+    /// The immutable structural half.
+    pub fn topology(&self) -> &Topology<E> {
+        &self.topology
+    }
+
+    /// The mutable per-run half.
+    pub fn state(&self) -> &VertexState<V> {
+        &self.state
+    }
+
+    /// Mutable access to the per-run half.
+    pub fn state_mut(&mut self) -> &mut VertexState<V> {
+        &mut self.state
+    }
+
+    /// Split-borrow both halves (what the runner uses: the superstep reads
+    /// the topology while APPLY mutates the state).
+    pub fn parts_mut(&mut self) -> (&Topology<E>, &mut VertexState<V>) {
+        (&self.topology, &mut self.state)
+    }
+
+    /// Decompose into the two halves — the migration path from a fused
+    /// `Graph` to an `Arc<Topology>` plus per-run states.
+    pub fn into_parts(self) -> (Topology<E>, VertexState<V>) {
+        (self.topology, self.state)
+    }
+
     /// Number of vertices.
     pub fn num_vertices(&self) -> VertexId {
-        self.nvertices
+        self.topology.num_vertices()
     }
 
     /// Number of directed edges.
     pub fn num_edges(&self) -> usize {
-        self.nedges
+        self.topology.num_edges()
     }
 
     /// Out-degree of vertex `v`.
     pub fn out_degree(&self, v: VertexId) -> u32 {
-        self.out_degrees[v as usize]
+        self.topology.out_degree(v)
     }
 
     /// In-degree of vertex `v`.
     pub fn in_degree(&self, v: VertexId) -> u32 {
-        self.in_degrees[v as usize]
+        self.topology.in_degree(v)
     }
 
     /// All out-degrees (indexed by vertex id).
     pub fn out_degrees(&self) -> &[u32] {
-        &self.out_degrees
+        self.topology.out_degrees()
     }
 
     /// All in-degrees (indexed by vertex id).
     pub fn in_degrees(&self) -> &[u32] {
-        &self.in_degrees
+        self.topology.in_degrees()
     }
 
     /// The partitioned `Gᵀ` used for out-edge traversal.
     pub fn out_matrix(&self) -> &PartitionedDcsc<E> {
-        &self.out_matrix
+        self.topology.out_matrix()
     }
 
     /// The partitioned `G` used for in-edge traversal, if it was built.
     pub fn in_matrix(&self) -> Option<&PartitionedDcsc<E>> {
-        self.in_matrix.as_ref()
+        self.topology.in_matrix()
     }
 
     /// Number of matrix partitions.
     pub fn num_partitions(&self) -> usize {
-        self.out_matrix.n_partitions()
+        self.topology.num_partitions()
     }
 
     /// Total in-memory footprint of the adjacency matrices in bytes,
     /// including stored edge values. For `E = ()` this is pure index cost —
     /// the visible payoff of the unweighted fast path.
     pub fn matrix_bytes(&self) -> usize {
-        self.out_matrix.bytes() + self.in_matrix.as_ref().map_or(0, |m| m.bytes())
+        self.topology.matrix_bytes()
     }
 
     // ---- vertex properties -------------------------------------------------
 
-    /// Read the property of vertex `v`.
+    /// Read the property of vertex `v`. Panics with the vertex id and the
+    /// vertex count if `v` is out of range.
     pub fn property(&self, v: VertexId) -> &V {
-        &self.properties[v as usize]
+        self.state.property(v)
     }
 
-    /// Write the property of vertex `v`.
+    /// Write the property of vertex `v`. Panics with the vertex id and the
+    /// vertex count if `v` is out of range.
     pub fn set_property(&mut self, v: VertexId, value: V) {
-        self.properties[v as usize] = value;
+        self.state.set_property(v, value);
     }
 
     /// Set every vertex's property to `value`.
@@ -210,68 +159,60 @@ impl<V, E> Graph<V, E> {
     where
         V: Clone,
     {
-        self.properties.iter_mut().for_each(|p| *p = value.clone());
+        self.state.set_all_properties(value);
     }
 
     /// Initialise every vertex's property from a function of its id.
-    pub fn init_properties(&mut self, mut f: impl FnMut(VertexId) -> V) {
-        for v in 0..self.nvertices {
-            self.properties[v as usize] = f(v);
-        }
+    pub fn init_properties(&mut self, f: impl FnMut(VertexId) -> V) {
+        self.state.init_properties(f);
     }
 
     /// Read-only view of all vertex properties (indexed by vertex id).
     pub fn properties(&self) -> &[V] {
-        &self.properties
+        self.state.properties()
     }
 
     /// Mutable view of all vertex properties.
     pub fn properties_mut(&mut self) -> &mut [V] {
-        &mut self.properties
+        self.state.properties_mut()
     }
 
     // ---- active set ---------------------------------------------------------
 
-    /// Mark vertex `v` active for the next superstep.
+    /// Mark vertex `v` active for the next superstep. Panics with the vertex
+    /// id and the vertex count if `v` is out of range.
     pub fn set_active(&mut self, v: VertexId) {
-        self.active.set(v as usize);
+        self.state.set_active(v);
     }
 
     /// Mark vertex `v` inactive.
     pub fn set_inactive(&mut self, v: VertexId) {
-        self.active.clear(v as usize);
+        self.state.set_inactive(v);
     }
 
     /// Mark every vertex active (e.g. PageRank's first iteration).
     pub fn set_all_active(&mut self) {
-        self.active.set_all();
+        self.state.set_all_active();
     }
 
     /// Mark every vertex inactive.
     pub fn clear_active(&mut self) {
-        self.active.clear_all();
+        self.state.clear_active();
     }
 
     /// Is vertex `v` currently active?
     pub fn is_active(&self, v: VertexId) -> bool {
-        self.active.get(v as usize)
+        self.state.is_active(v)
     }
 
     /// Number of currently active vertices.
     pub fn active_count(&self) -> usize {
-        self.active.count_ones()
+        self.state.active_count()
     }
 
     /// The active-set bit vector.
     pub fn active_bits(&self) -> &BitVec {
-        &self.active
-    }
-
-    /// Overwrite the active set from the concurrently-built next-superstep
-    /// bit vector, reusing the existing storage (used by the runner between
-    /// supersteps; no allocation).
-    pub(crate) fn load_active_from(&mut self, src: &AtomicBitVec) {
-        self.active.load_from(src);
+        self.state.active_bits()
     }
 }
 
@@ -415,5 +356,42 @@ mod tests {
         );
         assert_eq!(g.num_partitions(), 4);
         assert_eq!(g.out_matrix().nnz(), 3);
+    }
+
+    #[test]
+    fn facade_splits_and_reassembles() {
+        let mut g = small_graph();
+        g.set_property(1, 4.5);
+        g.set_active(1);
+        let (topo, state) = g.into_parts();
+        assert_eq!(topo.num_vertices(), 4);
+        assert_eq!(*state.property(1), 4.5);
+        let g2 = Graph::from_parts(topo, state);
+        assert!(g2.is_active(1));
+        assert_eq!(g2.num_edges(), 5);
+    }
+
+    #[test]
+    fn from_parts_rejects_mismatched_lengths() {
+        let g = small_graph();
+        let (topo, _) = g.into_parts();
+        let wrong: VertexState<f32> = VertexState::new(9);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Graph::from_parts(topo, wrong)
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains('9') && msg.contains('4'), "{msg}");
+    }
+
+    #[test]
+    fn out_of_range_property_panics_with_diagnostics() {
+        // Satellite regression: the old code panicked deep inside Vec
+        // indexing with no vertex id in the message.
+        let g = small_graph();
+        let err =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| *g.property(99))).unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("99") && msg.contains('4'), "{msg}");
     }
 }

@@ -4,47 +4,127 @@
 //! This crate is the paper's primary contribution. Users describe a graph
 //! algorithm as a [`program::GraphProgram`] — the familiar
 //! `SEND_MESSAGE` / `PROCESS_MESSAGE` / `REDUCE` / `APPLY` vertex-programming
-//! callbacks (§4.1) — and [`runner::run_graph_program`] executes it as a
-//! sequence of bulk-synchronous supersteps, each of which is one generalized
-//! SpMV over the DCSC-partitioned transposed adjacency matrix (Algorithms 1
-//! and 2 of the paper).
+//! callbacks (§4.1) — and the runner executes it as a sequence of
+//! bulk-synchronous supersteps, each of which is one generalized SpMV over
+//! the DCSC-partitioned transposed adjacency matrix (Algorithms 1 and 2 of
+//! the paper).
+//!
+//! # The three-layer API
+//!
+//! GraphMat's productivity claim is a frontend over a **fixed** sparse
+//! matrix: build the matrix once, run many vertex programs against it. The
+//! API is organised around exactly that split:
+//!
+//! 1. [`topology::Topology<E>`] — the immutable build product: partitioned
+//!    DCSC out/in matrices, degree arrays. `Sync`, cheap to wrap in an
+//!    `Arc`, queryable from many threads at once, never mutated by a run.
+//! 2. [`state::VertexState<V>`] — the mutable per-run half: vertex
+//!    properties plus the active bit vector (and a cached engine
+//!    workspace). Created fresh per query, or pooled and reused across
+//!    runs.
+//! 3. [`session::Session`] — the owning handle: one persistent
+//!    [`Executor`](graphmat_sparse::parallel::Executor) pool plus fluent
+//!    builders for topologies ([`session::Session::build_graph`]) and runs
+//!    ([`session::Session::run`]). Fallible paths return
+//!    [`error::GraphMatError`] instead of panicking.
+//!
+//! ```
+//! use graphmat_core::session::Session;
+//! # use graphmat_core::program::{GraphProgram, VertexId};
+//! # use graphmat_io::edgelist::EdgeList;
+//! # struct Sssp;
+//! # impl GraphProgram for Sssp {
+//! #     type VertexProp = f32; type Message = f32; type Reduced = f32; type Edge = f32;
+//! #     fn send_message(&self, _v: VertexId, d: &f32) -> Option<f32> { Some(*d) }
+//! #     fn process_message(&self, m: &f32, e: &f32, _d: &f32) -> f32 { m + e }
+//! #     fn reduce(&self, acc: &mut f32, v: f32) { if v < *acc { *acc = v; } }
+//! #     fn apply(&self, r: &f32, d: &mut f32) { if *r < *d { *d = *r; } }
+//! # }
+//!
+//! let session = Session::with_defaults()?;
+//! # let edges = EdgeList::from_tuples(3, vec![(0, 1, 1.0), (1, 2, 1.0)]);
+//! let topology = session.build_graph(&edges).partitions(16).finish()?;
+//! let outcome = session
+//!     .run(&topology, Sssp)
+//!     .init_all(f32::MAX)
+//!     .seed_with(0, 0.0)
+//!     .max_iterations(50)
+//!     .execute()?;
+//! assert!(outcome.converged);
+//! # Ok::<(), graphmat_core::error::GraphMatError>(())
+//! ```
+//!
+//! Because the topology is shared by reference, N threads can run N
+//! different programs against one graph **concurrently** through one
+//! session — the matrix is never cloned. That separation is what a serving
+//! frontend (many independent queries over one resident graph) needs.
+//!
+//! # Migrating from the fused `Graph` API
+//!
+//! [`graph::Graph<V, E>`] (one topology fused with one state) remains as a
+//! thin delegating facade, but new code should use the session frontend:
+//!
+//! | old (fused `Graph`) | new (`Session`/`Topology`/`VertexState`) |
+//! |---|---|
+//! | `Graph::from_edge_list(&edges, opts)` | `session.build_graph(&edges).partitions(16).finish()?` |
+//! | `GraphBuildOptions::default().with_in_edges(false)` | `.in_edges(false)` on the graph builder |
+//! | `graph.set_all_properties(v)` | `.init_all(v)` on the run builder |
+//! | `graph.init_properties(f)` | `.init_with(f)` on the run builder |
+//! | `graph.set_property(src, 0.0); graph.set_active(src)` | `.seed_with(src, 0.0)` on the run builder |
+//! | `graph.set_all_active()` | `.activate_all()` on the run builder |
+//! | `RunOptions::default().with_max_iterations(50)` | `.max_iterations(50)` on the run builder |
+//! | `run_graph_program(&prog, &mut graph, &opts)` | `session.run(&topo, prog)…execute()?` |
+//! | `graph.properties()` after the run | `outcome.values` (moved, not cloned) |
+//! | clone the whole `Graph` per concurrent run | share one `Arc<Topology>`, one `VertexState` per run |
+//! | panics on misuse | typed [`error::GraphMatError`]s |
+//!
+//! Lower-level entry points remain for advanced embedding:
+//! [`runner::run_program`] (explicit topology + state + executor +
+//! workspace) is what both the session and the facades reduce to.
+//!
+//! # Edge-type genericity (PR-1)
 //!
 //! The whole stack is generic over the **edge value type**: a program
-//! declares `GraphProgram::Edge` and runs on a `Graph<V, E>` whose DCSC
-//! matrices store exactly that type. `Edge = ()` is the zero-cost unweighted
-//! fast path — `Vec<()>` stores nothing, so BFS, connected components,
-//! degree and triangle counting traverse matrices with no edge value bytes
-//! at all.
+//! declares [`program::GraphProgram::Edge`] and runs on matrices that store
+//! exactly that type. `Edge = ()` is the zero-cost unweighted fast path —
+//! `Vec<()>` stores nothing, so BFS, connected components, degree and
+//! triangle counting traverse matrices with no edge value bytes at all.
+//! See [`program`] for the PR-1 migration guide from the hardcoded-`f32`
+//! API.
 //!
 //! Module map:
 //!
-//! * [`program`] — the `GraphProgram` trait (including the `Edge` associated
-//!   type and a migration guide from the old hardcoded-`f32` API) and
-//!   edge-direction selection.
-//! * [`graph`] — [`graph::Graph`]: vertex properties, the active set, and the
-//!   partitioned adjacency matrices (`Gᵀ` for out-edge traversal, `G` for
-//!   in-edge traversal), generic over the edge type.
-//! * [`engine`] — one superstep: build the message vector from active
-//!   vertices (in parallel over active-bitvector words for large frontiers),
-//!   run the generalized SpMV into a reusable workspace.
+//! * [`program`] — the `GraphProgram` trait and edge-direction selection.
+//! * [`topology`] — the immutable, shareable matrix half.
+//! * [`state`] — the mutable per-run half (bounds-checked accessors with
+//!   descriptive diagnostics; `try_*` variants return errors).
+//! * [`session`] — the session frontend: executor pool + builders.
+//! * [`error`] — [`error::GraphMatError`].
+//! * [`graph`] — the legacy fused facade ([`graph::Graph`]).
+//! * [`engine`] — one superstep: SEND + generalized SpMV into a reusable
+//!   workspace.
 //! * [`runner`] — the iteration loop with convergence detection and the
-//!   APPLY phase (Algorithm 2). One persistent worker pool and one
-//!   workspace serve the whole run: the superstep loop spawns no threads
-//!   and is allocation-free in the steady state.
-//! * [`options`] — run-time knobs (threads, dispatch mode, sparse-vector
-//!   representation) including the ablation toggles for the paper's Figure 7.
-//! * [`stats`] — per-superstep and whole-run statistics plus the cost-model
-//!   counters consumed by the Figure 6 benchmark.
+//!   APPLY phase (Algorithm 2).
+//! * [`options`] — run-time knobs including the Figure 7 ablation toggles.
+//! * [`stats`] — per-superstep and whole-run statistics.
 
 pub mod engine;
+pub mod error;
 pub mod graph;
 pub mod options;
 pub mod program;
 pub mod runner;
+pub mod session;
+pub mod state;
 pub mod stats;
+pub mod topology;
 
+pub use error::GraphMatError;
 pub use graph::{Graph, GraphBuildOptions};
 pub use options::{ActivityPolicy, DispatchMode, RunOptions, VectorKind};
 pub use program::{EdgeDirection, GraphProgram, VertexId};
-pub use runner::{run_graph_program, run_graph_program_with, RunResult};
+pub use runner::{run_graph_program, run_graph_program_with, run_program, RunResult};
+pub use session::{GraphBuilder, RunBuilder, RunOutcome, Session, SessionOptions};
+pub use state::VertexState;
 pub use stats::{RunStats, SuperstepStats};
+pub use topology::Topology;

@@ -8,7 +8,17 @@
 //! (sorted-tuple sparse vectors instead of bitvector-backed ones, and dynamic
 //! dispatch of the user callbacks instead of monomorphised/inlined calls,
 //! standing in for compiling without `-ipo`).
+//!
+//! # Thread-count resolution
+//!
+//! `nthreads == 0` means "use every available hardware thread" and is
+//! resolved in exactly one place: [`RunOptions::effective_threads`]. The
+//! resolved value (always ≥ 1) is what gets passed to
+//! [`Executor::new`], which since the `Session` redesign *asserts* on zero
+//! instead of silently clamping — the old code clamped in both places, and
+//! the two clamps could disagree about what `0` meant.
 
+use crate::error::{GraphMatError, Result};
 use graphmat_sparse::parallel::{available_threads, Executor};
 
 /// How the user's `process_message`/`reduce` callbacks are dispatched inside
@@ -51,14 +61,16 @@ pub enum VectorKind {
     Sorted,
 }
 
-/// Options controlling one `run_graph_program` invocation.
+/// Options controlling one run of a vertex program.
 #[derive(Clone, Copy, Debug)]
 pub struct RunOptions {
     /// Number of worker threads; `0` means use all available hardware
-    /// threads.
+    /// threads (resolved once, by [`RunOptions::effective_threads`]).
     pub nthreads: usize,
     /// Maximum number of supersteps; `None` runs until no vertex changes
-    /// state (the paper's `-1` argument).
+    /// state (the paper's `-1` argument). `Some(0)` is rejected by
+    /// [`RunOptions::validate`] — a zero-superstep "run" is a no-op the
+    /// caller should skip instead of requesting.
     pub max_iterations: Option<usize>,
     /// Callback dispatch mode (Figure 7 "+ipo" ablation).
     pub dispatch: DispatchMode,
@@ -122,7 +134,21 @@ impl RunOptions {
         self
     }
 
-    /// The effective number of threads this configuration will use.
+    /// Check the options for values that cannot drive a run:
+    /// `max_iterations == Some(0)` yields [`GraphMatError::ZeroIterations`].
+    /// Called by the `Session` frontend at construction and before every
+    /// builder-driven run; the legacy facades keep their permissive
+    /// behaviour (a `Some(0)` run simply executes zero supersteps).
+    pub fn validate(&self) -> Result<()> {
+        if self.max_iterations == Some(0) {
+            return Err(GraphMatError::ZeroIterations);
+        }
+        Ok(())
+    }
+
+    /// The effective number of threads this configuration will use — the
+    /// **single** place where `nthreads == 0` is resolved (to all available
+    /// hardware threads). Always returns at least 1.
     pub fn effective_threads(&self) -> usize {
         if self.nthreads == 0 {
             available_threads()
@@ -134,7 +160,8 @@ impl RunOptions {
     /// Build the executor for this configuration. For more than one thread
     /// this spawns the persistent worker pool, so build it once per run (as
     /// `run_graph_program` does) or once per process and share it across
-    /// runs via `run_graph_program_with` — never per superstep.
+    /// runs via a [`crate::session::Session`] or
+    /// [`crate::runner::run_graph_program_with`] — never per superstep.
     pub fn executor(&self) -> Executor {
         Executor::new(self.effective_threads())
     }
@@ -151,6 +178,7 @@ mod tests {
         assert_eq!(o.vector, VectorKind::Bitvector);
         assert!(o.max_iterations.is_none());
         assert!(o.effective_threads() >= 1);
+        assert!(o.validate().is_ok());
     }
 
     #[test]
@@ -165,6 +193,7 @@ mod tests {
         assert_eq!(o.max_iterations, Some(7));
         assert_eq!(o.dispatch, DispatchMode::Dynamic);
         assert_eq!(o.vector, VectorKind::Sorted);
+        assert!(o.validate().is_ok());
     }
 
     #[test]
@@ -172,5 +201,25 @@ mod tests {
         let o = RunOptions::sequential();
         assert_eq!(o.effective_threads(), 1);
         assert_eq!(o.executor().nthreads(), 1);
+    }
+
+    #[test]
+    fn zero_iterations_fails_validation() {
+        let o = RunOptions::default().with_max_iterations(0);
+        assert_eq!(o.validate(), Err(GraphMatError::ZeroIterations));
+        assert!(RunOptions::default()
+            .with_max_iterations(1)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn effective_threads_is_the_single_resolution_point() {
+        // 0 resolves to available parallelism here — Executor::new never
+        // sees a zero (it asserts instead of clamping).
+        let o = RunOptions::default().with_threads(0);
+        let resolved = o.effective_threads();
+        assert!(resolved >= 1);
+        assert_eq!(o.executor().nthreads(), resolved);
     }
 }

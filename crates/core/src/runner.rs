@@ -1,32 +1,42 @@
 //! The superstep loop (Algorithm 2) and the APPLY phase.
 //!
-//! `run_graph_program` repeats SEND → SpMV → APPLY until no vertex changes
+//! [`run_program`] repeats SEND → SpMV → APPLY until no vertex changes
 //! state or the iteration limit is reached, following the bulk-synchronous
 //! parallel model: state written by APPLY becomes visible only in the next
 //! superstep (§4.1). After APPLY, exactly the vertices whose property changed
 //! are active for the next superstep (Algorithm 2 lines 12–13).
 //!
+//! # Topology / state split
+//!
+//! The loop reads an immutable [`Topology`] and mutates a caller-owned
+//! [`VertexState`] — nothing about the matrices changes during a run, so one
+//! `Arc<Topology>` can serve any number of concurrent [`run_program`] calls,
+//! each with its own state. Mismatched state lengths and missing in-edge
+//! matrices are reported as [`GraphMatError`]s before the first superstep.
+//!
 //! # Execution resources
 //!
 //! One [`Executor`] (a persistent pool of parked worker threads) and one
-//! [`Workspace`] (message/output/work-list buffers) are created per run and
-//! reused by every superstep — the loop itself spawns no threads and
-//! allocates nothing in the steady state. [`run_graph_program`] builds both
-//! from the [`RunOptions`]; [`run_graph_program_with`] accepts a
-//! caller-owned executor so several runs (e.g. benchmark iterations) can
-//! share one pool.
+//! [`Workspace`] (message/output/work-list buffers) serve every superstep —
+//! the loop itself spawns no threads and allocates nothing in the steady
+//! state. The [`crate::session::Session`] frontend owns a process-lifetime
+//! executor and recycles workspaces through pooled states; the legacy
+//! [`run_graph_program`] facade builds both per call.
 
 use crate::engine::{superstep_into, Workspace, PARALLEL_PHASE_MIN_WORK};
+use crate::error::{GraphMatError, Result};
 use crate::graph::Graph;
 use crate::options::{ActivityPolicy, RunOptions};
-use crate::program::GraphProgram;
+use crate::program::{EdgeDirection, GraphProgram};
+use crate::state::VertexState;
 use crate::stats::{RunStats, SuperstepStats};
+use crate::topology::Topology;
 use graphmat_sparse::parallel::{chunks, Executor};
 use graphmat_sparse::spvec::MessageVector;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-/// The outcome of a `run_graph_program` invocation.
+/// The outcome of a runner invocation.
 #[derive(Clone, Debug)]
 pub struct RunResult {
     /// Timing and work statistics for the run.
@@ -36,39 +46,39 @@ pub struct RunResult {
     pub converged: bool,
 }
 
-/// Run a vertex program on a graph until convergence or the iteration limit.
+/// Run a vertex program over an immutable topology and a caller-owned
+/// mutable state, reusing a caller-owned workspace.
 ///
-/// The graph's current vertex properties and active set are the program's
-/// initial state; algorithms are expected to set both before calling this
-/// (see the paper's appendix: set the source distance to 0 and mark it
-/// active). On return the graph holds the final vertex properties.
+/// This is the core entry point the `Session` frontend and the legacy
+/// facades both reduce to. The state's current vertex properties and active
+/// set are the program's initial state; on return the state holds the final
+/// properties.
 ///
-/// Builds one worker pool from `options` for the whole run; to reuse a pool
-/// across several runs, use [`run_graph_program_with`].
-pub fn run_graph_program<P: GraphProgram>(
+/// # Errors
+///
+/// * [`GraphMatError::StateLengthMismatch`] if `state` was allocated for a
+///   different vertex count than `topology`;
+/// * [`GraphMatError::MissingInMatrix`] if the program scatters along
+///   in-edges (`In`/`Both`) but the topology was built with
+///   `build_in_edges = false`.
+pub fn run_program<P: GraphProgram>(
     program: &P,
-    graph: &mut Graph<P::VertexProp, P::Edge>,
-    options: &RunOptions,
-) -> RunResult {
-    let executor = options.executor();
-    run_graph_program_with(program, graph, options, &executor)
-}
-
-/// Like [`run_graph_program`], but on a caller-provided executor, so the
-/// worker pool can be shared across runs. `options.nthreads` is ignored in
-/// favour of the executor's lane count.
-pub fn run_graph_program_with<P: GraphProgram>(
-    program: &P,
-    graph: &mut Graph<P::VertexProp, P::Edge>,
+    topology: &Topology<P::Edge>,
+    state: &mut VertexState<P::VertexProp>,
     options: &RunOptions,
     executor: &Executor,
-) -> RunResult {
+    ws: &mut Workspace<P>,
+) -> Result<RunResult> {
+    state.check_matches(topology)?;
+    if program.direction() != EdgeDirection::Out && !topology.has_in_edges() {
+        return Err(GraphMatError::MissingInMatrix);
+    }
+
     let mut stats = RunStats {
-        matrix_bytes: graph.matrix_bytes(),
+        matrix_bytes: topology.matrix_bytes(),
         nthreads: executor.nthreads(),
         ..RunStats::default()
     };
-    let mut ws = Workspace::<P>::new(graph.num_vertices() as usize, options);
     let mut converged = false;
     let mut iteration = 0usize;
 
@@ -78,21 +88,29 @@ pub fn run_graph_program_with<P: GraphProgram>(
                 break;
             }
         }
-        let active_before = graph.active_count();
+        let active_before = state.active_count();
         if active_before == 0 {
             converged = true;
             break;
         }
 
-        let output = superstep_into(graph, program, options, executor, active_before, &mut ws);
+        let output = superstep_into(
+            topology,
+            state,
+            program,
+            options,
+            executor,
+            active_before,
+            ws,
+        );
         let vertices_updated = ws.reduced().nnz();
-        let (apply_time, vertices_changed) = apply_phase(program, graph, &mut ws, executor);
+        let (apply_time, vertices_changed) = apply_phase(program, state, ws, executor);
 
         // Fixed-iteration algorithms (PageRank, gradient-descent CF) need
         // every vertex to rebroadcast each superstep even when its own state
         // did not change; frontier algorithms activate only changed vertices.
         if options.activity == ActivityPolicy::AlwaysAll && vertices_changed > 0 {
-            graph.set_all_active();
+            state.set_all_active();
         }
 
         let step = SuperstepStats {
@@ -111,16 +129,58 @@ pub fn run_graph_program_with<P: GraphProgram>(
         iteration += 1;
     }
 
-    RunResult { stats, converged }
+    Ok(RunResult { stats, converged })
 }
 
-/// APPLY the reduced values in the workspace, update the graph's active set,
+/// Run a vertex program on a fused [`Graph`] until convergence or the
+/// iteration limit (legacy facade over [`run_program`]).
+///
+/// The graph's current vertex properties and active set are the program's
+/// initial state; algorithms are expected to set both before calling this
+/// (see the paper's appendix: set the source distance to 0 and mark it
+/// active). On return the graph holds the final vertex properties.
+///
+/// Builds one worker pool from `options` for the whole run; to reuse a pool
+/// across several runs, use [`run_graph_program_with`] or a
+/// [`crate::session::Session`]. Panics (with the [`GraphMatError`] message)
+/// where the session frontend would return an error. Note that the
+/// in-edge-matrix requirement is validated **eagerly**: an `In`/`Both`
+/// program on an out-only graph panics even if the empty active set or a
+/// zero iteration cap means no superstep would have touched the matrix
+/// (the pre-redesign loop only failed lazily, inside the first SpMV).
+pub fn run_graph_program<P: GraphProgram>(
+    program: &P,
+    graph: &mut Graph<P::VertexProp, P::Edge>,
+    options: &RunOptions,
+) -> RunResult {
+    let executor = options.executor();
+    run_graph_program_with(program, graph, options, &executor)
+}
+
+/// Like [`run_graph_program`], but on a caller-provided executor, so the
+/// worker pool can be shared across runs. `options.nthreads` is ignored in
+/// favour of the executor's lane count.
+pub fn run_graph_program_with<P: GraphProgram>(
+    program: &P,
+    graph: &mut Graph<P::VertexProp, P::Edge>,
+    options: &RunOptions,
+    executor: &Executor,
+) -> RunResult {
+    let (topology, state) = graph.parts_mut();
+    let mut ws = Workspace::<P>::new(topology.num_vertices() as usize, options);
+    match run_program(program, topology, state, options, executor, &mut ws) {
+        Ok(result) => result,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// APPLY the reduced values in the workspace, update the state's active set,
 /// and return `(apply_time, vertices_changed)`. Reuses the workspace's
 /// `updated` list and `next_active` bit vector — no per-superstep
 /// allocation.
 fn apply_phase<P: GraphProgram>(
     program: &P,
-    graph: &mut Graph<P::VertexProp, P::Edge>,
+    state: &mut VertexState<P::VertexProp>,
     ws: &mut Workspace<P>,
     executor: &Executor,
 ) -> (std::time::Duration, usize) {
@@ -138,7 +198,7 @@ fn apply_phase<P: GraphProgram>(
     let changed_total = if executor.nthreads() == 1 || updated.len() < PARALLEL_PHASE_MIN_WORK {
         // Sequential APPLY for small work lists (see the threshold's doc).
         let mut changed = 0usize;
-        let props = graph.properties_mut();
+        let props = state.properties_mut();
         for &v in updated.iter() {
             let reduced = reduced
                 .get(v)
@@ -156,7 +216,7 @@ fn apply_phase<P: GraphProgram>(
         // Parallel APPLY over disjoint chunks of the updated-vertex list.
         // Each vertex id appears exactly once, so the unsafe shared-slice
         // writes never alias.
-        let props_ptr = SharedProps::new(graph.properties_mut());
+        let props_ptr = SharedProps::new(state.properties_mut());
         let reduced = &*reduced;
         let updated = &updated[..];
         let next_active = &*next_active;
@@ -184,7 +244,7 @@ fn apply_phase<P: GraphProgram>(
         changed.load(Ordering::Relaxed)
     };
 
-    graph.load_active_from(next_active);
+    state.load_active_from(next_active);
     (apply_start.elapsed(), changed_total)
 }
 
@@ -376,6 +436,73 @@ mod tests {
         assert_eq!(first, g.properties().to_vec());
     }
 
+    #[test]
+    fn run_program_rejects_mismatched_state() {
+        let g = figure3_graph();
+        let (topology, _) = g.into_parts();
+        let mut wrong: VertexState<f32> = VertexState::new(3);
+        let options = RunOptions::sequential();
+        let mut ws = Workspace::<Sssp>::new(topology.num_vertices() as usize, &options);
+        let err = run_program(
+            &Sssp,
+            &topology,
+            &mut wrong,
+            &options,
+            &Executor::sequential(),
+            &mut ws,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            GraphMatError::StateLengthMismatch {
+                state_vertices: 3,
+                topology_vertices: 5
+            }
+        );
+    }
+
+    #[test]
+    fn run_program_rejects_missing_in_matrix_before_running() {
+        struct Inward;
+        impl GraphProgram for Inward {
+            type VertexProp = f32;
+            type Message = f32;
+            type Reduced = f32;
+            type Edge = f32;
+            fn direction(&self) -> EdgeDirection {
+                EdgeDirection::In
+            }
+            fn send_message(&self, _v: VertexId, d: &f32) -> Option<f32> {
+                Some(*d)
+            }
+            fn process_message(&self, m: &f32, _e: &f32, _d: &f32) -> f32 {
+                *m
+            }
+            fn reduce(&self, acc: &mut f32, v: f32) {
+                *acc += v;
+            }
+            fn apply(&self, r: &f32, p: &mut f32) {
+                *p = *r;
+            }
+        }
+        let el = EdgeList::from_tuples(3, vec![(0, 1, 1.0)]);
+        let topology =
+            Topology::from_edge_list(&el, GraphBuildOptions::default().with_in_edges(false));
+        let mut state: VertexState<f32> = VertexState::for_topology(&topology);
+        let options = RunOptions::sequential();
+        let mut ws = Workspace::<Inward>::new(3, &options);
+        let err = run_program(
+            &Inward,
+            &topology,
+            &mut state,
+            &options,
+            &Executor::sequential(),
+            &mut ws,
+        )
+        .unwrap_err();
+        assert_eq!(err, GraphMatError::MissingInMatrix);
+    }
+
     /// PageRank-style program where every vertex is active every iteration;
     /// exercises the parallel APPLY path on a slightly larger graph.
     struct Rank;
@@ -428,5 +555,29 @@ mod tests {
         for (a, b) in seq.iter().zip(par.iter()) {
             assert!((a - b).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn shared_topology_serves_two_states_without_cloning() {
+        use std::sync::Arc;
+        let g = figure3_graph();
+        let (topology, _) = g.into_parts();
+        let topology = Arc::new(topology);
+        let options = RunOptions::sequential();
+        let executor = Executor::sequential();
+
+        let run_from = |source: VertexId| {
+            let mut state: VertexState<f32> = VertexState::for_topology(&topology);
+            state.set_all_properties(f32::MAX);
+            state.set_property(source, 0.0);
+            state.set_active(source);
+            let mut ws = Workspace::<Sssp>::new(topology.num_vertices() as usize, &options);
+            run_program(&Sssp, &topology, &mut state, &options, &executor, &mut ws).unwrap();
+            state.into_properties()
+        };
+
+        // Two different queries over the SAME topology instance.
+        assert_eq!(run_from(0), vec![0.0, 1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(run_from(1), vec![9.0, 0.0, 1.0, 3.0, 5.0]);
     }
 }

@@ -1,0 +1,864 @@
+//! [`Session`]: one persistent worker pool, many concurrent queries.
+//!
+//! The serving architecture GraphMat's matrix backend enables (and which
+//! RedisGraph demonstrated in production) is: build the matrix **once**,
+//! keep it resident, and answer many independent queries against it. The
+//! session is the owning handle for that pattern:
+//!
+//! * it owns one [`Executor`] — a pool of parked worker threads created at
+//!   [`Session::new`] and reused by every run; concurrent runs share the
+//!   pool safely (parallel regions are serialized inside the executor, and
+//!   phases below the parallel-work threshold run inline on the calling
+//!   thread);
+//! * [`Session::build_graph`] is a fluent builder producing an
+//!   `Arc<Topology<E>>` — the immutable, `Sync` half that any number of
+//!   runs can share without cloning;
+//! * [`Session::run`] is a fluent run builder: seed vertices, initialise
+//!   properties, cap iterations, pick the ablation toggles, then
+//!   [`RunBuilder::execute`] into a fresh [`VertexState`] or
+//!   [`RunBuilder::execute_with`] into a pooled one (which also recycles
+//!   the engine workspace cached inside the state — reruns allocate
+//!   nothing).
+//!
+//! Every fallible step returns a [`GraphMatError`] instead of panicking:
+//! out-of-range seed vertices, zero threads, empty edge lists, mismatched
+//! state lengths, missing in-edge matrices and zero iteration limits are
+//! all error responses a serving layer can hand back to a client.
+//!
+//! ```
+//! use graphmat_core::session::Session;
+//! use graphmat_core::program::{GraphProgram, VertexId};
+//! use graphmat_io::edgelist::EdgeList;
+//!
+//! struct Hops;
+//! impl GraphProgram for Hops {
+//!     type VertexProp = u32;
+//!     type Message = u32;
+//!     type Reduced = u32;
+//!     type Edge = ();
+//!     fn send_message(&self, _v: VertexId, d: &u32) -> Option<u32> { Some(*d) }
+//!     fn process_message(&self, m: &u32, _e: &(), _d: &u32) -> u32 { m.saturating_add(1) }
+//!     fn reduce(&self, acc: &mut u32, v: u32) { *acc = (*acc).min(v); }
+//!     fn apply(&self, r: &u32, d: &mut u32) { *d = (*d).min(*r); }
+//! }
+//!
+//! let session = Session::sequential();
+//! let edges = EdgeList::from_pairs(4, vec![(0, 1), (1, 2), (2, 3)]);
+//! let topo = session.build_graph(&edges).in_edges(false).finish().unwrap();
+//! let outcome = session
+//!     .run(&topo, Hops)
+//!     .init_all(u32::MAX)
+//!     .seed_with(0, 0)
+//!     .execute()
+//!     .unwrap();
+//! assert_eq!(outcome.values, vec![0, 1, 2, 3]);
+//! assert!(outcome.converged);
+//! ```
+
+use crate::engine::Workspace;
+use crate::error::{GraphMatError, Result};
+use crate::options::{ActivityPolicy, DispatchMode, RunOptions, VectorKind};
+use crate::program::{GraphProgram, VertexId};
+use crate::runner::{run_program, RunResult};
+use crate::state::VertexState;
+use crate::stats::RunStats;
+use crate::topology::{GraphBuildOptions, Topology};
+use graphmat_io::edgelist::EdgeList;
+use graphmat_sparse::parallel::{available_threads, Executor};
+use std::sync::Arc;
+
+/// Options for creating a [`Session`].
+#[derive(Clone, Copy, Debug)]
+pub struct SessionOptions {
+    /// Number of executor lanes (worker pool size). Must be at least 1 —
+    /// unlike [`RunOptions::nthreads`] there is no "0 = auto" here; use
+    /// [`SessionOptions::default`] for all available hardware threads.
+    pub threads: usize,
+    /// Default run options applied to every [`RunBuilder`] (each builder can
+    /// override them per run). The `nthreads` field is ignored: the
+    /// session's pool decides the lane count.
+    pub run_defaults: RunOptions,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        SessionOptions {
+            threads: available_threads(),
+            run_defaults: RunOptions::default(),
+        }
+    }
+}
+
+impl SessionOptions {
+    /// Set the worker-pool size.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Set the default run options.
+    pub fn with_run_defaults(mut self, defaults: RunOptions) -> Self {
+        self.run_defaults = defaults;
+        self
+    }
+}
+
+/// An owning handle over one persistent executor pool plus graph/run
+/// builders. `Session` is `Sync`: share it by reference (or `Arc`) across
+/// threads and issue concurrent runs against shared topologies.
+#[derive(Debug)]
+pub struct Session {
+    executor: Executor,
+    defaults: RunOptions,
+}
+
+impl Session {
+    /// Create a session with an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphMatError::ZeroThreads`] if `options.threads == 0`;
+    /// [`GraphMatError::ZeroIterations`] if the run defaults carry
+    /// `max_iterations == Some(0)`.
+    pub fn new(options: SessionOptions) -> Result<Session> {
+        if options.threads == 0 {
+            return Err(GraphMatError::ZeroThreads);
+        }
+        options.run_defaults.validate()?;
+        let mut defaults = options.run_defaults;
+        // The pool decides the lane count; keep the stored defaults honest.
+        defaults.nthreads = options.threads;
+        Ok(Session {
+            executor: Executor::new(options.threads),
+            defaults,
+        })
+    }
+
+    /// A session using every available hardware thread.
+    pub fn with_defaults() -> Result<Session> {
+        Session::new(SessionOptions::default())
+    }
+
+    /// A session with a pool of exactly `threads` lanes.
+    pub fn with_threads(threads: usize) -> Result<Session> {
+        Session::new(SessionOptions::default().with_threads(threads))
+    }
+
+    /// A single-threaded session (no worker pool; everything runs inline on
+    /// the calling thread). Cannot fail.
+    pub fn sequential() -> Session {
+        Session {
+            executor: Executor::sequential(),
+            defaults: RunOptions::sequential(),
+        }
+    }
+
+    /// Number of executor lanes the session's pool provides.
+    pub fn nthreads(&self) -> usize {
+        self.executor.nthreads()
+    }
+
+    /// The session's executor (for advanced callers driving
+    /// [`run_program`] directly while sharing the pool).
+    pub fn executor(&self) -> &Executor {
+        &self.executor
+    }
+
+    /// The run defaults every [`RunBuilder`] starts from.
+    pub fn run_defaults(&self) -> &RunOptions {
+        &self.defaults
+    }
+
+    /// Start building a shared topology from an edge list. When the
+    /// partition count is left automatic, it defaults to
+    /// `partition_factor ×` **this session's pool size** (the paper's
+    /// `nthreads * 8` rule) — not the machine's hardware thread count.
+    pub fn build_graph<'e, E: Clone>(&self, edges: &'e EdgeList<E>) -> GraphBuilder<'e, E> {
+        GraphBuilder {
+            edges,
+            options: GraphBuildOptions::default(),
+            threads: self.nthreads(),
+        }
+    }
+
+    /// Start building a run of `program` over `topology`. The builder
+    /// starts from the session's run defaults.
+    pub fn run<'s, 't, P: GraphProgram>(
+        &'s self,
+        topology: &'t Topology<P::Edge>,
+        program: P,
+    ) -> RunBuilder<'s, 't, P> {
+        RunBuilder {
+            session: self,
+            topology,
+            program,
+            options: self.defaults,
+            init: InitSpec::None,
+            seeds: Vec::new(),
+            activate_all: false,
+        }
+    }
+}
+
+/// Fluent builder for an `Arc<Topology<E>>` (from [`Session::build_graph`]).
+pub struct GraphBuilder<'e, E> {
+    edges: &'e EdgeList<E>,
+    options: GraphBuildOptions,
+    /// The session's pool size — what an automatic partition count
+    /// multiplies `partition_factor` by.
+    threads: usize,
+}
+
+impl<'e, E: Clone> GraphBuilder<'e, E> {
+    /// Explicitly set the number of matrix partitions (`0` = the default
+    /// `partition_factor ×` the session's pool size).
+    pub fn partitions(mut self, n: usize) -> Self {
+        self.options.num_partitions = n;
+        self
+    }
+
+    /// Set the partition multiplier used when the partition count is
+    /// automatic (the paper uses 8).
+    pub fn partition_factor(mut self, factor: usize) -> Self {
+        self.options.partition_factor = factor;
+        self
+    }
+
+    /// Balance partitions by edge count (default `true`).
+    pub fn balanced(mut self, balance: bool) -> Self {
+        self.options.balance_partitions = balance;
+        self
+    }
+
+    /// Also build the non-transposed matrix for in-edge scattering
+    /// (default `true`; `In`/`Both`-direction programs need it).
+    pub fn in_edges(mut self, build: bool) -> Self {
+        self.options.build_in_edges = build;
+        self
+    }
+
+    /// Override every construction option at once.
+    pub fn build_options(mut self, options: GraphBuildOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Build the topology, ready to be shared across concurrent runs.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphMatError::EmptyEdgeList`] if the edge list has no edges — an
+    /// all-isolated-vertices "graph" is almost always an upstream loading
+    /// bug, and the partitioner cannot balance zero edges meaningfully.
+    pub fn finish(self) -> Result<Arc<Topology<E>>> {
+        if self.edges.is_empty() {
+            return Err(GraphMatError::EmptyEdgeList);
+        }
+        // Resolve an automatic partition count against the session's pool
+        // size (the paper's `nthreads * 8`), not the machine's hardware
+        // thread count — a 1-lane session on a 64-thread host must not
+        // walk 512 partitions per SpMV.
+        let mut options = self.options;
+        options.num_partitions = options.effective_partitions_for(self.threads);
+        Ok(Arc::new(Topology::from_edge_list(self.edges, options)))
+    }
+}
+
+/// How a run builder initialises vertex properties before seeding. The
+/// lifetime lets the init closure borrow from the topology (e.g. its
+/// degree arrays) without cloning them per query.
+enum InitSpec<'t, V> {
+    /// Leave the state's current properties (warm start on pooled states;
+    /// `V::default()` on fresh ones).
+    None,
+    /// Set every property to one value.
+    All(V),
+    /// Compute every property from the vertex id.
+    Fn(Box<dyn Fn(VertexId) -> V + 't>),
+}
+
+/// The outcome of a builder-driven run: the final vertex properties plus
+/// the engine statistics.
+#[derive(Clone, Debug)]
+pub struct RunOutcome<V> {
+    /// Final per-vertex properties, indexed by vertex id (moved out of the
+    /// run's state — no clone).
+    pub values: Vec<V>,
+    /// Timing and work statistics for the run.
+    pub stats: RunStats,
+    /// `true` if the program terminated because no vertex changed state,
+    /// `false` if it hit the iteration limit.
+    pub converged: bool,
+}
+
+/// Fluent builder for one vertex-program run (from [`Session::run`]).
+pub struct RunBuilder<'s, 't, P: GraphProgram> {
+    session: &'s Session,
+    topology: &'t Topology<P::Edge>,
+    program: P,
+    options: RunOptions,
+    init: InitSpec<'t, P::VertexProp>,
+    seeds: Vec<(VertexId, Option<P::VertexProp>)>,
+    activate_all: bool,
+}
+
+impl<'s, 't, P: GraphProgram> RunBuilder<'s, 't, P> {
+    /// Mark vertex `v` active for the first superstep (validated against
+    /// the topology's vertex count at execute time).
+    pub fn seed(mut self, v: VertexId) -> Self {
+        self.seeds.push((v, None));
+        self
+    }
+
+    /// Set vertex `v`'s property to `value` *and* mark it active — the
+    /// "source distance 0, source active" idiom of the paper's appendix in
+    /// one call.
+    pub fn seed_with(mut self, v: VertexId, value: P::VertexProp) -> Self {
+        self.seeds.push((v, Some(value)));
+        self
+    }
+
+    /// Set every vertex's property to `value` before seeding.
+    pub fn init_all(mut self, value: P::VertexProp) -> Self {
+        self.init = InitSpec::All(value);
+        self
+    }
+
+    /// Compute every vertex's property from its id before seeding. The
+    /// closure may borrow from the topology (it only needs to live as long
+    /// as this builder), so per-vertex data such as
+    /// [`Topology::out_degrees`] can be read in place, without a per-query
+    /// clone.
+    pub fn init_with(mut self, f: impl Fn(VertexId) -> P::VertexProp + 't) -> Self {
+        self.init = InitSpec::Fn(Box::new(f));
+        self
+    }
+
+    /// Mark every vertex active for the first superstep (PageRank-style
+    /// programs).
+    pub fn activate_all(mut self) -> Self {
+        self.activate_all = true;
+        self
+    }
+
+    /// Cap the number of supersteps (`0` is rejected at execute time with
+    /// [`GraphMatError::ZeroIterations`]).
+    pub fn max_iterations(mut self, max: usize) -> Self {
+        self.options.max_iterations = Some(max);
+        self
+    }
+
+    /// Run until no vertex changes state (the default unless the session's
+    /// run defaults say otherwise).
+    pub fn until_convergence(mut self) -> Self {
+        self.options.max_iterations = None;
+        self
+    }
+
+    /// Select the sparse-vector representation for messages.
+    pub fn vector(mut self, vector: VectorKind) -> Self {
+        self.options.vector = vector;
+        self
+    }
+
+    /// Select the callback dispatch mode.
+    pub fn dispatch(mut self, dispatch: DispatchMode) -> Self {
+        self.options.dispatch = dispatch;
+        self
+    }
+
+    /// Select how the next superstep's active set is derived.
+    pub fn activity(mut self, activity: ActivityPolicy) -> Self {
+        self.options.activity = activity;
+        self
+    }
+
+    /// Record (or suppress) per-superstep statistics.
+    pub fn record_supersteps(mut self, record: bool) -> Self {
+        self.options.record_supersteps = record;
+        self
+    }
+
+    /// Everything about this run that can be rejected without touching any
+    /// state: option validity, seed ranges, and the in-edge matrix the
+    /// program's direction requires. Runs **before** the first mutation so
+    /// a rejected run leaves a pooled state's previous contents intact.
+    fn validate(&self) -> Result<()> {
+        self.options.validate()?;
+        for (v, _) in &self.seeds {
+            if *v >= self.topology.num_vertices() {
+                return Err(GraphMatError::VertexOutOfRange {
+                    vertex: *v,
+                    num_vertices: self.topology.num_vertices(),
+                });
+            }
+        }
+        if self.program.direction() != crate::program::EdgeDirection::Out
+            && !self.topology.has_in_edges()
+        {
+            return Err(GraphMatError::MissingInMatrix);
+        }
+        Ok(())
+    }
+
+    /// Apply init, seeds and activation to a state whose length already
+    /// matches the topology and whose seeds [`RunBuilder::validate`] has
+    /// already range-checked. Always clears the active set first so pooled
+    /// states cannot leak stale active bits into the new run.
+    fn prepare(&self, state: &mut VertexState<P::VertexProp>) {
+        state.clear_active();
+        match &self.init {
+            InitSpec::None => {}
+            InitSpec::All(value) => state.set_all_properties(value.clone()),
+            InitSpec::Fn(f) => state.init_properties(f),
+        }
+        for (v, value) in &self.seeds {
+            if let Some(value) = value {
+                state.set_property(*v, value.clone());
+            }
+            state.set_active(*v);
+        }
+        if self.activate_all {
+            state.set_all_active();
+        }
+    }
+
+    /// Run into a fresh [`VertexState`] and return the final properties.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphMatError::ZeroIterations`] for a `max_iterations(0)` request,
+    /// [`GraphMatError::VertexOutOfRange`] for a seed outside the topology,
+    /// [`GraphMatError::MissingInMatrix`] if the program needs in-edges the
+    /// topology does not have.
+    pub fn execute(self) -> Result<RunOutcome<P::VertexProp>>
+    where
+        P::VertexProp: Default,
+    {
+        self.validate()?;
+        let n = self.topology.num_vertices() as usize;
+        let mut state: VertexState<P::VertexProp> = VertexState::new(n);
+        self.prepare(&mut state);
+        let mut ws = Workspace::<P>::new(n, &self.options);
+        let result = run_program(
+            &self.program,
+            self.topology,
+            &mut state,
+            &self.options,
+            &self.session.executor,
+            &mut ws,
+        )?;
+        Ok(RunOutcome {
+            values: state.into_properties(),
+            stats: result.stats,
+            converged: result.converged,
+        })
+    }
+
+    /// Run into a caller-owned (pooled) state, recycling the engine
+    /// workspace cached inside it: the second run of the same program type
+    /// through the same state performs no buffer allocation at all.
+    ///
+    /// The state's active set is always cleared before seeding; properties
+    /// are left untouched unless [`RunBuilder::init_all`] /
+    /// [`RunBuilder::init_with`] is given (warm starts are a feature — pass
+    /// an init to get a fully deterministic cold start).
+    ///
+    /// On return the state holds the final vertex properties.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`RunBuilder::execute`] reports, plus
+    /// [`GraphMatError::StateLengthMismatch`] if the state does not match
+    /// the topology.
+    pub fn execute_with(self, state: &mut VertexState<P::VertexProp>) -> Result<RunResult>
+    where
+        P: 'static,
+    {
+        self.validate()?;
+        state.check_matches(self.topology)?;
+        self.prepare(state);
+        let n = self.topology.num_vertices() as usize;
+        let mut ws = state
+            .take_cached_workspace::<Workspace<P>>()
+            .filter(|ws| ws.is_compatible(n, &self.options))
+            .unwrap_or_else(|| Workspace::<P>::new(n, &self.options));
+        let result = run_program(
+            &self.program,
+            self.topology,
+            state,
+            &self.options,
+            &self.session.executor,
+            &mut ws,
+        );
+        state.cache_workspace(ws);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::EdgeDirection;
+
+    /// SSSP over f32 weights (the paper's appendix program).
+    struct Sssp;
+
+    impl GraphProgram for Sssp {
+        type VertexProp = f32;
+        type Message = f32;
+        type Reduced = f32;
+        type Edge = f32;
+
+        fn send_message(&self, _v: VertexId, dist: &f32) -> Option<f32> {
+            Some(*dist)
+        }
+
+        fn process_message(&self, msg: &f32, edge: &f32, _dst: &f32) -> f32 {
+            msg + edge
+        }
+
+        fn reduce(&self, acc: &mut f32, value: f32) {
+            if value < *acc {
+                *acc = value;
+            }
+        }
+
+        fn apply(&self, reduced: &f32, dist: &mut f32) {
+            if *reduced < *dist {
+                *dist = *reduced;
+            }
+        }
+    }
+
+    fn figure3_edges() -> EdgeList<f32> {
+        EdgeList::from_tuples(
+            5,
+            vec![
+                (0, 1, 1.0),
+                (0, 2, 3.0),
+                (0, 3, 2.0),
+                (1, 2, 1.0),
+                (2, 3, 2.0),
+                (3, 4, 2.0),
+                (4, 0, 4.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn session_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Session>();
+    }
+
+    #[test]
+    fn zero_threads_is_rejected() {
+        let err = Session::new(SessionOptions::default().with_threads(0)).unwrap_err();
+        assert_eq!(err, GraphMatError::ZeroThreads);
+    }
+
+    #[test]
+    fn invalid_run_defaults_are_rejected() {
+        let opts = SessionOptions::default()
+            .with_run_defaults(RunOptions::default().with_max_iterations(0));
+        assert_eq!(
+            Session::new(opts).unwrap_err(),
+            GraphMatError::ZeroIterations
+        );
+    }
+
+    #[test]
+    fn automatic_partition_count_follows_the_session_pool_size() {
+        // The paper's rule is nthreads × 8 where nthreads is what will
+        // actually run the SpMV — the session's pool, not the machine.
+        let n = 4096u32;
+        let edges = EdgeList::from_pairs(n, (0..n - 1).map(|v| (v, v + 1)));
+        for threads in [1usize, 2] {
+            let session = Session::with_threads(threads).unwrap();
+            let topo = session
+                .build_graph(&edges)
+                .in_edges(false)
+                .finish()
+                .unwrap();
+            assert_eq!(topo.num_partitions(), 8 * threads);
+        }
+        // An explicit partition count still wins.
+        let session = Session::with_threads(2).unwrap();
+        let topo = session
+            .build_graph(&edges)
+            .partitions(5)
+            .in_edges(false)
+            .finish()
+            .unwrap();
+        assert_eq!(topo.num_partitions(), 5);
+    }
+
+    #[test]
+    fn empty_edge_list_is_rejected() {
+        let session = Session::sequential();
+        let edges: EdgeList<f32> = EdgeList::new(10);
+        let err = session.build_graph(&edges).finish().unwrap_err();
+        assert_eq!(err, GraphMatError::EmptyEdgeList);
+    }
+
+    #[test]
+    fn builder_runs_figure3_sssp() {
+        let session = Session::with_threads(2).unwrap();
+        let edges = figure3_edges();
+        let topo = session
+            .build_graph(&edges)
+            .partitions(2)
+            .in_edges(false)
+            .finish()
+            .unwrap();
+        let outcome = session
+            .run(&topo, Sssp)
+            .init_all(f32::MAX)
+            .seed_with(0, 0.0)
+            .max_iterations(50)
+            .vector(VectorKind::Bitvector)
+            .execute()
+            .unwrap();
+        assert!(outcome.converged);
+        assert_eq!(outcome.values, vec![0.0, 1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(outcome.stats.nthreads, 2);
+    }
+
+    #[test]
+    fn out_of_range_seed_is_an_error_not_a_panic() {
+        let session = Session::sequential();
+        let edges = figure3_edges();
+        let topo = session.build_graph(&edges).finish().unwrap();
+        let err = session
+            .run(&topo, Sssp)
+            .seed_with(99, 0.0)
+            .execute()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            GraphMatError::VertexOutOfRange {
+                vertex: 99,
+                num_vertices: 5
+            }
+        );
+    }
+
+    /// An `EdgeDirection::In` program, shared by the missing-in-matrix
+    /// tests below.
+    struct Inward;
+    impl GraphProgram for Inward {
+        type VertexProp = f32;
+        type Message = f32;
+        type Reduced = f32;
+        type Edge = f32;
+        fn direction(&self) -> EdgeDirection {
+            EdgeDirection::In
+        }
+        fn send_message(&self, _v: VertexId, d: &f32) -> Option<f32> {
+            Some(*d)
+        }
+        fn process_message(&self, m: &f32, _e: &f32, _d: &f32) -> f32 {
+            *m
+        }
+        fn reduce(&self, acc: &mut f32, v: f32) {
+            *acc += v;
+        }
+        fn apply(&self, r: &f32, p: &mut f32) {
+            *p = *r;
+        }
+    }
+
+    #[test]
+    fn rejected_in_direction_run_leaves_a_pooled_state_untouched() {
+        let session = Session::sequential();
+        let edges = figure3_edges();
+        let topo = session
+            .build_graph(&edges)
+            .in_edges(false)
+            .finish()
+            .unwrap();
+        let mut state: VertexState<f32> = VertexState::for_topology(&topo);
+        state.set_all_properties(42.0);
+        state.set_active(2);
+        let err = session
+            .run(&*topo, Inward)
+            .init_all(0.0)
+            .activate_all()
+            .execute_with(&mut state)
+            .unwrap_err();
+        assert_eq!(err, GraphMatError::MissingInMatrix);
+        // The rejection happened before the first mutation.
+        assert!(state.properties().iter().all(|&p| p == 42.0));
+        assert_eq!(state.active_count(), 1);
+        assert!(state.is_active(2));
+    }
+
+    #[test]
+    fn rejected_seed_leaves_a_pooled_state_untouched() {
+        // A rejected run must not wipe the warm contents of a pooled state:
+        // validation happens before the first mutation.
+        let session = Session::sequential();
+        let edges = figure3_edges();
+        let topo = session
+            .build_graph(&edges)
+            .in_edges(false)
+            .finish()
+            .unwrap();
+        let mut state: VertexState<f32> = VertexState::for_topology(&topo);
+        state.set_all_properties(42.0);
+        state.set_active(3);
+        let err = session
+            .run(&*topo, Sssp)
+            .init_all(f32::MAX)
+            .seed_with(0, 0.0)
+            .seed_with(99, 0.0)
+            .execute_with(&mut state)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            GraphMatError::VertexOutOfRange {
+                vertex: 99,
+                num_vertices: 5
+            }
+        );
+        assert!(state.properties().iter().all(|&p| p == 42.0));
+        assert!(state.is_active(3));
+        assert_eq!(state.active_count(), 1);
+    }
+
+    #[test]
+    fn zero_iteration_cap_is_an_error() {
+        let session = Session::sequential();
+        let edges = figure3_edges();
+        let topo = session.build_graph(&edges).finish().unwrap();
+        let err = session
+            .run(&topo, Sssp)
+            .seed_with(0, 0.0)
+            .max_iterations(0)
+            .execute()
+            .unwrap_err();
+        assert_eq!(err, GraphMatError::ZeroIterations);
+    }
+
+    #[test]
+    fn in_direction_program_without_in_matrix_is_an_error() {
+        let session = Session::sequential();
+        let edges = figure3_edges();
+        let topo = session
+            .build_graph(&edges)
+            .in_edges(false)
+            .finish()
+            .unwrap();
+        let err = session
+            .run(&topo, Inward)
+            .activate_all()
+            .execute()
+            .unwrap_err();
+        assert_eq!(err, GraphMatError::MissingInMatrix);
+    }
+
+    #[test]
+    fn execute_with_reuses_the_cached_workspace() {
+        let session = Session::sequential();
+        let edges = figure3_edges();
+        let topo = session
+            .build_graph(&edges)
+            .in_edges(false)
+            .finish()
+            .unwrap();
+        let mut state: VertexState<f32> = VertexState::for_topology(&topo);
+
+        let run = |state: &mut VertexState<f32>| {
+            session
+                .run(&topo, Sssp)
+                .init_all(f32::MAX)
+                .seed_with(0, 0.0)
+                .execute_with(state)
+                .unwrap()
+        };
+        assert!(!state.has_cached_workspace());
+        run(&mut state);
+        assert!(state.has_cached_workspace(), "workspace cached after run 1");
+        let first = state.properties().to_vec();
+        run(&mut state);
+        assert_eq!(state.properties(), &first[..], "rerun is identical");
+
+        // A fresh execute() agrees with the pooled path.
+        let fresh = session
+            .run(&topo, Sssp)
+            .init_all(f32::MAX)
+            .seed_with(0, 0.0)
+            .execute()
+            .unwrap();
+        assert_eq!(fresh.values, first);
+    }
+
+    #[test]
+    fn stale_active_bits_do_not_leak_into_the_next_run() {
+        let session = Session::sequential();
+        let edges = figure3_edges();
+        let topo = session
+            .build_graph(&edges)
+            .in_edges(false)
+            .finish()
+            .unwrap();
+        let mut state: VertexState<f32> = VertexState::for_topology(&topo);
+        // Poison the state: everything active, garbage properties.
+        state.set_all_active();
+        state.set_all_properties(-1.0);
+        let result = session
+            .run(&topo, Sssp)
+            .init_all(f32::MAX)
+            .seed_with(1, 0.0)
+            .max_iterations(1)
+            .execute_with(&mut state)
+            .unwrap();
+        // Only the seed was active: exactly its out-neighbourhood relaxed.
+        assert_eq!(result.stats.supersteps[0].active_vertices, 1);
+        assert_eq!(*state.property(2), 1.0);
+        assert_eq!(*state.property(0), f32::MAX);
+    }
+
+    #[test]
+    fn concurrent_runs_share_one_topology_through_one_session() {
+        let session = Session::with_threads(2).unwrap();
+        let edges = figure3_edges();
+        let topo = session
+            .build_graph(&edges)
+            .in_edges(false)
+            .finish()
+            .unwrap();
+
+        let run_from = |source: VertexId| {
+            session
+                .run(&*topo, Sssp)
+                .init_all(f32::MAX)
+                .seed_with(source, 0.0)
+                .execute()
+                .unwrap()
+                .values
+        };
+        let sequential: Vec<Vec<f32>> = (0..5).map(run_from).collect();
+
+        let concurrent: Vec<Vec<f32>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..5u32)
+                .map(|source| {
+                    let session = &session;
+                    let topo = Arc::clone(&topo);
+                    s.spawn(move || {
+                        session
+                            .run(&*topo, Sssp)
+                            .init_all(f32::MAX)
+                            .seed_with(source, 0.0)
+                            .execute()
+                            .unwrap()
+                            .values
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(sequential, concurrent);
+    }
+}

@@ -1,0 +1,321 @@
+//! [`Topology`]: the immutable, `Sync`-shareable build product of graph
+//! construction.
+//!
+//! GraphMat's serving story (and the RedisGraph deployment of the same idea)
+//! rests on one separation: the adjacency matrix is built **once** and then
+//! answers many independent queries, while everything a query mutates lives
+//! somewhere else. `Topology<E>` is the immutable half:
+//!
+//! * `Gᵀ` split into 1-D row partitions of DCSC (paper §4.4.1) — what
+//!   out-edge message scattering multiplies against, because `y = Gᵀ·x`
+//!   delivers each source's message to the rows (destinations) of its
+//!   out-edges;
+//! * optionally the non-transposed `G` for in-edge scattering;
+//! * the out-/in-degree arrays.
+//!
+//! A `Topology` has no interior mutability and is `Sync`, so wrap it in an
+//! [`std::sync::Arc`] and run any number of concurrent vertex programs
+//! against the same matrices — no cloning, no locks. The mutable per-run
+//! half (vertex properties + active set) is [`crate::state::VertexState`].
+//!
+//! The number of partitions defaults to `8 × available threads`, matching
+//! the `nthreads * 8` choice in the paper's appendix listing, and partitions
+//! are balanced by edge count to keep skewed RMAT/social graphs from
+//! serialising on one heavy partition.
+
+use crate::error::{GraphMatError, Result};
+use crate::program::VertexId;
+use graphmat_io::edgelist::EdgeList;
+use graphmat_sparse::parallel::available_threads;
+use graphmat_sparse::partition::{PartitionedDcsc, RowPartitioner};
+
+/// Options controlling topology construction.
+#[derive(Clone, Copy, Debug)]
+pub struct GraphBuildOptions {
+    /// Number of matrix partitions; `0` picks `partition_factor × threads`.
+    pub num_partitions: usize,
+    /// Multiplier applied to the thread count when `num_partitions == 0`
+    /// (the paper uses 8).
+    pub partition_factor: usize,
+    /// Balance partitions by edge count (`true`, the paper's load-balancing
+    /// optimization) or split rows evenly (`false`, the naive layout used as
+    /// the Figure 7 baseline).
+    pub balance_partitions: bool,
+    /// Also build the non-transposed matrix so programs can scatter along
+    /// in-edges ([`crate::program::EdgeDirection::In`] / `Both`).
+    pub build_in_edges: bool,
+}
+
+impl Default for GraphBuildOptions {
+    fn default() -> Self {
+        GraphBuildOptions {
+            num_partitions: 0,
+            partition_factor: 8,
+            balance_partitions: true,
+            build_in_edges: true,
+        }
+    }
+}
+
+impl GraphBuildOptions {
+    /// Explicitly set the number of partitions.
+    pub fn with_partitions(mut self, n: usize) -> Self {
+        self.num_partitions = n;
+        self
+    }
+
+    /// Enable or disable nnz-balanced partitioning.
+    pub fn with_balancing(mut self, balance: bool) -> Self {
+        self.balance_partitions = balance;
+        self
+    }
+
+    /// Enable or disable construction of the in-edge matrix.
+    pub fn with_in_edges(mut self, build: bool) -> Self {
+        self.build_in_edges = build;
+        self
+    }
+
+    pub(crate) fn effective_partitions(&self) -> usize {
+        self.effective_partitions_for(available_threads())
+    }
+
+    /// Resolve the partition count against an explicit thread count (the
+    /// session passes its pool size here, so a small session on a big
+    /// machine does not build an over-partitioned matrix).
+    pub(crate) fn effective_partitions_for(&self, threads: usize) -> usize {
+        if self.num_partitions == 0 {
+            (self.partition_factor.max(1)) * threads.max(1)
+        } else {
+            self.num_partitions
+        }
+    }
+}
+
+/// The immutable structural half of a graph: partitioned DCSC adjacency
+/// matrices plus degree arrays, generic over the edge value type `E` (`()`
+/// matrices store no edge value bytes at all).
+///
+/// Build one with [`Topology::from_edge_list`] or through
+/// [`crate::session::Session::build_graph`], wrap it in an `Arc`, and share
+/// it between any number of concurrent runs — every method takes `&self` and
+/// nothing here is ever mutated after construction.
+#[derive(Clone, Debug)]
+pub struct Topology<E> {
+    nvertices: VertexId,
+    nedges: usize,
+    /// `Gᵀ`: row = destination, column = source. Used for out-edge scatter.
+    out_matrix: PartitionedDcsc<E>,
+    /// `G`: row = source, column = destination. Used for in-edge scatter.
+    in_matrix: Option<PartitionedDcsc<E>>,
+    out_degrees: Vec<u32>,
+    in_degrees: Vec<u32>,
+}
+
+impl<E: Clone> Topology<E> {
+    /// Build a topology from an edge list. The edge value type of the edge
+    /// list carries over into the DCSC matrices unchanged.
+    pub fn from_edge_list(edges: &EdgeList<E>, options: GraphBuildOptions) -> Self {
+        let n = edges.num_vertices();
+        let nparts = options.effective_partitions().max(1);
+
+        let transpose_coo = edges.to_transpose_coo();
+        let out_matrix = if options.balance_partitions {
+            let ranges = RowPartitioner::balanced_nnz(&transpose_coo.row_counts(), nparts);
+            PartitionedDcsc::from_coo(&transpose_coo, &ranges)
+        } else {
+            PartitionedDcsc::from_coo_even(&transpose_coo, nparts)
+        };
+
+        let in_matrix = if options.build_in_edges {
+            let adj_coo = edges.to_adjacency_coo();
+            Some(if options.balance_partitions {
+                let ranges = RowPartitioner::balanced_nnz(&adj_coo.row_counts(), nparts);
+                PartitionedDcsc::from_coo(&adj_coo, &ranges)
+            } else {
+                PartitionedDcsc::from_coo_even(&adj_coo, nparts)
+            })
+        } else {
+            None
+        };
+
+        let out_degrees: Vec<u32> = edges.out_degrees().into_iter().map(|d| d as u32).collect();
+        let in_degrees: Vec<u32> = edges.in_degrees().into_iter().map(|d| d as u32).collect();
+
+        Topology {
+            nvertices: n,
+            nedges: edges.num_edges(),
+            out_matrix,
+            in_matrix,
+            out_degrees,
+            in_degrees,
+        }
+    }
+}
+
+impl<E> Topology<E> {
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> VertexId {
+        self.nvertices
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.nedges
+    }
+
+    /// Out-degree of vertex `v`, or an error for an out-of-range id.
+    pub fn try_out_degree(&self, v: VertexId) -> Result<u32> {
+        self.out_degrees
+            .get(v as usize)
+            .copied()
+            .ok_or(self.out_of_range(v))
+    }
+
+    /// In-degree of vertex `v`, or an error for an out-of-range id.
+    pub fn try_in_degree(&self, v: VertexId) -> Result<u32> {
+        self.in_degrees
+            .get(v as usize)
+            .copied()
+            .ok_or(self.out_of_range(v))
+    }
+
+    /// Out-degree of vertex `v`. Panics with the vertex id and vertex count
+    /// if `v` is out of range.
+    pub fn out_degree(&self, v: VertexId) -> u32 {
+        match self.out_degrees.get(v as usize) {
+            Some(&d) => d,
+            None => panic!("{}", self.out_of_range(v)),
+        }
+    }
+
+    /// In-degree of vertex `v`. Panics with the vertex id and vertex count
+    /// if `v` is out of range.
+    pub fn in_degree(&self, v: VertexId) -> u32 {
+        match self.in_degrees.get(v as usize) {
+            Some(&d) => d,
+            None => panic!("{}", self.out_of_range(v)),
+        }
+    }
+
+    /// All out-degrees (indexed by vertex id).
+    pub fn out_degrees(&self) -> &[u32] {
+        &self.out_degrees
+    }
+
+    /// All in-degrees (indexed by vertex id).
+    pub fn in_degrees(&self) -> &[u32] {
+        &self.in_degrees
+    }
+
+    /// The partitioned `Gᵀ` used for out-edge traversal.
+    pub fn out_matrix(&self) -> &PartitionedDcsc<E> {
+        &self.out_matrix
+    }
+
+    /// The partitioned `G` used for in-edge traversal, if it was built.
+    pub fn in_matrix(&self) -> Option<&PartitionedDcsc<E>> {
+        self.in_matrix.as_ref()
+    }
+
+    /// Whether the in-edge matrix was built (`In`/`Both`-direction programs
+    /// need it).
+    pub fn has_in_edges(&self) -> bool {
+        self.in_matrix.is_some()
+    }
+
+    /// Number of matrix partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.out_matrix.n_partitions()
+    }
+
+    /// Total in-memory footprint of the adjacency matrices in bytes,
+    /// including stored edge values. For `E = ()` this is pure index cost —
+    /// the visible payoff of the unweighted fast path.
+    pub fn matrix_bytes(&self) -> usize {
+        self.out_matrix.bytes() + self.in_matrix.as_ref().map_or(0, |m| m.bytes())
+    }
+
+    /// The error for using vertex id `v` against this topology.
+    pub(crate) fn out_of_range(&self, v: VertexId) -> GraphMatError {
+        GraphMatError::VertexOutOfRange {
+            vertex: v,
+            num_vertices: self.nvertices,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn small_topology() -> Topology<f32> {
+        let el = EdgeList::from_tuples(
+            4,
+            vec![
+                (0, 1, 1.0),
+                (0, 2, 2.0),
+                (1, 2, 3.0),
+                (2, 3, 4.0),
+                (3, 0, 5.0),
+            ],
+        );
+        Topology::from_edge_list(&el, GraphBuildOptions::default().with_partitions(2))
+    }
+
+    #[test]
+    fn construction_counts() {
+        let t = small_topology();
+        assert_eq!(t.num_vertices(), 4);
+        assert_eq!(t.num_edges(), 5);
+        assert_eq!(t.num_partitions(), 2);
+        assert_eq!(t.out_matrix().nnz(), 5);
+        assert_eq!(t.in_matrix().unwrap().nnz(), 5);
+        assert!(t.has_in_edges());
+    }
+
+    #[test]
+    fn topology_is_send_sync_and_arc_shareable() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Topology<f32>>();
+        assert_send_sync::<Arc<Topology<()>>>();
+        let t = Arc::new(small_topology());
+        let t2 = Arc::clone(&t);
+        std::thread::scope(|s| {
+            s.spawn(move || assert_eq!(t2.num_edges(), 5));
+        });
+        assert_eq!(t.num_vertices(), 4);
+    }
+
+    #[test]
+    fn degree_accessors_agree_with_arrays() {
+        let t = small_topology();
+        assert_eq!(t.out_degree(0), 2);
+        assert_eq!(t.in_degree(2), 2);
+        assert_eq!(t.try_out_degree(3), Ok(1));
+        assert_eq!(
+            t.try_in_degree(9),
+            Err(GraphMatError::VertexOutOfRange {
+                vertex: 9,
+                num_vertices: 4
+            })
+        );
+    }
+
+    #[test]
+    fn out_of_range_degree_panics_with_id_and_count() {
+        let t = small_topology();
+        let err = std::panic::catch_unwind(|| t.out_degree(42)).unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("42") && msg.contains('4'), "{msg}");
+    }
+
+    #[test]
+    fn in_edges_can_be_skipped() {
+        let el = EdgeList::from_tuples(3, vec![(0, 1, 1.0), (1, 2, 1.0)]);
+        let t = Topology::from_edge_list(&el, GraphBuildOptions::default().with_in_edges(false));
+        assert!(t.in_matrix().is_none());
+        assert!(!t.has_in_edges());
+    }
+}

@@ -3,7 +3,7 @@
 //! The paper's collaborative-filtering experiments use the Netflix Prize
 //! dataset (480k users × 17.8k movies, 99M ratings) and a much larger
 //! synthetic bipartite graph "similar in distribution to the real-world
-//! Netflix challenge graph" generated as described in [27] (§5.1).
+//! Netflix challenge graph" generated as described in \[27\] (§5.1).
 //!
 //! This module provides that synthetic generator. Users and items get
 //! popularity weights drawn from a power-law-ish distribution (a small number

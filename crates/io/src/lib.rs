@@ -22,6 +22,21 @@
 //!   at laptop-friendly scales.
 //! * [`rng`] — the deterministic SplitMix64 generator backing every
 //!   generator above.
+//!
+//! # Feeding the session frontend
+//!
+//! An [`EdgeList`] is the input to topology construction in `graphmat-core`
+//! (`session.build_graph(&edges).finish()` → `Arc<Topology<E>>`). The
+//! session-side builders deliberately do **no** graph preprocessing, so the
+//! passes in [`edgelist`] are where an edge list gets shaped before the
+//! matrix is built once and shared:
+//!
+//! * undirected algorithms (BFS, connected components) →
+//!   [`EdgeList::symmetrized`];
+//! * triangle counting → [`EdgeList::to_dag`] (symmetrize + strict upper
+//!   triangle);
+//! * structure-only algorithms → [`EdgeList::topology`] /
+//!   [`EdgeList::from_pairs`] for the zero-byte-per-edge unweighted case.
 
 pub mod bipartite;
 pub mod datasets;

@@ -17,7 +17,7 @@ use std::path::Path;
 /// `f32` is the conventional choice; `()` maps to the `pattern` field type
 /// (structure only, no stored values); integers map to `integer`.
 pub trait MtxValue: Sized {
-    /// The MatrixMarket field type [`write`] emits for this edge type
+    /// The MatrixMarket field type [`write()`] emits for this edge type
     /// (`real`, `integer` or `pattern`).
     const FIELD: &'static str = "real";
     /// `true` for value-less (`pattern`) edge types such as `()`.

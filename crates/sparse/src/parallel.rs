@@ -266,12 +266,24 @@ unsafe impl<T: Send> Send for ResultSlots<T> {}
 unsafe impl<T: Send> Sync for ResultSlots<T> {}
 
 impl Executor {
-    /// Create an executor with `nthreads` lanes (values below 1 are clamped
-    /// to 1). For `nthreads > 1` this spawns the worker pool — create the
-    /// executor once and reuse it; see
-    /// `graphmat_core::runner::run_graph_program_with`.
+    /// Create an executor with `nthreads` lanes. For `nthreads > 1` this
+    /// spawns the worker pool — create the executor once and reuse it; see
+    /// `graphmat_core::session::Session`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nthreads == 0`. A zero thread count is a configuration
+    /// bug; callers that support "0 = auto" must resolve it first (there is
+    /// exactly one such resolution point,
+    /// `graphmat_core::RunOptions::effective_threads` — this used to be
+    /// clamped here *and* mapped there, and the two disagreed about what
+    /// zero meant).
     pub fn new(nthreads: usize) -> Self {
-        let nthreads = nthreads.max(1);
+        assert!(
+            nthreads >= 1,
+            "Executor::new requires at least one lane (got 0); resolve \
+             '0 = all threads' before constructing the executor"
+        );
         let pool = (nthreads > 1).then(|| Pool::new(nthreads - 1));
         Executor { nthreads, pool }
     }
@@ -505,10 +517,9 @@ mod tests {
     }
 
     #[test]
-    fn executor_clamps_to_one_thread() {
-        let ex = Executor::new(0);
-        assert_eq!(ex.nthreads(), 1);
-        assert_eq!(ex.threads_spawned(), 0);
+    #[should_panic(expected = "at least one lane")]
+    fn zero_lanes_is_a_configuration_bug() {
+        let _ = Executor::new(0);
     }
 
     #[test]

@@ -1,10 +1,16 @@
-//! Quickstart: write your own vertex program and run it.
+//! Quickstart: write your own vertex program and run it through a `Session`.
 //!
 //! This example implements the paper's running example — single-source
 //! shortest paths (Figure 3 / appendix listing) — directly against the
-//! `GraphProgram` trait, then runs it on the exact 5-vertex graph drawn in
-//! the paper and prints the distances the paper reports (A=0, B=1, C=2, D=2,
-//! E=4).
+//! `GraphProgram` trait, then runs it through the three-layer API:
+//!
+//! 1. `Session::with_defaults()` — one persistent worker pool for the whole
+//!    process;
+//! 2. `session.build_graph(..).finish()` — an immutable `Arc<Topology>`
+//!    built once and shared by every query (and every thread) after it;
+//! 3. `session.run(..).seed_with(..).execute()` — a per-query run with its
+//!    own `VertexState`, returning a typed `RunOutcome` (or a
+//!    `GraphMatError` for bad input, instead of a panic).
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -53,7 +59,7 @@ impl GraphProgram for Sssp {
     }
 }
 
-fn main() {
+fn main() -> Result<(), GraphMatError> {
     // The weighted graph of the paper's Figure 3: vertices A..E = 0..4.
     let edges = EdgeList::from_tuples(
         5,
@@ -68,32 +74,49 @@ fn main() {
         ],
     );
 
-    // Build the graph: the engine stores Gᵀ in partitioned DCSC form.
-    let mut graph: Graph<f32> = Graph::from_edge_list(&edges, GraphBuildOptions::default());
+    // One session per process: it owns the worker pool every run shares.
+    let session = Session::with_defaults()?;
 
-    // Set all distances to infinity, source (vertex A = 0) to 0, mark it active.
-    graph.set_all_properties(f32::MAX);
-    graph.set_property(0, 0.0);
-    graph.set_active(0);
+    // Build the topology ONCE. The Arc<Topology> is immutable and Sync —
+    // every query from here on (from any thread) reads the same matrices.
+    let topology = session.build_graph(&edges).in_edges(false).finish()?;
 
-    // Run until convergence (no vertex changes state).
-    let result = run_graph_program(&Sssp, &mut graph, &RunOptions::default());
+    // Run the program: infinity everywhere, source A = 0 seeded active.
+    let outcome = session
+        .run(&topology, Sssp)
+        .init_all(f32::MAX)
+        .seed_with(0, 0.0)
+        .max_iterations(50)
+        .execute()?;
 
     println!("SSSP from vertex A on the paper's Figure 3 graph");
     println!(
         "  converged: {} after {} supersteps",
-        result.converged, result.stats.iterations
+        outcome.converged, outcome.stats.iterations
     );
     println!(
         "  time in generalized SpMV: {:.1}% of the run",
-        result.stats.spmv_fraction() * 100.0
+        outcome.stats.spmv_fraction() * 100.0
     );
-    for (name, v) in ["A", "B", "C", "D", "E"].iter().zip(0u32..) {
-        println!("  distance({name}) = {}", graph.property(v));
+    for (name, v) in ["A", "B", "C", "D", "E"].iter().zip(0usize..) {
+        println!("  distance({name}) = {}", outcome.values[v]);
     }
 
-    // The same algorithm is available pre-packaged:
-    let packaged = sssp(&edges, &SsspConfig::from_source(0), &RunOptions::default());
-    assert_eq!(packaged.values, graph.properties());
-    println!("packaged sssp() agrees with the hand-written program ✓");
+    // The same algorithm is available pre-packaged as a session driver:
+    let packaged = sssp_on(&session, &topology, 0)?;
+    assert_eq!(packaged.values, outcome.values);
+    println!("packaged sssp_on() agrees with the hand-written program ✓");
+
+    // Misuse returns a typed error instead of panicking — a serving layer
+    // turns this into an error response, not a crashed worker.
+    let err = sssp_on(&session, &topology, 999).unwrap_err();
+    println!("out-of-range query rejected: {err}");
+
+    // A second query over the SAME topology: nothing is rebuilt or cloned.
+    let from_b = sssp_on(&session, &topology, 1)?;
+    println!(
+        "distances from B (same matrix, new per-run state): {:?}",
+        from_b.values
+    );
+    Ok(())
 }

@@ -2,6 +2,9 @@
 //! Netflix-like ratings graph (the paper's Figure 4d workload), then use the
 //! learned latent factors to produce recommendations for one user.
 //!
+//! Collaborative filtering scatters along **both** edge directions, so the
+//! shared topology keeps its in-edge matrix (the graph builder's default).
+//!
 //! ```text
 //! cargo run --release --example recommender
 //! ```
@@ -9,7 +12,7 @@
 use graphmat::io::bipartite;
 use graphmat::prelude::*;
 
-fn main() {
+fn main() -> Result<(), GraphMatError> {
     // A bipartite ratings graph: 5 000 users × 400 items, 120 000 ratings,
     // with the skewed item popularity of real ratings data.
     let ratings = bipartite::generate(&BipartiteConfig {
@@ -25,21 +28,26 @@ fn main() {
         ratings.edges.num_edges()
     );
 
+    // One resident bipartite matrix; both the untrained snapshot and the
+    // training run query it through the session.
+    let session = Session::with_defaults()?;
+    let topo = session.build_graph(&ratings.edges).finish()?;
+
     // Factorise with gradient descent (the paper's GD formulation, eqs. 4–6).
     let config = CfConfig {
         latent_dims: 16,
         iterations: 25,
         ..Default::default()
     };
-    let untrained = collaborative_filtering(
-        &ratings,
+    let untrained = collaborative_filtering_on(
+        &session,
+        &topo,
         &CfConfig {
             iterations: 0,
             ..config
         },
-        &RunOptions::default(),
-    );
-    let trained = collaborative_filtering(&ratings, &config, &RunOptions::default());
+    )?;
+    let trained = collaborative_filtering_on(&session, &topo, &config)?;
 
     println!(
         "RMSE before training: {:.4}",
@@ -85,4 +93,5 @@ fn main() {
             item - ratings.num_users
         );
     }
+    Ok(())
 }

@@ -1,14 +1,17 @@
-//! Unweighted quickstart: the zero-cost `Edge = ()` fast path.
+//! Unweighted quickstart: the zero-cost `Edge = ()` fast path, on the
+//! session API.
 //!
 //! BFS, connected components, degree and triangle counting never read edge
-//! values, so they run on `EdgeList<()>` / `Graph<_, ()>`: the DCSC
+//! values, so they run on `EdgeList<()>` / `Topology<()>`: the DCSC
 //! adjacency matrices store **no edge value bytes at all** (a `Vec<()>` is
 //! free), which removes 4 bytes/edge of memory traffic compared to carrying
 //! `f32` weights the algorithm would ignore. This example
 //!
 //! 1. writes a hand-rolled unweighted vertex program against the
-//!    `GraphProgram` trait with `type Edge = ()`;
-//! 2. runs the packaged `bfs()` on the same graph and checks they agree;
+//!    `GraphProgram` trait with `type Edge = ()` and runs it through the
+//!    `Session` run builder;
+//! 2. runs the packaged `bfs_on()` against the same shared topology and
+//!    checks they agree;
 //! 3. prints the matrix memory footprint next to the footprint the same
 //!    topology would cost with `f32` weights.
 //!
@@ -50,9 +53,11 @@ impl GraphProgram for HopBfs {
     }
 }
 
-fn main() {
+fn main() -> Result<(), GraphMatError> {
     // An unweighted social-style graph. `topology()` strips the generator's
-    // unit weights, leaving an EdgeList<()>.
+    // unit weights, leaving an EdgeList<()>. BFS treats edges as
+    // undirected, so symmetrize before building — session drivers never
+    // preprocess behind your back.
     let weighted = rmat::generate(&RmatConfig::graph500(14).with_seed(99));
     let edges = weighted.symmetrized().topology();
     println!(
@@ -61,38 +66,32 @@ fn main() {
         edges.num_edges()
     );
 
-    // Hand-rolled program on Graph<u32, ()>.
-    let mut graph: Graph<u32, ()> =
-        Graph::from_edge_list(&edges, GraphBuildOptions::default().with_in_edges(false));
-    graph.set_all_properties(u32::MAX);
-    graph.set_property(0, 0);
-    graph.set_active(0);
-    let result = run_graph_program(&HopBfs, &mut graph, &RunOptions::default());
+    let session = Session::with_defaults()?;
+    let topo = session.build_graph(&edges).in_edges(false).finish()?;
+
+    // Hand-rolled program through the run builder.
+    let outcome = session
+        .run(&topo, HopBfs)
+        .init_all(u32::MAX)
+        .seed_with(0, 0)
+        .execute()?;
     println!(
         "hand-rolled BFS: {} supersteps, matrix footprint {} bytes (zero value bytes)",
-        result.stats.iterations, result.stats.matrix_bytes
+        outcome.stats.iterations, outcome.stats.matrix_bytes
     );
 
-    // Packaged bfs() — same EdgeList<()>, same answers.
-    let packaged = bfs(
-        &edges,
-        &BfsConfig {
-            root: 0,
-            symmetrize: false, // already symmetrized above
-            ..Default::default()
-        },
-        &RunOptions::default(),
-    );
-    assert_eq!(packaged.values, graph.properties());
-    println!("packaged bfs() agrees with the hand-written program ✓");
+    // Packaged bfs_on() — same shared topology, same answers.
+    let packaged = bfs_on(&session, &topo, 0)?;
+    assert_eq!(packaged.values, outcome.values);
+    println!("packaged bfs_on() agrees with the hand-written program ✓");
 
     // What the same topology costs with f32 weights the algorithm ignores:
-    let weighted_graph: Graph<u32, f32> = Graph::from_edge_list(
-        &edges.with_weights(|_, _| 1.0f32),
-        GraphBuildOptions::default().with_in_edges(false),
-    );
-    let unweighted_bytes = graph.matrix_bytes();
-    let weighted_bytes = weighted_graph.matrix_bytes();
+    let weighted_topo = session
+        .build_graph(&edges.with_weights(|_, _| 1.0f32))
+        .in_edges(false)
+        .finish()?;
+    let unweighted_bytes = topo.matrix_bytes();
+    let weighted_bytes = weighted_topo.matrix_bytes();
     println!(
         "matrix memory: unweighted {} bytes vs weighted {} bytes — {:.1}% saved ({} bytes/edge)",
         unweighted_bytes,
@@ -103,4 +102,5 @@ fn main() {
 
     let reached = packaged.values.iter().filter(|&&d| d != u32::MAX).count();
     println!("{reached} vertices reachable from the root");
+    Ok(())
 }

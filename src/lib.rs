@@ -9,64 +9,75 @@
 //! over the transposed adjacency matrix, stored in DCSC format and processed
 //! by a partition-parallel backend.
 //!
+//! ## The session API: one resident graph, many concurrent queries
+//!
+//! The public API is organised around the separation that makes a serving
+//! architecture possible (build the matrix once, answer many queries):
+//!
+//! * [`core::session::Session`] — owns one persistent worker pool and the
+//!   fluent builders; `Sync`, so share it across threads;
+//! * [`core::topology::Topology`]`<E>` — the immutable matrices + degrees,
+//!   wrapped in an `Arc` and shared by every run without cloning;
+//! * [`core::state::VertexState`]`<V>` — the per-run mutable half
+//!   (properties + active set), fresh per query or pooled across runs.
+//!
+//! ```
+//! use graphmat::prelude::*;
+//!
+//! let session = Session::with_defaults()?;
+//! let edges = EdgeList::from_tuples(3, vec![(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0), (0, 2, 1.0)]);
+//! // Build once; Arc<Topology> is shared by every run that follows.
+//! let topo = session.build_graph(&edges).in_edges(false).finish()?;
+//!
+//! // Packaged algorithms take &Session + &Topology…
+//! let ranks = pagerank_on(&session, &topo, &PageRankConfig::default())?;
+//! assert!(ranks.values[2] > ranks.values[0]);
+//!
+//! // …and hand-written programs go through the run builder (seed the
+//! // source, cap iterations, execute into a fresh per-run state).
+//! let sssp = sssp_on(&session, &topo, 0)?;
+//! assert_eq!(sssp.values[1], 1.0);
+//! # Ok::<(), GraphMatError>(())
+//! ```
+//!
+//! Runs issued from different threads against the same `Arc<Topology>`
+//! through one `Session` execute concurrently — the matrix is never cloned,
+//! and every fallible path (bad vertex id, empty edge list, missing in-edge
+//! matrix, zero threads) returns a typed [`core::error::GraphMatError`].
+//!
+//! ## Migrating from the fused `Graph` API
+//!
+//! The pre-session API (`Graph<V, E>` + `run_graph_program`) still works —
+//! `Graph` is now a thin facade over a `Topology` + one `VertexState` — but
+//! new code should use the builders:
+//!
+//! | old | new |
+//! |---|---|
+//! | `Graph::from_edge_list(&edges, opts)` | `session.build_graph(&edges).partitions(16).finish()?` |
+//! | `graph.set_all_properties(v)` | `.init_all(v)` on the run builder |
+//! | `graph.set_property(s, 0.0); graph.set_active(s)` | `.seed_with(s, 0.0)` |
+//! | `graph.set_all_active()` | `.activate_all()` |
+//! | `run_graph_program(&prog, &mut graph, &opts)` | `session.run(&topo, prog)…execute()?` |
+//! | `bfs(&edges, &cfg, &opts)` (rebuilds the matrix) | `bfs_on(&session, &topo, root)?` |
+//! | clone the `Graph` per concurrent run | share one `Arc<Topology>` |
+//!
+//! See [`core`] for the full migration table and
+//! `examples/quickstart.rs` for a complete session-based program.
+//!
+//! ## Edge-type genericity (PR-1)
+//!
 //! Like the original C++ (which templatizes the edge type alongside the
 //! three vertex-program types), the whole stack is **generic over the edge
-//! value type**:
-//!
-//! * a vertex program declares [`core::program::GraphProgram::Edge`] and
-//!   receives `&Self::Edge` in `process_message`;
-//! * graphs are `Graph<VertexProp, Edge>` and edge lists are `EdgeList<E>`
-//!   (`f32` by default);
-//! * `Edge = ()` is the **zero-cost unweighted fast path**: `Vec<()>` stores
-//!   nothing, so the DCSC matrices carry no edge value bytes at all — 4
-//!   bytes/edge less memory traffic for a bandwidth-bound SpMV. BFS,
-//!   connected components, degree and triangle counting all accept
-//!   `EdgeList<()>` (build one with `EdgeList::from_pairs` or strip weights
-//!   with `EdgeList::topology()`).
-//!
-//! ## Weighted quickstart
-//!
-//! ```
-//! use graphmat::prelude::*;
-//!
-//! // Build a tiny directed graph and run PageRank through the GraphMat engine.
-//! let edges = EdgeList::from_tuples(3, vec![(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0), (0, 2, 1.0)]);
-//! let ranks = pagerank(&edges, &PageRankConfig::default(), &RunOptions::default());
-//! assert_eq!(ranks.values.len(), 3);
-//! // vertex 2 has two in-links and ends up with the highest rank
-//! assert!(ranks.values[2] > ranks.values[0]);
-//! ```
-//!
-//! ## Unweighted quickstart
-//!
-//! ```
-//! use graphmat::prelude::*;
-//!
-//! // from_pairs builds an EdgeList<()> — no weight bytes anywhere.
-//! let edges = EdgeList::from_pairs(4, vec![(0, 1), (1, 2), (2, 3)]);
-//! let out = bfs(&edges, &BfsConfig::from_root(0), &RunOptions::default());
-//! assert_eq!(out.values, vec![0, 1, 2, 3]);
-//! // the run reports the matrix footprint: pure index bytes, zero value bytes
-//! assert!(out.stats.matrix_bytes > 0);
-//! ```
-//!
-//! ## Migrating from the hardcoded-`f32` edge API
-//!
-//! Older versions fixed the edge type to `f32`. The port is mechanical:
-//!
-//! 1. add `type Edge = f32;` (or `()`, `u32`, …) to each `GraphProgram`
-//!    impl;
-//! 2. change `process_message(&self, msg, edge: f32, dst)` to take
-//!    `edge: &Self::Edge`;
-//! 3. programs that never read `edge` should declare `type Edge = ()` and be
-//!    fed an `EdgeList<()>` to drop the weight storage entirely;
-//! 4. algorithms that consume weights generically (SSSP, collaborative
-//!    filtering) bound their edge type with
-//!    [`io::edgelist::EdgeWeight`], which any scalar-like edge type
-//!    implements (`()` reads as weight `1`).
-//!
-//! See [`core::program`] for the full trait documentation and
-//! `examples/unweighted_bfs.rs` for a complete unweighted program.
+//! value type**: a vertex program declares
+//! [`core::program::GraphProgram::Edge`], topologies are `Topology<E>` and
+//! edge lists are `EdgeList<E>` (`f32` by default). `Edge = ()` is the
+//! **zero-cost unweighted fast path**: `Vec<()>` stores nothing, so the
+//! DCSC matrices carry no edge value bytes at all — 4 bytes/edge less
+//! memory traffic for a bandwidth-bound SpMV. BFS, connected components,
+//! degree and triangle counting all accept `EdgeList<()>` (build one with
+//! `EdgeList::from_pairs` or strip weights with `EdgeList::topology()`).
+//! See [`core::program`] for the PR-1 migration guide from the
+//! hardcoded-`f32` API.
 //!
 //! This umbrella crate re-exports the whole workspace so that examples,
 //! integration tests and downstream users can depend on a single crate.
@@ -80,24 +91,27 @@ pub use graphmat_sparse as sparse;
 
 /// Commonly used types for writing and running vertex programs.
 pub mod prelude {
-    pub use graphmat_algorithms::bfs::{bfs, BfsConfig};
+    pub use graphmat_algorithms::bfs::{bfs, bfs_on, BfsConfig};
     pub use graphmat_algorithms::collaborative_filtering::{
-        collaborative_filtering, rmse, CfConfig,
+        collaborative_filtering, collaborative_filtering_on, rmse, CfConfig,
     };
     pub use graphmat_algorithms::connected_components::{
-        component_count, connected_components, CcConfig,
+        component_count, connected_components, connected_components_on, CcConfig,
     };
-    pub use graphmat_algorithms::degree::{in_degrees, out_degrees};
-    pub use graphmat_algorithms::delta_pagerank::{delta_pagerank, DeltaPageRankConfig};
-    pub use graphmat_algorithms::pagerank::{pagerank, PageRankConfig};
-    pub use graphmat_algorithms::sssp::{sssp, SsspConfig};
+    pub use graphmat_algorithms::degree::{in_degrees, in_degrees_on, out_degrees, out_degrees_on};
+    pub use graphmat_algorithms::delta_pagerank::{
+        delta_pagerank, delta_pagerank_on, DeltaPageRankConfig,
+    };
+    pub use graphmat_algorithms::pagerank::{pagerank, pagerank_on, PageRankConfig};
+    pub use graphmat_algorithms::sssp::{sssp, sssp_on, SsspConfig};
     pub use graphmat_algorithms::triangle_count::{
-        total_triangles, triangle_count, TriangleCountConfig,
+        total_triangles, triangle_count, triangle_count_on, TriangleCountConfig,
     };
     pub use graphmat_algorithms::AlgorithmOutput;
     pub use graphmat_core::{
-        run_graph_program, ActivityPolicy, DispatchMode, EdgeDirection, Graph, GraphBuildOptions,
-        GraphProgram, RunOptions, RunResult, RunStats, VectorKind, VertexId,
+        run_graph_program, run_program, ActivityPolicy, DispatchMode, EdgeDirection, Graph,
+        GraphBuildOptions, GraphMatError, GraphProgram, RunOptions, RunOutcome, RunResult,
+        RunStats, Session, SessionOptions, Topology, VectorKind, VertexId, VertexState,
     };
     pub use graphmat_io::bipartite::BipartiteConfig;
     pub use graphmat_io::edgelist::{EdgeList, EdgeWeight};

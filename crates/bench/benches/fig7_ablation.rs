@@ -1,60 +1,21 @@
 //! Figure 7: cumulative effect of the backend optimizations (bitvector,
-//! inlining, parallelism, load balancing) on PageRank and SSSP.
+//! inlining, parallelism, load balancing) on PageRank — extended with the
+//! direction-optimization rows: push-only vs pull-only vs auto, so the
+//! ablation covers the dense-pull backend and the per-superstep selector.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphmat_algorithms::pagerank::{pagerank, PageRankConfig};
-use graphmat_core::{DispatchMode, GraphBuildOptions, RunOptions, VectorKind};
+use graphmat_bench::harness::{figure7_configs, figure7_needs_pull};
+use graphmat_core::{GraphBuildOptions, RunOptions};
 use graphmat_io::datasets::{load, DatasetId, DatasetScale};
 use graphmat_sparse::parallel::available_threads;
 
 fn bench(c: &mut Criterion) {
     let edges = load(DatasetId::FacebookLike, DatasetScale::Tiny);
     let max = available_threads();
-    let configs: Vec<(&str, usize, DispatchMode, VectorKind, usize, bool)> = vec![
-        (
-            "naive",
-            1,
-            DispatchMode::Dynamic,
-            VectorKind::Sorted,
-            1,
-            false,
-        ),
-        (
-            "bitvector",
-            1,
-            DispatchMode::Dynamic,
-            VectorKind::Bitvector,
-            1,
-            false,
-        ),
-        (
-            "ipo",
-            1,
-            DispatchMode::Static,
-            VectorKind::Bitvector,
-            1,
-            false,
-        ),
-        (
-            "parallel",
-            max,
-            DispatchMode::Static,
-            VectorKind::Bitvector,
-            1,
-            false,
-        ),
-        (
-            "load_balance",
-            max,
-            DispatchMode::Static,
-            VectorKind::Bitvector,
-            8,
-            true,
-        ),
-    ];
     let mut group = c.benchmark_group("fig7_ablation_pagerank");
     group.sample_size(10);
-    for (label, threads, dispatch, vector, ppt, balanced) in configs {
+    for (label, threads, dispatch, vector, ppt, balanced) in figure7_configs(max) {
         group.bench_function(BenchmarkId::from_parameter(label), |b| {
             b.iter(|| {
                 let cfg = PageRankConfig {
@@ -62,7 +23,8 @@ fn bench(c: &mut Criterion) {
                     build: GraphBuildOptions::default()
                         .with_partitions(ppt * threads)
                         .with_balancing(balanced)
-                        .with_in_edges(false),
+                        .with_in_edges(false)
+                        .with_pull_mirrors(figure7_needs_pull(vector)),
                     ..Default::default()
                 };
                 let opts = RunOptions::default()

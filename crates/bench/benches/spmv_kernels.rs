@@ -1,15 +1,18 @@
 //! Microbenchmarks of the sparse backend itself: generalized SpMV throughput
 //! for the bitvector vs sorted sparse-vector representations, for different
 //! partition counts, and — the generic-edge payoff — for weighted (`f32`)
-//! versus unweighted (`()`) matrices of the same topology. These support the
-//! §4.5 optimization discussion rather than a specific figure.
+//! versus unweighted (`()`) matrices of the same topology, and for the
+//! sparse-push versus dense-pull kernels at different frontier densities
+//! (the direction-optimization tradeoff). These support the §4.5
+//! optimization discussion rather than a specific figure.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphmat_io::rmat::{self, RmatConfig};
 use graphmat_sparse::parallel::{available_threads, Executor};
 use graphmat_sparse::partition::PartitionedDcsc;
-use graphmat_sparse::spmv::{gspmv, gspmv_into};
-use graphmat_sparse::spvec::{SortedSparseVector, SparseVector};
+use graphmat_sparse::pull::CsrMirror;
+use graphmat_sparse::spmv::{gspmv, gspmv_csr_pull_into, gspmv_into};
+use graphmat_sparse::spvec::{DenseVector, SortedSparseVector, SparseVector};
 use graphmat_sparse::Index;
 
 fn bench(c: &mut Criterion) {
@@ -107,6 +110,46 @@ fn bench(c: &mut Criterion) {
             )
         })
     });
+
+    // Push vs pull at different frontier densities: the pull kernel reads
+    // every stored edge, so it should win only on dense frontiers — exactly
+    // the regime the Auto selector sends it.
+    let mirror = CsrMirror::from_partitioned(&matrix);
+    for (label, stride) in [("dense_1_of_2", 2usize), ("sparse_1_of_64", 64)] {
+        let mut push_x: SparseVector<f32> = SparseVector::new(n);
+        let mut pull_x: DenseVector<f32> = DenseVector::new(n);
+        for v in (0..n as u32).step_by(stride) {
+            push_x.set(v, 1.0);
+            pull_x.set(v, 1.0);
+        }
+        let mut y: SparseVector<f32> = SparseVector::new(n);
+        group.bench_with_input(BenchmarkId::new("push", label), &push_x, |b, x| {
+            b.iter(|| {
+                gspmv_into(
+                    &matrix,
+                    x,
+                    &|m: &f32, e: &f32, _k: Index| m + e,
+                    &|acc: &mut f32, v: f32| *acc = acc.min(v),
+                    &executor,
+                    &mut y,
+                );
+                y.nnz()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("pull", label), &pull_x, |b, x| {
+            b.iter(|| {
+                gspmv_csr_pull_into(
+                    &mirror,
+                    x,
+                    &|m: &f32, e: &f32, _k: Index| m + e,
+                    &|acc: &mut f32, v: f32| *acc = acc.min(v),
+                    &executor,
+                    &mut y,
+                );
+                y.nnz()
+            })
+        });
+    }
 
     // partition-count sweep (load balancing)
     for parts in [1usize, threads, threads * 8] {

@@ -6,7 +6,10 @@
 //! ```
 //!
 //! Flags: `--table1 --fig4a --fig4b --fig4c --fig4d --fig4e --table2 --table3
-//! --fig5 --fig6 --fig7 --all`, `--scale tiny|small|medium`, `--threads N`.
+//! --fig5 --fig6 --fig7 --all`, `--scale tiny|small|medium`, `--threads N`,
+//! `--json PATH` (dump every Figure 4/Table 2 measurement as JSON, with
+//! per-superstep `backend` + `frontier_density` fields so push/pull
+//! direction flips are visible in the perf trajectory).
 
 use graphmat_baselines::Framework;
 use graphmat_bench::harness::{self, Algorithm, Measurement};
@@ -17,6 +20,7 @@ struct Options {
     scale: DatasetScale,
     threads: usize,
     sections: Vec<String>,
+    json_path: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -24,9 +28,17 @@ fn parse_args() -> Options {
     let mut scale = DatasetScale::Small;
     let mut threads = available_threads();
     let mut sections = Vec::new();
+    let mut json_path = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => json_path = Some(path.clone()),
+                    None => eprintln!("--json needs a file path, ignoring"),
+                }
+            }
             "--scale" => {
                 i += 1;
                 scale = match args.get(i).map(|s| s.as_str()) {
@@ -60,6 +72,7 @@ fn parse_args() -> Options {
         scale,
         threads,
         sections,
+        json_path,
     }
 }
 
@@ -99,7 +112,11 @@ fn main() {
         ("fig4e", Algorithm::Sssp, "Figure 4e: SSSP (total seconds)"),
     ];
     for (flag, alg, title) in fig4 {
-        if wants(&opts, flag) || wants(&opts, "table2") || wants(&opts, "fig6") {
+        if wants(&opts, flag)
+            || wants(&opts, "table2")
+            || wants(&opts, "fig6")
+            || opts.json_path.is_some()
+        {
             let measurements = harness::figure4(alg, opts.scale, opts.threads);
             if wants(&opts, flag) {
                 print_figure4(title, &measurements);
@@ -121,6 +138,33 @@ fn main() {
     }
     if wants(&opts, "fig7") {
         figure7(&opts);
+    }
+    if let Some(path) = &opts.json_path {
+        // Alongside the paper-faithful push measurements, record the
+        // direction-optimized engine (the Session default) on the
+        // direction-sensitive workloads — its superstep trajectories are
+        // where push→pull backend flips show up.
+        for alg in [Algorithm::PageRank, Algorithm::Bfs, Algorithm::Sssp] {
+            for &id in &harness::figure4_datasets(alg) {
+                let edges = datasets::load(id, opts.scale);
+                all_measurements.push(harness::run_graphmat_auto(
+                    alg,
+                    id.name(),
+                    &edges,
+                    opts.threads,
+                ));
+            }
+        }
+        let json = harness::measurements_to_json(&all_measurements);
+        match std::fs::write(path, &json) {
+            Ok(()) => println!(
+                "\nWrote {} measurements ({} bytes) to {path} — each GraphMat entry carries \
+                 per-superstep backend (push/pull) and frontier_density.",
+                all_measurements.len(),
+                json.len()
+            ),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
     }
 }
 
@@ -364,6 +408,7 @@ fn figure7(opts: &Options) {
             "configuration".to_string(),
             "seconds".to_string(),
             "cumulative speedup".to_string(),
+            "pull supersteps".to_string(),
         ];
         let rows: Vec<Vec<String>> = steps
             .iter()
@@ -372,6 +417,7 @@ fn figure7(opts: &Options) {
                     s.label.to_string(),
                     format!("{:.4}", s.seconds),
                     format!("{:.1}x", s.speedup),
+                    format!("{}/{}", s.pull_supersteps, s.iterations),
                 ]
             })
             .collect();

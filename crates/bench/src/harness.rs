@@ -6,7 +6,7 @@ use graphmat_algorithms::pagerank::{pagerank, PageRankConfig};
 use graphmat_algorithms::sssp::{sssp, SsspConfig};
 use graphmat_algorithms::triangle_count::{triangle_count, TriangleCountConfig};
 use graphmat_baselines::{comb, native, vertexpull, worklist, Framework};
-use graphmat_core::{GraphBuildOptions, RunOptions};
+use graphmat_core::{GraphBuildOptions, RunOptions, SuperstepStats};
 use graphmat_io::bipartite::RatingsGraph;
 use graphmat_io::datasets::{self, DatasetId, DatasetScale};
 use graphmat_io::edgelist::EdgeList;
@@ -72,6 +72,12 @@ pub struct Measurement {
     pub counters: CostCounters,
     /// Wall-clock time of the whole run (not divided by iterations).
     pub total: Duration,
+    /// Per-superstep engine detail (GraphMat runs only; empty for the
+    /// baseline frameworks, which have no superstep structure). Carries the
+    /// chosen push/pull backend and frontier density per superstep, which
+    /// the `--json` output surfaces so direction flips are visible in the
+    /// perf trajectory.
+    pub supersteps: Vec<SuperstepStats>,
 }
 
 impl Measurement {
@@ -121,9 +127,19 @@ pub fn run_graph_algorithm(
         algorithm != Algorithm::CollaborativeFiltering,
         "use run_cf for collaborative filtering"
     );
-    let (seconds, counters, total) = match framework {
+    let (seconds, counters, total, supersteps) = match framework {
         Framework::GraphMat => {
-            run_graphmat(algorithm, edges, nthreads, GraphBuildOptions::default())
+            // Paper-faithful configuration for the cross-framework figures:
+            // always-push (the paper's engine had no pull backend) over the
+            // legacy build defaults, which carry no pull mirrors. The
+            // direction-optimized engine is measured by the Figure 7 rows
+            // and by `run_graphmat_auto`.
+            run_graphmat(
+                algorithm,
+                edges,
+                GraphBuildOptions::default(),
+                RunOptions::default().with_threads(nthreads),
+            )
         }
         Framework::Native => run_native(algorithm, edges, nthreads),
         Framework::CombBlasLike => run_comb(algorithm, edges, nthreads),
@@ -137,6 +153,7 @@ pub fn run_graph_algorithm(
         seconds,
         counters,
         total,
+        supersteps,
     }
 }
 
@@ -147,7 +164,7 @@ pub fn run_cf(
     ratings: &RatingsGraph,
     nthreads: usize,
 ) -> Measurement {
-    let (counters, total, iterations) = match framework {
+    let (counters, total, iterations, supersteps) = match framework {
         Framework::GraphMat => {
             let cfg = CfConfig {
                 latent_dims: CF_DIMS,
@@ -163,6 +180,7 @@ pub fn run_cf(
                 out.stats.to_cost_counters(CF_DIMS * 8),
                 out.stats.total_time,
                 out.stats.iterations.max(1),
+                out.stats.supersteps,
             )
         }
         Framework::Native => {
@@ -175,7 +193,7 @@ pub fn run_cf(
                 7,
                 nthreads,
             );
-            (run.counters, run.elapsed, run.iterations.max(1))
+            (run.counters, run.elapsed, run.iterations.max(1), Vec::new())
         }
         Framework::CombBlasLike => {
             let run = comb::collaborative_filtering(
@@ -187,7 +205,7 @@ pub fn run_cf(
                 7,
                 nthreads,
             );
-            (run.counters, run.elapsed, run.iterations.max(1))
+            (run.counters, run.elapsed, run.iterations.max(1), Vec::new())
         }
         Framework::GraphLabLike => {
             let run = vertexpull::collaborative_filtering(
@@ -199,7 +217,7 @@ pub fn run_cf(
                 7,
                 nthreads,
             );
-            (run.counters, run.elapsed, run.iterations.max(1))
+            (run.counters, run.elapsed, run.iterations.max(1), Vec::new())
         }
         Framework::GaloisLike => {
             let run = worklist::collaborative_filtering(
@@ -211,7 +229,7 @@ pub fn run_cf(
                 7,
                 nthreads,
             );
-            (run.counters, run.elapsed, run.iterations.max(1))
+            (run.counters, run.elapsed, run.iterations.max(1), Vec::new())
         }
     };
     Measurement {
@@ -221,16 +239,51 @@ pub fn run_cf(
         seconds: total.as_secs_f64() / iterations as f64,
         counters,
         total,
+        supersteps,
+    }
+}
+
+/// Run the direction-optimized engine configuration — `VectorKind::Auto`
+/// over a pull-enabled topology, the `Session` default — and label the
+/// dataset `"<name>+auto"` so JSON consumers can tell it apart from the
+/// paper-faithful push run of [`run_graph_algorithm`]. Its superstep
+/// trajectory is where push→pull direction flips show up.
+pub fn run_graphmat_auto(
+    algorithm: Algorithm,
+    dataset_name: &str,
+    edges: &EdgeList,
+    nthreads: usize,
+) -> Measurement {
+    use graphmat_core::VectorKind;
+    let (seconds, counters, total, supersteps) = run_graphmat(
+        algorithm,
+        edges,
+        // Out-direction workloads only (PR/BFS/SSSP): no in-edge matrix,
+        // and the pull mirror of G^T the Auto selector switches to.
+        GraphBuildOptions::default()
+            .with_in_edges(false)
+            .with_pull_mirrors(true),
+        RunOptions::default()
+            .with_threads(nthreads)
+            .with_vector(VectorKind::Auto),
+    );
+    Measurement {
+        framework: Framework::GraphMat,
+        algorithm,
+        dataset: format!("{dataset_name}+auto"),
+        seconds,
+        counters,
+        total,
+        supersteps,
     }
 }
 
 fn run_graphmat(
     algorithm: Algorithm,
     edges: &EdgeList,
-    nthreads: usize,
     build: GraphBuildOptions,
-) -> (f64, CostCounters, Duration) {
-    let options = RunOptions::default().with_threads(nthreads);
+    options: RunOptions,
+) -> (f64, CostCounters, Duration, Vec<SuperstepStats>) {
     match algorithm {
         Algorithm::PageRank => {
             let cfg = PageRankConfig {
@@ -244,6 +297,7 @@ fn run_graphmat(
                 total.as_secs_f64() / out.stats.iterations.max(1) as f64,
                 out.stats.to_cost_counters(12),
                 total,
+                out.stats.supersteps,
             )
         }
         Algorithm::Bfs => {
@@ -253,7 +307,12 @@ fn run_graphmat(
             };
             let out = bfs(edges, &cfg, &options);
             let total = out.stats.total_time;
-            (total.as_secs_f64(), out.stats.to_cost_counters(4), total)
+            (
+                total.as_secs_f64(),
+                out.stats.to_cost_counters(4),
+                total,
+                out.stats.supersteps,
+            )
         }
         Algorithm::TriangleCount => {
             let cfg = TriangleCountConfig {
@@ -262,7 +321,12 @@ fn run_graphmat(
             };
             let out = triangle_count(edges, &cfg, &options);
             let total = out.stats.total_time;
-            (total.as_secs_f64(), out.stats.to_cost_counters(24), total)
+            (
+                total.as_secs_f64(),
+                out.stats.to_cost_counters(24),
+                total,
+                out.stats.supersteps,
+            )
         }
         Algorithm::Sssp => {
             let cfg = SsspConfig {
@@ -271,7 +335,12 @@ fn run_graphmat(
             };
             let out = sssp(edges, &cfg, &options);
             let total = out.stats.total_time;
-            (total.as_secs_f64(), out.stats.to_cost_counters(4), total)
+            (
+                total.as_secs_f64(),
+                out.stats.to_cost_counters(4),
+                total,
+                out.stats.supersteps,
+            )
         }
         Algorithm::CollaborativeFiltering => unreachable!("handled by run_cf"),
     }
@@ -289,7 +358,7 @@ fn run_native(
     algorithm: Algorithm,
     edges: &EdgeList,
     nthreads: usize,
-) -> (f64, CostCounters, Duration) {
+) -> (f64, CostCounters, Duration, Vec<SuperstepStats>) {
     match algorithm {
         Algorithm::PageRank => {
             let run = native::pagerank(edges, 0.15, PR_ITERATIONS, nthreads);
@@ -297,19 +366,35 @@ fn run_native(
                 per_iteration_seconds(run.elapsed, run.iterations, true),
                 run.counters,
                 run.elapsed,
+                Vec::new(),
             )
         }
         Algorithm::Bfs => {
             let run = native::bfs(edges, 0, nthreads);
-            (run.elapsed.as_secs_f64(), run.counters, run.elapsed)
+            (
+                run.elapsed.as_secs_f64(),
+                run.counters,
+                run.elapsed,
+                Vec::new(),
+            )
         }
         Algorithm::TriangleCount => {
             let run = native::triangle_count(edges, nthreads);
-            (run.elapsed.as_secs_f64(), run.counters, run.elapsed)
+            (
+                run.elapsed.as_secs_f64(),
+                run.counters,
+                run.elapsed,
+                Vec::new(),
+            )
         }
         Algorithm::Sssp => {
             let run = native::sssp(edges, 0, nthreads);
-            (run.elapsed.as_secs_f64(), run.counters, run.elapsed)
+            (
+                run.elapsed.as_secs_f64(),
+                run.counters,
+                run.elapsed,
+                Vec::new(),
+            )
         }
         Algorithm::CollaborativeFiltering => unreachable!(),
     }
@@ -319,7 +404,7 @@ fn run_comb(
     algorithm: Algorithm,
     edges: &EdgeList,
     nthreads: usize,
-) -> (f64, CostCounters, Duration) {
+) -> (f64, CostCounters, Duration, Vec<SuperstepStats>) {
     match algorithm {
         Algorithm::PageRank => {
             let run = comb::pagerank(edges, 0.15, PR_ITERATIONS, nthreads);
@@ -327,19 +412,35 @@ fn run_comb(
                 per_iteration_seconds(run.elapsed, run.iterations, true),
                 run.counters,
                 run.elapsed,
+                Vec::new(),
             )
         }
         Algorithm::Bfs => {
             let run = comb::bfs(edges, 0, nthreads);
-            (run.elapsed.as_secs_f64(), run.counters, run.elapsed)
+            (
+                run.elapsed.as_secs_f64(),
+                run.counters,
+                run.elapsed,
+                Vec::new(),
+            )
         }
         Algorithm::TriangleCount => {
             let run = comb::triangle_count(edges, nthreads);
-            (run.elapsed.as_secs_f64(), run.counters, run.elapsed)
+            (
+                run.elapsed.as_secs_f64(),
+                run.counters,
+                run.elapsed,
+                Vec::new(),
+            )
         }
         Algorithm::Sssp => {
             let run = comb::sssp(edges, 0, nthreads);
-            (run.elapsed.as_secs_f64(), run.counters, run.elapsed)
+            (
+                run.elapsed.as_secs_f64(),
+                run.counters,
+                run.elapsed,
+                Vec::new(),
+            )
         }
         Algorithm::CollaborativeFiltering => unreachable!(),
     }
@@ -349,7 +450,7 @@ fn run_vertexpull(
     algorithm: Algorithm,
     edges: &EdgeList,
     nthreads: usize,
-) -> (f64, CostCounters, Duration) {
+) -> (f64, CostCounters, Duration, Vec<SuperstepStats>) {
     match algorithm {
         Algorithm::PageRank => {
             let run = vertexpull::pagerank(edges, 0.15, PR_ITERATIONS, nthreads);
@@ -357,19 +458,35 @@ fn run_vertexpull(
                 per_iteration_seconds(run.elapsed, run.iterations, true),
                 run.counters,
                 run.elapsed,
+                Vec::new(),
             )
         }
         Algorithm::Bfs => {
             let run = vertexpull::bfs(edges, 0, nthreads);
-            (run.elapsed.as_secs_f64(), run.counters, run.elapsed)
+            (
+                run.elapsed.as_secs_f64(),
+                run.counters,
+                run.elapsed,
+                Vec::new(),
+            )
         }
         Algorithm::TriangleCount => {
             let run = vertexpull::triangle_count(edges, nthreads);
-            (run.elapsed.as_secs_f64(), run.counters, run.elapsed)
+            (
+                run.elapsed.as_secs_f64(),
+                run.counters,
+                run.elapsed,
+                Vec::new(),
+            )
         }
         Algorithm::Sssp => {
             let run = vertexpull::sssp(edges, 0, nthreads);
-            (run.elapsed.as_secs_f64(), run.counters, run.elapsed)
+            (
+                run.elapsed.as_secs_f64(),
+                run.counters,
+                run.elapsed,
+                Vec::new(),
+            )
         }
         Algorithm::CollaborativeFiltering => unreachable!(),
     }
@@ -379,7 +496,7 @@ fn run_worklist(
     algorithm: Algorithm,
     edges: &EdgeList,
     nthreads: usize,
-) -> (f64, CostCounters, Duration) {
+) -> (f64, CostCounters, Duration, Vec<SuperstepStats>) {
     match algorithm {
         Algorithm::PageRank => {
             let run = worklist::pagerank(edges, 0.15, PR_ITERATIONS, nthreads);
@@ -387,19 +504,35 @@ fn run_worklist(
                 per_iteration_seconds(run.elapsed, run.iterations, true),
                 run.counters,
                 run.elapsed,
+                Vec::new(),
             )
         }
         Algorithm::Bfs => {
             let run = worklist::bfs(edges, 0, nthreads);
-            (run.elapsed.as_secs_f64(), run.counters, run.elapsed)
+            (
+                run.elapsed.as_secs_f64(),
+                run.counters,
+                run.elapsed,
+                Vec::new(),
+            )
         }
         Algorithm::TriangleCount => {
             let run = worklist::triangle_count(edges, nthreads);
-            (run.elapsed.as_secs_f64(), run.counters, run.elapsed)
+            (
+                run.elapsed.as_secs_f64(),
+                run.counters,
+                run.elapsed,
+                Vec::new(),
+            )
         }
         Algorithm::Sssp => {
             let run = worklist::sssp(edges, 0, nthreads);
-            (run.elapsed.as_secs_f64(), run.counters, run.elapsed)
+            (
+                run.elapsed.as_secs_f64(),
+                run.counters,
+                run.elapsed,
+                Vec::new(),
+            )
         }
         Algorithm::CollaborativeFiltering => unreachable!(),
     }
@@ -509,20 +642,34 @@ pub struct AblationStep {
     pub seconds: f64,
     /// Cumulative speedup over the naive configuration.
     pub speedup: f64,
+    /// Supersteps that ran on the pull backend (0 for the push-only rows;
+    /// equals `iterations` for the forced-pull row).
+    pub pull_supersteps: usize,
+    /// Total supersteps of the run.
+    pub iterations: usize,
 }
 
-/// Figure 7: cumulative effect of the paper's optimizations on PageRank and
-/// SSSP. Returns the per-step results for the given algorithm/dataset.
-pub fn figure7_ablation(
-    algorithm: Algorithm,
-    edges: &EdgeList,
+/// The Figure 7 configurations: the paper's five cumulative optimization
+/// steps plus this reproduction's direction-optimization comparison rows
+/// (push-only, pull-only, auto). Shared by the harness and the
+/// `fig7_ablation` criterion bench so the two cannot drift apart.
+///
+/// Fields: `(label, threads, dispatch, vector, partitions per thread,
+/// balanced)`. Pull mirrors are built exactly for the configurations whose
+/// vector kind can pull, so the paper-faithful push rows carry no extra
+/// build cost or memory.
+pub fn figure7_configs(
     nthreads: usize,
-) -> Vec<AblationStep> {
+) -> Vec<(
+    &'static str,
+    usize,
+    graphmat_core::DispatchMode,
+    graphmat_core::VectorKind,
+    usize,
+    bool,
+)> {
     use graphmat_core::{DispatchMode, VectorKind};
-
-    assert!(matches!(algorithm, Algorithm::PageRank | Algorithm::Sssp));
-    // (label, threads, dispatch, vector, partitions per thread, balanced)
-    let steps: Vec<(&'static str, usize, DispatchMode, VectorKind, usize, bool)> = vec![
+    vec![
         (
             "naive (scalar)",
             1,
@@ -556,27 +703,66 @@ pub fn figure7_ablation(
             false,
         ),
         (
-            "+load balance",
+            "+load balance (push only)",
             nthreads,
             DispatchMode::Static,
             VectorKind::Bitvector,
             8,
             true,
         ),
-    ];
+        // Direction-optimization rows: same fully-optimized configuration,
+        // varying only the backend. "pull only" is expected to *lose* on
+        // sparse-frontier workloads (SSSP) and win on dense ones
+        // (PageRank); "auto" should track the better of the two.
+        (
+            "pull only (dense)",
+            nthreads,
+            DispatchMode::Static,
+            VectorKind::Dense,
+            8,
+            true,
+        ),
+        (
+            "auto (direction-opt)",
+            nthreads,
+            DispatchMode::Static,
+            VectorKind::Auto,
+            8,
+            true,
+        ),
+    ]
+}
 
+/// Whether a Figure 7 configuration needs the pull mirrors built.
+pub fn figure7_needs_pull(vector: graphmat_core::VectorKind) -> bool {
+    use graphmat_core::VectorKind;
+    matches!(vector, VectorKind::Dense | VectorKind::Auto)
+}
+
+/// Figure 7: cumulative effect of the paper's optimizations — plus the
+/// push-only / pull-only / auto direction-optimization comparison — on
+/// PageRank and SSSP. Returns the per-step results for the given
+/// algorithm/dataset; each step also reports how many of its supersteps ran
+/// on the pull backend.
+pub fn figure7_ablation(
+    algorithm: Algorithm,
+    edges: &EdgeList,
+    nthreads: usize,
+) -> Vec<AblationStep> {
+    assert!(matches!(algorithm, Algorithm::PageRank | Algorithm::Sssp));
     let mut out = Vec::new();
     let mut naive_seconds = None;
-    for (label, threads, dispatch, vector, ppt, balanced) in steps {
+    for (label, threads, dispatch, vector, ppt, balanced) in figure7_configs(nthreads) {
         let build = GraphBuildOptions::default()
             .with_partitions(ppt * threads)
             .with_balancing(balanced)
-            .with_in_edges(false);
+            .with_in_edges(false)
+            .with_pull_mirrors(figure7_needs_pull(vector));
         let options = RunOptions::default()
             .with_threads(threads)
             .with_dispatch(dispatch)
             .with_vector(vector);
-        let seconds = match algorithm {
+        let (seconds, stats) = match algorithm {
             Algorithm::PageRank => {
                 let cfg = PageRankConfig {
                     iterations: PR_ITERATIONS,
@@ -584,7 +770,10 @@ pub fn figure7_ablation(
                     ..Default::default()
                 };
                 let run = pagerank(edges, &cfg, &options);
-                run.stats.total_time.as_secs_f64() / run.stats.iterations.max(1) as f64
+                (
+                    run.stats.total_time.as_secs_f64() / run.stats.iterations.max(1) as f64,
+                    run.stats,
+                )
             }
             Algorithm::Sssp => {
                 let cfg = SsspConfig {
@@ -592,7 +781,7 @@ pub fn figure7_ablation(
                     ..SsspConfig::from_source(0)
                 };
                 let run = sssp(edges, &cfg, &options);
-                run.stats.total_time.as_secs_f64()
+                (run.stats.total_time.as_secs_f64(), run.stats)
             }
             _ => unreachable!(),
         };
@@ -601,6 +790,8 @@ pub fn figure7_ablation(
             label,
             seconds,
             speedup: naive / seconds.max(1e-12),
+            pull_supersteps: stats.pull_supersteps,
+            iterations: stats.iterations,
         });
     }
     out
@@ -621,6 +812,65 @@ pub fn figure5_scaling(
             (t, m.seconds)
         })
         .collect()
+}
+
+/// Serialize measurements as a JSON array (hand-rolled — the build is
+/// offline, so no serde). Every GraphMat measurement carries its
+/// per-superstep trajectory, including the **backend** ("push"/"pull") the
+/// direction-optimized engine chose and the **frontier_density** it chose it
+/// on, so a plot over `supersteps` shows exactly where a run flipped
+/// direction.
+pub fn measurements_to_json(measurements: &[Measurement]) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    fn finite(v: f64) -> f64 {
+        if v.is_finite() {
+            v
+        } else {
+            0.0
+        }
+    }
+    let mut out = String::from("[\n");
+    for (i, m) in measurements.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  {{\"framework\": \"{}\", \"algorithm\": \"{}\", \"dataset\": \"{}\", \
+             \"seconds\": {:.9}, \"total_seconds\": {:.9}, \"supersteps\": [",
+            esc(m.framework.name()),
+            esc(m.algorithm.name()),
+            esc(&m.dataset),
+            finite(m.seconds),
+            m.total.as_secs_f64(),
+        ));
+        for (j, s) in m.supersteps.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"iteration\": {}, \"backend\": \"{}\", \"frontier_density\": {:.9}, \
+                 \"active_vertices\": {}, \"messages_sent\": {}, \"edges_processed\": {}, \
+                 \"vertices_updated\": {}, \"vertices_changed\": {}, \
+                 \"send_seconds\": {:.9}, \"spmv_seconds\": {:.9}, \"apply_seconds\": {:.9}}}",
+                s.iteration,
+                s.backend.name(),
+                finite(s.frontier_density),
+                s.active_vertices,
+                s.messages_sent,
+                s.edges_processed,
+                s.vertices_updated,
+                s.vertices_changed,
+                s.send_time.as_secs_f64(),
+                s.spmv_time.as_secs_f64(),
+                s.apply_time.as_secs_f64(),
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n]\n");
+    out
 }
 
 /// Render a simple ASCII table.
@@ -711,11 +961,58 @@ mod tests {
     }
 
     #[test]
-    fn ablation_has_five_steps_and_naive_is_baseline() {
+    fn ablation_has_direction_rows_and_naive_is_baseline() {
         let edges = datasets::load(DatasetId::FacebookLike, DatasetScale::Tiny);
         let steps = figure7_ablation(Algorithm::PageRank, &edges, 2);
-        assert_eq!(steps.len(), 5);
+        assert_eq!(steps.len(), 7);
         assert!((steps[0].speedup - 1.0).abs() < 1e-9);
+        // The push-only rows never pull; the forced-pull row always pulls;
+        // auto on PageRank (every vertex active every superstep) pulls every
+        // superstep — the acceptance criterion of the direction PR.
+        for push_row in &steps[..5] {
+            assert_eq!(push_row.pull_supersteps, 0, "{}", push_row.label);
+        }
+        let pull_only = &steps[5];
+        assert_eq!(pull_only.label, "pull only (dense)");
+        assert_eq!(pull_only.pull_supersteps, pull_only.iterations);
+        let auto = &steps[6];
+        assert_eq!(auto.label, "auto (direction-opt)");
+        assert_eq!(
+            auto.pull_supersteps, auto.iterations,
+            "dense-frontier PageRank supersteps must select the pull backend"
+        );
+    }
+
+    #[test]
+    fn sssp_ablation_auto_tracks_the_sparse_frontier() {
+        // SSSP's frontier starts from one source: auto must not pull every
+        // superstep (most are sparse), while forced dense always pulls.
+        let edges = datasets::load(DatasetId::FlickrLike, DatasetScale::Tiny);
+        let steps = figure7_ablation(Algorithm::Sssp, &edges, 2);
+        let pull_only = &steps[5];
+        assert_eq!(pull_only.pull_supersteps, pull_only.iterations);
+        let auto = &steps[6];
+        assert!(
+            auto.pull_supersteps < auto.iterations,
+            "auto pulled {}/{} supersteps on a frontier-driven SSSP",
+            auto.pull_supersteps,
+            auto.iterations
+        );
+    }
+
+    #[test]
+    fn json_output_carries_backend_and_density_per_superstep() {
+        let edges = datasets::load(DatasetId::FacebookLike, DatasetScale::Tiny);
+        let m = run_graph_algorithm(Framework::GraphMat, Algorithm::Bfs, "tiny", &edges, 2);
+        assert!(!m.supersteps.is_empty());
+        let json = measurements_to_json(&[m]);
+        assert!(json.contains("\"backend\": \"push\""), "{json}");
+        assert!(json.contains("\"frontier_density\": "), "{json}");
+        assert!(json.contains("\"dataset\": \"tiny\""), "{json}");
+        // Baselines serialize with an empty superstep list.
+        let nat = run_graph_algorithm(Framework::Native, Algorithm::Bfs, "tiny", &edges, 2);
+        let json = measurements_to_json(&[nat]);
+        assert!(json.contains("\"supersteps\": []"), "{json}");
     }
 
     #[test]

@@ -45,16 +45,43 @@
 //! [`GraphProgram::direction`], SEND reads only the degree array the
 //! direction actually needs (out-degrees for `Out`, in-degrees for `In`,
 //! both for `Both`) when accounting the edges a superstep will traverse.
+//!
+//! # Direction optimization: push vs pull
+//!
+//! The paper's engine always *pushes*: SEND builds a sparse message vector
+//! and the column-wise DCSC SpMV scatters it — ideal when few vertices are
+//! active, wasteful when most are (PageRank every superstep, the middle of
+//! a BFS). This reproduction adds the dense *pull* backend
+//! direction-optimized frameworks (Beamer's bottom-up BFS, GraphBLAST) get
+//! their biggest win from: SEND fills a [`DenseVector`] instead, and the
+//! row-parallel [`gspmv_csr_pull_into`] kernel walks destination rows of
+//! the topology's CSR mirror, gathering messages by index — no sharded
+//! writers, no atomics, perfect write locality.
+//!
+//! [`VectorKind::Auto`] (the `Session` default) makes the choice per
+//! superstep with [`choose_backend`], Beamer's rule: pull when the
+//! frontier's out-edges exceed `unexplored_edges / α` and the frontier is
+//! not tiny. Forced kinds pin the backend (`Bitvector`/`Sorted` → push,
+//! `Dense` → pull). Every representation reduces each destination's
+//! incoming products in ascending source order, so **all four produce
+//! bit-for-bit identical results** — the selector can never change an
+//! answer, only its speed. The superstep records the chosen
+//! [`Backend`] in its metrics so runs expose their push/pull trajectory.
 
+use crate::error::{GraphMatError, Result};
 use crate::options::{DispatchMode, RunOptions, VectorKind};
 use crate::program::{EdgeDirection, GraphProgram, VertexId};
 use crate::state::VertexState;
+use crate::stats::Backend;
 use crate::topology::Topology;
 use graphmat_sparse::bitvec::AtomicBitVec;
-use graphmat_sparse::parallel::Executor;
+use graphmat_sparse::parallel::{chunks, Executor};
 use graphmat_sparse::partition::PartitionedDcsc;
-use graphmat_sparse::spmv::gspmv_into;
-use graphmat_sparse::spvec::{MessageVector, SortedSparseVector, SparseVector};
+use graphmat_sparse::pull::CsrMirror;
+use graphmat_sparse::spmv::{gspmv_csr_pull_into, gspmv_into};
+use graphmat_sparse::spvec::{
+    DenseVector, MessageVector, SortedSparseVector, SparseVector, WordRangeWriter,
+};
 use graphmat_sparse::Index;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -66,8 +93,46 @@ use std::time::{Duration, Instant};
 /// two cutoffs cannot drift apart.
 pub(crate) const PARALLEL_PHASE_MIN_WORK: usize = 2048;
 
+/// The β guard of the direction selector: never pull while fewer than
+/// `1/β` of all vertices are active, no matter how few edges remain
+/// unexplored. This is Beamer's bottom-up→top-down switch-back condition —
+/// without it a BFS tail (tiny frontier, everything already explored) would
+/// stay on the pull backend and pay a full row sweep to deliver a handful of
+/// messages.
+pub const PULL_BETA: f64 = 24.0;
+
+/// The Beamer-style direction rule used by [`VectorKind::Auto`]: pull when
+/// the frontier's outgoing edges outnumber `unexplored_edges / alpha`
+/// (the frontier is about to touch a large share of what is left, so a
+/// row-major sweep that reads each destination's sources beats scattering)
+/// **and** at least `num_vertices / β` vertices are active (see
+/// [`PULL_BETA`]).
+///
+/// `frontier_edges` is the out-edge count of the current active set in the
+/// program's scatter direction; `unexplored_edges` is the direction's total
+/// edge count minus everything already traversed this run (saturating at
+/// zero — fixed-iteration algorithms like PageRank re-traverse every edge
+/// each superstep, exhaust the estimate after one superstep and settle on
+/// pull, which is exactly the desired behaviour).
+pub fn choose_backend(
+    frontier_edges: u64,
+    unexplored_edges: u64,
+    active_count: usize,
+    num_vertices: usize,
+    alpha: f64,
+) -> Backend {
+    let frontier_is_heavy = frontier_edges as f64 > unexplored_edges as f64 / alpha;
+    let frontier_is_broad = active_count as f64 * PULL_BETA >= num_vertices as f64;
+    if frontier_is_heavy && frontier_is_broad {
+        Backend::Pull
+    } else {
+        Backend::Push
+    }
+}
+
 /// The output of one superstep's SEND + SpMV phases (owned variant, produced
 /// by [`superstep`]; the runner's hot loop uses [`superstep_into`] instead).
+#[derive(Debug)]
 pub struct SuperstepOutput<R> {
     /// Reduced values per destination vertex (the `y` of Algorithm 1).
     pub reduced: SparseVector<R>,
@@ -75,6 +140,8 @@ pub struct SuperstepOutput<R> {
     pub messages_sent: usize,
     /// Number of edges traversed by the SpMV.
     pub edges_processed: u64,
+    /// Which SpMV backend ran (push, or pull when the frontier was dense).
+    pub backend: Backend,
     /// Time spent building the message vector.
     pub send_time: Duration,
     /// Time spent in the SpMV.
@@ -88,6 +155,8 @@ pub struct SuperstepMetrics {
     pub messages_sent: usize,
     /// Number of edges traversed by the SpMV.
     pub edges_processed: u64,
+    /// Which SpMV backend ran (push, or pull when the frontier was dense).
+    pub backend: Backend,
     /// Time spent building the message vector.
     pub send_time: Duration,
     /// Time spent in the SpMV.
@@ -96,11 +165,23 @@ pub struct SuperstepMetrics {
 
 /// The message vector in the representation [`RunOptions::vector`] selected.
 enum MessageStore<M> {
-    /// Bit vector + dense value array (the paper's choice, §4.4.2).
+    /// Bit vector + dense value array, always pushed (the paper's choice,
+    /// §4.4.2).
     Bitvector(SparseVector<M>),
     /// Sorted tuples (the Figure 7 ablation baseline; SEND stays sequential
     /// here because sorted insertion cannot be sharded).
     Sorted(SortedSparseVector<M>),
+    /// Dense value array + validity bitmap, always pulled through the CSR
+    /// mirror.
+    Dense(DenseVector<M>),
+    /// Direction-optimized: both representations live in the workspace and
+    /// the selector fills exactly one per superstep. Costs one extra O(n)
+    /// value array over the forced kinds — the price of switching without
+    /// per-superstep allocation.
+    Auto {
+        push: SparseVector<M>,
+        pull: DenseVector<M>,
+    },
 }
 
 /// Reusable per-run scratch state: every buffer a superstep needs, allocated
@@ -126,6 +207,11 @@ impl<P: GraphProgram> Workspace<P> {
         let messages = match options.vector {
             VectorKind::Bitvector => MessageStore::Bitvector(SparseVector::new(n)),
             VectorKind::Sorted => MessageStore::Sorted(SortedSparseVector::new(n)),
+            VectorKind::Dense => MessageStore::Dense(DenseVector::new(n)),
+            VectorKind::Auto => MessageStore::Auto {
+                push: SparseVector::new(n),
+                pull: DenseVector::new(n),
+            },
         };
         Workspace {
             messages,
@@ -149,6 +235,8 @@ impl<P: GraphProgram> Workspace<P> {
             (&self.messages, options.vector),
             (MessageStore::Bitvector(_), VectorKind::Bitvector)
                 | (MessageStore::Sorted(_), VectorKind::Sorted)
+                | (MessageStore::Dense(_), VectorKind::Dense)
+                | (MessageStore::Auto { .. }, VectorKind::Auto)
         );
         kind_matches && self.reduced.len() == n
     }
@@ -158,13 +246,20 @@ impl<P: GraphProgram> Workspace<P> {
 /// one-shot workspace and return the owned output. Convenience API for tests
 /// and single-superstep callers; the runner's loop uses [`superstep_into`]
 /// with a persistent [`Workspace`].
+///
+/// # Errors
+///
+/// [`GraphMatError::MissingInMatrix`] /
+/// [`GraphMatError::MissingPullMirror`] when the topology lacks a matrix the
+/// program's direction or the selected backend needs (see
+/// [`superstep_into`]).
 pub fn superstep<P: GraphProgram>(
     topology: &Topology<P::Edge>,
     state: &VertexState<P::VertexProp>,
     program: &P,
     options: &RunOptions,
     executor: &Executor,
-) -> SuperstepOutput<P::Reduced> {
+) -> Result<SuperstepOutput<P::Reduced>> {
     let mut ws = Workspace::<P>::new(topology.num_vertices() as usize, options);
     let metrics = superstep_into(
         topology,
@@ -173,15 +268,17 @@ pub fn superstep<P: GraphProgram>(
         options,
         executor,
         state.active_count(),
+        0,
         &mut ws,
-    );
-    SuperstepOutput {
+    )?;
+    Ok(SuperstepOutput {
         reduced: ws.reduced,
         messages_sent: metrics.messages_sent,
         edges_processed: metrics.edges_processed,
+        backend: metrics.backend,
         send_time: metrics.send_time,
         spmv_time: metrics.spmv_time,
-    }
+    })
 }
 
 /// Execute the SEND_MESSAGE and SpMV phases of one superstep, reusing the
@@ -190,8 +287,28 @@ pub fn superstep<P: GraphProgram>(
 /// `active_count` is the current number of active vertices — the caller (the
 /// runner's convergence check) already has it in hand, and passing it in
 /// spares SEND a second full popcount of the active bit vector per
-/// superstep. It only gates the sequential-vs-parallel SEND choice, so an
-/// approximate value is harmless.
+/// superstep. It gates the sequential-vs-parallel SEND choice and feeds the
+/// direction selector's β guard.
+///
+/// `explored_edges` is the number of edges already traversed by earlier
+/// supersteps of this run (the runner's cumulative
+/// `RunStats::edges_processed`); the [`VectorKind::Auto`] selector uses it
+/// to estimate the unexplored remainder. Callers not running `Auto` can pass
+/// `0` — the value is read by nothing else.
+///
+/// # Errors
+///
+/// * [`GraphMatError::MissingInMatrix`] if the program scatters along
+///   in-edges (`In`/`Both`) but the topology was built with
+///   `build_in_edges = false`;
+/// * [`GraphMatError::MissingPullMirror`] if the workspace forces the pull
+///   backend (`VectorKind::Dense`) but the topology was built with
+///   `build_pull_mirrors = false`. (`Auto` silently pushes instead.)
+///
+/// Both are checked **before** any phase runs, so an error leaves the
+/// workspace's previous contents intact. The deprecated
+/// [`crate::graph::Graph`] facade is the only place these still surface as
+/// panics.
 #[allow(clippy::too_many_arguments)]
 pub fn superstep_into<P: GraphProgram>(
     topology: &Topology<P::Edge>,
@@ -200,8 +317,9 @@ pub fn superstep_into<P: GraphProgram>(
     options: &RunOptions,
     executor: &Executor,
     active_count: usize,
+    explored_edges: u64,
     ws: &mut Workspace<P>,
-) -> SuperstepMetrics {
+) -> Result<SuperstepMetrics> {
     // Release-mode checks, not debug_asserts: the Topology/VertexState
     // split makes a mismatched pairing expressible, and without this the
     // failure is a bare slice-index panic deep in SEND/SpMV. Two usize
@@ -222,11 +340,44 @@ pub fn superstep_into<P: GraphProgram>(
         n
     );
     let direction = program.direction();
+    if direction != EdgeDirection::Out && !topology.has_in_edges() {
+        return Err(GraphMatError::MissingInMatrix);
+    }
 
-    // --- SEND_MESSAGE: build the sparse message vector from active vertices.
+    // --- Backend selection (before SEND: the two backends fill different
+    // message representations).
+    let backend = match &ws.messages {
+        MessageStore::Bitvector(_) | MessageStore::Sorted(_) => Backend::Push,
+        MessageStore::Dense(_) => {
+            if !topology.has_pull_mirrors() {
+                return Err(GraphMatError::MissingPullMirror);
+            }
+            Backend::Pull
+        }
+        MessageStore::Auto { .. } => {
+            if topology.has_pull_mirrors() {
+                let frontier_edges =
+                    frontier_out_edges(topology, state, direction, active_count, executor);
+                let unexplored =
+                    direction_edge_total(topology, direction).saturating_sub(explored_edges);
+                choose_backend(
+                    frontier_edges,
+                    unexplored,
+                    active_count,
+                    n,
+                    options.pull_alpha,
+                )
+            } else {
+                Backend::Push
+            }
+        }
+    };
+
+    // --- SEND_MESSAGE: build the message vector from active vertices, in
+    // the representation the chosen backend reads.
     let send_start = Instant::now();
-    let (messages_sent, edges_processed) = match &mut ws.messages {
-        MessageStore::Bitvector(mv) => send_bitvector(
+    let (messages_sent, edges_processed) = match (&mut ws.messages, backend) {
+        (MessageStore::Bitvector(mv), _) => send_frontier(
             topology,
             state,
             program,
@@ -235,14 +386,34 @@ pub fn superstep_into<P: GraphProgram>(
             active_count,
             mv,
         ),
-        MessageStore::Sorted(sv) => {
+        (MessageStore::Sorted(sv), _) => {
             sv.clear();
             send_sequential(topology, state, program, direction, sv)
         }
+        (MessageStore::Dense(dv), _) | (MessageStore::Auto { pull: dv, .. }, Backend::Pull) => {
+            send_frontier(
+                topology,
+                state,
+                program,
+                direction,
+                executor,
+                active_count,
+                dv,
+            )
+        }
+        (MessageStore::Auto { push: mv, .. }, Backend::Push) => send_frontier(
+            topology,
+            state,
+            program,
+            direction,
+            executor,
+            active_count,
+            mv,
+        ),
     };
     let send_time = send_start.elapsed();
 
-    // --- Generalized SpMV (Algorithm 1).
+    // --- Generalized SpMV (Algorithm 1): sparse push or dense pull.
     let spmv_start = Instant::now();
     let Workspace {
         messages,
@@ -250,22 +421,76 @@ pub fn superstep_into<P: GraphProgram>(
         scratch,
         ..
     } = ws;
-    match messages {
-        MessageStore::Bitvector(mv) => spmv_phase(
+    match (&*messages, backend) {
+        (MessageStore::Bitvector(mv), _) => spmv_phase(
             topology, state, program, options, executor, mv, reduced, scratch,
-        ),
-        MessageStore::Sorted(sv) => spmv_phase(
+        )?,
+        (MessageStore::Sorted(sv), _) => spmv_phase(
             topology, state, program, options, executor, sv, reduced, scratch,
-        ),
+        )?,
+        (MessageStore::Dense(dv), _) | (MessageStore::Auto { pull: dv, .. }, Backend::Pull) => {
+            pull_spmv_phase(
+                topology, state, program, options, executor, dv, reduced, scratch,
+            )?
+        }
+        (MessageStore::Auto { push: mv, .. }, Backend::Push) => spmv_phase(
+            topology, state, program, options, executor, mv, reduced, scratch,
+        )?,
     }
     let spmv_time = spmv_start.elapsed();
 
-    SuperstepMetrics {
+    Ok(SuperstepMetrics {
         messages_sent,
         edges_processed,
+        backend,
         send_time,
         spmv_time,
+    })
+}
+
+/// Total edges a program of the given direction could ever traverse — the
+/// denominator of the selector's unexplored-edge estimate.
+fn direction_edge_total<E>(topology: &Topology<E>, direction: EdgeDirection) -> u64 {
+    match direction {
+        EdgeDirection::Out | EdgeDirection::In => topology.num_edges() as u64,
+        EdgeDirection::Both => 2 * topology.num_edges() as u64,
     }
+}
+
+/// Out-edge count of the current active set in the scatter direction —
+/// Beamer's `m_f`. One degree-array read per active vertex; skipped entirely
+/// when every vertex is active (then it is just the direction's edge total,
+/// the PageRank-every-superstep case). Large frontiers are scanned in
+/// parallel over active-bitvector words with the same cutoff SEND uses, so
+/// the selector's pre-scan can never dominate the phase it is sizing.
+fn frontier_out_edges<E: Sync, V: Sync>(
+    topology: &Topology<E>,
+    state: &VertexState<V>,
+    direction: EdgeDirection,
+    active_count: usize,
+    executor: &Executor,
+) -> u64 {
+    if active_count == topology.num_vertices() as usize {
+        return direction_edge_total(topology, direction);
+    }
+    let active = state.active_bits();
+    if executor.nthreads() == 1 || active_count < PARALLEL_PHASE_MIN_WORK {
+        return active
+            .iter_ones()
+            .map(|v| edges_for(topology, direction, v as VertexId))
+            .sum();
+    }
+    let ch = chunks(active.words().len(), executor.nthreads() * 4);
+    let total = AtomicU64::new(0);
+    executor.for_each_dynamic(ch.count(), |chunk_idx| {
+        let (word_start, word_end) = ch.bounds(chunk_idx);
+        let mut local = 0u64;
+        for v in active.iter_ones_in_words(word_start, word_end) {
+            local += edges_for(topology, direction, v as VertexId);
+        }
+        total.fetch_add(local, Ordering::Relaxed);
+    });
+    total.load(Ordering::Relaxed)
 }
 
 /// How many edges a message from `v` will traverse, given the scatter
@@ -299,6 +524,52 @@ impl<T: Clone + Sync> BuildableVector<T> for SortedSparseVector<T> {
     }
 }
 
+impl<T: Clone + Default + Sync> BuildableVector<T> for DenseVector<T> {
+    fn insert(&mut self, i: Index, value: T) {
+        self.set(i, value);
+    }
+}
+
+/// A message vector SEND can additionally populate in parallel over
+/// word-aligned chunks of the active bit vector — the bitvector-backed push
+/// store and the dense pull store share this shape, so one SEND
+/// implementation serves both backends.
+trait FrontierVector<T>: BuildableVector<T> {
+    fn clear(&mut self);
+    fn fill_words_parallel<F>(&mut self, executor: &Executor, f: F)
+    where
+        T: Send,
+        F: Fn(&mut WordRangeWriter<'_, T>) + Sync;
+}
+
+impl<T: Clone + Default + Sync> FrontierVector<T> for SparseVector<T> {
+    fn clear(&mut self) {
+        SparseVector::clear(self);
+    }
+
+    fn fill_words_parallel<F>(&mut self, executor: &Executor, f: F)
+    where
+        T: Send,
+        F: Fn(&mut WordRangeWriter<'_, T>) + Sync,
+    {
+        SparseVector::fill_words_parallel(self, executor, f)
+    }
+}
+
+impl<T: Clone + Default + Sync> FrontierVector<T> for DenseVector<T> {
+    fn clear(&mut self) {
+        DenseVector::clear(self);
+    }
+
+    fn fill_words_parallel<F>(&mut self, executor: &Executor, f: F)
+    where
+        T: Send,
+        F: Fn(&mut WordRangeWriter<'_, T>) + Sync,
+    {
+        DenseVector::fill_words_parallel(self, executor, f)
+    }
+}
+
 /// Sequential SEND over the active set (already-cleared message vector).
 fn send_sequential<P: GraphProgram, MV: BuildableVector<P::Message>>(
     topology: &Topology<P::Edge>,
@@ -321,17 +592,17 @@ fn send_sequential<P: GraphProgram, MV: BuildableVector<P::Message>>(
     (sent, edges)
 }
 
-/// SEND into a bitvector-backed message vector: sequential for small
-/// frontiers, otherwise chunked over active-bitvector words across the
-/// executor's lanes.
-fn send_bitvector<P: GraphProgram>(
+/// SEND into a word-fillable message vector (bitvector push store or dense
+/// pull store): sequential for small frontiers, otherwise chunked over
+/// active-bitvector words across the executor's lanes.
+fn send_frontier<P: GraphProgram, MV: FrontierVector<P::Message>>(
     topology: &Topology<P::Edge>,
     state: &VertexState<P::VertexProp>,
     program: &P,
     direction: EdgeDirection,
     executor: &Executor,
     active_count: usize,
-    messages: &mut SparseVector<P::Message>,
+    messages: &mut MV,
 ) -> (usize, u64) {
     messages.clear();
     if executor.nthreads() == 1 || active_count < PARALLEL_PHASE_MIN_WORK {
@@ -360,7 +631,7 @@ fn send_bitvector<P: GraphProgram>(
     (sent.load(Ordering::Relaxed), edges.load(Ordering::Relaxed))
 }
 
-/// Run the SpMV for the program's direction into the workspace buffers.
+/// Run the push SpMV for the program's direction into the workspace buffers.
 #[allow(clippy::too_many_arguments)]
 fn spmv_phase<P, MV>(
     topology: &Topology<P::Edge>,
@@ -371,7 +642,8 @@ fn spmv_phase<P, MV>(
     messages: &MV,
     reduced: &mut SparseVector<P::Reduced>,
     scratch: &mut Option<SparseVector<P::Reduced>>,
-) where
+) -> Result<()>
+where
     P: GraphProgram,
     MV: MessageVector<P::Message> + Sync,
 {
@@ -387,7 +659,7 @@ fn spmv_phase<P, MV>(
             reduced,
         ),
         EdgeDirection::In => run_spmv_into(
-            require_in_matrix(topology),
+            in_matrix(topology)?,
             messages,
             program,
             props,
@@ -408,7 +680,7 @@ fn spmv_phase<P, MV>(
             let scratch =
                 scratch.get_or_insert_with(|| SparseVector::new(topology.num_vertices() as usize));
             run_spmv_into(
-                require_in_matrix(topology),
+                in_matrix(topology)?,
                 messages,
                 program,
                 props,
@@ -416,18 +688,108 @@ fn spmv_phase<P, MV>(
                 executor,
                 scratch,
             );
-            for (k, v) in scratch.iter() {
-                reduced.merge(k, v.clone(), |acc, value| program.reduce(acc, value));
-            }
+            merge_scratch(program, scratch, reduced);
         }
+    }
+    Ok(())
+}
+
+/// Run the dense-pull SpMV for the program's direction into the workspace
+/// buffers. Phase structure (and therefore reduction order) matches
+/// [`spmv_phase`] exactly — including the `Both`-direction out-then-in merge
+/// through the scratch vector — so push and pull stay bit-for-bit identical.
+#[allow(clippy::too_many_arguments)]
+fn pull_spmv_phase<P>(
+    topology: &Topology<P::Edge>,
+    state: &VertexState<P::VertexProp>,
+    program: &P,
+    options: &RunOptions,
+    executor: &Executor,
+    messages: &DenseVector<P::Message>,
+    reduced: &mut SparseVector<P::Reduced>,
+    scratch: &mut Option<SparseVector<P::Reduced>>,
+) -> Result<()>
+where
+    P: GraphProgram,
+{
+    let props = state.properties();
+    match program.direction() {
+        EdgeDirection::Out => run_pull_into(
+            out_pull_mirror(topology)?,
+            messages,
+            program,
+            props,
+            options.dispatch,
+            executor,
+            reduced,
+        ),
+        EdgeDirection::In => run_pull_into(
+            in_pull_mirror(topology)?,
+            messages,
+            program,
+            props,
+            options.dispatch,
+            executor,
+            reduced,
+        ),
+        EdgeDirection::Both => {
+            run_pull_into(
+                out_pull_mirror(topology)?,
+                messages,
+                program,
+                props,
+                options.dispatch,
+                executor,
+                reduced,
+            );
+            let scratch =
+                scratch.get_or_insert_with(|| SparseVector::new(topology.num_vertices() as usize));
+            run_pull_into(
+                in_pull_mirror(topology)?,
+                messages,
+                program,
+                props,
+                options.dispatch,
+                executor,
+                scratch,
+            );
+            merge_scratch(program, scratch, reduced);
+        }
+    }
+    Ok(())
+}
+
+/// Fold the `Both`-direction second output (in-edge traversal) into the
+/// primary reduced vector with the program's REDUCE.
+fn merge_scratch<P: GraphProgram>(
+    program: &P,
+    scratch: &SparseVector<P::Reduced>,
+    reduced: &mut SparseVector<P::Reduced>,
+) {
+    for (k, v) in scratch.iter() {
+        reduced.merge(k, v.clone(), |acc, value| program.reduce(acc, value));
     }
 }
 
-fn require_in_matrix<E>(topology: &Topology<E>) -> &PartitionedDcsc<E> {
-    topology.in_matrix().expect(
-        "program scatters along in-edges but the topology was built with \
-         GraphBuildOptions::build_in_edges = false",
-    )
+fn in_matrix<E>(topology: &Topology<E>) -> Result<&PartitionedDcsc<E>> {
+    topology.in_matrix().ok_or(GraphMatError::MissingInMatrix)
+}
+
+fn out_pull_mirror<E>(topology: &Topology<E>) -> Result<&CsrMirror<E>> {
+    topology
+        .out_pull_mirror()
+        .ok_or(GraphMatError::MissingPullMirror)
+}
+
+fn in_pull_mirror<E>(topology: &Topology<E>) -> Result<&CsrMirror<E>> {
+    // An In/Both program needs the in-edge matrix before a mirror of it can
+    // even exist; report the more fundamental problem first.
+    if topology.in_matrix().is_none() {
+        return Err(GraphMatError::MissingInMatrix);
+    }
+    topology
+        .in_pull_mirror()
+        .ok_or(GraphMatError::MissingPullMirror)
 }
 
 /// Run the generalized SpMV with either static (monomorphised, inlinable)
@@ -478,6 +840,50 @@ fn run_spmv_into<P, MV>(
     }
 }
 
+/// Run the dense-pull SpMV with static or dynamic dispatch of the user
+/// callbacks (same Figure 7 ablation semantics as [`run_spmv_into`]).
+fn run_pull_into<P>(
+    mirror: &CsrMirror<P::Edge>,
+    messages: &DenseVector<P::Message>,
+    program: &P,
+    props: &[P::VertexProp],
+    dispatch: DispatchMode,
+    executor: &Executor,
+    reduced: &mut SparseVector<P::Reduced>,
+) where
+    P: GraphProgram,
+{
+    match dispatch {
+        DispatchMode::Static => gspmv_csr_pull_into(
+            mirror,
+            messages,
+            &|msg: &P::Message, edge: &P::Edge, dst: Index| {
+                program.process_message(msg, edge, &props[dst as usize])
+            },
+            &|acc: &mut P::Reduced, value: P::Reduced| program.reduce(acc, value),
+            executor,
+            reduced,
+        ),
+        DispatchMode::Dynamic => {
+            #[allow(clippy::type_complexity)]
+            let process: &(dyn Fn(&P::Message, &P::Edge, &P::VertexProp) -> P::Reduced
+                  + Sync) = &|m, e, d| program.process_message(m, e, d);
+            let reduce: &(dyn Fn(&mut P::Reduced, P::Reduced) + Sync) =
+                &|acc, v| program.reduce(acc, v);
+            gspmv_csr_pull_into(
+                mirror,
+                messages,
+                &|msg: &P::Message, edge: &P::Edge, dst: Index| {
+                    process(msg, edge, &props[dst as usize])
+                },
+                &|acc: &mut P::Reduced, value: P::Reduced| reduce(acc, value),
+                executor,
+                reduced,
+            )
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -515,7 +921,8 @@ mod tests {
     }
 
     fn figure3_graph() -> Graph<f32> {
-        // Figure 3(a): A=0,B=1,C=2,D=3,E=4
+        // Figure 3(a): A=0,B=1,C=2,D=3,E=4. Pull mirrors on, so the same
+        // graph serves the push and pull backend tests.
         let el = EdgeList::from_tuples(
             5,
             vec![
@@ -528,7 +935,12 @@ mod tests {
                 (4, 0, 4.0),
             ],
         );
-        Graph::from_edge_list(&el, GraphBuildOptions::default().with_partitions(2))
+        Graph::from_edge_list(
+            &el,
+            GraphBuildOptions::default()
+                .with_partitions(2)
+                .with_pull_mirrors(true),
+        )
     }
 
     #[test]
@@ -543,9 +955,11 @@ mod tests {
             &Sssp,
             &RunOptions::sequential(),
             &Executor::sequential(),
-        );
+        )
+        .unwrap();
         assert_eq!(out.messages_sent, 1);
         assert_eq!(out.edges_processed, 3);
+        assert_eq!(out.backend, Backend::Push);
         assert_eq!(out.reduced.to_entries(), vec![(1, 1.0), (2, 3.0), (3, 2.0)]);
     }
 
@@ -562,15 +976,42 @@ mod tests {
             &Sssp,
             &RunOptions::default().with_dispatch(DispatchMode::Static),
             &executor,
-        );
+        )
+        .unwrap();
         let slow = superstep(
             g.topology(),
             g.state(),
             &Sssp,
             &RunOptions::default().with_dispatch(DispatchMode::Dynamic),
             &executor,
-        );
+        )
+        .unwrap();
         assert_eq!(fast.reduced.to_entries(), slow.reduced.to_entries());
+
+        // The same ablation must hold on the pull backend.
+        let pull_fast = superstep(
+            g.topology(),
+            g.state(),
+            &Sssp,
+            &RunOptions::default()
+                .with_vector(VectorKind::Dense)
+                .with_dispatch(DispatchMode::Static),
+            &executor,
+        )
+        .unwrap();
+        let pull_slow = superstep(
+            g.topology(),
+            g.state(),
+            &Sssp,
+            &RunOptions::default()
+                .with_vector(VectorKind::Dense)
+                .with_dispatch(DispatchMode::Dynamic),
+            &executor,
+        )
+        .unwrap();
+        assert_eq!(pull_fast.backend, Backend::Pull);
+        assert_eq!(pull_fast.reduced.to_entries(), fast.reduced.to_entries());
+        assert_eq!(pull_slow.reduced.to_entries(), fast.reduced.to_entries());
     }
 
     #[test]
@@ -580,21 +1021,84 @@ mod tests {
         g.set_property(0, 0.0);
         g.set_all_active();
         let executor = Executor::sequential();
-        let bitvec = superstep(
-            g.topology(),
-            g.state(),
-            &Sssp,
-            &RunOptions::default().with_vector(VectorKind::Bitvector),
-            &executor,
-        );
-        let sorted = superstep(
-            g.topology(),
-            g.state(),
-            &Sssp,
-            &RunOptions::default().with_vector(VectorKind::Sorted),
-            &executor,
-        );
+        let run = |kind: VectorKind| {
+            superstep(
+                g.topology(),
+                g.state(),
+                &Sssp,
+                &RunOptions::default().with_vector(kind),
+                &executor,
+            )
+            .unwrap()
+        };
+        let bitvec = run(VectorKind::Bitvector);
+        let sorted = run(VectorKind::Sorted);
+        let dense = run(VectorKind::Dense);
+        let auto = run(VectorKind::Auto);
         assert_eq!(bitvec.reduced.to_entries(), sorted.reduced.to_entries());
+        assert_eq!(bitvec.reduced.to_entries(), dense.reduced.to_entries());
+        assert_eq!(bitvec.reduced.to_entries(), auto.reduced.to_entries());
+        assert_eq!(dense.backend, Backend::Pull);
+    }
+
+    #[test]
+    fn forced_dense_without_mirrors_is_an_error() {
+        let el = EdgeList::from_tuples(3, vec![(0, 1, 1.0), (1, 2, 1.0)]);
+        let mut g: Graph<f32> = Graph::from_edge_list(
+            &el,
+            GraphBuildOptions::default()
+                .with_pull_mirrors(false)
+                .with_partitions(1),
+        );
+        g.set_all_active();
+        let err = superstep(
+            g.topology(),
+            g.state(),
+            &Sssp,
+            &RunOptions::sequential().with_vector(VectorKind::Dense),
+            &Executor::sequential(),
+        )
+        .unwrap_err();
+        assert_eq!(err, crate::error::GraphMatError::MissingPullMirror);
+    }
+
+    #[test]
+    fn auto_without_mirrors_degrades_to_push() {
+        let el = EdgeList::from_tuples(3, vec![(0, 1, 1.0), (1, 2, 1.0)]);
+        let mut g: Graph<f32> = Graph::from_edge_list(
+            &el,
+            GraphBuildOptions::default()
+                .with_pull_mirrors(false)
+                .with_partitions(1),
+        );
+        g.set_all_properties(0.0);
+        g.set_all_active();
+        let out = superstep(
+            g.topology(),
+            g.state(),
+            &Sssp,
+            &RunOptions::sequential().with_vector(VectorKind::Auto),
+            &Executor::sequential(),
+        )
+        .unwrap();
+        // A fully-dense frontier would normally pull; without mirrors the
+        // selector must settle for push and still produce the right answer.
+        assert_eq!(out.backend, Backend::Push);
+        assert_eq!(out.reduced.to_entries(), vec![(1, 1.0), (2, 1.0)]);
+    }
+
+    #[test]
+    fn selector_follows_the_beamer_rule() {
+        // Heavy frontier + broad frontier → pull.
+        assert_eq!(choose_backend(1000, 1000, 500, 1000, 14.0), Backend::Pull);
+        // Heavy frontier but tiny active set (BFS tail) → push (β guard).
+        assert_eq!(choose_backend(1000, 0, 10, 1000, 14.0), Backend::Push);
+        // Light frontier (BFS start) → push.
+        assert_eq!(choose_backend(3, 10_000, 500, 1000, 14.0), Backend::Push);
+        // α tunes the switch point: the same frontier pulls with a large α
+        // and pushes with a small one.
+        assert_eq!(choose_backend(100, 10_000, 500, 1000, 200.0), Backend::Pull);
+        assert_eq!(choose_backend(100, 10_000, 500, 1000, 2.0), Backend::Push);
     }
 
     #[test]
@@ -607,7 +1111,7 @@ mod tests {
         let executor = Executor::new(2);
         let mut ws = Workspace::<Sssp>::new(g.num_vertices() as usize, &options);
         for _ in 0..3 {
-            let fresh = superstep(g.topology(), g.state(), &Sssp, &options, &executor);
+            let fresh = superstep(g.topology(), g.state(), &Sssp, &options, &executor).unwrap();
             let metrics = superstep_into(
                 g.topology(),
                 g.state(),
@@ -615,8 +1119,10 @@ mod tests {
                 &options,
                 &executor,
                 g.active_count(),
+                0,
                 &mut ws,
-            );
+            )
+            .unwrap();
             assert_eq!(metrics.messages_sent, fresh.messages_sent);
             assert_eq!(metrics.edges_processed, fresh.edges_processed);
             assert_eq!(ws.reduced().to_entries(), fresh.reduced.to_entries());
@@ -627,12 +1133,22 @@ mod tests {
     fn workspace_compatibility_checks_length_and_kind() {
         let bitvec_opts = RunOptions::default();
         let sorted_opts = RunOptions::default().with_vector(VectorKind::Sorted);
+        let dense_opts = RunOptions::default().with_vector(VectorKind::Dense);
+        let auto_opts = RunOptions::default().with_vector(VectorKind::Auto);
         let ws = Workspace::<Sssp>::new(16, &bitvec_opts);
         assert!(ws.is_compatible(16, &bitvec_opts));
         assert!(!ws.is_compatible(17, &bitvec_opts));
         assert!(!ws.is_compatible(16, &sorted_opts));
+        assert!(!ws.is_compatible(16, &dense_opts));
+        assert!(!ws.is_compatible(16, &auto_opts));
         let ws2 = Workspace::<Sssp>::new(16, &sorted_opts);
         assert!(ws2.is_compatible(16, &sorted_opts));
+        let ws3 = Workspace::<Sssp>::new(16, &dense_opts);
+        assert!(ws3.is_compatible(16, &dense_opts));
+        assert!(!ws3.is_compatible(16, &auto_opts));
+        let ws4 = Workspace::<Sssp>::new(16, &auto_opts);
+        assert!(ws4.is_compatible(16, &auto_opts));
+        assert!(!ws4.is_compatible(16, &bitvec_opts));
     }
 
     /// A program that scatters along in-edges: each vertex tells its
@@ -682,7 +1198,8 @@ mod tests {
             &InDegreeLike,
             &RunOptions::sequential(),
             &Executor::sequential(),
-        );
+        )
+        .unwrap();
         assert_eq!(out.reduced.get(0), Some(&2)); // vertex 0 has 2 out-edges
         assert_eq!(out.reduced.get(1), Some(&1));
         assert_eq!(out.reduced.get(2), Some(&1));
@@ -706,14 +1223,18 @@ mod tests {
             &InDegreeLike,
             &RunOptions::sequential(),
             &Executor::sequential(),
-        );
+        )
+        .unwrap();
         // in-degrees: v0=0, v1=1, v2=2 → total 3 edges for an In program
         assert_eq!(out.edges_processed, 3);
     }
 
     #[test]
-    #[should_panic]
-    fn in_direction_without_in_matrix_panics() {
+    fn in_direction_without_in_matrix_is_an_error_not_a_panic() {
+        // Satellite bugfix: the engine used to hit an `expect` here even
+        // though the runner's entry point returns Result — the missing
+        // matrix is now a typed error on every core path, before SEND does
+        // any work (only the deprecated Graph facade still panics).
         let el = EdgeList::from_tuples(3, vec![(0, 1, 1.0)]);
         let mut g: Graph<u32> = Graph::from_edge_list(
             &el,
@@ -722,13 +1243,15 @@ mod tests {
                 .with_partitions(1),
         );
         g.set_all_active();
-        let _ = superstep(
+        let err = superstep(
             g.topology(),
             g.state(),
             &InDegreeLike,
             &RunOptions::sequential(),
             &Executor::sequential(),
-        );
+        )
+        .unwrap_err();
+        assert_eq!(err, crate::error::GraphMatError::MissingInMatrix);
     }
 
     #[test]
@@ -757,7 +1280,8 @@ mod tests {
             &Sssp,
             &RunOptions::sequential(),
             &Executor::sequential(),
-        );
+        )
+        .unwrap();
         assert_eq!(out.messages_sent, 0);
         assert_eq!(out.edges_processed, 0);
         assert_eq!(out.reduced.nnz(), 0);

@@ -44,6 +44,11 @@ pub enum GraphMatError {
     /// The program scatters along in-edges but the topology was built with
     /// `build_in_edges = false`, so there is no `G` matrix to traverse.
     MissingInMatrix,
+    /// A run forced the pull backend (`VectorKind::Dense`) but the topology
+    /// was built with `build_pull_mirrors = false`, so there is no row-major
+    /// CSR mirror to traverse. (`VectorKind::Auto` never reports this — it
+    /// degrades to push when the mirrors are absent.)
+    MissingPullMirror,
     /// An algorithm configuration value cannot drive a run (e.g. zero
     /// latent dimensions for collaborative filtering, a non-positive
     /// delta-PageRank tolerance). The payload names the parameter and the
@@ -85,6 +90,12 @@ impl std::fmt::Display for GraphMatError {
                 f,
                 "program scatters along in-edges but the topology was built with \
                  build_in_edges = false"
+            ),
+            GraphMatError::MissingPullMirror => write!(
+                f,
+                "run forces the pull backend (VectorKind::Dense) but the topology was \
+                 built with build_pull_mirrors = false (use VectorKind::Auto to fall \
+                 back to push, or rebuild the topology with pull mirrors)"
             ),
             GraphMatError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
         }

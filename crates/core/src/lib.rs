@@ -77,10 +77,36 @@
 //! | `graph.properties()` after the run | `outcome.values` (moved, not cloned) |
 //! | clone the whole `Graph` per concurrent run | share one `Arc<Topology>`, one `VertexState` per run |
 //! | panics on misuse | typed [`error::GraphMatError`]s |
+//! | always-push SpMV (`RunOptions::default()`, still `VectorKind::Bitvector`) | direction-optimized [`options::VectorKind::Auto`] — the session default; force with `.vector(Bitvector \| Sorted \| Dense)` |
+//! | *(no equivalent)* | `.pull_alpha(α)` tunes when `Auto` switches to the pull backend |
+//! | *(no equivalent)* | `.pull_enabled(false)` on the graph builder skips the CSR mirrors (≈ halves matrix memory, pins `Auto` to push) |
 //!
 //! Lower-level entry points remain for advanced embedding:
 //! [`runner::run_program`] (explicit topology + state + executor +
 //! workspace) is what both the session and the facades reduce to.
+//!
+//! # Direction optimization (PR-4)
+//!
+//! The paper's engine always runs column-wise sparse SpMV — a *push*
+//! traversal, perfect for sparse frontiers, wasteful when most vertices are
+//! active. This reproduction adds the *dense pull* backend (row-parallel
+//! SpMV over a row-major CSR mirror of the partitioned matrix) and, with
+//! [`options::VectorKind::Auto`] — the session default — picks push or pull
+//! **per superstep** using Beamer's direction-switching rule
+//! ([`engine::choose_backend`]): pull when the frontier's out-edges exceed
+//! `unexplored_edges / α` and the frontier is not tiny. All backends reduce
+//! each destination's messages in ascending source order, so results are
+//! **bit-for-bit identical** — only speed changes. Costs and knobs:
+//!
+//! * the CSR mirrors roughly double adjacency-matrix memory
+//!   ([`topology::Topology::pull_bytes`]; skip them with
+//!   `.pull_enabled(false)` on the graph builder);
+//! * `.vector(…)` on the run builder forces a backend
+//!   (`Bitvector`/`Sorted` → push, `Dense` → pull, `Auto` → per-superstep);
+//! * `.pull_alpha(α)` tunes the switch point
+//!   ([`options::DEFAULT_PULL_ALPHA`] = 14);
+//! * each superstep records the chosen [`stats::Backend`] and its frontier
+//!   density in [`stats::SuperstepStats`].
 //!
 //! # Edge-type genericity (PR-1)
 //!
@@ -119,12 +145,13 @@ pub mod state;
 pub mod stats;
 pub mod topology;
 
+pub use engine::{choose_backend, PULL_BETA};
 pub use error::GraphMatError;
 pub use graph::{Graph, GraphBuildOptions};
-pub use options::{ActivityPolicy, DispatchMode, RunOptions, VectorKind};
+pub use options::{ActivityPolicy, DispatchMode, RunOptions, VectorKind, DEFAULT_PULL_ALPHA};
 pub use program::{EdgeDirection, GraphProgram, VertexId};
 pub use runner::{run_graph_program, run_graph_program_with, run_program, RunResult};
 pub use session::{GraphBuilder, RunBuilder, RunOutcome, Session, SessionOptions};
 pub use state::VertexState;
-pub use stats::{RunStats, SuperstepStats};
+pub use stats::{Backend, RunStats, SuperstepStats};
 pub use topology::Topology;

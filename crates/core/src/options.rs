@@ -7,7 +7,11 @@
 //! the Figure 7 experiment needs to reconstruct the naive baselines
 //! (sorted-tuple sparse vectors instead of bitvector-backed ones, and dynamic
 //! dispatch of the user callbacks instead of monomorphised/inlined calls,
-//! standing in for compiling without `-ipo`).
+//! standing in for compiling without `-ipo`) — plus the direction-
+//! optimization knobs this reproduction adds beyond the paper:
+//! [`VectorKind`] grew `Dense` (force the row-wise pull backend) and `Auto`
+//! (per-superstep push/pull selection, the `Session` default), with
+//! [`RunOptions::pull_alpha`] tuning when `Auto` switches.
 //!
 //! # Thread-count resolution
 //!
@@ -50,15 +54,43 @@ pub enum ActivityPolicy {
     AlwaysAll,
 }
 
-/// Which sparse-vector representation holds the per-superstep messages.
+/// Which message-vector representation — and therefore which SpMV backend —
+/// a superstep uses.
+///
+/// `Bitvector` and `Sorted` are *push* representations (column-wise sparse
+/// SpMV over the DCSC); `Dense` is the *pull* representation (row-wise SpMV
+/// over the CSR mirror); `Auto` switches between bitvector-push and
+/// dense-pull per superstep based on frontier density. All four produce
+/// **bit-for-bit identical results** — push and pull both reduce each
+/// destination's incoming products in ascending source order — so the choice
+/// is purely about performance.
+///
+/// `Auto` is the default of [`crate::session::SessionOptions`] (and of
+/// [`crate::session::Session::sequential`]); `RunOptions::default()` keeps
+/// `Bitvector`, the paper's original always-push configuration, so the
+/// legacy facades and the Figure 4/5/7 baselines reproduce the paper
+/// unchanged.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum VectorKind {
-    /// Bit vector + dense value array (the paper's choice, §4.4.2).
+    /// Bit vector + dense value array, always pushed (the paper's choice,
+    /// §4.4.2).
     #[default]
     Bitvector,
-    /// Sorted `(index, value)` tuples (the rejected alternative, kept for the
-    /// Figure 7 "+bitvector" ablation step).
+    /// Sorted `(index, value)` tuples, always pushed (the rejected
+    /// alternative, kept for the Figure 7 "+bitvector" ablation step).
     Sorted,
+    /// Dense value array + validity bitmap, always **pulled** through the
+    /// row-major CSR mirror. Requires a topology built with pull mirrors
+    /// (the session graph builder's default; legacy
+    /// `GraphBuildOptions::default()` leaves them off) — forcing `Dense` on
+    /// a mirror-less topology is [`GraphMatError::MissingPullMirror`].
+    Dense,
+    /// Direction-optimized: per superstep, pick push (bitvector) or pull
+    /// (dense) with the Beamer-style rule — pull when the frontier's
+    /// out-edges outnumber `unexplored_edges / α` **and** the frontier
+    /// itself is not tiny (see [`RunOptions::pull_alpha`]). On a topology
+    /// without pull mirrors, `Auto` always pushes.
+    Auto,
 }
 
 /// Options controlling one run of a vertex program.
@@ -74,13 +106,26 @@ pub struct RunOptions {
     pub max_iterations: Option<usize>,
     /// Callback dispatch mode (Figure 7 "+ipo" ablation).
     pub dispatch: DispatchMode,
-    /// Sparse-vector representation (Figure 7 "+bitvector" ablation).
+    /// Message-vector representation / SpMV backend selection (Figure 7
+    /// "+bitvector" ablation and the direction-optimization forcing knob).
     pub vector: VectorKind,
+    /// The α threshold of the [`VectorKind::Auto`] direction selector
+    /// (Beamer et al.'s direction-switching rule): a superstep pulls when
+    /// `frontier_out_edges > unexplored_edges / α`. Larger α switches to
+    /// pull earlier. Must be positive and finite
+    /// ([`RunOptions::validate`]); the default is
+    /// [`DEFAULT_PULL_ALPHA`] (= 14, the value the direction-optimizing BFS
+    /// paper tunes on scale-free graphs). Ignored by the forced kinds.
+    pub pull_alpha: f64,
     /// How the next superstep's active set is derived.
     pub activity: ActivityPolicy,
     /// Record per-superstep statistics (cheap; on by default).
     pub record_supersteps: bool,
 }
+
+/// Default α of the direction selector: pull once the frontier's out-edges
+/// exceed `unexplored_edges / 14` (Beamer et al.'s tuned value).
+pub const DEFAULT_PULL_ALPHA: f64 = 14.0;
 
 impl Default for RunOptions {
     fn default() -> Self {
@@ -89,6 +134,7 @@ impl Default for RunOptions {
             max_iterations: None,
             dispatch: DispatchMode::Static,
             vector: VectorKind::Bitvector,
+            pull_alpha: DEFAULT_PULL_ALPHA,
             activity: ActivityPolicy::Changed,
             record_supersteps: true,
         }
@@ -128,6 +174,13 @@ impl RunOptions {
         self
     }
 
+    /// Set the α threshold of the [`VectorKind::Auto`] direction selector
+    /// (must be positive and finite; see [`RunOptions::pull_alpha`]).
+    pub fn with_pull_alpha(mut self, alpha: f64) -> Self {
+        self.pull_alpha = alpha;
+        self
+    }
+
     /// Set the activity policy.
     pub fn with_activity(mut self, activity: ActivityPolicy) -> Self {
         self.activity = activity;
@@ -135,13 +188,20 @@ impl RunOptions {
     }
 
     /// Check the options for values that cannot drive a run:
-    /// `max_iterations == Some(0)` yields [`GraphMatError::ZeroIterations`].
+    /// `max_iterations == Some(0)` yields [`GraphMatError::ZeroIterations`];
+    /// a non-positive or non-finite [`RunOptions::pull_alpha`] yields
+    /// [`GraphMatError::InvalidParameter`].
     /// Called by the `Session` frontend at construction and before every
     /// builder-driven run; the legacy facades keep their permissive
     /// behaviour (a `Some(0)` run simply executes zero supersteps).
     pub fn validate(&self) -> Result<()> {
         if self.max_iterations == Some(0) {
             return Err(GraphMatError::ZeroIterations);
+        }
+        if !(self.pull_alpha.is_finite() && self.pull_alpha > 0.0) {
+            return Err(GraphMatError::InvalidParameter(
+                "pull_alpha must be positive and finite",
+            ));
         }
         Ok(())
     }
@@ -201,6 +261,24 @@ mod tests {
         let o = RunOptions::sequential();
         assert_eq!(o.effective_threads(), 1);
         assert_eq!(o.executor().nthreads(), 1);
+    }
+
+    #[test]
+    fn invalid_pull_alpha_fails_validation() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert_eq!(
+                RunOptions::default().with_pull_alpha(bad).validate(),
+                Err(GraphMatError::InvalidParameter(
+                    "pull_alpha must be positive and finite"
+                )),
+                "alpha {bad}"
+            );
+        }
+        assert!(RunOptions::default()
+            .with_pull_alpha(4.0)
+            .validate()
+            .is_ok());
+        assert_eq!(RunOptions::default().pull_alpha, DEFAULT_PULL_ALPHA);
     }
 
     #[test]

@@ -26,7 +26,7 @@
 use crate::engine::{superstep_into, Workspace, PARALLEL_PHASE_MIN_WORK};
 use crate::error::{GraphMatError, Result};
 use crate::graph::Graph;
-use crate::options::{ActivityPolicy, RunOptions};
+use crate::options::{ActivityPolicy, RunOptions, VectorKind};
 use crate::program::{EdgeDirection, GraphProgram};
 use crate::state::VertexState;
 use crate::stats::{RunStats, SuperstepStats};
@@ -60,7 +60,13 @@ pub struct RunResult {
 ///   different vertex count than `topology`;
 /// * [`GraphMatError::MissingInMatrix`] if the program scatters along
 ///   in-edges (`In`/`Both`) but the topology was built with
-///   `build_in_edges = false`.
+///   `build_in_edges = false`;
+/// * [`GraphMatError::MissingPullMirror`] if the options force the pull
+///   backend (`VectorKind::Dense`) but the topology was built with
+///   `build_pull_mirrors = false` (`VectorKind::Auto` instead degrades to
+///   always-push on such a topology).
+///
+/// All three are reported **before** the first superstep.
 pub fn run_program<P: GraphProgram>(
     program: &P,
     topology: &Topology<P::Edge>,
@@ -72,6 +78,9 @@ pub fn run_program<P: GraphProgram>(
     state.check_matches(topology)?;
     if program.direction() != EdgeDirection::Out && !topology.has_in_edges() {
         return Err(GraphMatError::MissingInMatrix);
+    }
+    if options.vector == VectorKind::Dense && !topology.has_pull_mirrors() {
+        return Err(GraphMatError::MissingPullMirror);
     }
 
     let mut stats = RunStats {
@@ -101,8 +110,11 @@ pub fn run_program<P: GraphProgram>(
             options,
             executor,
             active_before,
+            // The selector's explored-edge estimate: everything earlier
+            // supersteps of this run already traversed.
+            stats.edges_processed,
             ws,
-        );
+        )?;
         let vertices_updated = ws.reduced().nnz();
         let (apply_time, vertices_changed) = apply_phase(program, state, ws, executor);
 
@@ -115,6 +127,8 @@ pub fn run_program<P: GraphProgram>(
 
         let step = SuperstepStats {
             iteration,
+            backend: output.backend,
+            frontier_density: active_before as f64 / (topology.num_vertices() as f64).max(1.0),
             active_vertices: active_before,
             messages_sent: output.messages_sent,
             edges_processed: output.edges_processed,

@@ -20,6 +20,15 @@
 //!   the engine workspace cached inside the state — reruns allocate
 //!   nothing).
 //!
+//! Sessions run **direction-optimized** by default: the run defaults select
+//! [`VectorKind::Auto`], which picks the sparse push or dense pull SpMV
+//! backend per superstep by frontier density (bit-for-bit identical results
+//! either way; see [`crate::engine::choose_backend`]). Force a backend with
+//! [`RunBuilder::vector`], tune the switch point with
+//! [`RunBuilder::pull_alpha`], or skip building the pull mirrors entirely
+//! with [`GraphBuilder::pull_enabled`]`(false)` (the mirrors cost roughly
+//! the adjacency matrices' memory again).
+//!
 //! Every fallible step returns a [`GraphMatError`] instead of panicking:
 //! out-of-range seed vertices, zero threads, empty edge lists, mismatched
 //! state lengths, missing in-edge matrices and zero iteration limits are
@@ -84,7 +93,12 @@ impl Default for SessionOptions {
     fn default() -> Self {
         SessionOptions {
             threads: available_threads(),
-            run_defaults: RunOptions::default(),
+            // Sessions default to the direction-optimized backend: push or
+            // pull is chosen per superstep, with results bit-for-bit
+            // identical to forced push. (`RunOptions::default()` itself
+            // stays `Bitvector` so the legacy facades keep reproducing the
+            // paper's always-push configuration.)
+            run_defaults: RunOptions::default().with_vector(VectorKind::Auto),
         }
     }
 }
@@ -145,11 +159,12 @@ impl Session {
     }
 
     /// A single-threaded session (no worker pool; everything runs inline on
-    /// the calling thread). Cannot fail.
+    /// the calling thread). Cannot fail. Like every session, defaults to
+    /// [`VectorKind::Auto`].
     pub fn sequential() -> Session {
         Session {
             executor: Executor::sequential(),
-            defaults: RunOptions::sequential(),
+            defaults: RunOptions::sequential().with_vector(VectorKind::Auto),
         }
     }
 
@@ -176,7 +191,11 @@ impl Session {
     pub fn build_graph<'e, E: Clone>(&self, edges: &'e EdgeList<E>) -> GraphBuilder<'e, E> {
         GraphBuilder {
             edges,
-            options: GraphBuildOptions::default(),
+            // Session runs default to VectorKind::Auto, so session-built
+            // topologies carry the pull mirrors Auto switches to (the
+            // legacy GraphBuildOptions::default() leaves them off, to match
+            // the legacy facades' always-push RunOptions::default()).
+            options: GraphBuildOptions::default().with_pull_mirrors(true),
             threads: self.nthreads(),
         }
     }
@@ -237,7 +256,23 @@ impl<'e, E: Clone> GraphBuilder<'e, E> {
         self
     }
 
-    /// Override every construction option at once.
+    /// Also build the row-major CSR pull mirrors the direction-optimized
+    /// backend traverses (default `true`). The mirrors cost roughly the
+    /// DCSC matrices' memory again — [`Topology::pull_bytes`] reports the
+    /// exact figure, and [`Topology::matrix_bytes`] includes it. With
+    /// `pull_enabled(false)` the default [`VectorKind::Auto`] runs
+    /// always-push and a forced [`VectorKind::Dense`] run is rejected with
+    /// [`GraphMatError::MissingPullMirror`].
+    pub fn pull_enabled(mut self, build: bool) -> Self {
+        self.options.build_pull_mirrors = build;
+        self
+    }
+
+    /// Override every construction option at once. Note this replaces the
+    /// builder's pull-mirror default too: `GraphBuildOptions::default()`
+    /// leaves the mirrors **off**, so follow up with
+    /// [`GraphBuilder::pull_enabled`]`(true)` if the direction-optimized
+    /// backend should stay available.
     pub fn build_options(mut self, options: GraphBuildOptions) -> Self {
         self.options = options;
         self
@@ -355,9 +390,24 @@ impl<'s, 't, P: GraphProgram> RunBuilder<'s, 't, P> {
         self
     }
 
-    /// Select the sparse-vector representation for messages.
+    /// Select the message-vector representation / SpMV backend:
+    /// [`VectorKind::Auto`] (the session default) picks push or pull per
+    /// superstep; `Bitvector`/`Sorted` force push; `Dense` forces pull
+    /// (rejected at execute time with [`GraphMatError::MissingPullMirror`]
+    /// if the topology was built with `pull_enabled(false)`). All kinds
+    /// produce bit-for-bit identical results.
     pub fn vector(mut self, vector: VectorKind) -> Self {
         self.options.vector = vector;
+        self
+    }
+
+    /// Tune the α threshold of the [`VectorKind::Auto`] direction selector:
+    /// a superstep pulls when the frontier's out-edges exceed
+    /// `unexplored_edges / α` (and the frontier is not tiny). Larger α
+    /// switches to pull earlier; non-positive or non-finite values are
+    /// rejected at execute time.
+    pub fn pull_alpha(mut self, alpha: f64) -> Self {
+        self.options.pull_alpha = alpha;
         self
     }
 
@@ -397,6 +447,9 @@ impl<'s, 't, P: GraphProgram> RunBuilder<'s, 't, P> {
             && !self.topology.has_in_edges()
         {
             return Err(GraphMatError::MissingInMatrix);
+        }
+        if self.options.vector == VectorKind::Dense && !self.topology.has_pull_mirrors() {
+            return Err(GraphMatError::MissingPullMirror);
         }
         Ok(())
     }
@@ -550,6 +603,96 @@ mod tests {
     fn session_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Session>();
+    }
+
+    #[test]
+    fn sessions_default_to_direction_optimization() {
+        assert_eq!(
+            SessionOptions::default().run_defaults.vector,
+            VectorKind::Auto
+        );
+        assert_eq!(
+            Session::sequential().run_defaults().vector,
+            VectorKind::Auto
+        );
+        assert_eq!(
+            Session::with_threads(2).unwrap().run_defaults().vector,
+            VectorKind::Auto
+        );
+        // The legacy RunOptions default stays on the paper's always-push.
+        assert_eq!(RunOptions::default().vector, VectorKind::Bitvector);
+    }
+
+    #[test]
+    fn forced_dense_on_a_pull_disabled_topology_is_an_error() {
+        let session = Session::sequential();
+        let edges = figure3_edges();
+        let topo = session
+            .build_graph(&edges)
+            .pull_enabled(false)
+            .in_edges(false)
+            .finish()
+            .unwrap();
+        assert!(!topo.has_pull_mirrors());
+        let err = session
+            .run(&topo, Sssp)
+            .init_all(f32::MAX)
+            .seed_with(0, 0.0)
+            .vector(VectorKind::Dense)
+            .execute()
+            .unwrap_err();
+        assert_eq!(err, GraphMatError::MissingPullMirror);
+        // Auto degrades gracefully on the same topology.
+        let outcome = session
+            .run(&topo, Sssp)
+            .init_all(f32::MAX)
+            .seed_with(0, 0.0)
+            .execute()
+            .unwrap();
+        assert_eq!(outcome.values, vec![0.0, 1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(outcome.stats.pull_supersteps, 0);
+    }
+
+    #[test]
+    fn all_vector_kinds_agree_through_the_builder() {
+        let session = Session::with_threads(2).unwrap();
+        let edges = figure3_edges();
+        let topo = session.build_graph(&edges).partitions(2).finish().unwrap();
+        let run = |kind: VectorKind| {
+            session
+                .run(&*topo, Sssp)
+                .init_all(f32::MAX)
+                .seed_with(0, 0.0)
+                .vector(kind)
+                .execute()
+                .unwrap()
+                .values
+        };
+        let push = run(VectorKind::Bitvector);
+        assert_eq!(push, run(VectorKind::Sorted));
+        assert_eq!(push, run(VectorKind::Dense));
+        assert_eq!(push, run(VectorKind::Auto));
+    }
+
+    #[test]
+    fn invalid_pull_alpha_is_rejected_before_mutation() {
+        let session = Session::sequential();
+        let edges = figure3_edges();
+        let topo = session.build_graph(&edges).finish().unwrap();
+        let mut state: VertexState<f32> = VertexState::for_topology(&topo);
+        state.set_all_properties(9.0);
+        let err = session
+            .run(&*topo, Sssp)
+            .init_all(f32::MAX)
+            .seed_with(0, 0.0)
+            .pull_alpha(-3.0)
+            .execute_with(&mut state)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            GraphMatError::InvalidParameter("pull_alpha must be positive and finite")
+        );
+        assert!(state.properties().iter().all(|&p| p == 9.0));
     }
 
     #[test]

@@ -11,6 +11,12 @@
 //!   delivers each source's message to the rows (destinations) of its
 //!   out-edges;
 //! * optionally the non-transposed `G` for in-edge scattering;
+//! * optionally row-major CSR **pull mirrors** of those matrices
+//!   (`build_pull_mirrors` — on by default when building through the
+//!   session's graph builder, off for the legacy facades), which the
+//!   direction-optimized engine traverses when a superstep's frontier is
+//!   dense enough to pull — they cost roughly the matrices' memory again
+//!   ([`Topology::pull_bytes`]);
 //! * the out-/in-degree arrays.
 //!
 //! A `Topology` has no interior mutability and is `Sync`, so wrap it in an
@@ -28,6 +34,7 @@ use crate::program::VertexId;
 use graphmat_io::edgelist::EdgeList;
 use graphmat_sparse::parallel::available_threads;
 use graphmat_sparse::partition::{PartitionedDcsc, RowPartitioner};
+use graphmat_sparse::pull::CsrMirror;
 
 /// Options controlling topology construction.
 #[derive(Clone, Copy, Debug)]
@@ -44,6 +51,18 @@ pub struct GraphBuildOptions {
     /// Also build the non-transposed matrix so programs can scatter along
     /// in-edges ([`crate::program::EdgeDirection::In`] / `Both`).
     pub build_in_edges: bool,
+    /// Also materialize row-major CSR mirrors of the DCSC matrices so the
+    /// engine can run the **dense pull** backend (direction optimization).
+    /// Costs roughly the same memory again per mirrored matrix
+    /// ([`Topology::pull_bytes`] reports exactly how much). The default
+    /// matches the run defaults at each altitude: **off** here — the legacy
+    /// facades pair `GraphBuildOptions::default()` with the always-push
+    /// `RunOptions::default()`, which never reads a mirror — and **on** in
+    /// the session's graph builder, whose runs default to the
+    /// direction-optimized `VectorKind::Auto`
+    /// ([`crate::session::GraphBuilder::pull_enabled`]). Without mirrors,
+    /// `Auto` degrades gracefully to always-push.
+    pub build_pull_mirrors: bool,
 }
 
 impl Default for GraphBuildOptions {
@@ -53,6 +72,7 @@ impl Default for GraphBuildOptions {
             partition_factor: 8,
             balance_partitions: true,
             build_in_edges: true,
+            build_pull_mirrors: false,
         }
     }
 }
@@ -73,6 +93,14 @@ impl GraphBuildOptions {
     /// Enable or disable construction of the in-edge matrix.
     pub fn with_in_edges(mut self, build: bool) -> Self {
         self.build_in_edges = build;
+        self
+    }
+
+    /// Enable or disable construction of the row-major CSR mirrors the pull
+    /// backend traverses (off by default here; the session's graph builder
+    /// turns them on — see [`GraphBuildOptions::build_pull_mirrors`]).
+    pub fn with_pull_mirrors(mut self, build: bool) -> Self {
+        self.build_pull_mirrors = build;
         self
     }
 
@@ -108,6 +136,11 @@ pub struct Topology<E> {
     out_matrix: PartitionedDcsc<E>,
     /// `G`: row = source, column = destination. Used for in-edge scatter.
     in_matrix: Option<PartitionedDcsc<E>>,
+    /// Row-major mirror of `out_matrix`, traversed by the dense-pull
+    /// backend for `Out`-direction programs.
+    out_pull: Option<CsrMirror<E>>,
+    /// Row-major mirror of `in_matrix`, for `In`/`Both`-direction pulls.
+    in_pull: Option<CsrMirror<E>>,
     out_degrees: Vec<u32>,
     in_degrees: Vec<u32>,
 }
@@ -142,11 +175,22 @@ impl<E: Clone> Topology<E> {
         let out_degrees: Vec<u32> = edges.out_degrees().into_iter().map(|d| d as u32).collect();
         let in_degrees: Vec<u32> = edges.in_degrees().into_iter().map(|d| d as u32).collect();
 
+        let (out_pull, in_pull) = if options.build_pull_mirrors {
+            (
+                Some(CsrMirror::from_partitioned(&out_matrix)),
+                in_matrix.as_ref().map(CsrMirror::from_partitioned),
+            )
+        } else {
+            (None, None)
+        };
+
         Topology {
             nvertices: n,
             nedges: edges.num_edges(),
             out_matrix,
             in_matrix,
+            out_pull,
+            in_pull,
             out_degrees,
             in_degrees,
         }
@@ -224,16 +268,51 @@ impl<E> Topology<E> {
         self.in_matrix.is_some()
     }
 
+    /// The row-major pull mirror of `Gᵀ` (out-edge traversal), if it was
+    /// built.
+    pub fn out_pull_mirror(&self) -> Option<&CsrMirror<E>> {
+        self.out_pull.as_ref()
+    }
+
+    /// The row-major pull mirror of `G` (in-edge traversal), if it was
+    /// built. Present exactly when pull mirrors are enabled *and* the
+    /// in-edge matrix was built.
+    pub fn in_pull_mirror(&self) -> Option<&CsrMirror<E>> {
+        self.in_pull.as_ref()
+    }
+
+    /// Whether the pull mirrors were built. They mirror exactly the DCSC
+    /// matrices present (out always; in iff `build_in_edges`), so one flag
+    /// answers for every direction: a `Dense`-forced or `Auto`-selected pull
+    /// can run iff this is `true` (and, for `In`/`Both`, iff
+    /// [`Topology::has_in_edges`] — which those directions require anyway).
+    pub fn has_pull_mirrors(&self) -> bool {
+        self.out_pull.is_some()
+    }
+
     /// Number of matrix partitions.
     pub fn num_partitions(&self) -> usize {
         self.out_matrix.n_partitions()
     }
 
     /// Total in-memory footprint of the adjacency matrices in bytes,
-    /// including stored edge values. For `E = ()` this is pure index cost —
-    /// the visible payoff of the unweighted fast path.
+    /// including stored edge values **and the pull mirrors** (see
+    /// [`Topology::pull_bytes`] for the mirrors' share alone). For `E = ()`
+    /// this is pure index cost — the visible payoff of the unweighted fast
+    /// path.
     pub fn matrix_bytes(&self) -> usize {
-        self.out_matrix.bytes() + self.in_matrix.as_ref().map_or(0, |m| m.bytes())
+        self.out_matrix.bytes()
+            + self.in_matrix.as_ref().map_or(0, |m| m.bytes())
+            + self.pull_bytes()
+    }
+
+    /// The extra memory the row-major pull mirrors cost, in bytes — zero
+    /// when the topology was built with `build_pull_mirrors = false`,
+    /// otherwise roughly one more copy of each DCSC matrix (row pointers +
+    /// column ids + edge values; zero value bytes for `E = ()`).
+    pub fn pull_bytes(&self) -> usize {
+        self.out_pull.as_ref().map_or(0, |m| m.bytes())
+            + self.in_pull.as_ref().map_or(0, |m| m.bytes())
     }
 
     /// The error for using vertex id `v` against this topology.
@@ -317,5 +396,63 @@ mod tests {
         let t = Topology::from_edge_list(&el, GraphBuildOptions::default().with_in_edges(false));
         assert!(t.in_matrix().is_none());
         assert!(!t.has_in_edges());
+    }
+
+    #[test]
+    fn pull_mirrors_mirror_only_the_matrices_built() {
+        let el = EdgeList::from_tuples(3, vec![(0, 1, 1.0), (1, 2, 1.0)]);
+        let t = Topology::from_edge_list(
+            &el,
+            GraphBuildOptions::default()
+                .with_in_edges(false)
+                .with_pull_mirrors(true),
+        );
+        assert!(t.has_pull_mirrors());
+        assert!(t.out_pull_mirror().is_some());
+        assert!(t.in_pull_mirror().is_none());
+    }
+
+    #[test]
+    fn pull_mirrors_match_their_matrices_and_report_bytes() {
+        let el = EdgeList::from_tuples(
+            4,
+            vec![
+                (0, 1, 1.0),
+                (0, 2, 2.0),
+                (1, 2, 3.0),
+                (2, 3, 4.0),
+                (3, 0, 5.0),
+            ],
+        );
+        let t = Topology::from_edge_list(
+            &el,
+            GraphBuildOptions::default()
+                .with_partitions(2)
+                .with_pull_mirrors(true),
+        );
+        let out_mirror = t.out_pull_mirror().unwrap();
+        let in_mirror = t.in_pull_mirror().unwrap();
+        assert_eq!(out_mirror.nnz(), t.out_matrix().nnz());
+        assert_eq!(in_mirror.nnz(), t.in_matrix().unwrap().nnz());
+        assert_eq!(out_mirror.n_partitions(), t.num_partitions());
+        assert_eq!(t.pull_bytes(), out_mirror.bytes() + in_mirror.bytes());
+        assert!(t.matrix_bytes() > t.pull_bytes());
+    }
+
+    #[test]
+    fn pull_mirrors_are_off_in_the_legacy_default() {
+        // GraphBuildOptions::default() pairs with the always-push
+        // RunOptions::default(); mirrors it could never read are not built.
+        let el = EdgeList::from_tuples(3, vec![(0, 1, 1.0), (1, 2, 1.0)]);
+        let t = Topology::from_edge_list(&el, GraphBuildOptions::default());
+        assert!(!t.has_pull_mirrors());
+        assert!(t.out_pull_mirror().is_none());
+        assert!(t.in_pull_mirror().is_none());
+        assert_eq!(t.pull_bytes(), 0);
+        // Without mirrors, matrix_bytes is the pure DCSC footprint.
+        assert_eq!(
+            t.matrix_bytes(),
+            t.out_matrix().bytes() + t.in_matrix().unwrap().bytes()
+        );
     }
 }

@@ -19,8 +19,12 @@
 //!   partitions than threads, enabling dynamic load balancing (paper §4.5).
 //! * [`parallel`] — a small scoped-thread executor with an atomic work queue,
 //!   the analogue of OpenMP `schedule(dynamic)` used by the paper.
+//! * [`pull`] — row-major CSR mirrors of the partitioned DCSC, the structure
+//!   the dense-pull backend traverses (direction optimization à la Beamer /
+//!   GraphBLAST).
 //! * [`spmv`] — sequential and partition-parallel *generalized* sparse
-//!   matrix–sparse vector multiplication (paper Algorithm 1).
+//!   matrix–sparse vector multiplication (paper Algorithm 1), plus the
+//!   row-parallel dense-pull kernel.
 //! * [`spmm`] — (masked) sparse matrix–matrix multiplication, needed by the
 //!   CombBLAS-style triangle-counting baseline.
 //!
@@ -34,6 +38,7 @@ pub mod csr;
 pub mod dcsc;
 pub mod parallel;
 pub mod partition;
+pub mod pull;
 pub mod semiring;
 pub mod spmm;
 pub mod spmv;

@@ -21,12 +21,17 @@
 //! * [`gspmv_semiring`] — convenience wrapper taking a [`Semiring`] instead
 //!   of closures (used by the plain linear-algebra benches and the
 //!   CombBLAS-style baseline).
+//! * [`gspmv_csr_pull_into`] — the row-parallel **dense pull** kernel over a
+//!   [`CsrMirror`], used by the direction-optimized engine when the frontier
+//!   is dense (reads a [`DenseVector`] by index; writes each output row
+//!   exactly once, with no sharded scatter).
 
 use crate::dcsc::Dcsc;
 use crate::parallel::Executor;
 use crate::partition::PartitionedDcsc;
+use crate::pull::CsrMirror;
 use crate::semiring::Semiring;
-use crate::spvec::{MessageVector, SparseVector};
+use crate::spvec::{DenseVector, MessageVector, SparseVector};
 use crate::Index;
 
 /// Sequential generalized SpMV over a single DCSC matrix.
@@ -160,6 +165,115 @@ pub fn gspmv_into<X, E, Y, V, M, A>(
         shards.commit(newly_set);
     });
     drop(shards); // folds the per-task counts into y's nnz
+}
+
+/// Row-parallel generalized SpMV over a row-major [`CsrMirror`] — the
+/// **dense pull** backend of the direction-optimized engine.
+///
+/// Where [`gspmv_into`] *pushes* (walk the non-empty columns present in the
+/// sparse input, scatter into output rows), this kernel *pulls*: each task
+/// owns one partition of destination rows and, for every row `k`, gathers
+/// the row's source entries, probes the dense input vector's validity bitmap
+/// per source, multiplies the hits and folds them into a register-resident
+/// accumulator — then writes `y[k]` exactly once. No sharded scatter, no
+/// atomics anywhere on the write path, perfect write locality; the cost is
+/// touching every stored edge of the matrix, which is why the engine only
+/// selects this kernel when the frontier is dense enough (Beamer's
+/// direction-switching rule).
+///
+/// Per-destination reduction order is **ascending source id** — the same
+/// order the push kernel produces (it walks DCSC columns in ascending
+/// order) — so push and pull are bit-for-bit identical even for
+/// non-associative floating-point `add`s.
+///
+/// `y` is cleared and then filled in place; like [`gspmv_into`] this
+/// function never allocates.
+pub fn gspmv_csr_pull_into<X, E, Y, M, A>(
+    mirror: &CsrMirror<E>,
+    x: &DenseVector<X>,
+    multiply: &M,
+    add: &A,
+    executor: &Executor,
+    y: &mut SparseVector<Y>,
+) where
+    X: Sync,
+    E: Sync,
+    Y: Clone + Default + Send,
+    M: Fn(&X, &E, Index) -> Y + Sync,
+    A: Fn(&mut Y, Y) + Sync,
+{
+    assert_eq!(
+        y.len(),
+        mirror.nrows() as usize,
+        "output vector length must match the matrix row count"
+    );
+    assert_eq!(
+        x.len(),
+        mirror.ncols() as usize,
+        "input vector length must match the matrix column count"
+    );
+    y.clear();
+    if x.nnz() == 0 {
+        return;
+    }
+    let nparts = mirror.n_partitions();
+    if executor.nthreads() == 1 || nparts == 1 {
+        for part in mirror.partitions() {
+            for (k, cols, edges) in part.iter_rows() {
+                if let Some(acc) = pull_row(x, cols, edges, k, multiply, add) {
+                    y.set(k, acc);
+                }
+            }
+        }
+        return;
+    }
+
+    // Partitions own disjoint row ranges and every row is written at most
+    // once, so the sharded handle's insert path is all that runs — the
+    // atomics it uses are only for validity words straddling a range
+    // boundary.
+    let shards = y.sharded();
+    executor.for_each_dynamic(nparts, |p| {
+        let part = mirror.partition(p);
+        let mut newly_set = 0usize;
+        for (k, cols, edges) in part.iter_rows() {
+            if let Some(acc) = pull_row(x, cols, edges, k, multiply, add) {
+                // SAFETY: partitions own disjoint row ranges, so row `k` is
+                // written by this task only.
+                unsafe { shards.merge(k, acc, &mut newly_set, |slot, v| *slot = v) };
+            }
+        }
+        shards.commit(newly_set);
+    });
+    drop(shards);
+}
+
+/// Gather one destination row: probe the dense input per source (ascending),
+/// multiply hits and fold them into a local accumulator.
+#[inline(always)]
+fn pull_row<X, E, Y, M, A>(
+    x: &DenseVector<X>,
+    cols: &[Index],
+    edges: &[E],
+    k: Index,
+    multiply: &M,
+    add: &A,
+) -> Option<Y>
+where
+    M: Fn(&X, &E, Index) -> Y,
+    A: Fn(&mut Y, Y),
+{
+    let mut acc: Option<Y> = None;
+    for (j, e) in cols.iter().zip(edges) {
+        if let Some(xj) = x.get(*j) {
+            let product = multiply(xj, e, k);
+            match &mut acc {
+                Some(a) => add(a, product),
+                None => acc = Some(product),
+            }
+        }
+    }
+    acc
 }
 
 /// Partition-parallel generalized SpMV returning a freshly allocated output
@@ -454,6 +568,98 @@ mod tests {
             &|m: &f32, e: &f32, _| m + e,
             &|acc: &mut f32, v| *acc = acc.min(v),
             &Executor::new(2),
+        );
+        assert_eq!(y.nnz(), 0);
+    }
+
+    #[test]
+    fn pull_matches_push_on_figure3() {
+        let gt = PartitionedDcsc::from_coo_even(&figure3_graph_transpose(), 2);
+        let mirror = CsrMirror::from_partitioned(&gt);
+        let ex = Executor::new(2);
+        // frontier after iteration 0: B=1, C=3, D=2
+        let mut push_x: SparseVector<f32> = SparseVector::new(5);
+        let mut pull_x: DenseVector<f32> = DenseVector::new(5);
+        for (i, v) in [(1u32, 1.0f32), (2, 3.0), (3, 2.0)] {
+            push_x.set(i, v);
+            pull_x.set(i, v);
+        }
+        let multiply = |m: &f32, e: &f32, _: Index| m + e;
+        let add = |acc: &mut f32, v: f32| *acc = acc.min(v);
+        let push: SparseVector<f32> = gspmv(&gt, &push_x, &multiply, &add, &ex);
+        let mut pull: SparseVector<f32> = SparseVector::new(5);
+        gspmv_csr_pull_into(&mirror, &pull_x, &multiply, &add, &ex, &mut pull);
+        assert_eq!(pull.to_entries(), push.to_entries());
+        assert_eq!(pull.to_entries(), vec![(2, 2.0), (3, 5.0), (4, 4.0)]);
+    }
+
+    #[test]
+    fn pull_matches_push_on_random_matrix_all_densities() {
+        let mut coo: Coo<i64> = Coo::new(150, 150);
+        let mut state = 7u64;
+        for _ in 0..1500 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let r = ((state >> 33) % 150) as u32;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let c = ((state >> 33) % 150) as u32;
+            coo.push(r, c, ((state >> 40) % 100) as i64 - 50);
+        }
+        let pd = PartitionedDcsc::from_coo_balanced(&coo, 7);
+        let mirror = CsrMirror::from_partitioned(&pd);
+        let multiply = |m: &i64, e: &i64, k: Index| m * e + k as i64;
+        let add = |acc: &mut i64, v: i64| *acc += v;
+        for stride in [1usize, 2, 17, 149] {
+            let mut push_x: SparseVector<i64> = SparseVector::new(150);
+            let mut pull_x: DenseVector<i64> = DenseVector::new(150);
+            for i in (0..150).step_by(stride) {
+                push_x.set(i as Index, i as i64 + 1);
+                pull_x.set(i as Index, i as i64 + 1);
+            }
+            for threads in [1usize, 4] {
+                let ex = Executor::new(threads);
+                let push: SparseVector<i64> = gspmv(&pd, &push_x, &multiply, &add, &ex);
+                let mut pull: SparseVector<i64> = SparseVector::new(150);
+                gspmv_csr_pull_into(&mirror, &pull_x, &multiply, &add, &ex, &mut pull);
+                assert_eq!(
+                    pull.to_entries(),
+                    push.to_entries(),
+                    "stride {stride}, {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pull_reuses_output_and_clears_stale_entries() {
+        let gt = PartitionedDcsc::from_coo_even(&figure3_graph_transpose(), 2);
+        let mirror = CsrMirror::from_partitioned(&gt);
+        let ex = Executor::sequential();
+        let multiply = |m: &f32, e: &f32, _: Index| m + e;
+        let add = |acc: &mut f32, v: f32| *acc = acc.min(v);
+        let mut y: SparseVector<f32> = SparseVector::new(5);
+        let mut x: DenseVector<f32> = DenseVector::new(5);
+        x.set(0, 0.0);
+        gspmv_csr_pull_into(&mirror, &x, &multiply, &add, &ex, &mut y);
+        assert_eq!(y.to_entries(), vec![(1, 1.0), (2, 3.0), (3, 2.0)]);
+        x.clear();
+        x.set(3, 2.0);
+        gspmv_csr_pull_into(&mirror, &x, &multiply, &add, &ex, &mut y);
+        assert_eq!(y.to_entries(), vec![(4, 4.0)]);
+    }
+
+    #[test]
+    fn pull_empty_frontier_produces_empty_output() {
+        let gt = PartitionedDcsc::from_coo_even(&figure3_graph_transpose(), 2);
+        let mirror = CsrMirror::from_partitioned(&gt);
+        let x: DenseVector<f32> = DenseVector::new(5);
+        let mut y: SparseVector<f32> = SparseVector::new(5);
+        gspmv_csr_pull_into(
+            &mirror,
+            &x,
+            &|m: &f32, e: &f32, _| m + e,
+            &|acc: &mut f32, v| *acc = acc.min(v),
+            &Executor::new(2),
+            &mut y,
         );
         assert_eq!(y.nnz(), 0);
     }

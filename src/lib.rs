@@ -64,6 +64,18 @@
 //! See [`core`] for the full migration table and
 //! `examples/quickstart.rs` for a complete session-based program.
 //!
+//! ## Direction optimization (PR-4)
+//!
+//! Sessions run **direction-optimized** by default
+//! (`VectorKind::Auto`): each superstep executes either the paper's sparse
+//! *push* SpMV (column-wise over the DCSC) or the dense *pull* SpMV
+//! (row-parallel over a CSR mirror), chosen by Beamer's frontier-density
+//! rule — pull when the frontier's out-edges exceed `unexplored / α`.
+//! Results are bit-for-bit identical across backends; the per-superstep
+//! choice is recorded in `SuperstepStats::backend`. Force a backend with
+//! `.vector(…)`, tune α with `.pull_alpha(…)`, and skip the mirrors'
+//! ~2× matrix memory with `.pull_enabled(false)` on the graph builder.
+//!
 //! ## Edge-type genericity (PR-1)
 //!
 //! Like the original C++ (which templatizes the edge type alongside the
@@ -109,9 +121,10 @@ pub mod prelude {
     };
     pub use graphmat_algorithms::AlgorithmOutput;
     pub use graphmat_core::{
-        run_graph_program, run_program, ActivityPolicy, DispatchMode, EdgeDirection, Graph,
-        GraphBuildOptions, GraphMatError, GraphProgram, RunOptions, RunOutcome, RunResult,
-        RunStats, Session, SessionOptions, Topology, VectorKind, VertexId, VertexState,
+        run_graph_program, run_program, ActivityPolicy, Backend, DispatchMode, EdgeDirection,
+        Graph, GraphBuildOptions, GraphMatError, GraphProgram, RunOptions, RunOutcome, RunResult,
+        RunStats, Session, SessionOptions, SuperstepStats, Topology, VectorKind, VertexId,
+        VertexState, DEFAULT_PULL_ALPHA,
     };
     pub use graphmat_io::bipartite::BipartiteConfig;
     pub use graphmat_io::edgelist::{EdgeList, EdgeWeight};

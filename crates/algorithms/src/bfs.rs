@@ -168,6 +168,31 @@ pub fn bfs_on<E: Clone + Send + Sync>(
         .map(AlgorithmOutput::from)
 }
 
+/// Run BFS into a caller-owned (pooled) state — the serving hot path.
+///
+/// Like [`bfs_on`] but with zero per-query allocation in the steady state:
+/// the hop distances are left in `state` instead of a fresh `Vec`, and the
+/// engine workspace cached inside the state is recycled. Use one
+/// [`graphmat_core::StatePool`] per program type (see its docs); pass a
+/// `deadline` to bound wall-clock time
+/// ([`graphmat_core::GraphMatError::DeadlineExceeded`] past it).
+pub fn bfs_into<E: Clone + Send + Sync + 'static>(
+    session: &Session,
+    topology: &Topology<E>,
+    root: VertexId,
+    deadline: Option<std::time::Instant>,
+    state: &mut graphmat_core::VertexState<u32>,
+) -> Result<graphmat_core::RunResult> {
+    session
+        .run(topology, BfsProgram::<E>::default())
+        .init_all(UNREACHED)
+        .seed_with(root, 0)
+        .activity(ActivityPolicy::Changed)
+        .until_convergence()
+        .deadline(deadline)
+        .execute_with(state)
+}
+
 /// Queue-based reference BFS used by tests.
 pub fn bfs_reference<E: Clone>(edges: &EdgeList<E>, root: VertexId, symmetrize: bool) -> Vec<u32> {
     let symmetric;
@@ -295,6 +320,34 @@ mod tests {
         let out = bfs_on(&session, &topo, 0).unwrap();
         assert!(out.converged);
         assert_eq!(out.values, vec![0, 1, 2, 3, 2, UNREACHED]);
+    }
+
+    #[test]
+    fn pooled_driver_matches_and_reruns_identically() {
+        let el = chain_with_branch();
+        let session = Session::sequential();
+        let topo = session
+            .build_graph(&el.symmetrized())
+            .in_edges(false)
+            .finish()
+            .unwrap();
+        let on = bfs_on(&session, &topo, 0).unwrap();
+
+        let mut pool = graphmat_core::StatePool::for_topology(&topo);
+        let mut state = pool.acquire();
+        bfs_into(&session, &topo, 0, None, &mut state).unwrap();
+        assert_eq!(state.properties(), on.values.as_slice());
+        pool.release(state);
+
+        // Rerun from the pool: the stale distances must be re-initialized
+        // and the cached workspace reused.
+        let mut state = pool.acquire();
+        bfs_into(&session, &topo, 1, None, &mut state).unwrap();
+        let fresh = bfs_on(&session, &topo, 1).unwrap();
+        assert_eq!(state.properties(), fresh.values.as_slice());
+        assert!(state.has_cached_workspace());
+        assert_eq!(pool.created(), 1);
+        assert_eq!(pool.reused(), 1);
     }
 
     #[test]

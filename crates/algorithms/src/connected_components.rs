@@ -128,6 +128,31 @@ pub fn connected_components_on<E: Clone + Send + Sync>(
         .map(AlgorithmOutput::from)
 }
 
+/// Run connected components into a caller-owned (pooled) state — the
+/// serving hot path.
+///
+/// Like [`connected_components_on`] but with zero per-query allocation in
+/// the steady state: the labels are left in `state` instead of a fresh
+/// `Vec`, and the engine workspace cached inside the state is recycled. Use
+/// one [`graphmat_core::StatePool`] per program type (see its docs); pass a
+/// `deadline` to bound wall-clock time
+/// ([`graphmat_core::GraphMatError::DeadlineExceeded`] past it).
+pub fn connected_components_into<E: Clone + Send + Sync + 'static>(
+    session: &Session,
+    topology: &Topology<E>,
+    deadline: Option<std::time::Instant>,
+    state: &mut graphmat_core::VertexState<u32>,
+) -> Result<graphmat_core::RunResult> {
+    session
+        .run(topology, CcProgram::<E>::default())
+        .init_with(|v| v)
+        .activate_all()
+        .activity(ActivityPolicy::Changed)
+        .until_convergence()
+        .deadline(deadline)
+        .execute_with(state)
+}
+
 /// Number of distinct components in a label assignment.
 pub fn component_count(labels: &[u32]) -> usize {
     let mut sorted: Vec<u32> = labels.to_vec();
@@ -206,6 +231,30 @@ mod tests {
         let on = connected_components_on(&session, &topo).unwrap();
         let facade = connected_components(&el, &CcConfig::default(), &RunOptions::sequential());
         assert_eq!(on.values, facade.values);
+    }
+
+    #[test]
+    fn pooled_driver_matches_and_reruns_identically() {
+        let el = EdgeList::from_pairs(6, vec![(0, 1), (1, 2), (3, 4)]);
+        let session = Session::sequential();
+        let topo = session
+            .build_graph(&el.symmetrized())
+            .in_edges(false)
+            .finish()
+            .unwrap();
+        let on = connected_components_on(&session, &topo).unwrap();
+
+        let mut pool = graphmat_core::StatePool::for_topology(&topo);
+        let mut state = pool.acquire();
+        connected_components_into(&session, &topo, None, &mut state).unwrap();
+        assert_eq!(state.properties(), on.values.as_slice());
+        pool.release(state);
+
+        let mut state = pool.acquire();
+        connected_components_into(&session, &topo, None, &mut state).unwrap();
+        assert_eq!(state.properties(), on.values.as_slice());
+        assert!(state.has_cached_workspace());
+        assert_eq!((pool.created(), pool.reused()), (1, 1));
     }
 
     #[test]

@@ -132,6 +132,54 @@ pub fn out_degrees_on<E: Clone + Send + Sync>(
     run_degree_on(session, topology, EdgeDirection::In)
 }
 
+fn run_degree_into<E: Clone + Send + Sync + 'static>(
+    session: &Session,
+    topology: &Topology<E>,
+    direction: EdgeDirection,
+    deadline: Option<std::time::Instant>,
+    state: &mut graphmat_core::VertexState<u64>,
+) -> Result<graphmat_core::RunResult> {
+    let program = DegreeProgram {
+        direction,
+        _edge: std::marker::PhantomData::<E>,
+    };
+    session
+        .run(topology, program)
+        // A pooled state may carry the previous query's counts; the degree
+        // SpMV overwrites only vertices that receive a message, so isolated
+        // vertices must be zeroed explicitly.
+        .init_all(0)
+        .activate_all()
+        .max_iterations(1)
+        .deadline(deadline)
+        .execute_with(state)
+}
+
+/// In-degrees into a caller-owned (pooled) state — the serving hot path
+/// (zero per-query allocation in the steady state; see
+/// [`graphmat_core::StatePool`]).
+pub fn in_degrees_into<E: Clone + Send + Sync + 'static>(
+    session: &Session,
+    topology: &Topology<E>,
+    deadline: Option<std::time::Instant>,
+    state: &mut graphmat_core::VertexState<u64>,
+) -> Result<graphmat_core::RunResult> {
+    run_degree_into(session, topology, EdgeDirection::Out, deadline, state)
+}
+
+/// Out-degrees into a caller-owned (pooled) state — the serving hot path
+/// (zero per-query allocation in the steady state; see
+/// [`graphmat_core::StatePool`]). Needs a topology built with in-edges,
+/// like [`out_degrees_on`].
+pub fn out_degrees_into<E: Clone + Send + Sync + 'static>(
+    session: &Session,
+    topology: &Topology<E>,
+    deadline: Option<std::time::Instant>,
+    state: &mut graphmat_core::VertexState<u64>,
+) -> Result<graphmat_core::RunResult> {
+    run_degree_into(session, topology, EdgeDirection::In, deadline, state)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,6 +230,30 @@ mod tests {
             out_degrees_on(&session, &out_only).unwrap_err(),
             graphmat_core::GraphMatError::MissingInMatrix
         );
+    }
+
+    #[test]
+    fn pooled_driver_matches_and_clears_stale_counts() {
+        let el = figure1_graph();
+        let session = Session::sequential();
+        let topo = session.build_graph(&el).finish().unwrap();
+
+        let mut pool = graphmat_core::StatePool::for_topology(&topo);
+        let mut state = pool.acquire();
+        in_degrees_into(&session, &topo, None, &mut state).unwrap();
+        assert_eq!(state.properties(), vec![0, 1, 2, 1]);
+        pool.release(state);
+
+        // Vertex A (in-degree 0) receives no message; a recycled state must
+        // not leak the previous query's count into it.
+        let mut state = pool.acquire();
+        out_degrees_into(&session, &topo, None, &mut state).unwrap();
+        assert_eq!(state.properties(), vec![2, 1, 1, 0]);
+        pool.release(state);
+        let mut state = pool.acquire();
+        in_degrees_into(&session, &topo, None, &mut state).unwrap();
+        assert_eq!(state.properties(), vec![0, 1, 2, 1]);
+        assert_eq!((pool.created(), pool.reused()), (1, 2));
     }
 
     #[test]

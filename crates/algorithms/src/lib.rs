@@ -35,6 +35,16 @@
 //!   list before building the topology (each driver documents what it
 //!   expects).
 //!
+//! The most frequently served algorithms add a third, **pooled** driver
+//! (`pagerank_into`, `bfs_into`, `sssp_into`, `connected_components_into`,
+//! `in_degrees_into` / `out_degrees_into`): same semantics as the session
+//! driver, but the run writes into a caller-owned
+//! [`graphmat_core::VertexState`] (typically recycled through a
+//! [`graphmat_core::StatePool`]) and takes an optional deadline. A
+//! long-running server that keeps one pool per worker per algorithm
+//! allocates nothing per query in the steady state — the state vector and
+//! the engine workspace cached inside it are both reused.
+//!
 //! All drivers are **generic over the edge value type**. Structure-only
 //! algorithms (BFS, connected components, degree, triangle counting,
 //! PageRank) accept any `EdgeList<E>` and simply ignore the values — run

@@ -175,6 +175,58 @@ pub fn pagerank_on<E: Clone + Send + Sync>(
     })
 }
 
+/// Run PageRank into a caller-owned (pooled) state — the serving hot path.
+///
+/// Like [`pagerank_on`] but with zero per-query allocation in the steady
+/// state: the final [`PageRankVertex`] properties are left in `state`
+/// (read ranks with `state.properties()[v].rank`) instead of being
+/// collected into a fresh `Vec`, and the engine workspace cached inside the
+/// state is recycled. Acquire/release the state through a
+/// [`graphmat_core::StatePool`] dedicated to PageRank — the cached
+/// workspace is typed by the program, so sharing one pool across programs
+/// would re-allocate it every query.
+///
+/// `deadline`, when given, bounds the run's wall-clock time
+/// ([`graphmat_core::GraphMatError::DeadlineExceeded`] past it; the state
+/// keeps the completed supersteps' partial ranks and stays safely
+/// reusable). A `config.iterations` of `0` just writes the initial ranks.
+pub fn pagerank_into<E: Clone + Send + Sync + 'static>(
+    session: &Session,
+    topology: &Topology<E>,
+    config: &PageRankConfig,
+    deadline: Option<std::time::Instant>,
+    state: &mut graphmat_core::VertexState<PageRankVertex>,
+) -> Result<graphmat_core::RunResult> {
+    const INITIAL_RANK: f64 = 1.0;
+    let degrees = topology.out_degrees();
+    if config.iterations == 0 {
+        state.check_matches(topology)?;
+        state.init_properties(|v| PageRankVertex {
+            rank: INITIAL_RANK,
+            degree: degrees[v as usize],
+        });
+        return Ok(graphmat_core::RunResult {
+            stats: crate::zero_superstep_stats(topology, session),
+            converged: false,
+        });
+    }
+    let program = PageRankProgram::<E> {
+        random_surf: config.random_surf,
+        _edge: std::marker::PhantomData,
+    };
+    session
+        .run(topology, program)
+        .init_with(|v| PageRankVertex {
+            rank: INITIAL_RANK,
+            degree: degrees[v as usize],
+        })
+        .activate_all()
+        .activity(ActivityPolicy::AlwaysAll)
+        .max_iterations(config.iterations)
+        .deadline(deadline)
+        .execute_with(state)
+}
+
 /// Dense reference implementation used by tests: straightforward iteration of
 /// the paper's equation 1 over an adjacency list.
 pub fn pagerank_reference<E>(edges: &EdgeList<E>, random_surf: f64, iterations: usize) -> Vec<f64> {
@@ -281,6 +333,32 @@ mod tests {
         let on = pagerank_on(&session, &topo, &cfg).unwrap();
         let facade = pagerank(&el, &cfg, &RunOptions::sequential());
         assert_eq!(on.values, facade.values);
+    }
+
+    #[test]
+    fn pooled_driver_matches_and_reruns_identically() {
+        let el = triangle_graph();
+        let cfg = PageRankConfig {
+            iterations: 15,
+            ..Default::default()
+        };
+        let session = Session::sequential();
+        let topo = session.build_graph(&el).in_edges(false).finish().unwrap();
+        let on = pagerank_on(&session, &topo, &cfg).unwrap();
+
+        let mut pool = graphmat_core::StatePool::for_topology(&topo);
+        let mut state = pool.acquire();
+        pagerank_into(&session, &topo, &cfg, None, &mut state).unwrap();
+        let ranks: Vec<f64> = state.properties().iter().map(|p| p.rank).collect();
+        assert_eq!(ranks, on.values);
+        pool.release(state);
+
+        let mut state = pool.acquire();
+        pagerank_into(&session, &topo, &cfg, None, &mut state).unwrap();
+        let ranks: Vec<f64> = state.properties().iter().map(|p| p.rank).collect();
+        assert_eq!(ranks, on.values);
+        assert!(state.has_cached_workspace());
+        assert_eq!((pool.created(), pool.reused()), (1, 1));
     }
 
     #[test]

@@ -149,6 +149,31 @@ pub fn sssp_on<E: EdgeWeight>(
         .map(AlgorithmOutput::from)
 }
 
+/// Run SSSP into a caller-owned (pooled) state — the serving hot path.
+///
+/// Like [`sssp_on`] but with zero per-query allocation in the steady state:
+/// the distances are left in `state` instead of a fresh `Vec`, and the
+/// engine workspace cached inside the state is recycled. Use one
+/// [`graphmat_core::StatePool`] per program type (see its docs); pass a
+/// `deadline` to bound wall-clock time
+/// ([`graphmat_core::GraphMatError::DeadlineExceeded`] past it).
+pub fn sssp_into<E: EdgeWeight + 'static>(
+    session: &Session,
+    topology: &Topology<E>,
+    source: VertexId,
+    deadline: Option<std::time::Instant>,
+    state: &mut graphmat_core::VertexState<f32>,
+) -> Result<graphmat_core::RunResult> {
+    session
+        .run(topology, SsspProgram::<E>::default())
+        .init_all(UNREACHABLE)
+        .seed_with(source, 0.0)
+        .activity(ActivityPolicy::Changed)
+        .until_convergence()
+        .deadline(deadline)
+        .execute_with(state)
+}
+
 /// Dijkstra reference implementation used by tests (requires non-negative
 /// weights, which all the generators guarantee).
 pub fn sssp_reference<E: EdgeWeight>(edges: &EdgeList<E>, source: VertexId) -> Vec<f32> {
@@ -282,6 +307,26 @@ mod tests {
                 num_vertices: 5
             }
         );
+    }
+
+    #[test]
+    fn pooled_driver_matches_and_reruns_identically() {
+        let el = figure3();
+        let session = Session::sequential();
+        let topo = session.build_graph(&el).in_edges(false).finish().unwrap();
+
+        let mut pool = graphmat_core::StatePool::for_topology(&topo);
+        let mut state = pool.acquire();
+        sssp_into(&session, &topo, 0, None, &mut state).unwrap();
+        assert_eq!(state.properties(), vec![0.0, 1.0, 2.0, 2.0, 4.0]);
+        pool.release(state);
+
+        let mut state = pool.acquire();
+        sssp_into(&session, &topo, 3, None, &mut state).unwrap();
+        let fresh = sssp_on(&session, &topo, 3).unwrap();
+        assert_eq!(state.properties(), fresh.values.as_slice());
+        assert!(state.has_cached_workspace());
+        assert_eq!((pool.created(), pool.reused()), (1, 1));
     }
 
     #[test]

@@ -54,6 +54,13 @@ pub enum GraphMatError {
     /// delta-PageRank tolerance). The payload names the parameter and the
     /// constraint it violated.
     InvalidParameter(&'static str),
+    /// The run's deadline ([`crate::options::RunOptions::deadline`]) passed
+    /// before the program converged or hit its iteration limit. The deadline
+    /// is checked between supersteps, so the overrun is at most one
+    /// superstep long; the vertex state holds the partial results of the
+    /// supersteps that did complete. A serving layer maps this to a
+    /// per-request timeout response.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for GraphMatError {
@@ -98,6 +105,11 @@ impl std::fmt::Display for GraphMatError {
                  back to push, or rebuild the topology with pull mirrors)"
             ),
             GraphMatError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            GraphMatError::DeadlineExceeded => write!(
+                f,
+                "run deadline exceeded before the program finished (the deadline is \
+                 checked between supersteps; partial results remain in the vertex state)"
+            ),
         }
     }
 }

@@ -52,13 +52,29 @@ impl<V: Clone + Default, E: Clone> Graph<V, E> {
 
 impl<V, E> Graph<V, E> {
     /// Pair an existing topology with an existing state. Panics if the two
-    /// halves disagree on the vertex count (use
-    /// [`VertexState::check_matches`] for the fallible check).
+    /// halves disagree on the vertex count — the panic message carries the
+    /// same diagnostic payload as the typed error; use
+    /// [`Graph::try_from_parts`] to get that error as a value instead.
+    ///
+    /// This panic stays (rather than changing the signature to `Result`)
+    /// because the facade's contract is source compatibility for
+    /// pre-`Session` callers; the typed path exists alongside it.
     pub fn from_parts(topology: Topology<E>, state: VertexState<V>) -> Self {
-        if let Err(e) = state.check_matches(&topology) {
-            panic!("{e}");
+        match Self::try_from_parts(topology, state) {
+            Ok(graph) => graph,
+            Err(e) => panic!("{e}"),
         }
-        Graph { topology, state }
+    }
+
+    /// Fallible variant of [`Graph::from_parts`]:
+    /// [`crate::error::GraphMatError::StateLengthMismatch`] instead of a
+    /// panic when the halves disagree on the vertex count.
+    pub fn try_from_parts(
+        topology: Topology<E>,
+        state: VertexState<V>,
+    ) -> crate::error::Result<Self> {
+        state.check_matches(&topology)?;
+        Ok(Graph { topology, state })
     }
 
     /// The immutable structural half.
@@ -382,6 +398,25 @@ mod tests {
         .unwrap_err();
         let msg = err.downcast_ref::<String>().unwrap();
         assert!(msg.contains('9') && msg.contains('4'), "{msg}");
+    }
+
+    #[test]
+    fn try_from_parts_returns_the_typed_error() {
+        let g = small_graph();
+        let (topo, _) = g.into_parts();
+        let wrong: VertexState<f32> = VertexState::new(9);
+        let err = Graph::try_from_parts(topo, wrong).unwrap_err();
+        assert_eq!(
+            err,
+            crate::error::GraphMatError::StateLengthMismatch {
+                state_vertices: 9,
+                topology_vertices: 4
+            }
+        );
+
+        let g = small_graph();
+        let (topo, state) = g.into_parts();
+        assert!(Graph::try_from_parts(topo, state).is_ok());
     }
 
     #[test]

@@ -124,6 +124,8 @@
 //! * [`topology`] — the immutable, shareable matrix half.
 //! * [`state`] — the mutable per-run half (bounds-checked accessors with
 //!   descriptive diagnostics; `try_*` variants return errors).
+//! * [`pool`] — [`pool::StatePool`]: per-worker `VertexState` recycling with
+//!   growth counters, the allocation-free steady state for serving layers.
 //! * [`session`] — the session frontend: executor pool + builders.
 //! * [`error`] — [`error::GraphMatError`].
 //! * [`graph`] — the legacy fused facade ([`graph::Graph`]).
@@ -138,6 +140,7 @@ pub mod engine;
 pub mod error;
 pub mod graph;
 pub mod options;
+pub mod pool;
 pub mod program;
 pub mod runner;
 pub mod session;
@@ -149,6 +152,7 @@ pub use engine::{choose_backend, PULL_BETA};
 pub use error::GraphMatError;
 pub use graph::{Graph, GraphBuildOptions};
 pub use options::{ActivityPolicy, DispatchMode, RunOptions, VectorKind, DEFAULT_PULL_ALPHA};
+pub use pool::StatePool;
 pub use program::{EdgeDirection, GraphProgram, VertexId};
 pub use runner::{run_graph_program, run_graph_program_with, run_program, RunResult};
 pub use session::{GraphBuilder, RunBuilder, RunOutcome, Session, SessionOptions};

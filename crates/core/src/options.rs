@@ -24,6 +24,7 @@
 
 use crate::error::{GraphMatError, Result};
 use graphmat_sparse::parallel::{available_threads, Executor};
+use std::time::Instant;
 
 /// How the user's `process_message`/`reduce` callbacks are dispatched inside
 /// the SpMV inner loop.
@@ -121,6 +122,14 @@ pub struct RunOptions {
     pub activity: ActivityPolicy,
     /// Record per-superstep statistics (cheap; on by default).
     pub record_supersteps: bool,
+    /// Hard wall-clock deadline for the run. Checked **between** supersteps
+    /// (the bulk-synchronous barrier is the natural cancellation point, so a
+    /// run can overshoot by at most one superstep): when the deadline has
+    /// passed, the run stops with [`GraphMatError::DeadlineExceeded`],
+    /// leaving the completed supersteps' results in the vertex state. `None`
+    /// (the default) runs without a time limit. This is the per-request
+    /// timeout hook for serving layers — see `RunBuilder::deadline`.
+    pub deadline: Option<Instant>,
 }
 
 /// Default α of the direction selector: pull once the frontier's out-edges
@@ -137,6 +146,7 @@ impl Default for RunOptions {
             pull_alpha: DEFAULT_PULL_ALPHA,
             activity: ActivityPolicy::Changed,
             record_supersteps: true,
+            deadline: None,
         }
     }
 }
@@ -184,6 +194,13 @@ impl RunOptions {
     /// Set the activity policy.
     pub fn with_activity(mut self, activity: ActivityPolicy) -> Self {
         self.activity = activity;
+        self
+    }
+
+    /// Set (or clear) the wall-clock deadline — see
+    /// [`RunOptions::deadline`].
+    pub fn with_deadline(mut self, deadline: impl Into<Option<Instant>>) -> Self {
+        self.deadline = deadline.into();
         self
     }
 

@@ -97,6 +97,15 @@ pub fn run_program<P: GraphProgram>(
                 break;
             }
         }
+        // The barrier between supersteps is the cancellation point: a run
+        // can overshoot its deadline by at most one superstep, and the
+        // completed supersteps' results stay in the state (a pooled state's
+        // next run re-initialises anyway).
+        if let Some(deadline) = options.deadline {
+            if Instant::now() >= deadline {
+                return Err(GraphMatError::DeadlineExceeded);
+            }
+        }
         let active_before = state.active_count();
         if active_before == 0 {
             converged = true;

@@ -411,6 +411,19 @@ impl<'s, 't, P: GraphProgram> RunBuilder<'s, 't, P> {
         self
     }
 
+    /// Set a hard wall-clock deadline for the run (`None` clears one
+    /// inherited from the session defaults). Checked between supersteps —
+    /// when the deadline passes, the run stops with
+    /// [`GraphMatError::DeadlineExceeded`] instead of finishing, which is
+    /// how a serving layer bounds per-request latency. The overshoot is at
+    /// most one superstep; on [`RunBuilder::execute_with`] the completed
+    /// supersteps' partial results remain in the pooled state (re-init with
+    /// [`RunBuilder::init_all`]/[`RunBuilder::init_with`] on the next run).
+    pub fn deadline(mut self, deadline: impl Into<Option<std::time::Instant>>) -> Self {
+        self.options.deadline = deadline.into();
+        self
+    }
+
     /// Select the callback dispatch mode.
     pub fn dispatch(mut self, dispatch: DispatchMode) -> Self {
         self.options.dispatch = dispatch;
@@ -693,6 +706,92 @@ mod tests {
             GraphMatError::InvalidParameter("pull_alpha must be positive and finite")
         );
         assert!(state.properties().iter().all(|&p| p == 9.0));
+    }
+
+    #[test]
+    fn expired_deadline_stops_the_run_with_a_typed_error() {
+        let session = Session::sequential();
+        let edges = figure3_edges();
+        let topo = session
+            .build_graph(&edges)
+            .in_edges(false)
+            .finish()
+            .unwrap();
+        // A deadline already in the past trips before the first superstep.
+        let err = session
+            .run(&topo, Sssp)
+            .init_all(f32::MAX)
+            .seed_with(0, 0.0)
+            .deadline(std::time::Instant::now() - std::time::Duration::from_millis(1))
+            .execute()
+            .unwrap_err();
+        assert_eq!(err, GraphMatError::DeadlineExceeded);
+        // A comfortable deadline changes nothing.
+        let outcome = session
+            .run(&topo, Sssp)
+            .init_all(f32::MAX)
+            .seed_with(0, 0.0)
+            .deadline(std::time::Instant::now() + std::time::Duration::from_secs(60))
+            .execute()
+            .unwrap();
+        assert_eq!(outcome.values, vec![0.0, 1.0, 2.0, 2.0, 4.0]);
+        // `None` clears a deadline inherited from an earlier builder call.
+        let outcome = session
+            .run(&topo, Sssp)
+            .init_all(f32::MAX)
+            .seed_with(0, 0.0)
+            .deadline(std::time::Instant::now())
+            .deadline(None)
+            .execute()
+            .unwrap();
+        assert!(outcome.converged);
+    }
+
+    #[test]
+    fn deadline_mid_run_leaves_partial_results_in_a_pooled_state() {
+        // A program that never converges (each superstep increments every
+        // vertex), so only the deadline can stop it.
+        struct Count;
+        impl GraphProgram for Count {
+            type VertexProp = u64;
+            type Message = u64;
+            type Reduced = u64;
+            type Edge = f32;
+            fn send_message(&self, _v: VertexId, c: &u64) -> Option<u64> {
+                Some(*c)
+            }
+            fn process_message(&self, m: &u64, _e: &f32, _d: &u64) -> u64 {
+                *m
+            }
+            fn reduce(&self, acc: &mut u64, v: u64) {
+                *acc = (*acc).max(v);
+            }
+            fn apply(&self, _r: &u64, c: &mut u64) {
+                *c += 1;
+            }
+        }
+        let session = Session::sequential();
+        let edges = figure3_edges();
+        let topo = session
+            .build_graph(&edges)
+            .in_edges(false)
+            .finish()
+            .unwrap();
+        let mut state: VertexState<u64> = VertexState::for_topology(&topo);
+        let err = session
+            .run(&topo, Count)
+            .init_all(0)
+            .activate_all()
+            .activity(ActivityPolicy::AlwaysAll)
+            .deadline(std::time::Instant::now() + std::time::Duration::from_millis(20))
+            .execute_with(&mut state)
+            .unwrap_err();
+        assert_eq!(err, GraphMatError::DeadlineExceeded);
+        // Some supersteps completed before the deadline and their effects
+        // are visible — the state is reusable for the next (re-initialised)
+        // query.
+        assert!(state.properties().iter().all(|&c| c > 0));
+        assert!(state.has_cached_workspace());
     }
 
     #[test]

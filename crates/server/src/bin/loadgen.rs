@@ -1,0 +1,417 @@
+//! Closed-loop load generator for the GraphMat query server.
+//!
+//! Opens N connections, each issuing back-to-back requests drawn from a
+//! weighted algorithm mix for a fixed duration, then reports request
+//! counts, QPS and exact latency quantiles as JSON (the `BENCH_serving`
+//! series). Also doubles as the CI smoke test via `--smoke`.
+//!
+//! ```text
+//! loadgen --addr HOST:PORT [--connections N] [--duration-secs N]
+//!         [--mix pagerank:1,bfs:4,...] [--timeout-ms N] [--iterations N]
+//!         [--seed N] [--json PATH] [--smoke] [--ping-only] [--shutdown-after]
+//! ```
+
+use graphmat_server::{Algorithm, Client, RunRequest, Status};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+struct Args {
+    addr: String,
+    connections: usize,
+    duration_secs: u64,
+    mix: Vec<(Algorithm, u32)>,
+    timeout_ms: u32,
+    iterations: u32,
+    seed: u64,
+    json: Option<String>,
+    smoke: bool,
+    ping_only: bool,
+    shutdown_after: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            addr: "127.0.0.1:4617".into(),
+            connections: 4,
+            duration_secs: 10,
+            mix: vec![
+                (Algorithm::Bfs, 4),
+                (Algorithm::Sssp, 2),
+                (Algorithm::PageRank, 1),
+                (Algorithm::ConnectedComponents, 1),
+                (Algorithm::InDegrees, 1),
+            ],
+            timeout_ms: 0,
+            iterations: 10,
+            seed: 1,
+            json: None,
+            smoke: false,
+            ping_only: false,
+            shutdown_after: false,
+        }
+    }
+}
+
+fn parse_mix(spec: &str) -> Result<Vec<(Algorithm, u32)>, String> {
+    let mut mix = Vec::new();
+    for part in spec.split(',') {
+        let (name, weight) = part
+            .split_once(':')
+            .ok_or_else(|| format!("mix entry {part:?} must be name:weight"))?;
+        let algorithm = Algorithm::ALL
+            .into_iter()
+            .find(|a| a.name() == name)
+            .ok_or_else(|| format!("unknown algorithm {name:?} in mix"))?;
+        let weight: u32 = weight
+            .parse()
+            .map_err(|e| format!("mix weight for {name}: {e}"))?;
+        if weight > 0 {
+            mix.push((algorithm, weight));
+        }
+    }
+    if mix.is_empty() {
+        return Err("mix selects no algorithms".into());
+    }
+    Ok(mix)
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |flag: &str| iter.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--connections" => {
+                args.connections = value("--connections")?
+                    .parse()
+                    .map_err(|e| format!("--connections: {e}"))?
+            }
+            "--duration-secs" => {
+                args.duration_secs = value("--duration-secs")?
+                    .parse()
+                    .map_err(|e| format!("--duration-secs: {e}"))?
+            }
+            "--mix" => args.mix = parse_mix(&value("--mix")?)?,
+            "--timeout-ms" => {
+                args.timeout_ms = value("--timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--timeout-ms: {e}"))?
+            }
+            "--iterations" => {
+                args.iterations = value("--iterations")?
+                    .parse()
+                    .map_err(|e| format!("--iterations: {e}"))?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--json" => args.json = Some(value("--json")?),
+            "--smoke" => args.smoke = true,
+            "--ping-only" => args.ping_only = true,
+            "--shutdown-after" => args.shutdown_after = true,
+            "--help" | "-h" => {
+                return Err("usage: loadgen --addr HOST:PORT [--connections N] \
+                     [--duration-secs N] [--mix pagerank:1,bfs:4,...] \
+                     [--timeout-ms N] [--iterations N] [--seed N] [--json PATH] \
+                     [--smoke] [--ping-only] [--shutdown-after]"
+                    .into())
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+/// splitmix64 step — deterministic per-connection randomness.
+fn next_rand(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Pull `"key":<integer>` out of the STATS JSON without a JSON parser.
+fn scrape_u64(json: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let start = json.find(&needle)? + needle.len();
+    let digits: String = json[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+#[derive(Default)]
+struct Tally {
+    ok: u64,
+    busy: u64,
+    timeout: u64,
+    failed: u64,
+    latencies_us: Vec<u64>,
+}
+
+impl Tally {
+    fn absorb(&mut self, other: Tally) {
+        self.ok += other.ok;
+        self.busy += other.busy;
+        self.timeout += other.timeout;
+        self.failed += other.failed;
+        self.latencies_us.extend(other.latencies_us);
+    }
+
+    fn requests(&self) -> u64 {
+        self.ok + self.busy + self.timeout + self.failed
+    }
+}
+
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn tally_json(name: &str, tally: &Tally, sorted: &[u64], elapsed_secs: f64) -> String {
+    let mean = if sorted.is_empty() {
+        0
+    } else {
+        sorted.iter().sum::<u64>() / sorted.len() as u64
+    };
+    format!(
+        "\"{name}\":{{\"requests\":{},\"ok\":{},\"busy\":{},\"timeout\":{},\
+         \"failed\":{},\"qps\":{:.2},\"latency_us\":{{\"mean\":{mean},\
+         \"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}}}",
+        tally.requests(),
+        tally.ok,
+        tally.busy,
+        tally.timeout,
+        tally.failed,
+        tally.ok as f64 / elapsed_secs.max(1e-9),
+        quantile(sorted, 0.50),
+        quantile(sorted, 0.95),
+        quantile(sorted, 0.99),
+        sorted.last().copied().unwrap_or(0),
+    )
+}
+
+fn run_smoke(args: &Args) -> Result<(), String> {
+    let mut client =
+        Client::connect(&args.addr).map_err(|e| format!("connect {}: {e}", args.addr))?;
+    client.ping().map_err(|e| format!("ping: {e}"))?;
+    for algorithm in Algorithm::ALL {
+        let request = RunRequest::new(algorithm)
+            .seed(0)
+            .iterations(args.iterations)
+            .timeout_ms(if args.timeout_ms > 0 {
+                args.timeout_ms
+            } else {
+                60_000
+            });
+        let reply = client
+            .run(&request)
+            .map_err(|e| format!("{}: {e}", algorithm.name()))?;
+        if !reply.is_ok() {
+            return Err(format!(
+                "{}: status {:?}: {}",
+                algorithm.name(),
+                reply.status,
+                reply.message
+            ));
+        }
+        println!(
+            "smoke {}: ok in {} us, {} iterations, checksum {:#018x}",
+            algorithm.name(),
+            reply.elapsed_micros,
+            reply.iterations,
+            reply.checksum
+        );
+    }
+    let stats = client.stats_json().map_err(|e| format!("stats: {e}"))?;
+    println!("smoke stats: {stats}");
+    let ok = scrape_u64(&stats, "ok").unwrap_or(0);
+    if ok < Algorithm::ALL.len() as u64 {
+        return Err(format!(
+            "stats reports only {ok} ok requests after {} smoke runs",
+            Algorithm::ALL.len()
+        ));
+    }
+    if args.shutdown_after {
+        client
+            .shutdown_server()
+            .map_err(|e| format!("shutdown: {e}"))?;
+        println!("smoke shutdown: acknowledged");
+    }
+    Ok(())
+}
+
+fn run_load(args: &Args) -> Result<String, String> {
+    // One scouting connection learns the graph size for seed sampling.
+    let mut scout =
+        Client::connect(&args.addr).map_err(|e| format!("connect {}: {e}", args.addr))?;
+    let stats = scout.stats_json().map_err(|e| format!("stats: {e}"))?;
+    let num_vertices = scrape_u64(&stats, "num_vertices").ok_or("stats JSON lacks num_vertices")?;
+    drop(scout);
+
+    let weight_total: u32 = args.mix.iter().map(|(_, w)| w).sum();
+    let duration = Duration::from_secs(args.duration_secs);
+    let started = Instant::now();
+    let workers: Vec<_> = (0..args.connections.max(1))
+        .map(|conn| {
+            let addr = args.addr.clone();
+            let mix = args.mix.clone();
+            let (timeout_ms, iterations) = (args.timeout_ms, args.iterations);
+            let mut rng = args.seed ^ ((conn as u64 + 1) << 32);
+            std::thread::spawn(move || -> Result<Vec<(Algorithm, Tally)>, String> {
+                let mut client =
+                    Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+                let mut tallies: Vec<(Algorithm, Tally)> = mix
+                    .iter()
+                    .map(|(algorithm, _)| (*algorithm, Tally::default()))
+                    .collect();
+                let deadline = Instant::now() + duration;
+                while Instant::now() < deadline {
+                    let mut pick = (next_rand(&mut rng) % weight_total as u64) as u32;
+                    let slot = mix
+                        .iter()
+                        .position(|(_, weight)| {
+                            let hit = pick < *weight;
+                            pick = pick.saturating_sub(*weight);
+                            hit
+                        })
+                        .unwrap_or(0);
+                    let algorithm = mix[slot].0;
+                    let request = RunRequest::new(algorithm)
+                        .seed(next_rand(&mut rng) % num_vertices)
+                        .iterations(iterations)
+                        .timeout_ms(timeout_ms);
+                    let sent = Instant::now();
+                    let reply = client
+                        .run(&request)
+                        .map_err(|e| format!("{}: {e}", algorithm.name()))?;
+                    let tally = &mut tallies[slot].1;
+                    match reply.status {
+                        Status::Ok => {
+                            tally.ok += 1;
+                            tally.latencies_us.push(sent.elapsed().as_micros() as u64);
+                        }
+                        Status::Busy => tally.busy += 1,
+                        Status::Timeout => tally.timeout += 1,
+                        _ => tally.failed += 1,
+                    }
+                }
+                Ok(tallies)
+            })
+        })
+        .collect();
+
+    let mut per_algo: Vec<(Algorithm, Tally)> = args
+        .mix
+        .iter()
+        .map(|(algorithm, _)| (*algorithm, Tally::default()))
+        .collect();
+    for worker in workers {
+        let tallies = worker
+            .join()
+            .map_err(|_| "connection thread panicked".to_string())??;
+        for (slot, (_, tally)) in tallies.into_iter().enumerate() {
+            per_algo[slot].1.absorb(tally);
+        }
+    }
+    let elapsed_secs = started.elapsed().as_secs_f64();
+
+    // Final server-side snapshot rides along in the report.
+    let mut scout =
+        Client::connect(&args.addr).map_err(|e| format!("connect {}: {e}", args.addr))?;
+    let server_stats = scout.stats_json().map_err(|e| format!("stats: {e}"))?;
+    if args.shutdown_after {
+        scout
+            .shutdown_server()
+            .map_err(|e| format!("shutdown: {e}"))?;
+    }
+
+    let mut total = Tally::default();
+    for (_, tally) in &per_algo {
+        total.ok += tally.ok;
+        total.busy += tally.busy;
+        total.timeout += tally.timeout;
+        total.failed += tally.failed;
+        total.latencies_us.extend(&tally.latencies_us);
+    }
+    let mut sorted_total = total.latencies_us.clone();
+    sorted_total.sort_unstable();
+
+    let mut report = String::with_capacity(2048);
+    report.push_str(&format!(
+        "{{\"series\":\"BENCH_serving\",\"addr\":\"{}\",\"connections\":{},\
+         \"duration_secs\":{:.2},\"num_vertices\":{num_vertices},",
+        args.addr,
+        args.connections.max(1),
+        elapsed_secs,
+    ));
+    report.push_str(&tally_json("total", &total, &sorted_total, elapsed_secs));
+    report.push_str(",\"per_algorithm\":{");
+    for (i, (algorithm, tally)) in per_algo.iter().enumerate() {
+        if i > 0 {
+            report.push(',');
+        }
+        let mut sorted = tally.latencies_us.clone();
+        sorted.sort_unstable();
+        report.push_str(&tally_json(algorithm.name(), tally, &sorted, elapsed_secs));
+    }
+    report.push_str("},\"server_stats\":");
+    report.push_str(&server_stats);
+    report.push('}');
+    Ok(report)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.ping_only {
+        // Readiness probe: exit 0 iff the server answers a PING.
+        let ping = Client::connect(&args.addr).and_then(|mut c| c.ping());
+        return match ping {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(err) => {
+                eprintln!("ping {} failed: {err}", args.addr);
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.smoke {
+        return match run_smoke(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("smoke failed: {message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    match run_load(&args) {
+        Ok(report) => {
+            println!("{report}");
+            if let Some(path) = &args.json {
+                if let Err(err) = std::fs::write(path, &report) {
+                    eprintln!("failed to write {path}: {err}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("loadgen failed: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! A small blocking client for the wire protocol.
+//!
+//! Used by the load generator, the CI smoke test and the integration tests;
+//! it is also the reference decoder for anyone writing a client in another
+//! language. One [`Client`] wraps one connection and reuses its frame
+//! buffers across calls.
+
+use crate::protocol::{self, opcode, RunRequest, Status, ValueKind, PROTOCOL_VERSION};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A decoded RUN response.
+#[derive(Clone, Debug)]
+pub struct RunReply {
+    /// Outcome status.
+    pub status: Status,
+    /// Error message (empty on success).
+    pub message: String,
+    /// Server-side service time in microseconds.
+    pub elapsed_micros: u64,
+    /// Supersteps the engine executed.
+    pub iterations: u32,
+    /// Element type of the result vector (`None` on error).
+    pub value_kind: Option<ValueKind>,
+    /// FNV-1a 64 over the little-endian value bytes.
+    pub checksum: u64,
+    /// Number of result values.
+    pub num_values: u32,
+    /// Raw little-endian value bytes (empty unless the request asked for
+    /// values). Decode with the `values_*` accessors.
+    pub values: Vec<u8>,
+}
+
+impl RunReply {
+    /// Whether the run succeeded.
+    pub fn is_ok(&self) -> bool {
+        self.status == Status::Ok
+    }
+
+    fn decode_values<T, const N: usize>(&self, from_le: fn([u8; N]) -> T) -> Option<Vec<T>> {
+        if self.values.len() != self.num_values as usize * N {
+            return None;
+        }
+        Some(
+            self.values
+                .chunks_exact(N)
+                .map(|chunk| from_le(chunk.try_into().unwrap()))
+                .collect(),
+        )
+    }
+
+    /// The result vector as `f64` (PageRank).
+    pub fn values_f64(&self) -> Option<Vec<f64>> {
+        (self.value_kind == Some(ValueKind::F64))
+            .then(|| self.decode_values(f64::from_le_bytes))
+            .flatten()
+    }
+
+    /// The result vector as `u32` (BFS, components).
+    pub fn values_u32(&self) -> Option<Vec<u32>> {
+        (self.value_kind == Some(ValueKind::U32))
+            .then(|| self.decode_values(u32::from_le_bytes))
+            .flatten()
+    }
+
+    /// The result vector as `f32` (SSSP).
+    pub fn values_f32(&self) -> Option<Vec<f32>> {
+        (self.value_kind == Some(ValueKind::F32))
+            .then(|| self.decode_values(f32::from_le_bytes))
+            .flatten()
+    }
+
+    /// The result vector as `u64` (degrees).
+    pub fn values_u64(&self) -> Option<Vec<u64>> {
+        (self.value_kind == Some(ValueKind::U64))
+            .then(|| self.decode_values(u64::from_le_bytes))
+            .flatten()
+    }
+}
+
+/// One blocking protocol connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    request_buf: Vec<u8>,
+    reply_buf: Vec<u8>,
+}
+
+fn malformed(what: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("malformed reply: {what}"),
+    )
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+            request_buf: Vec::new(),
+            reply_buf: Vec::new(),
+        })
+    }
+
+    fn round_trip(&mut self) -> io::Result<()> {
+        protocol::write_frame(&mut self.writer, &self.request_buf)?;
+        protocol::read_frame(&mut self.reader, &mut self.reply_buf)
+    }
+
+    /// Split the common `version | status` reply prefix; returns the status
+    /// and the remaining body.
+    fn reply_prefix(&self) -> io::Result<(Status, &[u8])> {
+        let body = &self.reply_buf;
+        if body.len() < 2 {
+            return Err(malformed("body shorter than version + status"));
+        }
+        if body[0] != PROTOCOL_VERSION {
+            return Err(malformed("unexpected protocol version"));
+        }
+        let status = Status::from_u8(body[1]).ok_or_else(|| malformed("unknown status byte"))?;
+        Ok((status, &body[2..]))
+    }
+
+    fn error_message(rest: &[u8]) -> String {
+        if rest.len() >= 4 {
+            let len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+            if rest.len() >= 4 + len {
+                return String::from_utf8_lossy(&rest[4..4 + len]).into_owned();
+            }
+        }
+        String::new()
+    }
+
+    /// Execute one RUN request.
+    pub fn run(&mut self, request: &RunRequest) -> io::Result<RunReply> {
+        self.request_buf.clear();
+        request.encode(&mut self.request_buf);
+        self.round_trip()?;
+        let (status, rest) = self.reply_prefix()?;
+        if status != Status::Ok {
+            return Ok(RunReply {
+                status,
+                message: Self::error_message(rest),
+                elapsed_micros: 0,
+                iterations: 0,
+                value_kind: None,
+                checksum: 0,
+                num_values: 0,
+                values: Vec::new(),
+            });
+        }
+        // elapsed u64 | iterations u32 | kind u8 | checksum u64 | count u32
+        if rest.len() < 25 {
+            return Err(malformed("RUN ok header truncated"));
+        }
+        let value_kind =
+            ValueKind::from_u8(rest[12]).ok_or_else(|| malformed("unknown value kind"))?;
+        Ok(RunReply {
+            status,
+            message: String::new(),
+            elapsed_micros: u64::from_le_bytes(rest[..8].try_into().unwrap()),
+            iterations: u32::from_le_bytes(rest[8..12].try_into().unwrap()),
+            value_kind: Some(value_kind),
+            checksum: u64::from_le_bytes(rest[13..21].try_into().unwrap()),
+            num_values: u32::from_le_bytes(rest[21..25].try_into().unwrap()),
+            values: rest[25..].to_vec(),
+        })
+    }
+
+    /// Fetch the STATS snapshot as a JSON string.
+    pub fn stats_json(&mut self) -> io::Result<String> {
+        self.control(opcode::STATS)?;
+        let (status, rest) = self.reply_prefix()?;
+        if status != Status::Ok {
+            return Err(malformed("STATS returned an error status"));
+        }
+        if rest.len() < 4 {
+            return Err(malformed("STATS payload truncated"));
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+        if rest.len() < 4 + len {
+            return Err(malformed("STATS payload shorter than its length"));
+        }
+        String::from_utf8(rest[4..4 + len].to_vec()).map_err(|_| malformed("STATS not UTF-8"))
+    }
+
+    /// Liveness probe; errors if the server replies anything but OK.
+    pub fn ping(&mut self) -> io::Result<()> {
+        self.control(opcode::PING)?;
+        let (status, _) = self.reply_prefix()?;
+        if status != Status::Ok {
+            return Err(malformed("PING returned an error status"));
+        }
+        Ok(())
+    }
+
+    /// Ask the server to shut down gracefully.
+    pub fn shutdown_server(&mut self) -> io::Result<()> {
+        self.control(opcode::SHUTDOWN)?;
+        let (status, _) = self.reply_prefix()?;
+        if status != Status::Ok {
+            return Err(malformed("SHUTDOWN returned an error status"));
+        }
+        Ok(())
+    }
+
+    fn control(&mut self, op: u8) -> io::Result<()> {
+        self.request_buf.clear();
+        self.request_buf.push(PROTOCOL_VERSION);
+        self.request_buf.push(op);
+        self.round_trip()
+    }
+
+    /// Send raw bytes as one frame and read one reply frame back — the
+    /// robustness tests use this to speak malformed protocol on purpose.
+    pub fn raw_round_trip(&mut self, body: &[u8]) -> io::Result<Vec<u8>> {
+        protocol::write_frame(&mut self.writer, body)?;
+        protocol::read_frame(&mut self.reader, &mut self.reply_buf)?;
+        Ok(self.reply_buf.clone())
+    }
+
+    /// Write raw bytes (not necessarily a whole frame) without reading a
+    /// reply. For truncated-frame tests.
+    pub fn raw_write(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.writer.write_all(bytes)?;
+        self.writer.flush()
+    }
+
+    /// Read one raw reply frame (for use after [`Client::raw_write`]).
+    pub fn raw_read(&mut self) -> io::Result<Vec<u8>> {
+        protocol::read_frame(&mut self.reader, &mut self.reply_buf)?;
+        Ok(self.reply_buf.clone())
+    }
+
+    /// Read a single byte, expecting EOF — asserts the server dropped the
+    /// connection. Returns `true` on clean EOF.
+    pub fn expect_eof(&mut self) -> bool {
+        let mut byte = [0u8; 1];
+        matches!(self.reader.read(&mut byte), Ok(0))
+    }
+}

@@ -1,0 +1,282 @@
+//! Algorithm dispatch over one resident session — the layer between the
+//! wire protocol and the engine.
+//!
+//! A [`GraphService`] owns the process-wide [`Session`] (one persistent
+//! executor pool) and the resident `Arc<Topology>`; it is `Sync` and shared
+//! by every worker. Each worker owns a private [`WorkerStates`] — one
+//! [`StatePool`] per algorithm, because the engine workspace cached inside a
+//! state is typed by the program and sharing a pool across programs would
+//! thrash it. After warm-up the pools stop growing and a request performs no
+//! per-query allocation: the run writes into a recycled state and the
+//! response is encoded into the connection's reused buffer.
+
+use crate::protocol::{self, Fnv64, RunOkHeader, RunRequest, Status, ValueKind};
+use graphmat_algorithms::bfs::bfs_into;
+use graphmat_algorithms::connected_components::connected_components_into;
+use graphmat_algorithms::degree::in_degrees_into;
+use graphmat_algorithms::pagerank::{pagerank_into, PageRankConfig, PageRankVertex};
+use graphmat_algorithms::sssp::sssp_into;
+use graphmat_core::{GraphMatError, Session, StatePool, Topology};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::protocol::Algorithm;
+
+/// The resident graph plus the session that runs queries against it.
+pub struct GraphService {
+    session: Session,
+    topology: Arc<Topology<f32>>,
+}
+
+impl GraphService {
+    /// Wrap a session and a pre-built topology.
+    pub fn new(session: Session, topology: Arc<Topology<f32>>) -> GraphService {
+        GraphService { session, topology }
+    }
+
+    /// The resident topology (share it to compute expected results
+    /// out-of-band, e.g. in tests).
+    pub fn topology(&self) -> &Arc<Topology<f32>> {
+        &self.topology
+    }
+
+    /// The session queries run through.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+}
+
+/// One worker's pooled per-algorithm vertex states.
+///
+/// Deliberately one pool per algorithm (not one per value type): BFS and
+/// connected components both use `u32` states, but their cached workspaces
+/// are typed by the program, so sharing a pool would re-allocate the
+/// workspace on every program switch.
+pub struct WorkerStates {
+    pagerank: StatePool<PageRankVertex>,
+    bfs: StatePool<u32>,
+    sssp: StatePool<f32>,
+    components: StatePool<u32>,
+    in_degrees: StatePool<u64>,
+}
+
+impl WorkerStates {
+    /// Empty pools sized for the topology.
+    pub fn for_topology(topology: &Topology<f32>) -> WorkerStates {
+        WorkerStates {
+            pagerank: StatePool::for_topology(topology),
+            bfs: StatePool::for_topology(topology),
+            sssp: StatePool::for_topology(topology),
+            components: StatePool::for_topology(topology),
+            in_degrees: StatePool::for_topology(topology),
+        }
+    }
+
+    /// Total states allocated across all pools (constant after warm-up).
+    pub fn created(&self) -> usize {
+        self.pagerank.created()
+            + self.bfs.created()
+            + self.sssp.created()
+            + self.components.created()
+            + self.in_degrees.created()
+    }
+
+    /// Total acquisitions served by recycling.
+    pub fn reused(&self) -> usize {
+        self.pagerank.reused()
+            + self.bfs.reused()
+            + self.sssp.reused()
+            + self.components.reused()
+            + self.in_degrees.reused()
+    }
+}
+
+/// Map an engine error to a wire status + message.
+fn error_reply(buf: &mut Vec<u8>, err: &GraphMatError) -> Status {
+    let status = match err {
+        GraphMatError::DeadlineExceeded => Status::Timeout,
+        GraphMatError::VertexOutOfRange { .. } => Status::BadRequest,
+        _ => Status::ServerError,
+    };
+    protocol::encode_error(buf, status, &err.to_string());
+    status
+}
+
+/// Encode a successful run: header with checksum, then (if requested) the
+/// raw little-endian values. Two passes over the same iterator — one for
+/// the checksum that precedes the values on the wire, one to copy them.
+fn ok_reply<const N: usize, I>(
+    buf: &mut Vec<u8>,
+    request: &RunRequest,
+    elapsed: Instant,
+    iterations: usize,
+    value_kind: ValueKind,
+    num_values: usize,
+    bytes: I,
+) -> Status
+where
+    I: Iterator<Item = [u8; N]> + Clone,
+{
+    let mut hash = Fnv64::new();
+    for chunk in bytes.clone() {
+        hash.write(&chunk);
+    }
+    protocol::encode_run_ok_header(
+        buf,
+        &RunOkHeader {
+            elapsed_micros: elapsed.elapsed().as_micros() as u64,
+            iterations: iterations as u32,
+            value_kind,
+            checksum: hash.finish(),
+            num_values: num_values as u32,
+        },
+    );
+    if request.include_values {
+        buf.reserve(num_values * N);
+        for chunk in bytes {
+            buf.extend_from_slice(&chunk);
+        }
+    }
+    Status::Ok
+}
+
+/// Execute one RUN request with this worker's pooled states, encoding the
+/// full response (success or typed error) into `buf`. Returns the status
+/// for metrics accounting. Never panics on request content — bad seeds and
+/// engine errors all become typed error responses.
+pub fn execute_run(
+    service: &GraphService,
+    states: &mut WorkerStates,
+    request: &RunRequest,
+    deadline: Option<Instant>,
+    buf: &mut Vec<u8>,
+) -> Status {
+    let topology = service.topology();
+    let num_vertices = topology.num_vertices() as u64;
+    if matches!(request.algorithm, Algorithm::Bfs | Algorithm::Sssp) && request.seed >= num_vertices
+    {
+        protocol::encode_error(
+            buf,
+            Status::BadRequest,
+            &format!(
+                "seed vertex {} out of range ({num_vertices} vertices)",
+                request.seed
+            ),
+        );
+        return Status::BadRequest;
+    }
+    let start = Instant::now();
+    match request.algorithm {
+        Algorithm::PageRank => {
+            let config = PageRankConfig {
+                iterations: if request.iterations == 0 {
+                    PageRankConfig::default().iterations
+                } else {
+                    request.iterations as usize
+                },
+                ..Default::default()
+            };
+            let mut state = states.pagerank.acquire();
+            let outcome = pagerank_into(&service.session, topology, &config, deadline, &mut state);
+            let status = match outcome {
+                Ok(result) => ok_reply(
+                    buf,
+                    request,
+                    start,
+                    result.stats.iterations,
+                    ValueKind::F64,
+                    state.num_vertices(),
+                    state.properties().iter().map(|p| p.rank.to_le_bytes()),
+                ),
+                Err(err) => error_reply(buf, &err),
+            };
+            states.pagerank.release(state);
+            status
+        }
+        Algorithm::Bfs => {
+            let mut state = states.bfs.acquire();
+            let outcome = bfs_into(
+                &service.session,
+                topology,
+                request.seed as u32,
+                deadline,
+                &mut state,
+            );
+            let status = match outcome {
+                Ok(result) => ok_reply(
+                    buf,
+                    request,
+                    start,
+                    result.stats.iterations,
+                    ValueKind::U32,
+                    state.num_vertices(),
+                    state.properties().iter().map(|d| d.to_le_bytes()),
+                ),
+                Err(err) => error_reply(buf, &err),
+            };
+            states.bfs.release(state);
+            status
+        }
+        Algorithm::Sssp => {
+            let mut state = states.sssp.acquire();
+            let outcome = sssp_into(
+                &service.session,
+                topology,
+                request.seed as u32,
+                deadline,
+                &mut state,
+            );
+            let status = match outcome {
+                Ok(result) => ok_reply(
+                    buf,
+                    request,
+                    start,
+                    result.stats.iterations,
+                    ValueKind::F32,
+                    state.num_vertices(),
+                    state.properties().iter().map(|d| d.to_le_bytes()),
+                ),
+                Err(err) => error_reply(buf, &err),
+            };
+            states.sssp.release(state);
+            status
+        }
+        Algorithm::ConnectedComponents => {
+            let mut state = states.components.acquire();
+            let outcome =
+                connected_components_into(&service.session, topology, deadline, &mut state);
+            let status = match outcome {
+                Ok(result) => ok_reply(
+                    buf,
+                    request,
+                    start,
+                    result.stats.iterations,
+                    ValueKind::U32,
+                    state.num_vertices(),
+                    state.properties().iter().map(|l| l.to_le_bytes()),
+                ),
+                Err(err) => error_reply(buf, &err),
+            };
+            states.components.release(state);
+            status
+        }
+        Algorithm::InDegrees => {
+            let mut state = states.in_degrees.acquire();
+            let outcome = in_degrees_into(&service.session, topology, deadline, &mut state);
+            let status = match outcome {
+                Ok(result) => ok_reply(
+                    buf,
+                    request,
+                    start,
+                    result.stats.iterations,
+                    ValueKind::U64,
+                    state.num_vertices(),
+                    state.properties().iter().map(|d| d.to_le_bytes()),
+                ),
+                Err(err) => error_reply(buf, &err),
+            };
+            states.in_degrees.release(state);
+            status
+        }
+    }
+}

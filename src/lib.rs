@@ -91,6 +91,17 @@
 //! See [`core::program`] for the PR-1 migration guide from the
 //! hardcoded-`f32` API.
 //!
+//! ## Serving (PR-6)
+//!
+//! The [`server`] crate turns the session architecture into a long-running
+//! query server: `graphmat-serve` loads one graph at startup and answers
+//! length-prefix-framed TCP requests (PageRank / BFS / SSSP / components /
+//! degrees) from a worker pool with a bounded admission queue, per-request
+//! deadlines, pooled per-worker `VertexState`s (steady-state serving
+//! allocates nothing per query) and a `STATS` observability endpoint;
+//! `loadgen` drives it and emits the `BENCH_serving` JSON series. See the
+//! README's *Serving* section.
+//!
 //! This umbrella crate re-exports the whole workspace so that examples,
 //! integration tests and downstream users can depend on a single crate.
 
@@ -99,6 +110,7 @@ pub use graphmat_baselines as baselines;
 pub use graphmat_core as core;
 pub use graphmat_io as io;
 pub use graphmat_perf as perf;
+pub use graphmat_server as server;
 pub use graphmat_sparse as sparse;
 
 /// Commonly used types for writing and running vertex programs.

@@ -214,12 +214,17 @@ pub fn pagerank_into<E: Clone + Send + Sync + 'static>(
         random_surf: config.random_surf,
         _edge: std::marker::PhantomData,
     };
+    // Initialise the pooled state directly instead of through
+    // `RunBuilder::init_with`: the builder boxes its init closure, and this
+    // one captures the degree slice — a small per-query heap allocation the
+    // serving hot path must not make (`tests/zero_alloc.rs`).
+    state.check_matches(topology)?;
+    state.init_properties(|v| PageRankVertex {
+        rank: INITIAL_RANK,
+        degree: degrees[v as usize],
+    });
     session
         .run(topology, program)
-        .init_with(|v| PageRankVertex {
-            rank: INITIAL_RANK,
-            degree: degrees[v as usize],
-        })
         .activate_all()
         .activity(ActivityPolicy::AlwaysAll)
         .max_iterations(config.iterations)

@@ -1,0 +1,337 @@
+//! A hand-rolled, lint-oriented Rust lexer.
+//!
+//! The repo lints in [`crate::lints`] are textual ("no `.unwrap()` in
+//! library code", "every `unsafe` needs a `// SAFETY:` comment"), so a full
+//! parser would be overkill — but a naive `grep` is wrong in both
+//! directions: it fires on patterns inside string literals and doc prose,
+//! and it misses the comment context needed to verify a SAFETY annotation.
+//!
+//! This lexer does exactly the separation the lints need. It splits a source
+//! file into two byte-parallel views of the same text:
+//!
+//! * [`Lexed::code`] — the input with every comment and every
+//!   string/char-literal *interior* blanked out (replaced by spaces,
+//!   newlines preserved), so searching it for `.unwrap(` or `unsafe` can
+//!   never match inside a literal or a comment;
+//! * [`Lexed::comments`] — the input with everything *except* comment text
+//!   blanked out, so the SAFETY lint and the inline
+//!   `audit:allow(...)` waivers read only what a human wrote in comments.
+//!
+//! Because both views preserve byte offsets and line structure, a match in
+//! either maps directly to a `file:line` diagnostic.
+//!
+//! Handled syntax: line comments (`//`, `///`, `//!`), nested block
+//! comments (`/* /* */ */`), string literals with escapes, raw strings
+//! (`r"…"`, `r#"…"#`, any hash depth) and their byte-string variants
+//! (`b"…"`, `br#"…"#`), char and byte-char literals (`'a'`, `b'\n'`), and
+//! the lifetime-vs-char-literal ambiguity (`'a` in `<'a>` is not a string
+//! start). Exotic literals this workspace does not use (multi-byte char
+//! literals like `'é'`) degrade gracefully: the quote is treated as a
+//! lifetime marker, which cannot produce a false lint match because the
+//! interior characters stay visible as plain code.
+
+/// A source file split into code and comment views (see module docs).
+pub struct Lexed {
+    /// Source with comments and literal interiors blanked.
+    pub code: String,
+    /// Source with everything except comment text blanked.
+    pub comments: String,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nested block comment depth (Rust block comments nest).
+    BlockComment(u32),
+    /// Inside `"…"`; `true` while the previous byte was an unconsumed `\`.
+    Str(bool),
+    /// Inside `r##"…"##` with the given hash count.
+    RawStr(u32),
+}
+
+/// Is `b` a byte that can appear in an identifier?
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lex `source` into its code and comment views.
+pub fn lex(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    let n = bytes.len();
+    let mut code = vec![b' '; n];
+    let mut comments = vec![b' '; n];
+    // Newlines are structural in every view.
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'\n' {
+            code[i] = b'\n';
+            comments[i] = b'\n';
+        }
+    }
+
+    let mut state = State::Code;
+    let mut i = 0usize;
+    while i < n {
+        let b = bytes[i];
+        match state {
+            State::Code => {
+                if b == b'/' && i + 1 < n && bytes[i + 1] == b'/' {
+                    state = State::LineComment;
+                    comments[i] = b'/';
+                    comments[i + 1] = b'/';
+                    i += 2;
+                } else if b == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
+                    state = State::BlockComment(1);
+                    comments[i] = b'/';
+                    comments[i + 1] = b'*';
+                    i += 2;
+                } else if b == b'"' {
+                    code[i] = b'"';
+                    state = State::Str(false);
+                    i += 1;
+                } else if (b == b'r' || b == b'b')
+                    && (i == 0 || !is_ident(bytes[i - 1]))
+                    && raw_string_hashes(bytes, i).is_some()
+                {
+                    // r"…", r#"…"#, br"…", b-prefix consumed up to the quote.
+                    let (hashes, quote_at) = match raw_string_hashes(bytes, i) {
+                        Some(h) => h,
+                        None => unreachable!(),
+                    };
+                    for slot in code.iter_mut().take(quote_at + 1).skip(i) {
+                        *slot = b' ';
+                    }
+                    code[quote_at] = b'"';
+                    state = State::RawStr(hashes);
+                    i = quote_at + 1;
+                } else if b == b'b' && i + 1 < n && bytes[i + 1] == b'\'' {
+                    // Byte-char literal b'x' — always a literal, never a
+                    // lifetime.
+                    code[i] = b'b';
+                    i = skip_char_literal(bytes, i + 1, &mut code);
+                } else if b == b'\'' && (i == 0 || !is_ident(bytes[i - 1])) {
+                    if looks_like_char_literal(bytes, i) {
+                        i = skip_char_literal(bytes, i, &mut code);
+                    } else {
+                        // A lifetime: keep the tick visible as code.
+                        code[i] = b'\'';
+                        i += 1;
+                    }
+                } else {
+                    if b != b'\n' {
+                        code[i] = b;
+                    }
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                if b == b'\n' {
+                    state = State::Code;
+                } else {
+                    comments[i] = b;
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if b == b'*' && i + 1 < n && bytes[i + 1] == b'/' {
+                    comments[i] = b'*';
+                    comments[i + 1] = b'/';
+                    i += 2;
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                } else if b == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
+                    comments[i] = b'/';
+                    comments[i + 1] = b'*';
+                    i += 2;
+                    state = State::BlockComment(depth + 1);
+                } else {
+                    if b != b'\n' {
+                        comments[i] = b;
+                    }
+                    i += 1;
+                }
+            }
+            State::Str(escaped) => {
+                if escaped {
+                    state = State::Str(false);
+                } else if b == b'\\' {
+                    state = State::Str(true);
+                } else if b == b'"' {
+                    code[i] = b'"';
+                    state = State::Code;
+                }
+                i += 1;
+            }
+            State::RawStr(hashes) => {
+                if b == b'"' && has_hashes(bytes, i + 1, hashes) {
+                    code[i] = b'"';
+                    i += 1 + hashes as usize;
+                    state = State::Code;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    // The blanking above only writes ASCII spaces over arbitrary (possibly
+    // multi-byte) content, so the views are valid UTF-8 only if rebuilt
+    // leniently. Offsets are preserved either way.
+    Lexed {
+        code: String::from_utf8_lossy(&code).into_owned(),
+        comments: String::from_utf8_lossy(&comments).into_owned(),
+    }
+}
+
+/// At `start` (pointing at `r` or `b`), detect a raw-string opener and
+/// return `(hash_count, index_of_opening_quote)`.
+fn raw_string_hashes(bytes: &[u8], start: usize) -> Option<(u32, usize)> {
+    let mut i = start;
+    if bytes[i] == b'b' {
+        i += 1;
+        if i >= bytes.len() || bytes[i] != b'r' {
+            return None;
+        }
+    }
+    if bytes[i] != b'r' {
+        return None;
+    }
+    i += 1;
+    let mut hashes = 0u32;
+    while i < bytes.len() && bytes[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'"' {
+        Some((hashes, i))
+    } else {
+        None
+    }
+}
+
+/// Are there `count` consecutive `#` bytes at `at`?
+fn has_hashes(bytes: &[u8], at: usize, count: u32) -> bool {
+    let count = count as usize;
+    at + count <= bytes.len() && bytes[at..at + count].iter().all(|&b| b == b'#')
+}
+
+/// At a `'` in code position, decide literal vs lifetime: `'\…'` and `'x'`
+/// are literals, anything else (`'a` in `<'a>`, `'static`) is a lifetime.
+fn looks_like_char_literal(bytes: &[u8], at: usize) -> bool {
+    if at + 1 >= bytes.len() {
+        return false;
+    }
+    if bytes[at + 1] == b'\\' {
+        return true;
+    }
+    at + 2 < bytes.len() && bytes[at + 1] != b'\'' && bytes[at + 2] == b'\''
+}
+
+/// Consume a char/byte-char literal starting at the `'` at `at`, blanking
+/// its interior; returns the index just past the closing quote.
+fn skip_char_literal(bytes: &[u8], at: usize, code: &mut [u8]) -> usize {
+    code[at] = b'\'';
+    let mut i = at + 1;
+    while i < bytes.len() {
+        if bytes[i] == b'\\' {
+            i += 2;
+            continue;
+        }
+        if bytes[i] == b'\'' {
+            code[i] = b'\'';
+            return i + 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_move_to_comment_view() {
+        let lexed = lex("let x = 1; // SAFETY: fine\nlet y = 2;\n");
+        assert!(lexed.code.contains("let x = 1;"));
+        assert!(!lexed.code.contains("SAFETY"));
+        assert!(lexed.comments.contains("// SAFETY: fine"));
+        assert!(!lexed.comments.contains("let x"));
+    }
+
+    #[test]
+    fn string_interiors_are_blanked() {
+        let lexed = lex(r#"let s = "call .unwrap() or panic!";"#);
+        assert!(!lexed.code.contains("unwrap"));
+        assert!(!lexed.code.contains("panic!"));
+        assert!(lexed.code.contains("let s ="));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_blanked() {
+        let lexed = lex(r###"let s = r#"a "quoted" .unwrap() inside"#; x.unwrap();"###);
+        // The literal's unwrap is gone; the real call survives.
+        assert_eq!(lexed.code.matches(".unwrap(").count(), 1);
+    }
+
+    #[test]
+    fn byte_strings_are_blanked() {
+        let lexed = lex(r#"let b = b"panic!"; let r = br"todo!";"#);
+        assert!(!lexed.code.contains("panic!"));
+        assert!(!lexed.code.contains("todo!"));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let lexed = lex("/* outer /* inner */ still comment */ let x = 1;");
+        assert!(lexed.code.contains("let x = 1;"));
+        assert!(!lexed.code.contains("outer"));
+        assert!(lexed.comments.contains("still comment"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_strings() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> &'a str { x } x.unwrap();");
+        assert!(lexed.code.contains("fn f<'a>"));
+        assert!(lexed.code.contains(".unwrap("));
+    }
+
+    #[test]
+    fn char_literals_are_blanked() {
+        let lexed = lex(r"let c = 'u'; let q = '\''; let n = '\n'; y.unwrap();");
+        // The 'u' char must not leak into code as an identifier char.
+        assert!(!lexed.code.contains("'u'"));
+        assert!(lexed.code.contains(".unwrap("));
+    }
+
+    #[test]
+    fn comment_markers_inside_strings_are_ignored() {
+        let lexed = lex(r#"let url = "https://example.com"; x.unwrap();"#);
+        assert!(lexed.code.contains(".unwrap("));
+        assert!(lexed.comments.trim().is_empty());
+    }
+
+    #[test]
+    fn strings_inside_comments_are_ignored() {
+        let lexed = lex("// the \" quote stays in the comment\nlet x = 1;");
+        assert!(lexed.code.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn line_structure_is_preserved() {
+        let src = "a\n// c\n\"s\n t\"\nb\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.code.lines().count(), src.lines().count());
+        assert_eq!(lexed.comments.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn multiline_strings_stay_blanked() {
+        let lexed = lex("let s = \"line one\n  .unwrap() on line two\";\nx();");
+        assert!(!lexed.code.contains("unwrap"));
+        assert!(lexed.code.contains("x();"));
+    }
+}

@@ -1,0 +1,19 @@
+//! Correctness tooling for the GraphMat workspace.
+//!
+//! Three legs, all std-only:
+//!
+//! * [`lexer`] + [`lints`] + [`workspace`] — the `graphmat-audit` binary's
+//!   repo lint pass: a comment/string-aware lexer feeding four lints
+//!   (mandatory `// SAFETY:` comments, no `unwrap`/`panic!` in library
+//!   code, no `println!` in libraries, no `Instant::now()` in superstep
+//!   kernels) with `file:line` diagnostics and a checked-in allowlist.
+//! * [`alloc_track`] — the counting `#[global_allocator]` used by the
+//!   zero-allocation steady-state tests.
+//! * The `shard-check` feature lives in the crates it instruments
+//!   (`graphmat-sparse`, `graphmat-core`, `graphmat-baselines`), not here;
+//!   see the workspace README's "Correctness tooling" section.
+
+pub mod alloc_track;
+pub mod lexer;
+pub mod lints;
+pub mod workspace;

@@ -1,0 +1,589 @@
+//! The repo lints, evaluated over a [`crate::lexer::Lexed`] view pair.
+//!
+//! Four lint classes guard the invariants the engine's unsafe concurrency
+//! core and perf discipline depend on:
+//!
+//! * [`LintId::SafetyComment`] — every `unsafe` (block, fn, impl, trait)
+//!   must carry a `// SAFETY:` comment (or a `# Safety` doc section for
+//!   `unsafe fn` declarations) in the contiguous comment/attribute block
+//!   above it, on the same line, or covering a contiguous group of unsafe
+//!   items. The disjoint-write protocol in `graphmat-sparse` is exactly as
+//!   sound as these comments are accurate; the lint keeps them mandatory.
+//! * [`LintId::NoUnwrap`] — no `.unwrap()`, `.expect(…)`, `panic!`,
+//!   `todo!` or `unimplemented!` in non-test library code. Fallible library
+//!   paths route through `GraphMatError`; a site that genuinely cannot fail
+//!   carries an explicit waiver with a one-line justification.
+//! * [`LintId::NoPrintln`] — no `println!`/`eprintln!` in library crates;
+//!   binaries own the terminal, libraries do not.
+//! * [`LintId::NoInstantInKernel`] — no `Instant::now()` inside superstep
+//!   kernel modules. Timing belongs at the phase boundaries in the engine
+//!   (where it is recorded once per superstep), never inside the SpMV/SEND
+//!   inner loops where a clock read per row would poison both the numbers
+//!   and the performance being measured.
+//!
+//! # Waivers
+//!
+//! A site-level waiver is a comment on the flagged line or the line above:
+//!
+//! ```text
+//! // audit:allow(no-unwrap): mutex poisoning already means a sibling lane panicked
+//! ```
+//!
+//! The justification after the colon is mandatory — a waiver without one is
+//! itself a violation. File-level waivers live in the checked-in allowlist
+//! (see `crates/audit/audit.allow` and [`crate::workspace`]).
+
+use crate::lexer::Lexed;
+
+/// The lint classes (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LintId {
+    /// `unsafe` without a `// SAFETY:` comment.
+    SafetyComment,
+    /// `.unwrap()` / `.expect(` / `panic!` / `todo!` / `unimplemented!` in
+    /// non-test library code.
+    NoUnwrap,
+    /// `println!` / `eprintln!` in library code.
+    NoPrintln,
+    /// `Instant::now()` inside a superstep kernel module.
+    NoInstantInKernel,
+}
+
+impl LintId {
+    /// The stable string id used in waivers and the allowlist.
+    pub fn id(self) -> &'static str {
+        match self {
+            LintId::SafetyComment => "safety-comment",
+            LintId::NoUnwrap => "no-unwrap",
+            LintId::NoPrintln => "no-println",
+            LintId::NoInstantInKernel => "no-instant-in-kernel",
+        }
+    }
+
+    /// Parse a stable string id.
+    pub fn parse(s: &str) -> Option<LintId> {
+        match s {
+            "safety-comment" => Some(LintId::SafetyComment),
+            "no-unwrap" => Some(LintId::NoUnwrap),
+            "no-println" => Some(LintId::NoPrintln),
+            "no-instant-in-kernel" => Some(LintId::NoInstantInKernel),
+            _ => None,
+        }
+    }
+
+    /// All lint ids, for `--list`.
+    pub fn all() -> [LintId; 4] {
+        [
+            LintId::SafetyComment,
+            LintId::NoUnwrap,
+            LintId::NoPrintln,
+            LintId::NoInstantInKernel,
+        ]
+    }
+
+    /// One-line description for `--list`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            LintId::SafetyComment => {
+                "every `unsafe` block/fn/impl needs a `// SAFETY:` comment \
+                 stating the invariant that makes it sound"
+            }
+            LintId::NoUnwrap => {
+                "no .unwrap()/.expect()/panic!/todo!/unimplemented! in \
+                 non-test library code (route through GraphMatError or waive \
+                 with a justification)"
+            }
+            LintId::NoPrintln => "no println!/eprintln! in library crates",
+            LintId::NoInstantInKernel => {
+                "no Instant::now() inside superstep kernel modules (time at \
+                 engine phase boundaries, not in inner loops)"
+            }
+        }
+    }
+}
+
+/// One lint finding: a line plus a message, resolved against a file by the
+/// caller.
+#[derive(Debug)]
+pub struct Diagnostic {
+    /// The lint that fired.
+    pub lint: LintId,
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// What the path of a file implies for lint applicability; computed by
+/// [`crate::workspace::classify`] and consumed here.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FileClass {
+    /// Test/bench/example/binary code: exempt from the library-only lints
+    /// (`no-unwrap`, `no-println`).
+    pub exempt_from_lib_lints: bool,
+    /// A superstep kernel module: `no-instant-in-kernel` applies.
+    pub kernel: bool,
+}
+
+/// Run every applicable lint over one file's source text.
+pub fn lint_source(source: &str, class: FileClass) -> Vec<Diagnostic> {
+    let lexed = crate::lexer::lex(source);
+    let code_lines: Vec<&str> = lexed.code.lines().collect();
+    let comment_lines: Vec<&str> = lexed.comments.lines().collect();
+    let test_lines = cfg_test_lines(&lexed, code_lines.len());
+
+    let mut out = Vec::new();
+    safety_comment_lint(&code_lines, &comment_lines, &mut out);
+    if !class.exempt_from_lib_lints {
+        pattern_lint(
+            LintId::NoUnwrap,
+            &[".unwrap()", ".expect(", "panic!", "todo!", "unimplemented!"],
+            &code_lines,
+            &comment_lines,
+            &test_lines,
+            &mut out,
+        );
+        pattern_lint(
+            LintId::NoPrintln,
+            &["println!", "eprintln!"],
+            &code_lines,
+            &comment_lines,
+            &test_lines,
+            &mut out,
+        );
+    }
+    if class.kernel {
+        pattern_lint(
+            LintId::NoInstantInKernel,
+            &["Instant::now"],
+            &code_lines,
+            &comment_lines,
+            &test_lines,
+            &mut out,
+        );
+    }
+    out.sort_by_key(|d| d.line);
+    out
+}
+
+/// Mark every line inside a `#[cfg(test)]` item's braces as test code.
+fn cfg_test_lines(lexed: &Lexed, nlines: usize) -> Vec<bool> {
+    let mut test = vec![false; nlines];
+    let code = lexed.code.as_bytes();
+    let mut search_from = 0usize;
+    while let Some(found) = find_from(&lexed.code, "cfg(test)", search_from) {
+        search_from = found + 1;
+        // Find the item's opening brace; a `;` first means no inline body.
+        let mut i = found + "cfg(test)".len();
+        let mut open = None;
+        while i < code.len() {
+            match code[i] {
+                b'{' => {
+                    open = Some(i);
+                    break;
+                }
+                b';' => break,
+                _ => i += 1,
+            }
+        }
+        let Some(open) = open else { continue };
+        let mut depth = 0usize;
+        let mut close = code.len();
+        for (j, &b) in code.iter().enumerate().skip(open) {
+            if b == b'{' {
+                depth += 1;
+            } else if b == b'}' {
+                depth -= 1;
+                if depth == 0 {
+                    close = j;
+                    break;
+                }
+            }
+        }
+        let start_line = line_of(code, found);
+        let end_line = line_of(code, close.min(code.len().saturating_sub(1)));
+        for t in test
+            .iter_mut()
+            .take((end_line + 1).min(nlines))
+            .skip(start_line)
+        {
+            *t = true;
+        }
+        search_from = close;
+    }
+    test
+}
+
+/// 0-based line number of byte offset `at`.
+fn line_of(bytes: &[u8], at: usize) -> usize {
+    bytes[..at.min(bytes.len())]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+}
+
+fn find_from(haystack: &str, needle: &str, from: usize) -> Option<usize> {
+    haystack.get(from..)?.find(needle).map(|p| p + from)
+}
+
+/// Does `line` contain `word` as a standalone token (not an identifier
+/// substring)?
+fn contains_word(line: &str, word: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut from = 0usize;
+    while let Some(pos) = find_from(line, word, from) {
+        let before_ok = pos == 0 || !is_ident_byte(bytes[pos - 1]);
+        let after = pos + word.len();
+        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = pos + 1;
+    }
+    false
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// How far up a waiver comment block may start above the waived line.
+const WAIVER_WALK_LIMIT: usize = 12;
+
+/// Check for an `audit:allow(<id>)` waiver covering `line` (0-based): the
+/// same line's comment, or anywhere in the contiguous comment block
+/// directly above it. Returns `Some(has_justification)` when a waiver is
+/// present.
+fn waiver(code_lines: &[&str], comment_lines: &[&str], line: usize, id: LintId) -> Option<bool> {
+    let needle = format!("audit:allow({})", id.id());
+    let parse = |l: usize| -> Option<bool> {
+        let text = comment_lines.get(l)?;
+        let pos = text.find(&needle)?;
+        let rest = &text[pos + needle.len()..];
+        Some(
+            rest.strip_prefix(':')
+                .map(|r| !r.trim().is_empty())
+                .unwrap_or(false),
+        )
+    };
+    if let Some(w) = parse(line) {
+        return Some(w);
+    }
+    let mut j = line;
+    for _ in 0..WAIVER_WALK_LIMIT {
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+        if let Some(w) = parse(j) {
+            return Some(w);
+        }
+        // Keep walking only through comment-only lines: any code or blank
+        // line ends the block a waiver could live in.
+        let code = code_lines.get(j).map(|c| c.trim()).unwrap_or("");
+        let comment = comment_lines.get(j).map(|c| c.trim()).unwrap_or("");
+        if !code.is_empty() || comment.is_empty() {
+            return None;
+        }
+    }
+    None
+}
+
+/// Generic per-line pattern lint with waiver + test-region handling.
+fn pattern_lint(
+    lint: LintId,
+    patterns: &[&str],
+    code_lines: &[&str],
+    comment_lines: &[&str],
+    test_lines: &[bool],
+    out: &mut Vec<Diagnostic>,
+) {
+    for (i, code) in code_lines.iter().enumerate() {
+        if test_lines.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let Some(hit) = patterns.iter().find(|p| {
+            if p.starts_with('.') {
+                code.contains(*p)
+            } else {
+                // Macro-style patterns need a token boundary so `panic!`
+                // does not fire on `debug_panic!`-style identifiers.
+                let bare = p.trim_end_matches('!');
+                contains_word(code, bare) && code.contains(*p)
+            }
+        }) else {
+            continue;
+        };
+        match waiver(code_lines, comment_lines, i, lint) {
+            Some(true) => continue,
+            Some(false) => out.push(Diagnostic {
+                lint,
+                line: i + 1,
+                message: format!(
+                    "audit:allow({}) without a justification — write \
+                     `audit:allow({}): <reason>`",
+                    lint.id(),
+                    lint.id()
+                ),
+            }),
+            None => out.push(Diagnostic {
+                lint,
+                line: i + 1,
+                message: format!("`{hit}` in library code"),
+            }),
+        }
+    }
+}
+
+/// How far up the SAFETY-comment walk may go (bounds pathological files,
+/// comfortably larger than any real doc block in this workspace).
+const SAFETY_WALK_LIMIT: usize = 80;
+
+/// The SAFETY lint: every line containing an `unsafe` token must be covered
+/// by a SAFETY annotation (see module docs for what counts as covered).
+fn safety_comment_lint(code_lines: &[&str], comment_lines: &[&str], out: &mut Vec<Diagnostic>) {
+    for (i, code) in code_lines.iter().enumerate() {
+        if !contains_word(code, "unsafe") {
+            continue;
+        }
+        if has_safety_annotation(code_lines, comment_lines, i) {
+            continue;
+        }
+        match waiver(code_lines, comment_lines, i, LintId::SafetyComment) {
+            Some(true) => continue,
+            Some(false) => out.push(Diagnostic {
+                lint: LintId::SafetyComment,
+                line: i + 1,
+                message: "audit:allow(safety-comment) without a justification".into(),
+            }),
+            None => out.push(Diagnostic {
+                lint: LintId::SafetyComment,
+                line: i + 1,
+                message: "`unsafe` without a `// SAFETY:` comment documenting \
+                          the invariant that makes it sound"
+                    .into(),
+            }),
+        }
+    }
+}
+
+/// Does a SAFETY marker cover line `i` (0-based)? Same line, or walking up
+/// through the contiguous block of comments, attributes and other unsafe
+/// lines above it.
+fn has_safety_annotation(code_lines: &[&str], comment_lines: &[&str], i: usize) -> bool {
+    let marked = |l: usize| {
+        comment_lines
+            .get(l)
+            .map(|t| t.contains("SAFETY") || t.contains("# Safety"))
+            .unwrap_or(false)
+    };
+    if marked(i) {
+        return true;
+    }
+    let mut j = i;
+    for _ in 0..SAFETY_WALK_LIMIT {
+        if j == 0 {
+            return false;
+        }
+        j -= 1;
+        if marked(j) {
+            return true;
+        }
+        let code = code_lines.get(j).map(|c| c.trim()).unwrap_or("");
+        let comment = comment_lines.get(j).map(|c| c.trim()).unwrap_or("");
+        let is_blank = code.is_empty() && comment.is_empty();
+        let is_comment_only = code.is_empty() && !comment.is_empty();
+        let is_attribute = code.starts_with('#');
+        let is_unsafe_sibling = contains_word(code, "unsafe");
+        if is_blank {
+            return false;
+        }
+        if is_comment_only || is_attribute || is_unsafe_sibling {
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_lib(src: &str) -> Vec<Diagnostic> {
+        lint_source(src, FileClass::default())
+    }
+
+    fn lint_kernel(src: &str) -> Vec<Diagnostic> {
+        lint_source(
+            src,
+            FileClass {
+                kernel: true,
+                ..FileClass::default()
+            },
+        )
+    }
+
+    fn has(diags: &[Diagnostic], lint: LintId, line: usize) -> bool {
+        diags.iter().any(|d| d.lint == lint && d.line == line)
+    }
+
+    // --- seeded violations: one per lint class -------------------------
+
+    #[test]
+    fn seeded_safety_less_unsafe_fires() {
+        let diags = lint_lib("fn f(p: *mut u8) {\n    unsafe { *p = 0 };\n}\n");
+        assert!(has(&diags, LintId::SafetyComment, 2), "{diags:?}");
+    }
+
+    #[test]
+    fn seeded_library_unwrap_fires() {
+        let diags = lint_lib("pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n");
+        assert!(has(&diags, LintId::NoUnwrap, 2), "{diags:?}");
+    }
+
+    #[test]
+    fn seeded_library_println_fires() {
+        let diags = lint_lib("pub fn f() {\n    println!(\"hi\");\n}\n");
+        assert!(has(&diags, LintId::NoPrintln, 2), "{diags:?}");
+    }
+
+    #[test]
+    fn seeded_kernel_instant_fires() {
+        let src = "use std::time::Instant;\npub fn k() {\n    let _t = Instant::now();\n}\n";
+        let diags = lint_kernel(src);
+        assert!(has(&diags, LintId::NoInstantInKernel, 3), "{diags:?}");
+        // The same file as a non-kernel module is clean.
+        assert!(lint_lib(src)
+            .iter()
+            .all(|d| d.lint != LintId::NoInstantInKernel));
+    }
+
+    // --- the annotations that silence each lint -------------------------
+
+    #[test]
+    fn safety_comment_above_is_accepted() {
+        let diags = lint_lib("// SAFETY: p is valid for writes per the caller contract.\nfn f(p: *mut u8) { unsafe { *p = 0 } }\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn safety_comment_on_same_line_is_accepted() {
+        let diags = lint_lib("fn f(p: *mut u8) { unsafe { *p = 0 } } // SAFETY: caller contract\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn safety_doc_section_covers_unsafe_fn() {
+        let src = "/// Reads a slot.\n///\n/// # Safety\n/// `i < len` and no concurrent access.\n#[allow(clippy::mut_from_ref)]\npub unsafe fn get(i: usize) {}\n";
+        let diags = lint_lib(src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn one_safety_comment_covers_contiguous_unsafe_group() {
+        let src = "// SAFETY: pointers cross threads only under the dispatch protocol.\nunsafe impl<T: Send> Send for Raw<T> {}\nunsafe impl<T: Send> Sync for Raw<T> {}\n";
+        let diags = lint_lib(src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn blank_line_breaks_safety_coverage() {
+        let src = "// SAFETY: something.\nfn a() {}\n\nfn f(p: *mut u8) { unsafe { *p = 0 } }\n";
+        let diags = lint_lib(src);
+        assert!(has(&diags, LintId::SafetyComment, 4), "{diags:?}");
+    }
+
+    #[test]
+    fn unsafe_in_prose_or_string_does_not_fire() {
+        let diags = lint_lib("// this API is unsafe to misuse\nlet s = \"unsafe\";\nlet x = 1;\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    // --- exemptions ------------------------------------------------------
+
+    #[test]
+    fn cfg_test_module_is_exempt_from_lib_lints() {
+        let src = "pub fn lib() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        Some(1).unwrap();\n        println!(\"ok\");\n    }\n}\n";
+        let diags = lint_lib(src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn code_before_cfg_test_is_still_linted() {
+        let src =
+            "pub fn lib(x: Option<u32>) -> u32 { x.unwrap() }\n\n#[cfg(test)]\nmod tests {}\n";
+        let diags = lint_lib(src);
+        assert!(has(&diags, LintId::NoUnwrap, 1), "{diags:?}");
+    }
+
+    #[test]
+    fn exempt_class_skips_lib_lints_but_not_safety() {
+        let class = FileClass {
+            exempt_from_lib_lints: true,
+            kernel: false,
+        };
+        let src = "fn main() {\n    Some(1).unwrap();\n    unsafe { core::hint::unreachable_unchecked() };\n}\n";
+        let diags = lint_source(src, class);
+        assert!(diags.iter().all(|d| d.lint != LintId::NoUnwrap));
+        assert!(has(&diags, LintId::SafetyComment, 3), "{diags:?}");
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_fire() {
+        let diags = lint_lib(
+            "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap_or(0) + x.unwrap_or_else(|| 1) + x.unwrap_or_default()\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn expect_err_and_custom_macros_do_not_fire() {
+        let diags = lint_lib(
+            "pub fn f(x: Result<u32, u32>) -> u32 {\n    let _ = my_panic!(2);\n    x.expect_err(\"want err\")\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    // --- waivers ---------------------------------------------------------
+
+    #[test]
+    fn waiver_with_justification_silences() {
+        let src = "pub fn f(m: &std::sync::Mutex<u32>) -> u32 {\n    // audit:allow(no-unwrap): poisoning already means another lane panicked\n    *m.lock().unwrap()\n}\n";
+        let diags = lint_lib(src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn waiver_on_same_line_silences() {
+        let src = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // audit:allow(no-unwrap): checked by caller\n}\n";
+        let diags = lint_lib(src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn waiver_without_justification_is_a_violation() {
+        let src =
+            "pub fn f(x: Option<u32>) -> u32 {\n    // audit:allow(no-unwrap)\n    x.unwrap()\n}\n";
+        let diags = lint_lib(src);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("justification"), "{diags:?}");
+    }
+
+    #[test]
+    fn waiver_for_wrong_lint_does_not_silence() {
+        let src = "pub fn f(x: Option<u32>) -> u32 {\n    // audit:allow(no-println): wrong lint
+    x.unwrap()\n}\n";
+        let diags = lint_lib(src);
+        assert!(has(&diags, LintId::NoUnwrap, 3), "{diags:?}");
+    }
+
+    #[test]
+    fn lint_ids_round_trip() {
+        for lint in LintId::all() {
+            assert_eq!(LintId::parse(lint.id()), Some(lint));
+            assert!(!lint.describe().is_empty());
+        }
+        assert_eq!(LintId::parse("nonsense"), None);
+    }
+}

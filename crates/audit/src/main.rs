@@ -1,0 +1,124 @@
+//! `graphmat-audit` — the workspace lint pass.
+//!
+//! ```text
+//! cargo run -p graphmat-audit              # audit the workspace, exit 1 on violations
+//! cargo run -p graphmat-audit -- --list    # describe the lints
+//! cargo run -p graphmat-audit -- --root X  # audit a different tree (used by tests)
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage/IO error.
+
+use graphmat_audit::workspace::{run_audit, Allowlist, Config};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list" => {
+                for lint in graphmat_audit::lints::LintId::all() {
+                    println!("{:<22} {}", lint.id(), lint.describe());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(path) => root = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("graphmat-audit: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("graphmat-audit: unknown argument `{other}`");
+                eprintln!("usage: graphmat-audit [--root <dir>] [--list]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => match workspace_root() {
+            Some(r) => r,
+            None => {
+                eprintln!("graphmat-audit: could not locate the workspace root (no Cargo.toml with [workspace] above the current directory); pass --root");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let allow_path = root.join("crates/audit/audit.allow");
+    let mut allowlist = if allow_path.exists() {
+        let text = match std::fs::read_to_string(&allow_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("graphmat-audit: reading {}: {e}", allow_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        match Allowlist::parse(&text) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("graphmat-audit: {}: {e}", allow_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Allowlist::default()
+    };
+
+    let report = match run_audit(&root, &mut allowlist, &Config::default()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("graphmat-audit: walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for (path, diag) in &report.violations {
+        println!(
+            "{path}:{}: [{}] {}",
+            diag.line,
+            diag.lint.id(),
+            diag.message
+        );
+    }
+    for unused in &report.unused_allow {
+        println!(
+            "warning: unused allowlist entry `{unused}` (remove it from crates/audit/audit.allow)"
+        );
+    }
+    if report.clean() {
+        println!(
+            "graphmat-audit: {} files scanned, 0 violations",
+            report.files_scanned
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "graphmat-audit: {} files scanned, {} violation(s)",
+            report.files_scanned,
+            report.violations.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Walk upward from the current directory to the first `Cargo.toml`
+/// containing a `[workspace]` table.
+fn workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.exists() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        dir = Path::new(&dir).parent()?.to_path_buf();
+    }
+}

@@ -318,8 +318,19 @@ pub fn deterministic_init(seed: u64, v: u32, i: usize, k: usize) -> f64 {
 struct SharedSlice<T> {
     ptr: *mut T,
     len: usize,
+    /// Write-once shadow: a handle lives for one chunked region in which
+    /// every element is written at most once (see
+    /// `graphmat_sparse::shard_check`).
+    #[cfg(feature = "shard-check")]
+    claims: graphmat_sparse::shard_check::ClaimMap,
 }
 
+// SAFETY: the pointer crosses threads only inside `run_chunked` parallel
+// regions whose chunk bounds partition the index space, so every element is
+// written through `get_mut` by exactly one lane under its `i < len` /
+// no-concurrent-access contract; `T: Send`, and the dispatching caller
+// blocks until every lane finishes, keeping the borrowed slice alive for
+// the whole region.
 unsafe impl<T: Send> Send for SharedSlice<T> {}
 unsafe impl<T: Send> Sync for SharedSlice<T> {}
 
@@ -328,6 +339,11 @@ impl<T> SharedSlice<T> {
         SharedSlice {
             ptr: slice.as_mut_ptr(),
             len: slice.len(),
+            #[cfg(feature = "shard-check")]
+            claims: graphmat_sparse::shard_check::ClaimMap::new(
+                slice.len(),
+                "native baseline chunk slot",
+            ),
         }
     }
 
@@ -336,6 +352,10 @@ impl<T> SharedSlice<T> {
     #[allow(clippy::mut_from_ref)]
     unsafe fn get_mut(&self, i: usize) -> &mut T {
         debug_assert!(i < self.len);
+        // Claim before the aliasable &mut: overlapping chunk bounds panic
+        // here instead of racing on the slice.
+        #[cfg(feature = "shard-check")]
+        self.claims.claim_exclusive(i);
         &mut *self.ptr.add(i)
     }
 }

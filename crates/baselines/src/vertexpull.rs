@@ -146,10 +146,15 @@ pub fn run_gas<P: GasProgram>(
                 let changed = program.apply(&acc, &mut state);
                 local.push((v, state, changed));
             }
-            results.lock().unwrap().extend(local);
+            results
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .extend(local);
         });
 
-        let results = results.into_inner().unwrap();
+        let results = results
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         counters.add_edge_ops(to_run.iter().map(|&v| graph.in_edges[v].len() as u64).sum());
         counters.add_messages(results.len() as u64);
         counters.add_vertex_ops(results.len() as u64);

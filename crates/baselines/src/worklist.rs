@@ -65,9 +65,13 @@ pub fn sssp<E: EdgeWeight>(
                     }
                 }
             }
-            next.lock().unwrap().extend(local_next);
+            next.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .extend(local_next);
         });
-        let mut next = next.into_inner().unwrap();
+        let mut next = next
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         next.sort_unstable();
         next.dedup();
         worklist = next;
@@ -128,9 +132,13 @@ pub fn bfs<E: Clone + Send + Sync>(
                     }
                 }
             }
-            next.lock().unwrap().extend(local);
+            next.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .extend(local);
         });
-        frontier = next.into_inner().unwrap();
+        frontier = next
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
     }
 
     let values: Vec<u32> = dist.iter().map(|d| d.load(Ordering::Relaxed)).collect();

@@ -62,6 +62,8 @@ impl<V, E> Graph<V, E> {
     pub fn from_parts(topology: Topology<E>, state: VertexState<V>) -> Self {
         match Self::try_from_parts(topology, state) {
             Ok(graph) => graph,
+            // audit:allow(no-unwrap): documented panicking facade (see
+            // above); `try_from_parts` is the fallible twin.
             Err(e) => panic!("{e}"),
         }
     }

@@ -193,6 +193,9 @@ pub fn run_graph_program_with<P: GraphProgram>(
     let mut ws = Workspace::<P>::new(topology.num_vertices() as usize, options);
     match run_program(program, topology, state, options, executor, &mut ws) {
         Ok(result) => result,
+        // audit:allow(no-unwrap): documented behaviour of this legacy facade
+        // (see the eager-validation note above); the fallible API is
+        // `run_program`.
         Err(e) => panic!("{e}"),
     }
 }
@@ -225,6 +228,8 @@ fn apply_phase<P: GraphProgram>(
         for &v in updated.iter() {
             let reduced = reduced
                 .get(v)
+                // audit:allow(no-unwrap): `updated` is exactly the key set of
+                // `reduced`, rebuilt from it a few lines above.
                 .expect("updated vertex must have a reduced value");
             let slot = &mut props[v as usize];
             let old = slot.clone();
@@ -251,6 +256,8 @@ fn apply_phase<P: GraphProgram>(
             for &v in &updated[start..end] {
                 let reduced = reduced
                     .get(v)
+                    // audit:allow(no-unwrap): `updated` is exactly the key
+                    // set of `reduced`, rebuilt from it before the dispatch.
                     .expect("updated vertex must have a reduced value");
                 // SAFETY: vertex ids in `updated` are unique, so each
                 // property slot is written by exactly one chunk.
@@ -277,8 +284,18 @@ fn apply_phase<P: GraphProgram>(
 struct SharedProps<V> {
     ptr: *mut V,
     len: usize,
+    /// Write-once shadow of the "each updated id is unique" invariant: a
+    /// handle lives for one APPLY region, so every slot may be claimed at
+    /// most once (see `graphmat_sparse::shard_check`).
+    #[cfg(feature = "shard-check")]
+    claims: graphmat_sparse::shard_check::ClaimMap,
 }
 
+// SAFETY: the pointer crosses threads only inside `apply_phase`'s parallel
+// region, where each element index appears in the `updated` work list once
+// and is therefore written through `get_mut` by exactly one lane; the
+// element type is `V: Send`, and the caller blocks until every lane
+// finishes, keeping the borrowed slice alive for the whole region.
 unsafe impl<V: Send> Send for SharedProps<V> {}
 unsafe impl<V: Send> Sync for SharedProps<V> {}
 
@@ -287,6 +304,8 @@ impl<V> SharedProps<V> {
         SharedProps {
             ptr: slice.as_mut_ptr(),
             len: slice.len(),
+            #[cfg(feature = "shard-check")]
+            claims: graphmat_sparse::shard_check::ClaimMap::new(slice.len(), "APPLY property slot"),
         }
     }
 
@@ -296,6 +315,10 @@ impl<V> SharedProps<V> {
     #[allow(clippy::mut_from_ref)]
     unsafe fn get_mut(&self, i: usize) -> &mut V {
         debug_assert!(i < self.len);
+        // Claim before handing out the aliasable &mut so a duplicated id in
+        // the updated work list panics instead of aliasing the property.
+        #[cfg(feature = "shard-check")]
+        self.claims.claim_exclusive(i);
         &mut *self.ptr.add(i)
     }
 }

@@ -548,7 +548,7 @@ impl<'s, 't, P: GraphProgram> RunBuilder<'s, 't, P> {
         let mut ws = state
             .take_cached_workspace::<Workspace<P>>()
             .filter(|ws| ws.is_compatible(n, &self.options))
-            .unwrap_or_else(|| Workspace::<P>::new(n, &self.options));
+            .unwrap_or_else(|| Box::new(Workspace::<P>::new(n, &self.options)));
         let result = run_program(
             &self.program,
             self.topology,

@@ -102,6 +102,8 @@ impl<V> VertexState<V> {
     pub fn property(&self, v: VertexId) -> &V {
         match self.properties.get(v as usize) {
             Some(p) => p,
+            // audit:allow(no-unwrap): documented panicking variant;
+            // `try_property` is the fallible twin.
             None => panic!("{}", self.out_of_range(v)),
         }
     }
@@ -122,6 +124,8 @@ impl<V> VertexState<V> {
     /// vertex count if `v` is out of range.
     pub fn set_property(&mut self, v: VertexId, value: V) {
         if let Err(e) = self.try_set_property(v, value) {
+            // audit:allow(no-unwrap): documented panicking variant;
+            // `try_set_property` is the fallible twin.
             panic!("{e}");
         }
     }
@@ -174,6 +178,8 @@ impl<V> VertexState<V> {
     /// id and the vertex count if `v` is out of range.
     pub fn set_active(&mut self, v: VertexId) {
         if let Err(e) = self.try_set_active(v) {
+            // audit:allow(no-unwrap): documented panicking variant;
+            // `try_set_active` is the fallible twin.
             panic!("{e}");
         }
     }
@@ -192,6 +198,8 @@ impl<V> VertexState<V> {
     /// count if `v` is out of range.
     pub fn set_inactive(&mut self, v: VertexId) {
         if let Err(e) = self.try_set_inactive(v) {
+            // audit:allow(no-unwrap): documented panicking variant;
+            // `try_set_inactive` is the fallible twin.
             panic!("{e}");
         }
     }
@@ -221,6 +229,8 @@ impl<V> VertexState<V> {
     pub fn is_active(&self, v: VertexId) -> bool {
         match self.try_is_active(v) {
             Ok(b) => b,
+            // audit:allow(no-unwrap): documented panicking variant;
+            // `try_is_active` is the fallible twin.
             Err(e) => panic!("{e}"),
         }
     }
@@ -247,10 +257,14 @@ impl<V> VertexState<V> {
     /// Take the cached workspace if one of type `W` is stored, leaving the
     /// slot empty. Returns `None` when the cache is cold or holds a
     /// workspace of a different program type.
-    pub(crate) fn take_cached_workspace<W: Any>(&mut self) -> Option<W> {
+    ///
+    /// The workspace stays in its box so a rerun hands the same allocation
+    /// back to [`VertexState::cache_workspace`] — unboxing here would cost
+    /// one heap round-trip per run, which `tests/zero_alloc.rs` forbids.
+    pub(crate) fn take_cached_workspace<W: Any>(&mut self) -> Option<Box<W>> {
         let boxed = self.workspace.take()?;
         match boxed.downcast::<W>() {
-            Ok(ws) => Some(*ws),
+            Ok(ws) => Some(ws),
             Err(other) => {
                 // A different program type ran last; drop its buffers.
                 drop(other);
@@ -260,8 +274,8 @@ impl<V> VertexState<V> {
     }
 
     /// Store a workspace for the next run through this state.
-    pub(crate) fn cache_workspace<W: Any + Send>(&mut self, ws: W) {
-        self.workspace = Some(Box::new(ws));
+    pub(crate) fn cache_workspace<W: Any + Send>(&mut self, ws: Box<W>) {
+        self.workspace = Some(ws);
     }
 
     /// Whether a workspace is currently cached (test hook for the
@@ -353,19 +367,22 @@ mod tests {
     fn workspace_cache_round_trips_and_rejects_other_types() {
         let mut s: VertexState<u32> = VertexState::new(2);
         assert!(!s.has_cached_workspace());
-        s.cache_workspace(vec![1u64, 2, 3]);
+        s.cache_workspace(Box::new(vec![1u64, 2, 3]));
         assert!(s.has_cached_workspace());
         // wrong type: cache is cleared, not returned
         assert!(s.take_cached_workspace::<String>().is_none());
         assert!(!s.has_cached_workspace());
-        s.cache_workspace(vec![4u64]);
-        assert_eq!(s.take_cached_workspace::<Vec<u64>>(), Some(vec![4u64]));
+        s.cache_workspace(Box::new(vec![4u64]));
+        assert_eq!(
+            s.take_cached_workspace::<Vec<u64>>().map(|b| *b),
+            Some(vec![4u64])
+        );
     }
 
     #[test]
     fn clone_starts_with_cold_workspace_cache() {
         let mut s: VertexState<u32> = VertexState::new(2);
-        s.cache_workspace(7u64);
+        s.cache_workspace(Box::new(7u64));
         let c = s.clone();
         assert!(!c.has_cached_workspace());
         assert!(s.has_cached_workspace());

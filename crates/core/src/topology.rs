@@ -229,6 +229,8 @@ impl<E> Topology<E> {
     pub fn out_degree(&self, v: VertexId) -> u32 {
         match self.out_degrees.get(v as usize) {
             Some(&d) => d,
+            // audit:allow(no-unwrap): documented panicking variant;
+            // `try_out_degree` is the fallible twin.
             None => panic!("{}", self.out_of_range(v)),
         }
     }
@@ -238,6 +240,8 @@ impl<E> Topology<E> {
     pub fn in_degree(&self, v: VertexId) -> u32 {
         match self.in_degrees.get(v as usize) {
             Some(&d) => d,
+            // audit:allow(no-unwrap): documented panicking variant;
+            // `try_in_degree` is the fallible twin.
             None => panic!("{}", self.out_of_range(v)),
         }
     }

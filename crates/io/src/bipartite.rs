@@ -114,6 +114,7 @@ pub fn generate(config: &BipartiteConfig) -> RatingsGraph {
             Some(*acc)
         })
         .collect();
+    // audit:allow(no-unwrap): non-empty — `num_items > 0` asserted above.
     let total = *cumulative.last().unwrap();
 
     let mut el = EdgeList::new(n);

@@ -216,6 +216,8 @@ pub fn load(id: DatasetId, scale: DatasetScale) -> EdgeList {
             .with_seed(205),
         ),
         DatasetId::NetflixLike | DatasetId::SyntheticCf => {
+            // audit:allow(no-unwrap): documented panic — `load` is specified
+            // to reject bipartite dataset ids.
             panic!("{id:?} is a bipartite ratings dataset; use load_ratings()")
         }
     }
@@ -234,6 +236,7 @@ pub fn load_ratings(id: DatasetId, scale: DatasetScale) -> RatingsGraph {
         DatasetId::SyntheticCf => bipartite::generate(
             &BipartiteConfig::netflix_like(users * 2, items * 2, ratings * 2).with_seed(302),
         ),
+        // audit:allow(no-unwrap): documented panic (see `# Panics` above).
         _ => panic!("{id:?} is not a bipartite ratings dataset; use load()"),
     }
 }

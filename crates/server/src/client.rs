@@ -44,7 +44,11 @@ impl RunReply {
         Some(
             self.values
                 .chunks_exact(N)
-                .map(|chunk| from_le(chunk.try_into().unwrap()))
+                .map(|chunk| {
+                    let mut arr = [0u8; N];
+                    arr.copy_from_slice(chunk);
+                    from_le(arr)
+                })
                 .collect(),
         )
     }
@@ -93,6 +97,22 @@ fn malformed(what: &str) -> io::Error {
     )
 }
 
+/// Decode a little-endian `u32` from the first 4 bytes (callers length-check
+/// first).
+fn le_u32(bytes: &[u8]) -> u32 {
+    let mut arr = [0u8; 4];
+    arr.copy_from_slice(&bytes[..4]);
+    u32::from_le_bytes(arr)
+}
+
+/// Decode a little-endian `u64` from the first 8 bytes (callers length-check
+/// first).
+fn le_u64(bytes: &[u8]) -> u64 {
+    let mut arr = [0u8; 8];
+    arr.copy_from_slice(&bytes[..8]);
+    u64::from_le_bytes(arr)
+}
+
 impl Client {
     /// Connect to a server.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
@@ -128,7 +148,7 @@ impl Client {
 
     fn error_message(rest: &[u8]) -> String {
         if rest.len() >= 4 {
-            let len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+            let len = le_u32(rest) as usize;
             if rest.len() >= 4 + len {
                 return String::from_utf8_lossy(&rest[4..4 + len]).into_owned();
             }
@@ -163,11 +183,11 @@ impl Client {
         Ok(RunReply {
             status,
             message: String::new(),
-            elapsed_micros: u64::from_le_bytes(rest[..8].try_into().unwrap()),
-            iterations: u32::from_le_bytes(rest[8..12].try_into().unwrap()),
+            elapsed_micros: le_u64(rest),
+            iterations: le_u32(&rest[8..12]),
             value_kind: Some(value_kind),
-            checksum: u64::from_le_bytes(rest[13..21].try_into().unwrap()),
-            num_values: u32::from_le_bytes(rest[21..25].try_into().unwrap()),
+            checksum: le_u64(&rest[13..21]),
+            num_values: le_u32(&rest[21..25]),
             values: rest[25..].to_vec(),
         })
     }
@@ -182,7 +202,7 @@ impl Client {
         if rest.len() < 4 {
             return Err(malformed("STATS payload truncated"));
         }
-        let len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+        let len = le_u32(rest) as usize;
         if rest.len() < 4 + len {
             return Err(malformed("STATS payload shorter than its length"));
         }

@@ -316,12 +316,22 @@ impl Request {
                         "undefined flag bits 0b{flags:08b}"
                     )));
                 }
+                let le_u32 = |bytes: &[u8]| {
+                    let mut arr = [0u8; 4];
+                    arr.copy_from_slice(bytes);
+                    u32::from_le_bytes(arr)
+                };
+                let le_u64 = |bytes: &[u8]| {
+                    let mut arr = [0u8; 8];
+                    arr.copy_from_slice(bytes);
+                    u64::from_le_bytes(arr)
+                };
                 Ok(Request::Run(RunRequest {
                     algorithm,
                     include_values: flags & FLAG_INCLUDE_VALUES != 0,
-                    timeout_ms: u32::from_le_bytes(body[4..8].try_into().unwrap()),
-                    iterations: u32::from_le_bytes(body[8..12].try_into().unwrap()),
-                    seed: u64::from_le_bytes(body[12..20].try_into().unwrap()),
+                    timeout_ms: le_u32(&body[4..8]),
+                    iterations: le_u32(&body[8..12]),
+                    seed: le_u64(&body[12..20]),
                 }))
             }
             op @ (opcode::STATS | opcode::PING | opcode::SHUTDOWN) => {

@@ -9,7 +9,17 @@
 //! semantics: accepted work is finished, new work is refused.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Lock the queue mutex, shrugging off poisoning: the queue state is always
+/// consistent between statements (single push/pop/flag updates), and the
+/// accept loop must keep draining even if one connection thread panicked.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
 
 /// Why a push was refused; the item is handed back so the caller can reply
 /// to the client with its (reused) buffer.
@@ -48,7 +58,7 @@ impl<T> BoundedQueue<T> {
 
     /// Non-blocking push; fails fast with the item when full or closed.
     pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock(&self.inner);
         if inner.closed {
             return Err(PushError::Closed(item));
         }
@@ -64,7 +74,7 @@ impl<T> BoundedQueue<T> {
     /// Blocking pop; `None` only once the queue is closed **and** empty, so
     /// workers drain accepted items before exiting.
     pub fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock(&self.inner);
         loop {
             if let Some(item) = inner.items.pop_front() {
                 return Some(item);
@@ -72,20 +82,23 @@ impl<T> BoundedQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.not_empty.wait(inner).unwrap();
+            inner = match self.not_empty.wait(inner) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
         }
     }
 
     /// Close the queue: future pushes fail, queued items remain poppable,
     /// and blocked consumers wake up.
     pub fn close(&self) {
-        self.inner.lock().unwrap().closed = true;
+        lock(&self.inner).closed = true;
         self.not_empty.notify_all();
     }
 
     /// Items currently queued.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().items.len()
+        lock(&self.inner).items.len()
     }
 
     /// Whether the queue is empty.

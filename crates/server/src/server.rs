@@ -133,6 +133,9 @@ impl Server {
                 thread::Builder::new()
                     .name(format!("graphmat-worker-{i}"))
                     .spawn(move || worker_loop(&shared))
+                    // audit:allow(no-unwrap): server startup; a host that
+                    // cannot spawn its worker threads has nothing to serve
+                    // with, and the panic carries the OS error.
                     .expect("spawn worker thread")
             })
             .collect();
@@ -142,6 +145,8 @@ impl Server {
             thread::Builder::new()
                 .name("graphmat-acceptor".into())
                 .spawn(move || acceptor_loop(listener, &shared))
+                // audit:allow(no-unwrap): server startup; no acceptor means
+                // no server.
                 .expect("spawn acceptor thread")
         };
 
@@ -150,6 +155,8 @@ impl Server {
             thread::Builder::new()
                 .name("graphmat-stats-log".into())
                 .spawn(move || logger_loop(&shared, interval))
+                // audit:allow(no-unwrap): server startup; failing to spawn
+                // the requested stats logger should be loud, not silent.
                 .expect("spawn stats logger thread")
         });
 
@@ -213,6 +220,8 @@ fn logger_loop(shared: &Shared, interval: Duration) {
     while !shared.shutdown.load(Relaxed) {
         thread::sleep(TICK);
         if last.elapsed() >= interval {
+            // audit:allow(no-println): this IS the opt-in stats logger —
+            // periodic operational lines on stderr are its whole job.
             eprintln!("[graphmat-serve] {}", shared.metrics.log_line());
             last = Instant::now();
         }
@@ -228,6 +237,10 @@ fn acceptor_loop(listener: TcpListener, shared: &Arc<Shared>) {
                 let handle = thread::Builder::new()
                     .name("graphmat-conn".into())
                     .spawn(move || connection_loop(stream, &shared))
+                    // audit:allow(no-unwrap): per-connection thread — if the
+                    // host is out of threads the accept loop cannot serve
+                    // the socket anyway; crashing the acceptor is the
+                    // honest failure.
                     .expect("spawn connection thread");
                 connections.push(handle);
             }

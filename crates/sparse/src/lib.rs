@@ -31,6 +31,13 @@
 //! The crate is deliberately free of graph-level concepts: it only knows about
 //! matrices, vectors and partitions. `graphmat-core` builds the vertex-program
 //! abstraction on top of it.
+//!
+//! Building with `--features shard-check` compiles in the `shard_check` module, a
+//! dynamic detector that shadows every disjoint-write protocol (sharded
+//! merges, word-range fills, result slots) with atomic claim maps and turns
+//! an ownership violation into a deterministic panic with lane-id
+//! diagnostics. The feature is for tests and CI; release benchmarks build
+//! without it.
 
 pub mod bitvec;
 pub mod coo;
@@ -40,6 +47,8 @@ pub mod parallel;
 pub mod partition;
 pub mod pull;
 pub mod semiring;
+#[cfg(feature = "shard-check")]
+pub mod shard_check;
 pub mod spmm;
 pub mod spmv;
 pub mod spvec;

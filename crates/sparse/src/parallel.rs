@@ -47,8 +47,29 @@
 use std::mem::MaybeUninit;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+
+/// Lock a pool mutex, shrugging off poisoning. Task panics are captured by
+/// `catch_unwind` inside the lanes and re-raised on the caller, so a
+/// poisoned pool mutex only means a lane died between those nets; the
+/// counters it guards are still consistent (every update is a single
+/// assignment) and the dispatch protocol must keep draining or the caller
+/// deadlocks.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// [`Condvar::wait`] with the same poisoning stance as [`lock`].
+fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    match cv.wait(guard) {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
 
 /// Number of hardware threads available to this process (at least 1).
 pub fn available_threads() -> usize {
@@ -176,6 +197,9 @@ impl Pool {
                 std::thread::Builder::new()
                     .name(format!("graphmat-worker-{}", i + 1))
                     .spawn(move || worker_loop(&shared, i + 1))
+                    // audit:allow(no-unwrap): pool construction is setup-time;
+                    // a machine that cannot spawn a thread has nothing to
+                    // degrade to, and the panic carries the OS error.
                     .expect("failed to spawn executor worker thread")
             })
             .collect();
@@ -190,7 +214,7 @@ impl Pool {
 impl Drop for Pool {
     fn drop(&mut self) {
         {
-            let mut c = self.shared.control.lock().unwrap();
+            let mut c = lock(&self.shared.control);
             c.shutdown = true;
             self.shared.work.notify_all();
         }
@@ -204,23 +228,26 @@ fn worker_loop(shared: &Shared, lane: usize) {
     let mut seen_epoch = 0u64;
     loop {
         let job = {
-            let mut c = shared.control.lock().unwrap();
+            let mut c = lock(&shared.control);
             loop {
                 if c.shutdown {
                     return;
                 }
                 if c.epoch != seen_epoch {
                     seen_epoch = c.epoch;
+                    // audit:allow(no-unwrap): dispatch protocol invariant — a
+                    // bumped epoch always publishes a job first; a None here
+                    // is a pool bug and continuing would deadlock the caller.
                     break c.job.as_ref().expect("job published with epoch").0;
                 }
-                c = shared.work.wait(c).unwrap();
+                c = wait(&shared.work, c);
             }
         };
         // SAFETY: the dispatching caller blocks until `remaining` reaches
         // zero, so the closure behind `job` outlives this call.
         let f = unsafe { &*job };
         let result = catch_unwind(AssertUnwindSafe(|| f(lane)));
-        let mut c = shared.control.lock().unwrap();
+        let mut c = lock(&shared.control);
         if let Err(payload) = result {
             if c.panic.is_none() {
                 c.panic = Some(payload);
@@ -262,6 +289,11 @@ impl std::fmt::Debug for Executor {
 /// Shared pointer to the `run_dynamic` result slots; each task index is
 /// written by exactly one lane.
 struct ResultSlots<T>(*mut MaybeUninit<T>);
+// SAFETY: lanes only ever *write* through the pointer, each to the slot
+// whose index it uniquely claimed from the dispatch counter, so no slot is
+// aliased concurrently; the values moved across threads are `T: Send`; and
+// the dispatching caller keeps the backing `Vec` alive (and does not read
+// it) until every lane has finished the broadcast.
 unsafe impl<T: Send> Send for ResultSlots<T> {}
 unsafe impl<T: Send> Sync for ResultSlots<T> {}
 
@@ -315,8 +347,11 @@ impl Executor {
         let pool = self
             .pool
             .as_ref()
+            // audit:allow(no-unwrap): internal invariant — every caller
+            // checks `self.pool.is_none()` and runs inline before reaching
+            // the broadcast path.
             .expect("broadcast requires a pooled executor");
-        let _serial = pool.caller.lock().unwrap();
+        let _serial = lock(&pool.caller);
         // SAFETY of the lifetime erasure: this function does not return until
         // every worker has finished running `job` (remaining == 0), so the
         // borrow of `f` is live for as long as any worker can observe it.
@@ -324,7 +359,7 @@ impl Executor {
             std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
         });
         {
-            let mut c = pool.shared.control.lock().unwrap();
+            let mut c = lock(&pool.shared.control);
             c.epoch += 1;
             c.job = Some(job);
             c.remaining = pool.handles.len();
@@ -332,9 +367,9 @@ impl Executor {
         }
         let caller_result = catch_unwind(AssertUnwindSafe(|| f(0)));
         let worker_panic = {
-            let mut c = pool.shared.control.lock().unwrap();
+            let mut c = lock(&pool.shared.control);
             while c.remaining > 0 {
-                c = pool.shared.done.wait(c).unwrap();
+                c = wait(&pool.shared.done, c);
             }
             c.job = None;
             c.panic.take()
@@ -372,12 +407,20 @@ impl Executor {
         let mut results: Vec<MaybeUninit<T>> = (0..ntasks).map(|_| MaybeUninit::uninit()).collect();
         let slots = ResultSlots(results.as_mut_ptr());
         let slots = &slots; // capture the Sync wrapper, not the raw pointer
+        #[cfg(feature = "shard-check")]
+        let slot_claims = crate::shard_check::ClaimMap::new(ntasks, "run_dynamic result slot");
+        #[cfg(feature = "shard-check")]
+        let slot_claims = &slot_claims;
         self.broadcast(&|_lane| loop {
             let task = next.fetch_add(1, Ordering::Relaxed);
             if task >= ntasks {
                 break;
             }
             let value = f(task);
+            // Each slot is write-once: claim before the raw write so a
+            // dispatch-counter bug panics instead of aliasing the slot.
+            #[cfg(feature = "shard-check")]
+            slot_claims.claim_exclusive(task);
             // SAFETY: `task` was claimed from the counter by exactly one
             // lane, so this slot is written exactly once, and `slots`
             // outlives the broadcast (the caller blocks until completion).

@@ -145,6 +145,7 @@ impl<T: Clone> PartitionedDcsc<T> {
         assert!(!ranges.is_empty(), "at least one partition required");
         assert_eq!(ranges[0].start, 0, "partitions must start at row 0");
         assert_eq!(
+            // audit:allow(no-unwrap): non-empty — asserted two lines up.
             ranges.last().unwrap().end,
             coo.nrows(),
             "partitions must cover all rows"

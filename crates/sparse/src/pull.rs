@@ -124,6 +124,9 @@ impl<T: Clone> CsrMirror<T> {
             col_idx,
             values: values
                 .into_iter()
+                // audit:allow(no-unwrap): counting-sort invariant — every
+                // slot between the row pointers was filled by the scatter
+                // loop above.
                 .map(|v| v.expect("slot filled"))
                 .collect(),
         }

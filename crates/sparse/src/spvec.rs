@@ -69,15 +69,36 @@ pub struct SparseVector<T> {
     valid: BitVec,
     values: Vec<T>,
     nnz: usize,
+    /// shard-check shadow state: one sticky-ownership claim per index
+    /// (sharded merges) and one write-once claim per validity word
+    /// (word-range fills). Reset at the start of each parallel region.
+    #[cfg(feature = "shard-check")]
+    row_claims: crate::shard_check::ClaimMap,
+    #[cfg(feature = "shard-check")]
+    word_claims: crate::shard_check::ClaimMap,
+}
+
+#[cfg(feature = "shard-check")]
+fn claim_maps(n: usize) -> (crate::shard_check::ClaimMap, crate::shard_check::ClaimMap) {
+    (
+        crate::shard_check::ClaimMap::new(n, "SparseVector row"),
+        crate::shard_check::ClaimMap::new(n.div_ceil(WORD_BITS), "SparseVector word"),
+    )
 }
 
 impl<T: Clone + Default> SparseVector<T> {
     /// Create an empty sparse vector of logical length `n`.
     pub fn new(n: usize) -> Self {
+        #[cfg(feature = "shard-check")]
+        let (row_claims, word_claims) = claim_maps(n);
         SparseVector {
             valid: BitVec::new(n),
             values: vec![T::default(); n],
             nnz: 0,
+            #[cfg(feature = "shard-check")]
+            row_claims,
+            #[cfg(feature = "shard-check")]
+            word_claims,
         }
     }
 
@@ -86,10 +107,16 @@ impl<T: Clone + Default> SparseVector<T> {
     pub fn full(n: usize, value: T) -> Self {
         let mut valid = BitVec::new(n);
         valid.set_all();
+        #[cfg(feature = "shard-check")]
+        let (row_claims, word_claims) = claim_maps(n);
         SparseVector {
             valid,
             values: vec![value; n],
             nnz: n,
+            #[cfg(feature = "shard-check")]
+            row_claims,
+            #[cfg(feature = "shard-check")]
+            word_claims,
         }
     }
 }
@@ -189,12 +216,17 @@ impl<T> SparseVector<T> {
     /// (see [`Sharded::merge`]). Dropping the handle folds the threads'
     /// newly-set counts back into `nnz`.
     pub fn sharded(&mut self) -> Sharded<'_, T> {
+        // A new handle starts a new parallel region: prior ownership lapses.
+        #[cfg(feature = "shard-check")]
+        self.row_claims.reset();
         Sharded {
             values: self.values.as_mut_ptr(),
             words: self.valid.words_mut().as_mut_ptr(),
             len: self.values.len(),
             added: AtomicUsize::new(0),
             nnz: &mut self.nnz as *mut usize,
+            #[cfg(feature = "shard-check")]
+            claims: &self.row_claims,
             _marker: PhantomData,
         }
     }
@@ -224,6 +256,10 @@ impl<T> SparseVector<T> {
             return;
         }
         let added = AtomicUsize::new(0);
+        #[cfg(feature = "shard-check")]
+        self.word_claims.reset();
+        #[cfg(feature = "shard-check")]
+        let word_claims = &self.word_claims;
         let parts = RawParts {
             values: self.values.as_mut_ptr(),
             words: self.valid.words_mut().as_mut_ptr(),
@@ -232,6 +268,12 @@ impl<T> SparseVector<T> {
         let ch = chunks(nwords, executor.nthreads() * 4);
         executor.for_each_dynamic(ch.count(), |chunk_idx| {
             let (word_start, word_end) = ch.bounds(chunk_idx);
+            // Each word chunk is handed out exactly once: claim its words
+            // write-once before constructing the writer that stores to them.
+            #[cfg(feature = "shard-check")]
+            for w in word_start..word_end {
+                word_claims.claim_exclusive(w);
+            }
             let mut writer = WordRangeWriter {
                 parts,
                 word_start,
@@ -281,6 +323,10 @@ pub struct Sharded<'a, T> {
     len: usize,
     added: AtomicUsize,
     nnz: *mut usize,
+    /// Sticky per-row ownership shadow: the first lane to merge into a row
+    /// owns it for the lifetime of the handle (see [`crate::shard_check`]).
+    #[cfg(feature = "shard-check")]
+    claims: &'a crate::shard_check::ClaimMap,
     _marker: PhantomData<&'a mut SparseVector<T>>,
 }
 
@@ -310,6 +356,10 @@ impl<T> Sharded<'_, T> {
     ) {
         let i = ix(i);
         debug_assert!(i < self.len, "index {i} out of range {}", self.len);
+        // Claim before the raw write so a disjointness violation panics
+        // before any undefined behaviour can occur.
+        #[cfg(feature = "shard-check")]
+        self.claims.claim_owner(i);
         let mask = 1u64 << (i % WORD_BITS);
         // Neighbouring shards may concurrently update other bits of this
         // word, so all word accesses go through an atomic view.
@@ -760,6 +810,8 @@ mod tests {
                             // SAFETY: ranges are disjoint.
                             unsafe { shards.merge(i, i as u64, &mut newly, |a, b| *a += b) };
                             if i % 3 == 0 {
+                                // SAFETY: same disjoint range as above; re-merging
+                                // an index this lane owns is explicitly allowed.
                                 unsafe { shards.merge(i, 1, &mut newly, |a, b| *a += b) };
                             }
                         }
@@ -770,6 +822,60 @@ mod tests {
         }
         assert_eq!(v.nnz(), expected.nnz());
         assert_eq!(v.to_entries(), expected.to_entries());
+    }
+
+    /// The detector's acceptance test: two lanes deliberately merge into the
+    /// **same** row of one `Sharded` handle — the exact bug class the unsafe
+    /// disjoint-write protocol cannot tolerate — and shard-check must turn
+    /// it into a panic on the second lane instead of silent UB.
+    #[test]
+    #[cfg(feature = "shard-check")]
+    fn shard_check_catches_overlapping_sharded_claims() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        use std::sync::Barrier;
+
+        let mut v: SparseVector<u64> = SparseVector::new(64);
+        let shards = v.sharded();
+        let barrier = Barrier::new(2);
+        let caught = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..2)
+                .map(|lane| {
+                    let shards = &shards;
+                    let barrier = &barrier;
+                    scope.spawn(move || {
+                        barrier.wait();
+                        catch_unwind(AssertUnwindSafe(|| {
+                            let mut newly = 0;
+                            // Both lanes target row 7: a protocol violation.
+                            // SAFETY: deliberately violates disjointness; the
+                            // claim map panics before the racing write.
+                            unsafe { shards.merge(7, lane as u64, &mut newly, |a, b| *a += b) };
+                            shards.commit(newly);
+                        }))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|_| panic!("join failed")))
+                .collect::<Vec<_>>()
+        });
+        let panics = caught.iter().filter(|r| r.is_err()).count();
+        assert_eq!(panics, 1, "exactly the second claimant must panic");
+        let msg = caught
+            .into_iter()
+            .find_map(|r| r.err())
+            .and_then(|p| p.downcast::<String>().ok())
+            .unwrap_or_else(|| panic!("panic payload must be a String"));
+        assert!(
+            msg.contains("shard-check"),
+            "diagnostic names the detector: {msg}"
+        );
+        assert!(
+            msg.contains("SparseVector row[7]"),
+            "diagnostic names the row: {msg}"
+        );
+        assert!(msg.contains("lane"), "diagnostic names the lanes: {msg}");
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::AlgorithmOutput;
 use graphmat_core::error::Result;
 use graphmat_core::{
     run_graph_program, ActivityPolicy, EdgeDirection, Graph, GraphBuildOptions, GraphProgram,
-    RunOptions, Session, Topology, VertexId,
+    GraphView, RunOptions, Session, Topology, VertexId,
 };
 use graphmat_io::edgelist::EdgeList;
 
@@ -155,8 +155,20 @@ pub fn bfs_on<E: Clone + Send + Sync>(
     topology: &Topology<E>,
     root: VertexId,
 ) -> Result<AlgorithmOutput<u32>> {
+    bfs_view(session, GraphView::base(topology), root)
+}
+
+/// [`bfs_on`] over a `(base ⊕ delta)` [`GraphView`] — typically
+/// `snapshot.view()` from a [`graphmat_core::store::GraphStore`] snapshot.
+/// The search traverses the **edited** graph, bit-for-bit identical to a
+/// run against a topology rebuilt from the edited edge list.
+pub fn bfs_view<E: Clone + Send + Sync>(
+    session: &Session,
+    view: GraphView<'_, E>,
+    root: VertexId,
+) -> Result<AlgorithmOutput<u32>> {
     session
-        .run(topology, BfsProgram::<E>::default())
+        .run_view(view, BfsProgram::<E>::default())
         .init_all(UNREACHED)
         .seed_with(root, 0)
         // BFS semantics are fixed: frontier-driven, run to convergence —
@@ -183,8 +195,20 @@ pub fn bfs_into<E: Clone + Send + Sync + 'static>(
     deadline: Option<std::time::Instant>,
     state: &mut graphmat_core::VertexState<u32>,
 ) -> Result<graphmat_core::RunResult> {
+    bfs_view_into(session, GraphView::base(topology), root, deadline, state)
+}
+
+/// [`bfs_into`] over a `(base ⊕ delta)` [`GraphView`] — the serving hot path
+/// when the store has pending deltas. Identical pooling/allocation behaviour.
+pub fn bfs_view_into<E: Clone + Send + Sync + 'static>(
+    session: &Session,
+    view: GraphView<'_, E>,
+    root: VertexId,
+    deadline: Option<std::time::Instant>,
+    state: &mut graphmat_core::VertexState<u32>,
+) -> Result<graphmat_core::RunResult> {
     session
-        .run(topology, BfsProgram::<E>::default())
+        .run_view(view, BfsProgram::<E>::default())
         .init_all(UNREACHED)
         .seed_with(root, 0)
         .activity(ActivityPolicy::Changed)

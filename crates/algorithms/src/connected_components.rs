@@ -12,7 +12,7 @@ use crate::AlgorithmOutput;
 use graphmat_core::error::Result;
 use graphmat_core::{
     run_graph_program, ActivityPolicy, EdgeDirection, Graph, GraphBuildOptions, GraphProgram,
-    RunOptions, Session, Topology, VertexId,
+    GraphView, RunOptions, Session, Topology, VertexId,
 };
 use graphmat_io::edgelist::EdgeList;
 
@@ -116,8 +116,20 @@ pub fn connected_components_on<E: Clone + Send + Sync>(
     session: &Session,
     topology: &Topology<E>,
 ) -> Result<AlgorithmOutput<u32>> {
+    connected_components_view(session, GraphView::base(topology))
+}
+
+/// [`connected_components_on`] over a `(base ⊕ delta)` [`GraphView`] —
+/// typically `snapshot.view()` from a
+/// [`graphmat_core::store::GraphStore`] snapshot. Labels propagate over the
+/// **edited** graph, bit-for-bit identical to a run against a topology
+/// rebuilt from the edited edge list.
+pub fn connected_components_view<E: Clone + Send + Sync>(
+    session: &Session,
+    view: GraphView<'_, E>,
+) -> Result<AlgorithmOutput<u32>> {
     session
-        .run(topology, CcProgram::<E>::default())
+        .run_view(view, CcProgram::<E>::default())
         .init_with(|v| v)
         .activate_all()
         // Label propagation must run until no label changes; don't let
@@ -143,8 +155,20 @@ pub fn connected_components_into<E: Clone + Send + Sync + 'static>(
     deadline: Option<std::time::Instant>,
     state: &mut graphmat_core::VertexState<u32>,
 ) -> Result<graphmat_core::RunResult> {
+    connected_components_view_into(session, GraphView::base(topology), deadline, state)
+}
+
+/// [`connected_components_into`] over a `(base ⊕ delta)` [`GraphView`] —
+/// the serving hot path when the store has pending deltas. Identical
+/// pooling/allocation behaviour.
+pub fn connected_components_view_into<E: Clone + Send + Sync + 'static>(
+    session: &Session,
+    view: GraphView<'_, E>,
+    deadline: Option<std::time::Instant>,
+    state: &mut graphmat_core::VertexState<u32>,
+) -> Result<graphmat_core::RunResult> {
     session
-        .run(topology, CcProgram::<E>::default())
+        .run_view(view, CcProgram::<E>::default())
         .init_with(|v| v)
         .activate_all()
         .activity(ActivityPolicy::Changed)

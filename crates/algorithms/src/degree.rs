@@ -11,8 +11,8 @@
 use crate::AlgorithmOutput;
 use graphmat_core::error::Result;
 use graphmat_core::{
-    run_graph_program, EdgeDirection, Graph, GraphBuildOptions, GraphProgram, RunOptions, Session,
-    Topology, VertexId,
+    run_graph_program, EdgeDirection, Graph, GraphBuildOptions, GraphProgram, GraphView,
+    RunOptions, Session, Topology, VertexId,
 };
 use graphmat_io::edgelist::EdgeList;
 
@@ -132,9 +132,9 @@ pub fn out_degrees_on<E: Clone + Send + Sync>(
     run_degree_on(session, topology, EdgeDirection::In)
 }
 
-fn run_degree_into<E: Clone + Send + Sync + 'static>(
+fn run_degree_view_into<E: Clone + Send + Sync + 'static>(
     session: &Session,
-    topology: &Topology<E>,
+    view: GraphView<'_, E>,
     direction: EdgeDirection,
     deadline: Option<std::time::Instant>,
     state: &mut graphmat_core::VertexState<u64>,
@@ -144,7 +144,7 @@ fn run_degree_into<E: Clone + Send + Sync + 'static>(
         _edge: std::marker::PhantomData::<E>,
     };
     session
-        .run(topology, program)
+        .run_view(view, program)
         // A pooled state may carry the previous query's counts; the degree
         // SpMV overwrites only vertices that receive a message, so isolated
         // vertices must be zeroed explicitly.
@@ -164,7 +164,24 @@ pub fn in_degrees_into<E: Clone + Send + Sync + 'static>(
     deadline: Option<std::time::Instant>,
     state: &mut graphmat_core::VertexState<u64>,
 ) -> Result<graphmat_core::RunResult> {
-    run_degree_into(session, topology, EdgeDirection::Out, deadline, state)
+    run_degree_view_into(
+        session,
+        GraphView::base(topology),
+        EdgeDirection::Out,
+        deadline,
+        state,
+    )
+}
+
+/// [`in_degrees_into`] over a `(base ⊕ delta)` [`GraphView`] — the serving
+/// hot path when the store has pending deltas.
+pub fn in_degrees_view_into<E: Clone + Send + Sync + 'static>(
+    session: &Session,
+    view: GraphView<'_, E>,
+    deadline: Option<std::time::Instant>,
+    state: &mut graphmat_core::VertexState<u64>,
+) -> Result<graphmat_core::RunResult> {
+    run_degree_view_into(session, view, EdgeDirection::Out, deadline, state)
 }
 
 /// Out-degrees into a caller-owned (pooled) state — the serving hot path
@@ -177,7 +194,13 @@ pub fn out_degrees_into<E: Clone + Send + Sync + 'static>(
     deadline: Option<std::time::Instant>,
     state: &mut graphmat_core::VertexState<u64>,
 ) -> Result<graphmat_core::RunResult> {
-    run_degree_into(session, topology, EdgeDirection::In, deadline, state)
+    run_degree_view_into(
+        session,
+        GraphView::base(topology),
+        EdgeDirection::In,
+        deadline,
+        state,
+    )
 }
 
 #[cfg(test)]

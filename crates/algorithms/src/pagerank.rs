@@ -16,7 +16,7 @@ use crate::AlgorithmOutput;
 use graphmat_core::error::Result;
 use graphmat_core::{
     run_graph_program, ActivityPolicy, EdgeDirection, Graph, GraphBuildOptions, GraphProgram,
-    RunOptions, Session, Topology, VertexId,
+    GraphView, RunOptions, Session, Topology, VertexId,
 };
 use graphmat_io::edgelist::EdgeList;
 
@@ -141,25 +141,38 @@ pub fn pagerank_on<E: Clone + Send + Sync>(
     topology: &Topology<E>,
     config: &PageRankConfig,
 ) -> Result<AlgorithmOutput<f64>> {
+    pagerank_view(session, GraphView::base(topology), config)
+}
+
+/// [`pagerank_on`] over a `(base ⊕ delta)` [`GraphView`] — typically
+/// `snapshot.view()` from a [`graphmat_core::store::GraphStore`] snapshot.
+/// The out-degrees each vertex divides its rank by are the **edited**
+/// graph's, so the result is bit-for-bit identical to a run against a
+/// topology rebuilt from the edited edge list.
+pub fn pagerank_view<E: Clone + Send + Sync>(
+    session: &Session,
+    view: GraphView<'_, E>,
+    config: &PageRankConfig,
+) -> Result<AlgorithmOutput<f64>> {
     /// Every vertex starts at rank 1.0 (the paper's initialisation).
     const INITIAL_RANK: f64 = 1.0;
-    let n = topology.num_vertices() as usize;
+    let n = view.num_vertices() as usize;
     if config.iterations == 0 {
         return Ok(AlgorithmOutput {
             values: vec![INITIAL_RANK; n],
-            stats: crate::zero_superstep_stats(topology, session),
+            stats: crate::zero_superstep_stats(view.topology(), session),
             converged: false,
         });
     }
     // Borrowed, not cloned: the init closure lives only as long as the
-    // builder, so the topology's degree array is read in place per query.
-    let degrees = topology.out_degrees();
+    // builder, so the view's degree array is read in place per query.
+    let degrees = view.out_degrees();
     let program = PageRankProgram::<E> {
         random_surf: config.random_surf,
         _edge: std::marker::PhantomData,
     };
     let outcome = session
-        .run(topology, program)
+        .run_view(view, program)
         .init_with(|v| PageRankVertex {
             rank: INITIAL_RANK,
             degree: degrees[v as usize],
@@ -197,16 +210,30 @@ pub fn pagerank_into<E: Clone + Send + Sync + 'static>(
     deadline: Option<std::time::Instant>,
     state: &mut graphmat_core::VertexState<PageRankVertex>,
 ) -> Result<graphmat_core::RunResult> {
+    pagerank_view_into(session, GraphView::base(topology), config, deadline, state)
+}
+
+/// [`pagerank_into`] over a `(base ⊕ delta)` [`GraphView`] — the serving hot
+/// path when the store has pending deltas. Identical pooling/allocation
+/// behaviour; degrees come from the merged view so ranks match a run
+/// against the rebuilt topology bit-for-bit.
+pub fn pagerank_view_into<E: Clone + Send + Sync + 'static>(
+    session: &Session,
+    view: GraphView<'_, E>,
+    config: &PageRankConfig,
+    deadline: Option<std::time::Instant>,
+    state: &mut graphmat_core::VertexState<PageRankVertex>,
+) -> Result<graphmat_core::RunResult> {
     const INITIAL_RANK: f64 = 1.0;
-    let degrees = topology.out_degrees();
+    let degrees = view.out_degrees();
     if config.iterations == 0 {
-        state.check_matches(topology)?;
+        state.check_matches(view.topology())?;
         state.init_properties(|v| PageRankVertex {
             rank: INITIAL_RANK,
             degree: degrees[v as usize],
         });
         return Ok(graphmat_core::RunResult {
-            stats: crate::zero_superstep_stats(topology, session),
+            stats: crate::zero_superstep_stats(view.topology(), session),
             converged: false,
         });
     }
@@ -218,13 +245,13 @@ pub fn pagerank_into<E: Clone + Send + Sync + 'static>(
     // `RunBuilder::init_with`: the builder boxes its init closure, and this
     // one captures the degree slice — a small per-query heap allocation the
     // serving hot path must not make (`tests/zero_alloc.rs`).
-    state.check_matches(topology)?;
+    state.check_matches(view.topology())?;
     state.init_properties(|v| PageRankVertex {
         rank: INITIAL_RANK,
         degree: degrees[v as usize],
     });
     session
-        .run(topology, program)
+        .run_view(view, program)
         .activate_all()
         .activity(ActivityPolicy::AlwaysAll)
         .max_iterations(config.iterations)

@@ -11,7 +11,7 @@ use crate::AlgorithmOutput;
 use graphmat_core::error::Result;
 use graphmat_core::{
     run_graph_program, ActivityPolicy, EdgeDirection, Graph, GraphBuildOptions, GraphProgram,
-    RunOptions, Session, Topology, VertexId,
+    GraphView, RunOptions, Session, Topology, VertexId,
 };
 use graphmat_io::edgelist::{EdgeList, EdgeWeight};
 
@@ -164,8 +164,21 @@ pub fn sssp_into<E: EdgeWeight + 'static>(
     deadline: Option<std::time::Instant>,
     state: &mut graphmat_core::VertexState<f32>,
 ) -> Result<graphmat_core::RunResult> {
+    sssp_view_into(session, GraphView::base(topology), source, deadline, state)
+}
+
+/// [`sssp_into`] over a `(base ⊕ delta)` [`GraphView`] — the serving hot
+/// path when the store has pending deltas. Identical pooling/allocation
+/// behaviour.
+pub fn sssp_view_into<E: EdgeWeight + 'static>(
+    session: &Session,
+    view: GraphView<'_, E>,
+    source: VertexId,
+    deadline: Option<std::time::Instant>,
+    state: &mut graphmat_core::VertexState<f32>,
+) -> Result<graphmat_core::RunResult> {
     session
-        .run(topology, SsspProgram::<E>::default())
+        .run_view(view, SsspProgram::<E>::default())
         .init_all(UNREACHABLE)
         .seed_with(source, 0.0)
         .activity(ActivityPolicy::Changed)

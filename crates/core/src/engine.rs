@@ -74,7 +74,9 @@ use crate::program::{EdgeDirection, GraphProgram, VertexId};
 use crate::state::VertexState;
 use crate::stats::Backend;
 use crate::topology::Topology;
+use crate::view::GraphView;
 use graphmat_sparse::bitvec::AtomicBitVec;
+use graphmat_sparse::overlay::{gspmv_overlay_into, Overlay};
 use graphmat_sparse::parallel::{chunks, Executor};
 use graphmat_sparse::partition::PartitionedDcsc;
 use graphmat_sparse::pull::CsrMirror;
@@ -320,10 +322,52 @@ pub fn superstep_into<P: GraphProgram>(
     explored_edges: u64,
     ws: &mut Workspace<P>,
 ) -> Result<SuperstepMetrics> {
+    superstep_view_into(
+        GraphView::base(topology),
+        state,
+        program,
+        options,
+        executor,
+        active_count,
+        explored_edges,
+        ws,
+    )
+}
+
+/// [`superstep_into`] over a `(base ⊕ delta)` [`GraphView`] — the core every
+/// superstep entry point reduces to. With no overlay the behaviour (and the
+/// machine code path) is identical to the plain topology superstep; with a
+/// pending overlay the push SpMV runs the merged
+/// [`gspmv_overlay_into`] column walk and SEND accounts the **merged**
+/// degree arrays, so metrics describe the edited graph.
+///
+/// Overlay-specific semantics:
+///
+/// * [`VectorKind::Auto`] always selects the push backend while edits are
+///   pending — the pull mirrors describe the unedited base and are only
+///   refreshed by compaction;
+/// * a forced [`VectorKind::Dense`] run over a pending overlay is rejected
+///   with [`GraphMatError::InvalidParameter`] (checked before any phase
+///   runs);
+/// * an `In`/`Both` program additionally requires the overlay to have been
+///   compiled against the in matrix (the store always does this when the
+///   base has one).
+#[allow(clippy::too_many_arguments)]
+pub fn superstep_view_into<P: GraphProgram>(
+    view: GraphView<'_, P::Edge>,
+    state: &VertexState<P::VertexProp>,
+    program: &P,
+    options: &RunOptions,
+    executor: &Executor,
+    active_count: usize,
+    explored_edges: u64,
+    ws: &mut Workspace<P>,
+) -> Result<SuperstepMetrics> {
     // Release-mode checks, not debug_asserts: the Topology/VertexState
     // split makes a mismatched pairing expressible, and without this the
     // failure is a bare slice-index panic deep in SEND/SpMV. Two usize
     // compares per superstep is free next to the SpMV.
+    let topology = view.topology();
     let n = topology.num_vertices() as usize;
     assert_eq!(
         state.num_vertices(),
@@ -340,26 +384,42 @@ pub fn superstep_into<P: GraphProgram>(
         n
     );
     let direction = program.direction();
-    if direction != EdgeDirection::Out && !topology.has_in_edges() {
-        return Err(GraphMatError::MissingInMatrix);
+    if direction != EdgeDirection::Out {
+        if !topology.has_in_edges() {
+            return Err(GraphMatError::MissingInMatrix);
+        }
+        if view.has_overlay() && view.in_kernel_overlay().is_none() {
+            // The store compiles overlays against every matrix the base
+            // built, so this only trips on a hand-assembled mismatch.
+            return Err(GraphMatError::MissingInMatrix);
+        }
     }
 
     // --- Backend selection (before SEND: the two backends fill different
-    // message representations).
+    // message representations). Pending overlays pin the push backend: the
+    // pull mirrors describe the unedited base.
+    let overlay_pending = view.has_overlay();
     let backend = match &ws.messages {
         MessageStore::Bitvector(_) | MessageStore::Sorted(_) => Backend::Push,
         MessageStore::Dense(_) => {
+            if overlay_pending {
+                return Err(GraphMatError::InvalidParameter(
+                    "VectorKind::Dense forces the pull backend, which cannot traverse a \
+                     snapshot with pending deltas; use Auto (or a push kind) until the \
+                     store compacts",
+                ));
+            }
             if !topology.has_pull_mirrors() {
                 return Err(GraphMatError::MissingPullMirror);
             }
             Backend::Pull
         }
         MessageStore::Auto { .. } => {
-            if topology.has_pull_mirrors() {
+            if !overlay_pending && topology.has_pull_mirrors() {
                 let frontier_edges =
-                    frontier_out_edges(topology, state, direction, active_count, executor);
+                    frontier_out_edges(view, state, direction, active_count, executor);
                 let unexplored =
-                    direction_edge_total(topology, direction).saturating_sub(explored_edges);
+                    direction_edge_total(view, direction).saturating_sub(explored_edges);
                 choose_backend(
                     frontier_edges,
                     unexplored,
@@ -377,39 +437,19 @@ pub fn superstep_into<P: GraphProgram>(
     // the representation the chosen backend reads.
     let send_start = Instant::now();
     let (messages_sent, edges_processed) = match (&mut ws.messages, backend) {
-        (MessageStore::Bitvector(mv), _) => send_frontier(
-            topology,
-            state,
-            program,
-            direction,
-            executor,
-            active_count,
-            mv,
-        ),
+        (MessageStore::Bitvector(mv), _) => {
+            send_frontier(view, state, program, direction, executor, active_count, mv)
+        }
         (MessageStore::Sorted(sv), _) => {
             sv.clear();
-            send_sequential(topology, state, program, direction, sv)
+            send_sequential(view, state, program, direction, sv)
         }
         (MessageStore::Dense(dv), _) | (MessageStore::Auto { pull: dv, .. }, Backend::Pull) => {
-            send_frontier(
-                topology,
-                state,
-                program,
-                direction,
-                executor,
-                active_count,
-                dv,
-            )
+            send_frontier(view, state, program, direction, executor, active_count, dv)
         }
-        (MessageStore::Auto { push: mv, .. }, Backend::Push) => send_frontier(
-            topology,
-            state,
-            program,
-            direction,
-            executor,
-            active_count,
-            mv,
-        ),
+        (MessageStore::Auto { push: mv, .. }, Backend::Push) => {
+            send_frontier(view, state, program, direction, executor, active_count, mv)
+        }
     };
     let send_time = send_start.elapsed();
 
@@ -423,10 +463,10 @@ pub fn superstep_into<P: GraphProgram>(
     } = ws;
     match (&*messages, backend) {
         (MessageStore::Bitvector(mv), _) => spmv_phase(
-            topology, state, program, options, executor, mv, reduced, scratch,
+            view, state, program, options, executor, mv, reduced, scratch,
         )?,
         (MessageStore::Sorted(sv), _) => spmv_phase(
-            topology, state, program, options, executor, sv, reduced, scratch,
+            view, state, program, options, executor, sv, reduced, scratch,
         )?,
         (MessageStore::Dense(dv), _) | (MessageStore::Auto { pull: dv, .. }, Backend::Pull) => {
             pull_spmv_phase(
@@ -434,7 +474,7 @@ pub fn superstep_into<P: GraphProgram>(
             )?
         }
         (MessageStore::Auto { push: mv, .. }, Backend::Push) => spmv_phase(
-            topology, state, program, options, executor, mv, reduced, scratch,
+            view, state, program, options, executor, mv, reduced, scratch,
         )?,
     }
     let spmv_time = spmv_start.elapsed();
@@ -449,11 +489,12 @@ pub fn superstep_into<P: GraphProgram>(
 }
 
 /// Total edges a program of the given direction could ever traverse — the
-/// denominator of the selector's unexplored-edge estimate.
-fn direction_edge_total<E>(topology: &Topology<E>, direction: EdgeDirection) -> u64 {
+/// denominator of the selector's unexplored-edge estimate. Reads the view's
+/// merged edge count, so pending deltas are counted.
+fn direction_edge_total<E>(view: GraphView<'_, E>, direction: EdgeDirection) -> u64 {
     match direction {
-        EdgeDirection::Out | EdgeDirection::In => topology.num_edges() as u64,
-        EdgeDirection::Both => 2 * topology.num_edges() as u64,
+        EdgeDirection::Out | EdgeDirection::In => view.num_edges() as u64,
+        EdgeDirection::Both => 2 * view.num_edges() as u64,
     }
 }
 
@@ -464,20 +505,20 @@ fn direction_edge_total<E>(topology: &Topology<E>, direction: EdgeDirection) -> 
 /// parallel over active-bitvector words with the same cutoff SEND uses, so
 /// the selector's pre-scan can never dominate the phase it is sizing.
 fn frontier_out_edges<E: Sync, V: Sync>(
-    topology: &Topology<E>,
+    view: GraphView<'_, E>,
     state: &VertexState<V>,
     direction: EdgeDirection,
     active_count: usize,
     executor: &Executor,
 ) -> u64 {
-    if active_count == topology.num_vertices() as usize {
-        return direction_edge_total(topology, direction);
+    if active_count == view.num_vertices() as usize {
+        return direction_edge_total(view, direction);
     }
     let active = state.active_bits();
     if executor.nthreads() == 1 || active_count < PARALLEL_PHASE_MIN_WORK {
         return active
             .iter_ones()
-            .map(|v| edges_for(topology, direction, v as VertexId))
+            .map(|v| edges_for(view, direction, v as VertexId))
             .sum();
     }
     let ch = chunks(active.words().len(), executor.nthreads() * 4);
@@ -486,7 +527,7 @@ fn frontier_out_edges<E: Sync, V: Sync>(
         let (word_start, word_end) = ch.bounds(chunk_idx);
         let mut local = 0u64;
         for v in active.iter_ones_in_words(word_start, word_end) {
-            local += edges_for(topology, direction, v as VertexId);
+            local += edges_for(view, direction, v as VertexId);
         }
         total.fetch_add(local, Ordering::Relaxed);
     });
@@ -495,14 +536,15 @@ fn frontier_out_edges<E: Sync, V: Sync>(
 
 /// How many edges a message from `v` will traverse, given the scatter
 /// direction — the SEND loop reads only the degree array(s) the direction
-/// requires.
+/// requires. The view resolves to the merged degrees when deltas are
+/// pending, so `edges_processed` metrics always describe the edited graph.
 #[inline(always)]
-fn edges_for<E>(topology: &Topology<E>, direction: EdgeDirection, v: VertexId) -> u64 {
+fn edges_for<E>(view: GraphView<'_, E>, direction: EdgeDirection, v: VertexId) -> u64 {
     match direction {
-        EdgeDirection::Out => topology.out_degrees()[v as usize] as u64,
-        EdgeDirection::In => topology.in_degrees()[v as usize] as u64,
+        EdgeDirection::Out => view.out_degrees()[v as usize] as u64,
+        EdgeDirection::In => view.in_degrees()[v as usize] as u64,
         EdgeDirection::Both => {
-            topology.out_degrees()[v as usize] as u64 + topology.in_degrees()[v as usize] as u64
+            view.out_degrees()[v as usize] as u64 + view.in_degrees()[v as usize] as u64
         }
     }
 }
@@ -572,7 +614,7 @@ impl<T: Clone + Default + Sync> FrontierVector<T> for DenseVector<T> {
 
 /// Sequential SEND over the active set (already-cleared message vector).
 fn send_sequential<P: GraphProgram, MV: BuildableVector<P::Message>>(
-    topology: &Topology<P::Edge>,
+    view: GraphView<'_, P::Edge>,
     state: &VertexState<P::VertexProp>,
     program: &P,
     direction: EdgeDirection,
@@ -586,7 +628,7 @@ fn send_sequential<P: GraphProgram, MV: BuildableVector<P::Message>>(
         if let Some(msg) = program.send_message(v, &props[v as usize]) {
             messages.insert(v, msg);
             sent += 1;
-            edges += edges_for(topology, direction, v);
+            edges += edges_for(view, direction, v);
         }
     }
     (sent, edges)
@@ -596,7 +638,7 @@ fn send_sequential<P: GraphProgram, MV: BuildableVector<P::Message>>(
 /// pull store): sequential for small frontiers, otherwise chunked over
 /// active-bitvector words across the executor's lanes.
 fn send_frontier<P: GraphProgram, MV: FrontierVector<P::Message>>(
-    topology: &Topology<P::Edge>,
+    view: GraphView<'_, P::Edge>,
     state: &VertexState<P::VertexProp>,
     program: &P,
     direction: EdgeDirection,
@@ -606,7 +648,7 @@ fn send_frontier<P: GraphProgram, MV: FrontierVector<P::Message>>(
 ) -> (usize, u64) {
     messages.clear();
     if executor.nthreads() == 1 || active_count < PARALLEL_PHASE_MIN_WORK {
-        return send_sequential(topology, state, program, direction, messages);
+        return send_sequential(view, state, program, direction, messages);
     }
 
     let props = state.properties();
@@ -622,7 +664,7 @@ fn send_frontier<P: GraphProgram, MV: FrontierVector<P::Message>>(
             if let Some(msg) = program.send_message(v, &props[v as usize]) {
                 writer.set(v, msg);
                 local_sent += 1;
-                local_edges += edges_for(topology, direction, v);
+                local_edges += edges_for(view, direction, v);
             }
         }
         sent.fetch_add(local_sent, Ordering::Relaxed);
@@ -632,9 +674,14 @@ fn send_frontier<P: GraphProgram, MV: FrontierVector<P::Message>>(
 }
 
 /// Run the push SpMV for the program's direction into the workspace buffers.
+/// When the view carries a pending overlay, each direction's sweep runs the
+/// merged `base ⊕ overlay` kernel against the overlay compiled for that
+/// matrix — the `Both`-direction out-then-in merge through the scratch
+/// vector is unchanged, so reduction order (and therefore bits) match a
+/// from-scratch rebuild.
 #[allow(clippy::too_many_arguments)]
 fn spmv_phase<P, MV>(
-    topology: &Topology<P::Edge>,
+    view: GraphView<'_, P::Edge>,
     state: &VertexState<P::VertexProp>,
     program: &P,
     options: &RunOptions,
@@ -647,10 +694,12 @@ where
     P: GraphProgram,
     MV: MessageVector<P::Message> + Sync,
 {
+    let topology = view.topology();
     let props = state.properties();
     match program.direction() {
         EdgeDirection::Out => run_spmv_into(
             topology.out_matrix(),
+            view.out_kernel_overlay(),
             messages,
             program,
             props,
@@ -660,6 +709,7 @@ where
         ),
         EdgeDirection::In => run_spmv_into(
             in_matrix(topology)?,
+            view.in_kernel_overlay(),
             messages,
             program,
             props,
@@ -670,6 +720,7 @@ where
         EdgeDirection::Both => {
             run_spmv_into(
                 topology.out_matrix(),
+                view.out_kernel_overlay(),
                 messages,
                 program,
                 props,
@@ -681,6 +732,7 @@ where
                 scratch.get_or_insert_with(|| SparseVector::new(topology.num_vertices() as usize));
             run_spmv_into(
                 in_matrix(topology)?,
+                view.in_kernel_overlay(),
                 messages,
                 program,
                 props,
@@ -794,9 +846,14 @@ fn in_pull_mirror<E>(topology: &Topology<E>) -> Result<&CsrMirror<E>> {
 
 /// Run the generalized SpMV with either static (monomorphised, inlinable)
 /// dispatch of the user callbacks or dynamic (`dyn Fn`) dispatch, the latter
-/// modelling the paper's "without -ipo" configuration for Figure 7.
+/// modelling the paper's "without -ipo" configuration for Figure 7. With an
+/// overlay present the merged `base ⊕ overlay` kernel runs instead of the
+/// plain one — same multiply/add closures, same per-destination reduction
+/// order.
+#[allow(clippy::too_many_arguments)]
 fn run_spmv_into<P, MV>(
     matrix: &PartitionedDcsc<P::Edge>,
+    overlay: Option<&Overlay<P::Edge>>,
     messages: &MV,
     program: &P,
     props: &[P::VertexProp],
@@ -808,16 +865,18 @@ fn run_spmv_into<P, MV>(
     MV: MessageVector<P::Message> + Sync,
 {
     match dispatch {
-        DispatchMode::Static => gspmv_into(
-            matrix,
-            messages,
-            &|msg: &P::Message, edge: &P::Edge, dst: Index| {
+        DispatchMode::Static => {
+            let multiply = |msg: &P::Message, edge: &P::Edge, dst: Index| {
                 program.process_message(msg, edge, &props[dst as usize])
-            },
-            &|acc: &mut P::Reduced, value: P::Reduced| program.reduce(acc, value),
-            executor,
-            reduced,
-        ),
+            };
+            let add = |acc: &mut P::Reduced, value: P::Reduced| program.reduce(acc, value);
+            match overlay {
+                None => gspmv_into(matrix, messages, &multiply, &add, executor, reduced),
+                Some(ov) => {
+                    gspmv_overlay_into(matrix, ov, messages, &multiply, &add, executor, reduced)
+                }
+            }
+        }
         DispatchMode::Dynamic => {
             // Route every callback invocation through a trait object so the
             // optimiser cannot inline the user code into the SpMV kernel.
@@ -826,16 +885,16 @@ fn run_spmv_into<P, MV>(
                   + Sync) = &|m, e, d| program.process_message(m, e, d);
             let reduce: &(dyn Fn(&mut P::Reduced, P::Reduced) + Sync) =
                 &|acc, v| program.reduce(acc, v);
-            gspmv_into(
-                matrix,
-                messages,
-                &|msg: &P::Message, edge: &P::Edge, dst: Index| {
-                    process(msg, edge, &props[dst as usize])
-                },
-                &|acc: &mut P::Reduced, value: P::Reduced| reduce(acc, value),
-                executor,
-                reduced,
-            )
+            let multiply = |msg: &P::Message, edge: &P::Edge, dst: Index| {
+                process(msg, edge, &props[dst as usize])
+            };
+            let add = |acc: &mut P::Reduced, value: P::Reduced| reduce(acc, value);
+            match overlay {
+                None => gspmv_into(matrix, messages, &multiply, &add, executor, reduced),
+                Some(ov) => {
+                    gspmv_overlay_into(matrix, ov, messages, &multiply, &add, executor, reduced)
+                }
+            }
         }
     }
 }

@@ -146,7 +146,9 @@ pub mod runner;
 pub mod session;
 pub mod state;
 pub mod stats;
+pub mod store;
 pub mod topology;
+pub mod view;
 
 pub use engine::{choose_backend, PULL_BETA};
 pub use error::GraphMatError;
@@ -154,8 +156,12 @@ pub use graph::{Graph, GraphBuildOptions};
 pub use options::{ActivityPolicy, DispatchMode, RunOptions, VectorKind, DEFAULT_PULL_ALPHA};
 pub use pool::StatePool;
 pub use program::{EdgeDirection, GraphProgram, VertexId};
-pub use runner::{run_graph_program, run_graph_program_with, run_program, RunResult};
+pub use runner::{
+    run_graph_program, run_graph_program_with, run_program, run_program_view, RunResult,
+};
 pub use session::{GraphBuilder, RunBuilder, RunOutcome, Session, SessionOptions};
 pub use state::VertexState;
 pub use stats::{Backend, RunStats, SuperstepStats};
+pub use store::{GraphSnapshot, GraphStore, StoreOptions, StoreStats};
 pub use topology::Topology;
+pub use view::GraphView;

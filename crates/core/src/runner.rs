@@ -23,7 +23,7 @@
 //! executor and recycles workspaces through pooled states; the legacy
 //! [`run_graph_program`] facade builds both per call.
 
-use crate::engine::{superstep_into, Workspace, PARALLEL_PHASE_MIN_WORK};
+use crate::engine::{superstep_view_into, Workspace, PARALLEL_PHASE_MIN_WORK};
 use crate::error::{GraphMatError, Result};
 use crate::graph::Graph;
 use crate::options::{ActivityPolicy, RunOptions, VectorKind};
@@ -31,6 +31,7 @@ use crate::program::{EdgeDirection, GraphProgram};
 use crate::state::VertexState;
 use crate::stats::{RunStats, SuperstepStats};
 use crate::topology::Topology;
+use crate::view::GraphView;
 use graphmat_sparse::parallel::{chunks, Executor};
 use graphmat_sparse::spvec::MessageVector;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -75,12 +76,55 @@ pub fn run_program<P: GraphProgram>(
     executor: &Executor,
     ws: &mut Workspace<P>,
 ) -> Result<RunResult> {
+    run_program_view(
+        program,
+        GraphView::base(topology),
+        state,
+        options,
+        executor,
+        ws,
+    )
+}
+
+/// [`run_program`] over a `(base ⊕ delta)` [`GraphView`] — what snapshot
+/// queries against a [`crate::store::GraphStore`] reduce to. A view without
+/// an overlay behaves exactly like [`run_program`]; a view with pending
+/// edits runs every superstep through the overlay-aware push SpMV, with
+/// results bit-for-bit identical to a run over a topology rebuilt from the
+/// edited edge list.
+///
+/// # Errors
+///
+/// Everything [`run_program`] reports, plus
+/// [`GraphMatError::InvalidParameter`] when the options force the pull
+/// backend (`VectorKind::Dense`) while edits are pending — the pull mirrors
+/// describe the unedited base, so that combination cannot run
+/// (`VectorKind::Auto` pushes instead). Reported **before** the first
+/// superstep.
+pub fn run_program_view<P: GraphProgram>(
+    program: &P,
+    view: GraphView<'_, P::Edge>,
+    state: &mut VertexState<P::VertexProp>,
+    options: &RunOptions,
+    executor: &Executor,
+    ws: &mut Workspace<P>,
+) -> Result<RunResult> {
+    let topology = view.topology();
     state.check_matches(topology)?;
     if program.direction() != EdgeDirection::Out && !topology.has_in_edges() {
         return Err(GraphMatError::MissingInMatrix);
     }
-    if options.vector == VectorKind::Dense && !topology.has_pull_mirrors() {
-        return Err(GraphMatError::MissingPullMirror);
+    if options.vector == VectorKind::Dense {
+        if view.has_overlay() {
+            return Err(GraphMatError::InvalidParameter(
+                "VectorKind::Dense forces the pull backend, which cannot traverse a \
+                 snapshot with pending deltas; use Auto (or a push kind) until the \
+                 store compacts",
+            ));
+        }
+        if !topology.has_pull_mirrors() {
+            return Err(GraphMatError::MissingPullMirror);
+        }
     }
 
     let mut stats = RunStats {
@@ -112,8 +156,8 @@ pub fn run_program<P: GraphProgram>(
             break;
         }
 
-        let output = superstep_into(
-            topology,
+        let output = superstep_view_into(
+            view,
             state,
             program,
             options,

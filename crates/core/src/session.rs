@@ -68,10 +68,11 @@ use crate::engine::Workspace;
 use crate::error::{GraphMatError, Result};
 use crate::options::{ActivityPolicy, DispatchMode, RunOptions, VectorKind};
 use crate::program::{GraphProgram, VertexId};
-use crate::runner::{run_program, RunResult};
+use crate::runner::{run_program_view, RunResult};
 use crate::state::VertexState;
 use crate::stats::RunStats;
 use crate::topology::{GraphBuildOptions, Topology};
+use crate::view::GraphView;
 use graphmat_io::edgelist::EdgeList;
 use graphmat_sparse::parallel::{available_threads, Executor};
 use std::sync::Arc;
@@ -174,7 +175,7 @@ impl Session {
     }
 
     /// The session's executor (for advanced callers driving
-    /// [`run_program`] directly while sharing the pool).
+    /// [`crate::runner::run_program`] directly while sharing the pool).
     pub fn executor(&self) -> &Executor {
         &self.executor
     }
@@ -207,9 +208,23 @@ impl Session {
         topology: &'t Topology<P::Edge>,
         program: P,
     ) -> RunBuilder<'s, 't, P> {
+        self.run_view(GraphView::base(topology), program)
+    }
+
+    /// Start building a run of `program` over a `(base ⊕ delta)`
+    /// [`GraphView`] — typically `snapshot.view()` from a
+    /// [`crate::store::GraphStore`] snapshot. Identical to [`Session::run`]
+    /// when the view carries no overlay; with pending edits the run uses the
+    /// overlay-aware push backend (forcing [`VectorKind::Dense`] is rejected
+    /// at execute time, see [`crate::runner::run_program_view`]).
+    pub fn run_view<'s, 't, P: GraphProgram>(
+        &'s self,
+        view: GraphView<'t, P::Edge>,
+        program: P,
+    ) -> RunBuilder<'s, 't, P> {
         RunBuilder {
             session: self,
-            topology,
+            view,
             program,
             options: self.defaults,
             init: InitSpec::None,
@@ -326,10 +341,11 @@ pub struct RunOutcome<V> {
     pub converged: bool,
 }
 
-/// Fluent builder for one vertex-program run (from [`Session::run`]).
+/// Fluent builder for one vertex-program run (from [`Session::run`] or
+/// [`Session::run_view`]).
 pub struct RunBuilder<'s, 't, P: GraphProgram> {
     session: &'s Session,
-    topology: &'t Topology<P::Edge>,
+    view: GraphView<'t, P::Edge>,
     program: P,
     options: RunOptions,
     init: InitSpec<'t, P::VertexProp>,
@@ -449,20 +465,29 @@ impl<'s, 't, P: GraphProgram> RunBuilder<'s, 't, P> {
     fn validate(&self) -> Result<()> {
         self.options.validate()?;
         for (v, _) in &self.seeds {
-            if *v >= self.topology.num_vertices() {
+            if *v >= self.view.num_vertices() {
                 return Err(GraphMatError::VertexOutOfRange {
                     vertex: *v,
-                    num_vertices: self.topology.num_vertices(),
+                    num_vertices: self.view.num_vertices(),
                 });
             }
         }
         if self.program.direction() != crate::program::EdgeDirection::Out
-            && !self.topology.has_in_edges()
+            && !self.view.has_in_edges()
         {
             return Err(GraphMatError::MissingInMatrix);
         }
-        if self.options.vector == VectorKind::Dense && !self.topology.has_pull_mirrors() {
-            return Err(GraphMatError::MissingPullMirror);
+        if self.options.vector == VectorKind::Dense {
+            if self.view.has_overlay() {
+                return Err(GraphMatError::InvalidParameter(
+                    "VectorKind::Dense forces the pull backend, which cannot traverse a \
+                     snapshot with pending deltas; use Auto (or a push kind) until the \
+                     store compacts",
+                ));
+            }
+            if !self.view.topology().has_pull_mirrors() {
+                return Err(GraphMatError::MissingPullMirror);
+            }
         }
         Ok(())
     }
@@ -502,13 +527,13 @@ impl<'s, 't, P: GraphProgram> RunBuilder<'s, 't, P> {
         P::VertexProp: Default,
     {
         self.validate()?;
-        let n = self.topology.num_vertices() as usize;
+        let n = self.view.num_vertices() as usize;
         let mut state: VertexState<P::VertexProp> = VertexState::new(n);
         self.prepare(&mut state);
         let mut ws = Workspace::<P>::new(n, &self.options);
-        let result = run_program(
+        let result = run_program_view(
             &self.program,
-            self.topology,
+            self.view,
             &mut state,
             &self.options,
             &self.session.executor,
@@ -542,16 +567,16 @@ impl<'s, 't, P: GraphProgram> RunBuilder<'s, 't, P> {
         P: 'static,
     {
         self.validate()?;
-        state.check_matches(self.topology)?;
+        state.check_matches(self.view.topology())?;
         self.prepare(state);
-        let n = self.topology.num_vertices() as usize;
+        let n = self.view.num_vertices() as usize;
         let mut ws = state
             .take_cached_workspace::<Workspace<P>>()
             .filter(|ws| ws.is_compatible(n, &self.options))
             .unwrap_or_else(|| Box::new(Workspace::<P>::new(n, &self.options)));
-        let result = run_program(
+        let result = run_program_view(
             &self.program,
-            self.topology,
+            self.view,
             state,
             &self.options,
             &self.session.executor,
@@ -1060,6 +1085,68 @@ mod tests {
         assert_eq!(result.stats.supersteps[0].active_vertices, 1);
         assert_eq!(*state.property(2), 1.0);
         assert_eq!(*state.property(0), f32::MAX);
+    }
+
+    #[test]
+    fn run_view_with_overlay_matches_a_rebuilt_topology() {
+        use crate::store::{GraphStore, StoreOptions};
+        use graphmat_delta::{DeltaBatch, UpdateOp};
+
+        let session = Session::with_threads(2).unwrap();
+        let edges = figure3_edges();
+        let topo = session.build_graph(&edges).partitions(2).finish().unwrap();
+        let store = GraphStore::new(
+            Arc::clone(&topo),
+            StoreOptions {
+                compaction_threshold: usize::MAX,
+                background: false,
+            },
+        );
+        let batch = DeltaBatch::from_ops(
+            5,
+            vec![
+                (0, 1, UpdateOp::Insert(5.0)), // reweight
+                (0, 2, UpdateOp::Delete),
+                (2, 0, UpdateOp::Insert(1.0)), // fresh edge
+            ],
+        )
+        .unwrap();
+        let snapshot = store.apply(batch).unwrap();
+        assert!(snapshot.overlay().is_some());
+
+        let overlaid = session
+            .run_view(snapshot.view(), Sssp)
+            .init_all(f32::MAX)
+            .seed_with(0, 0.0)
+            .execute()
+            .unwrap();
+
+        // Rebuild a topology from the edited edge list and run identically.
+        store.compact_now();
+        let compacted = store.snapshot();
+        assert!(compacted.overlay().is_none());
+        let rebuilt = session
+            .run_view(compacted.view(), Sssp)
+            .init_all(f32::MAX)
+            .seed_with(0, 0.0)
+            .execute()
+            .unwrap();
+        for (a, b) in overlaid.values.iter().zip(&rebuilt.values) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        // Forcing the pull backend against pending deltas is a typed error.
+        let snapshot = store
+            .apply(DeltaBatch::from_ops(5, vec![(1, 4, UpdateOp::Insert(1.0))]).unwrap())
+            .unwrap();
+        let err = session
+            .run_view(snapshot.view(), Sssp)
+            .init_all(f32::MAX)
+            .seed_with(0, 0.0)
+            .vector(VectorKind::Dense)
+            .execute()
+            .unwrap_err();
+        assert!(matches!(err, GraphMatError::InvalidParameter(_)));
     }
 
     #[test]

@@ -1,0 +1,659 @@
+//! [`GraphStore`]: streaming updates over an immutable base — snapshot
+//! publication, delta accumulation, background compaction.
+//!
+//! The serving layer needs a graph that **mutates without ever blocking a
+//! reader**. The store gets there by never mutating anything a reader can
+//! see: the graph lives as a published [`GraphSnapshot`] — an immutable
+//! `(base ⊕ delta)` pair behind an `Arc` — and every write produces a *new*
+//! snapshot and atomically swaps the published pointer.
+//!
+//! # Snapshot isolation semantics
+//!
+//! * [`GraphStore::snapshot`] hands out the currently published
+//!   `Arc<GraphSnapshot>`; a query runs against that `Arc` for its whole
+//!   lifetime. In-flight queries keep the snapshot they started with —
+//!   nothing a writer does can change, move, or free data a reader is
+//!   traversing.
+//! * [`GraphStore::apply`] admits one [`DeltaBatch`]: it appends to the
+//!   delta log, compiles the latest-wins resolution into a fresh
+//!   [`DeltaOverlay`] against the *unchanged* base, and publishes a new
+//!   snapshot (same base `Arc`, new overlay, version + 1). Queries started
+//!   after the swap see the batch; queries started before do not. Writers
+//!   serialize on an internal mutex; readers never take it.
+//! * The snapshot **version** counts admitted batches. Compaction changes
+//!   the representation, not the content, so it republishes under the
+//!   *same* version: two snapshots with equal versions answer every query
+//!   bit-for-bit identically.
+//!
+//! # Compaction
+//!
+//! Pending deltas cost the merged overlay sweep (and disable the pull
+//! backend, see [`crate::view::GraphView`]). When the log exceeds
+//! [`StoreOptions::compaction_threshold`] effective ops, the store folds
+//! the resolved log into the base edge list, rebuilds a fresh base
+//! [`Topology`] (same partition count, in-edge matrix, and pull mirrors as
+//! the original), and republishes with an empty overlay. With
+//! [`StoreOptions::background`] set, a dedicated worker thread does this
+//! off the write path — `apply` just signals it; otherwise compaction runs
+//! inline in the triggering `apply`. [`GraphStore::compact_now`] forces one
+//! synchronously from any thread.
+//!
+//! The rebuild extracts the base edge list in the deterministic order of
+//! [`Topology::to_edge_list`] and edits it with
+//! [`graphmat_delta::apply_resolved_to_edges`], so repeated compactions of
+//! the same history produce byte-identical topologies — and because the
+//! overlay kernel folds messages per destination in the same
+//! ascending-source order a rebuild would, query results are bit-for-bit
+//! identical before and after a compaction.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, Weak};
+use std::thread::JoinHandle;
+
+use graphmat_delta::{
+    apply_resolved_to_edges, BaseFacts, DeltaBatch, DeltaLog, DeltaOverlay, PairIndex,
+};
+use graphmat_io::edgelist::EdgeList;
+use graphmat_sparse::Index;
+
+use crate::error::{GraphMatError, Result};
+use crate::topology::{GraphBuildOptions, Topology};
+use crate::view::GraphView;
+
+/// Default pending-op count above which the store compacts the delta into a
+/// fresh base.
+pub const DEFAULT_COMPACTION_THRESHOLD: usize = 4096;
+
+/// Lock a store mutex, shrugging off poisoning. Safe for every mutex in the
+/// store: the signal holds two independent flags, the worker slot a single
+/// `Option`, and the writer state is a log that only ever *grows* under the
+/// lock — a panic mid-`apply` leaves an admitted-but-unpublished batch in
+/// the log, which the next successful publish folds in (at-least-once
+/// publication, never torn state). The store must keep serving reads even
+/// if one writer thread panicked.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Read-lock the published-snapshot slot, shrugging off poisoning: the slot
+/// holds a single `Arc` pointer, swapped atomically under the write lock —
+/// there is no intermediate state a panic could expose.
+fn read_published<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    match l.read() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Write-lock the published-snapshot slot (see [`read_published`]).
+fn write_published<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    match l.write() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Tuning knobs for a [`GraphStore`].
+#[derive(Clone, Copy, Debug)]
+pub struct StoreOptions {
+    /// Compact once the resolved delta reaches this many effective ops
+    /// (`usize::MAX` disables automatic compaction; [`GraphStore::compact_now`]
+    /// still works).
+    pub compaction_threshold: usize,
+    /// Run compaction on a dedicated background thread instead of inline in
+    /// the `apply` call that crosses the threshold.
+    pub background: bool,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            compaction_threshold: DEFAULT_COMPACTION_THRESHOLD,
+            background: true,
+        }
+    }
+}
+
+/// One immutable published state of a [`GraphStore`]: a base [`Topology`]
+/// plus an optional [`DeltaOverlay`] of pending edits.
+///
+/// Cheap to clone (two `Arc`s); queries hold one for their whole run.
+/// `version` counts admitted batches — compaction republishes the same
+/// version with `overlay == None`, and both representations answer every
+/// query bit-for-bit identically.
+#[derive(Clone, Debug)]
+pub struct GraphSnapshot<E> {
+    version: u64,
+    base: Arc<Topology<E>>,
+    overlay: Option<Arc<DeltaOverlay<E>>>,
+}
+
+impl<E> GraphSnapshot<E> {
+    /// The number of update batches admitted before this snapshot was
+    /// published.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The immutable base topology.
+    pub fn base(&self) -> &Arc<Topology<E>> {
+        &self.base
+    }
+
+    /// The pending overlay, if this snapshot carries uncompacted edits.
+    pub fn overlay(&self) -> Option<&Arc<DeltaOverlay<E>>> {
+        self.overlay.as_ref()
+    }
+
+    /// The `(base ⊕ delta)` view the engine traverses; pass it to
+    /// [`crate::runner::run_program_view`] or a session run's `.view(…)`.
+    pub fn view(&self) -> GraphView<'_, E> {
+        GraphView::new(&self.base, self.overlay.as_deref())
+    }
+
+    /// Vertex count (updates never change it).
+    pub fn num_vertices(&self) -> Index {
+        self.base.num_vertices()
+    }
+
+    /// Directed edge count of the edited graph.
+    pub fn num_edges(&self) -> usize {
+        self.overlay
+            .as_ref()
+            .map_or(self.base.num_edges(), |o| o.num_edges())
+    }
+
+    /// Number of effective pending ops (0 right after a compaction).
+    pub fn delta_len(&self) -> usize {
+        self.overlay.as_ref().map_or(0, |o| o.len())
+    }
+}
+
+/// Counters describing a store's current published state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Published snapshot version (admitted batches).
+    pub version: u64,
+    /// Directed edge count of the published `(base ⊕ delta)` graph.
+    pub num_edges: usize,
+    /// Effective pending ops in the published overlay.
+    pub delta_edges: usize,
+    /// Compactions performed since the store was created.
+    pub compactions: u64,
+}
+
+/// Mutable writer-side state, serialized behind one mutex. Readers never
+/// touch this — they only clone the published `Arc`.
+struct WriterState<E> {
+    /// The base's edge list in [`Topology::to_edge_list`] order, materialized
+    /// lazily on the first `apply` and kept in sync across compactions.
+    base_edges: Option<Vec<(Index, Index, E)>>,
+    /// Sorted multiset of the base's `(src, dst)` pairs.
+    pair_index: Option<PairIndex>,
+    /// Batches admitted since the last compaction.
+    log: DeltaLog<E>,
+}
+
+#[derive(Default)]
+struct Signal {
+    pending: bool,
+    shutdown: bool,
+}
+
+/// The streaming-update store: an immutable published [`GraphSnapshot`]
+/// plus a serialized writer that admits [`DeltaBatch`]es and compacts them
+/// into fresh bases. See the [module docs](self) for the isolation and
+/// compaction semantics.
+///
+/// Constructed behind an `Arc` ([`GraphStore::new`]) so the background
+/// compaction worker can hold a `Weak` reference; dropping the last `Arc`
+/// shuts the worker down and joins it.
+pub struct GraphStore<E> {
+    published: RwLock<Arc<GraphSnapshot<E>>>,
+    writer: Mutex<WriterState<E>>,
+    options: StoreOptions,
+    compactions: AtomicU64,
+    signal: Arc<(Mutex<Signal>, Condvar)>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl<E> std::fmt::Debug for GraphStore<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = read_published(&self.published);
+        f.debug_struct("GraphStore")
+            .field("version", &snap.version())
+            .field("num_edges", &snap.num_edges())
+            .field("delta_edges", &snap.delta_len())
+            .field("compactions", &self.compactions.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<E: Clone + Send + Sync + 'static> GraphStore<E> {
+    /// Wrap a base topology as version-0 of a mutable store. The topology is
+    /// served exactly as provided — no dedup, no rebuild — so queries against
+    /// the store's first snapshot match direct runs on `base` bit-for-bit.
+    pub fn new(base: Arc<Topology<E>>, options: StoreOptions) -> Arc<Self> {
+        let snapshot = Arc::new(GraphSnapshot {
+            version: 0,
+            base,
+            overlay: None,
+        });
+        let signal: Arc<(Mutex<Signal>, Condvar)> = Arc::default();
+        Arc::new_cyclic(|weak: &Weak<GraphStore<E>>| {
+            let worker = if options.background {
+                let weak = weak.clone();
+                let signal = Arc::clone(&signal);
+                Some(
+                    std::thread::Builder::new()
+                        .name("graphmat-compactor".into())
+                        .spawn(move || compaction_worker(weak, signal))
+                        // audit:allow(no-unwrap): store construction is
+                        // setup-time; a host that cannot spawn one thread
+                        // cannot run the store at all.
+                        .expect("failed to spawn compaction worker"),
+                )
+            } else {
+                None
+            };
+            GraphStore {
+                published: RwLock::new(snapshot),
+                writer: Mutex::new(WriterState {
+                    base_edges: None,
+                    pair_index: None,
+                    log: DeltaLog::new(),
+                }),
+                options,
+                compactions: AtomicU64::new(0),
+                signal,
+                worker: Mutex::new(worker),
+            }
+        })
+    }
+
+    /// Wrap a base with the default options (background compaction at
+    /// [`DEFAULT_COMPACTION_THRESHOLD`] pending ops).
+    pub fn with_defaults(base: Arc<Topology<E>>) -> Arc<Self> {
+        Self::new(base, StoreOptions::default())
+    }
+
+    /// Admit one update batch: publish a new snapshot whose overlay reflects
+    /// every batch admitted so far, and return it. Triggers compaction
+    /// (inline or signalled to the background worker) once the pending ops
+    /// cross the threshold.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphMatError::InvalidParameter`] when the batch is empty or sized
+    /// for a different vertex count than the stored graph. A failed `apply`
+    /// publishes nothing — the previous snapshot stays current.
+    pub fn apply(&self, batch: DeltaBatch<E>) -> Result<Arc<GraphSnapshot<E>>> {
+        if batch.is_empty() {
+            return Err(GraphMatError::InvalidParameter(
+                "update batch contains no operations",
+            ));
+        }
+        let mut writer = lock(&self.writer);
+        let current = self.snapshot();
+        if batch.num_vertices() != current.base.num_vertices() {
+            return Err(GraphMatError::InvalidParameter(
+                "update batch vertex count does not match the stored graph",
+            ));
+        }
+
+        Self::materialize(&mut writer, &current.base);
+        writer.log.append(batch);
+
+        let resolved = writer.log.resolve();
+        let base = &current.base;
+        let out_ranges = base.out_partition_ranges();
+        let in_ranges = base.in_partition_ranges();
+        let facts = BaseFacts {
+            num_vertices: base.num_vertices(),
+            num_edges: base.num_edges(),
+            out_ranges: &out_ranges,
+            in_ranges: in_ranges.as_deref(),
+            out_degrees: base.out_degrees(),
+            in_degrees: base.in_degrees(),
+        };
+        // audit:allow(no-unwrap): `materialize` two statements up fills both
+        // writer slots.
+        let pair_index = writer.pair_index.as_ref().expect("materialized above");
+        let overlay = DeltaOverlay::build(&facts, pair_index, &resolved);
+        let pending = overlay.len();
+
+        let snapshot = Arc::new(GraphSnapshot {
+            version: current.version + 1,
+            base: Arc::clone(&current.base),
+            overlay: if overlay.is_empty() {
+                None
+            } else {
+                Some(Arc::new(overlay))
+            },
+        });
+        self.publish(Arc::clone(&snapshot));
+
+        if pending >= self.options.compaction_threshold {
+            if self.options.background {
+                drop(writer);
+                let (signal, cvar) = &*self.signal;
+                lock(signal).pending = true;
+                cvar.notify_one();
+            } else {
+                self.compact_locked(&mut writer);
+            }
+        }
+        Ok(snapshot)
+    }
+
+    /// Synchronously fold the pending delta into a fresh base and republish
+    /// with an empty overlay. Returns `true` if anything was compacted.
+    pub fn compact_now(&self) -> bool {
+        let mut writer = lock(&self.writer);
+        self.compact_locked(&mut writer)
+    }
+
+    fn compact_locked(&self, writer: &mut WriterState<E>) -> bool {
+        if writer.log.is_empty() {
+            return false;
+        }
+        let current = self.snapshot();
+        Self::materialize(writer, &current.base);
+
+        let resolved = writer.log.resolve();
+        // audit:allow(no-unwrap): `materialize` two statements up fills both
+        // writer slots.
+        let edges = writer.base_edges.as_mut().expect("materialized above");
+        apply_resolved_to_edges(edges, &resolved);
+        writer.pair_index = Some(PairIndex::from_edges(edges));
+        writer.log.clear();
+
+        let el = EdgeList::from_tuples(current.base.num_vertices(), edges.clone());
+        let options = GraphBuildOptions::default()
+            .with_partitions(current.base.num_partitions())
+            .with_in_edges(current.base.has_in_edges())
+            .with_pull_mirrors(current.base.has_pull_mirrors());
+        let base = Arc::new(Topology::from_edge_list(&el, options));
+
+        // Same version: compaction changes the representation, not the graph.
+        self.publish(Arc::new(GraphSnapshot {
+            version: current.version,
+            base,
+            overlay: None,
+        }));
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    fn materialize(writer: &mut WriterState<E>, base: &Topology<E>) {
+        if writer.base_edges.is_none() {
+            let edges: Vec<(Index, Index, E)> = base.to_edge_list().edges().to_vec();
+            writer.pair_index = Some(PairIndex::from_edges(&edges));
+            writer.base_edges = Some(edges);
+        }
+    }
+}
+
+impl<E> GraphStore<E> {
+    /// The currently published snapshot. Allocation-free (a read-lock and an
+    /// `Arc` clone) — this is the steady-state serving read path.
+    pub fn snapshot(&self) -> Arc<GraphSnapshot<E>> {
+        Arc::clone(&read_published(&self.published))
+    }
+
+    /// Counters for the published state (the server's `STATS`/`UPDATE`
+    /// replies read these).
+    pub fn stats(&self) -> StoreStats {
+        let snap = self.snapshot();
+        StoreStats {
+            version: snap.version(),
+            num_edges: snap.num_edges(),
+            delta_edges: snap.delta_len(),
+            compactions: self.compactions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Compactions performed since the store was created.
+    pub fn compactions(&self) -> u64 {
+        self.compactions.load(Ordering::Relaxed)
+    }
+
+    fn publish(&self, snapshot: Arc<GraphSnapshot<E>>) {
+        *write_published(&self.published) = snapshot;
+    }
+}
+
+impl<E> Drop for GraphStore<E> {
+    fn drop(&mut self) {
+        if let Some(handle) = lock(&self.worker).take() {
+            {
+                let (signal, cvar) = &*self.signal;
+                lock(signal).shutdown = true;
+                cvar.notify_one();
+            }
+            let _ = handle.join();
+        }
+    }
+}
+
+fn compaction_worker<E: Clone + Send + Sync + 'static>(
+    store: Weak<GraphStore<E>>,
+    signal: Arc<(Mutex<Signal>, Condvar)>,
+) {
+    let (signal, cvar) = &*signal;
+    loop {
+        {
+            let mut guard = lock(signal);
+            while !guard.pending && !guard.shutdown {
+                guard = match cvar.wait(guard) {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+            if guard.shutdown {
+                return;
+            }
+            guard.pending = false;
+        }
+        // Upgrade only for the duration of one compaction; if the store is
+        // gone the worker exits (Drop also signals shutdown, belt and braces).
+        match store.upgrade() {
+            Some(store) => {
+                store.compact_now();
+            }
+            None => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphmat_delta::UpdateOp;
+
+    fn base() -> Arc<Topology<f32>> {
+        let el = EdgeList::from_tuples(
+            5,
+            vec![
+                (0, 1, 1.0),
+                (0, 2, 3.0),
+                (1, 2, 1.0),
+                (2, 3, 2.0),
+                (3, 4, 2.0),
+                (4, 0, 4.0),
+            ],
+        );
+        Arc::new(Topology::from_edge_list(
+            &el,
+            GraphBuildOptions::default()
+                .with_partitions(2)
+                .with_pull_mirrors(true),
+        ))
+    }
+
+    fn inline_store(threshold: usize) -> Arc<GraphStore<f32>> {
+        GraphStore::new(
+            base(),
+            StoreOptions {
+                compaction_threshold: threshold,
+                background: false,
+            },
+        )
+    }
+
+    fn batch(ops: Vec<(Index, Index, UpdateOp<f32>)>) -> DeltaBatch<f32> {
+        DeltaBatch::from_ops(5, ops).unwrap()
+    }
+
+    #[test]
+    fn version_zero_serves_the_base_verbatim() {
+        let b = base();
+        let store = GraphStore::with_defaults(Arc::clone(&b));
+        let snap = store.snapshot();
+        assert_eq!(snap.version(), 0);
+        assert!(snap.overlay().is_none());
+        assert!(Arc::ptr_eq(snap.base(), &b));
+        assert_eq!(snap.num_edges(), 6);
+    }
+
+    #[test]
+    fn apply_publishes_new_snapshot_old_one_stays_frozen() {
+        let store = inline_store(usize::MAX);
+        let before = store.snapshot();
+        let after = store
+            .apply(batch(vec![
+                (0, 3, UpdateOp::Insert(9.0)),
+                (4, 0, UpdateOp::Delete),
+            ]))
+            .unwrap();
+        assert_eq!(after.version(), 1);
+        assert_eq!(after.num_edges(), 6); // +1 −1
+        assert_eq!(after.delta_len(), 2);
+        // The old snapshot is untouched: same base, no overlay.
+        assert_eq!(before.version(), 0);
+        assert_eq!(before.num_edges(), 6);
+        assert!(before.overlay().is_none());
+        assert!(Arc::ptr_eq(before.base(), after.base()));
+        // Degrees through the new view reflect the edits.
+        assert_eq!(after.view().out_degrees(), &[3, 1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn empty_and_mismatched_batches_are_rejected_without_publishing() {
+        let store = inline_store(usize::MAX);
+        let err = store
+            .apply(DeltaBatch::new(5))
+            .expect_err("empty batch must be rejected");
+        assert!(matches!(err, GraphMatError::InvalidParameter(_)));
+        let err = store
+            .apply(DeltaBatch::from_ops(9, vec![(7, 8, UpdateOp::Insert(1.0))]).unwrap())
+            .expect_err("mismatched vertex count must be rejected");
+        assert!(matches!(err, GraphMatError::InvalidParameter(_)));
+        assert_eq!(store.snapshot().version(), 0);
+    }
+
+    #[test]
+    fn threshold_triggers_inline_compaction() {
+        let store = inline_store(2);
+        let s1 = store
+            .apply(batch(vec![(1, 3, UpdateOp::Insert(7.0))]))
+            .unwrap();
+        assert_eq!(s1.delta_len(), 1);
+        assert_eq!(store.compactions(), 0);
+        store
+            .apply(batch(vec![(2, 0, UpdateOp::Insert(8.0))]))
+            .unwrap();
+        assert_eq!(store.compactions(), 1);
+        let snap = store.snapshot();
+        assert_eq!(snap.version(), 2);
+        assert!(snap.overlay().is_none());
+        assert_eq!(snap.num_edges(), 8);
+        // The rebuilt base keeps the original build shape.
+        assert_eq!(snap.base().num_partitions(), 2);
+        assert!(snap.base().has_in_edges());
+        assert!(snap.base().has_pull_mirrors());
+        assert_eq!(snap.base().out_degrees(), &[2, 2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn compaction_preserves_content_and_version() {
+        let store = inline_store(usize::MAX);
+        store
+            .apply(batch(vec![
+                (0, 1, UpdateOp::Insert(5.5)),
+                (3, 4, UpdateOp::Delete),
+                (4, 2, UpdateOp::Insert(1.25)),
+            ]))
+            .unwrap();
+        let overlaid = store.snapshot();
+        assert!(store.compact_now());
+        assert!(!store.compact_now(), "second compaction has nothing to do");
+        let compacted = store.snapshot();
+        assert_eq!(compacted.version(), overlaid.version());
+        assert!(compacted.overlay().is_none());
+        assert_eq!(compacted.num_edges(), overlaid.num_edges());
+        assert_eq!(
+            compacted.base().out_degrees(),
+            overlaid.view().out_degrees()
+        );
+        assert_eq!(compacted.base().in_degrees(), overlaid.view().in_degrees());
+        // Stats reflect the compaction.
+        let stats = store.stats();
+        assert_eq!(stats.compactions, 1);
+        assert_eq!(stats.delta_edges, 0);
+    }
+
+    #[test]
+    fn repeated_compactions_are_byte_identical() {
+        // Same history through different compaction points must converge to
+        // the same edge list.
+        let edits = [
+            vec![(0, 3, UpdateOp::Insert(9.0)), (0, 1, UpdateOp::Delete)],
+            vec![(0, 3, UpdateOp::Insert(2.0)), (2, 2, UpdateOp::Insert(1.0))],
+            vec![(4, 0, UpdateOp::Delete), (1, 2, UpdateOp::Insert(6.0))],
+        ];
+        let every_batch = inline_store(1); // compacts after every apply
+        let only_at_end = inline_store(usize::MAX);
+        for ops in &edits {
+            every_batch.apply(batch(ops.clone())).unwrap();
+            only_at_end.apply(batch(ops.clone())).unwrap();
+        }
+        only_at_end.compact_now();
+        let a = every_batch.snapshot().base().to_edge_list();
+        let b = only_at_end.snapshot().base().to_edge_list();
+        assert_eq!(a.edges().len(), b.edges().len());
+        for (x, y) in a.edges().iter().zip(b.edges()) {
+            assert_eq!(x.0, y.0);
+            assert_eq!(x.1, y.1);
+            assert_eq!(x.2.to_bits(), y.2.to_bits());
+        }
+    }
+
+    #[test]
+    fn background_worker_compacts_and_store_drops_cleanly() {
+        let store = GraphStore::new(
+            base(),
+            StoreOptions {
+                compaction_threshold: 1,
+                background: true,
+            },
+        );
+        store
+            .apply(batch(vec![(1, 4, UpdateOp::Insert(3.0))]))
+            .unwrap();
+        // The worker compacts asynchronously; wait (bounded) for it.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while store.compactions() == 0 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(store.compactions(), 1);
+        let snap = store.snapshot();
+        assert_eq!(snap.version(), 1);
+        assert!(snap.overlay().is_none());
+        assert_eq!(snap.num_edges(), 7);
+        drop(store); // must join the worker without hanging
+    }
+}

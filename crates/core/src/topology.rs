@@ -33,7 +33,7 @@ use crate::error::{GraphMatError, Result};
 use crate::program::VertexId;
 use graphmat_io::edgelist::EdgeList;
 use graphmat_sparse::parallel::available_threads;
-use graphmat_sparse::partition::{PartitionedDcsc, RowPartitioner};
+use graphmat_sparse::partition::{PartitionedDcsc, RowPartitioner, RowRange};
 use graphmat_sparse::pull::CsrMirror;
 
 /// Options controlling topology construction.
@@ -195,9 +195,46 @@ impl<E: Clone> Topology<E> {
             in_degrees,
         }
     }
+
+    /// Reconstruct the edge list the topology stores, in a **deterministic**
+    /// order: out-matrix partitions ascending, source (column) ascending
+    /// within each partition, destination ascending within each column.
+    /// Equal topologies therefore produce byte-identical lists — the
+    /// property [`crate::store::GraphStore`]'s compaction relies on to make
+    /// repeated rebuilds reproducible.
+    pub fn to_edge_list(&self) -> EdgeList<E> {
+        let mut el = EdgeList::new(self.nvertices);
+        // Out matrix is Gᵀ: row = destination, column = source.
+        for part in self.out_matrix.partitions() {
+            for (src, dsts, weights) in part.matrix.iter_cols() {
+                for (dst, w) in dsts.iter().zip(weights) {
+                    el.push(src, *dst, w.clone());
+                }
+            }
+        }
+        el
+    }
 }
 
 impl<E> Topology<E> {
+    /// The row ranges of the out matrix's partitions (`Gᵀ`: row =
+    /// destination) — what a delta overlay must be bucketed by to align with
+    /// the push kernel's partition sweep.
+    pub fn out_partition_ranges(&self) -> Vec<RowRange> {
+        self.out_matrix
+            .partitions()
+            .iter()
+            .map(|p| p.rows)
+            .collect()
+    }
+
+    /// The row ranges of the in matrix's partitions (`G`: row = source), if
+    /// the in-edge matrix was built.
+    pub fn in_partition_ranges(&self) -> Option<Vec<RowRange>> {
+        self.in_matrix
+            .as_ref()
+            .map(|m| m.partitions().iter().map(|p| p.rows).collect())
+    }
     /// Number of vertices.
     pub fn num_vertices(&self) -> VertexId {
         self.nvertices
@@ -441,6 +478,37 @@ mod tests {
         assert_eq!(out_mirror.n_partitions(), t.num_partitions());
         assert_eq!(t.pull_bytes(), out_mirror.bytes() + in_mirror.bytes());
         assert!(t.matrix_bytes() > t.pull_bytes());
+    }
+
+    #[test]
+    fn edge_list_round_trip_is_deterministic_and_complete() {
+        let t = small_topology();
+        let el = t.to_edge_list();
+        assert_eq!(el.num_vertices(), 4);
+        assert_eq!(el.num_edges(), 5);
+        // Same content as the construction input, up to order.
+        let mut got = el.edges().to_vec();
+        got.sort_by_key(|e| (e.0, e.1));
+        assert_eq!(
+            got,
+            vec![
+                (0, 1, 1.0),
+                (0, 2, 2.0),
+                (1, 2, 3.0),
+                (2, 3, 4.0),
+                (3, 0, 5.0),
+            ]
+        );
+        // A rebuild from the extracted list extracts byte-identically.
+        let t2 = Topology::from_edge_list(&el, GraphBuildOptions::default().with_partitions(2));
+        assert_eq!(t2.to_edge_list().edges(), el.edges());
+        // Partition-range accessors mirror the matrices built.
+        assert_eq!(t.out_partition_ranges().len(), 2);
+        assert_eq!(t.in_partition_ranges().unwrap().len(), 2);
+        let el2 = EdgeList::from_tuples(3, vec![(0, 1, 1.0)]);
+        let no_in =
+            Topology::from_edge_list(&el2, GraphBuildOptions::default().with_in_edges(false));
+        assert!(no_in.in_partition_ranges().is_none());
     }
 
     #[test]

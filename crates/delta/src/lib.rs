@@ -1,0 +1,71 @@
+//! Streaming graph updates for GraphMat: the delta layer between an
+//! immutable base [`Topology`] and a mutating edge stream.
+//!
+//! The serving story (RedisGraph-style ingest-while-serving) splits a
+//! mutable graph into an immutable base plus a small, sorted edit set:
+//!
+//! * [`batch::DeltaBatch`] — one validated batch of edge insertions /
+//!   deletions, the unit a writer submits (and the unit the server's
+//!   `UPDATE` opcode carries over the wire);
+//! * [`log::DeltaLog`] — the append-only sequence of admitted batches,
+//!   resolved **latest-wins per `(src, dst)` pair** when a snapshot is
+//!   published;
+//! * [`overlay::DeltaOverlay`] — the resolved log compiled against a base's
+//!   partitioning into kernel-ready [`graphmat_sparse::overlay::Overlay`]s
+//!   (one per traversal direction) plus merged degree arrays and edge
+//!   counts, so the engine sees `(base ⊕ delta)` without rebuilding the
+//!   matrices.
+//!
+//! The crate deliberately knows nothing about vertex programs, snapshots or
+//! wire formats — `graphmat-core`'s `GraphStore` owns publication and
+//! compaction, `graphmat-server` owns the protocol. Like the rest of the
+//! workspace it is `std`-only.
+//!
+//! [`Topology`]: ../graphmat_core/topology/struct.Topology.html
+
+pub mod batch;
+pub mod log;
+pub mod overlay;
+
+pub use batch::{DeltaBatch, UpdateOp};
+pub use log::{apply_resolved_to_edges, DeltaLog};
+pub use overlay::{BaseFacts, DeltaOverlay, PairIndex};
+
+/// The kernel-level edit-set structure, re-exported under the paper-plan
+/// name: a `DeltaMatrix` is a partition-aligned, column-major set of pending
+/// ops that the overlay-aware SpMV sweeps together with the base DCSC.
+pub type DeltaMatrix<E> = graphmat_sparse::overlay::Overlay<E>;
+
+/// Typed failures of the delta layer.
+///
+/// `graphmat-core` converts these into `GraphMatError`, the server into
+/// protocol status codes — updates never panic the serving process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaError {
+    /// An edge endpoint is not a vertex of the graph.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: graphmat_sparse::Index,
+        /// The graph's vertex count.
+        num_vertices: graphmat_sparse::Index,
+    },
+    /// The batch contains no operations.
+    EmptyBatch,
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex {vertex} out of range for a graph of {num_vertices} vertices"
+            ),
+            DeltaError::EmptyBatch => write!(f, "update batch contains no operations"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}

@@ -1,0 +1,175 @@
+//! [`DeltaLog`]: the append-only sequence of admitted update batches.
+
+use crate::batch::{DeltaBatch, UpdateOp};
+use graphmat_sparse::Index;
+
+/// The ordered log of every operation admitted since the last compaction.
+///
+/// Batches append in admission order; [`DeltaLog::resolve`] collapses the
+/// log to its **latest-wins** view — at most one effective op per
+/// `(src, dst)` pair, sorted by pair — which is what overlays are compiled
+/// from and what compaction folds into the base edge list.
+#[derive(Clone, Debug, Default)]
+pub struct DeltaLog<E> {
+    ops: Vec<(Index, Index, UpdateOp<E>)>,
+    batches: usize,
+}
+
+impl<E> DeltaLog<E> {
+    /// Create an empty log.
+    pub fn new() -> Self {
+        DeltaLog {
+            ops: Vec::new(),
+            batches: 0,
+        }
+    }
+
+    /// Append a validated batch.
+    pub fn append(&mut self, batch: DeltaBatch<E>) {
+        self.ops.extend(batch.into_ops());
+        self.batches += 1;
+    }
+
+    /// Total number of logged operations (before latest-wins resolution).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` if no operations are pending.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of batches appended since the last [`DeltaLog::clear`].
+    pub fn n_batches(&self) -> usize {
+        self.batches
+    }
+
+    /// Drop every logged operation (compaction has folded them into the
+    /// base).
+    pub fn clear(&mut self) {
+        self.ops.clear();
+        self.batches = 0;
+    }
+}
+
+impl<E: Clone> DeltaLog<E> {
+    /// The latest-wins view of the log: one op per `(src, dst)` pair — the
+    /// last one submitted — sorted by pair.
+    pub fn resolve(&self) -> Vec<(Index, Index, UpdateOp<E>)> {
+        let mut seq: Vec<(Index, Index, usize)> = self
+            .ops
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, d, _))| (s, d, i))
+            .collect();
+        seq.sort_unstable();
+        let mut resolved: Vec<(Index, Index, UpdateOp<E>)> = Vec::new();
+        for (s, d, i) in seq {
+            let op = self.ops[i].2.clone();
+            match resolved.last_mut() {
+                Some(last) if last.0 == s && last.1 == d => last.2 = op,
+                _ => resolved.push((s, d, op)),
+            }
+        }
+        resolved
+    }
+}
+
+/// Fold resolved ops into an edge list, the way compaction rebuilds the
+/// base: every stored copy of an edited pair is dropped, then the upserts
+/// are appended in `(src, dst)` order. The result is deterministic given
+/// the input order of `edges`, so repeated compactions of the same history
+/// produce byte-identical edge lists.
+pub fn apply_resolved_to_edges<E: Clone>(
+    edges: &mut Vec<(Index, Index, E)>,
+    resolved: &[(Index, Index, UpdateOp<E>)],
+) {
+    if resolved.is_empty() {
+        return;
+    }
+    debug_assert!(
+        resolved
+            .windows(2)
+            .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)),
+        "resolved ops must be sorted and pair-unique"
+    );
+    edges.retain(|&(s, d, _)| {
+        resolved
+            .binary_search_by(|probe| (probe.0, probe.1).cmp(&(s, d)))
+            .is_err()
+    });
+    for (s, d, op) in resolved {
+        if let UpdateOp::Insert(w) = op {
+            edges.push((*s, *d, w.clone()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(num_vertices: Index, ops: Vec<(Index, Index, UpdateOp<f32>)>) -> DeltaBatch<f32> {
+        DeltaBatch::from_ops(num_vertices, ops).unwrap()
+    }
+
+    #[test]
+    fn append_counts() {
+        let mut log = DeltaLog::new();
+        assert!(log.is_empty());
+        log.append(batch(4, vec![(0, 1, UpdateOp::Insert(1.0))]));
+        log.append(batch(
+            4,
+            vec![(1, 2, UpdateOp::Delete), (2, 3, UpdateOp::Insert(2.0))],
+        ));
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.n_batches(), 2);
+        log.clear();
+        assert!(log.is_empty());
+        assert_eq!(log.n_batches(), 0);
+    }
+
+    #[test]
+    fn resolve_is_latest_wins_per_pair() {
+        let mut log = DeltaLog::new();
+        log.append(batch(
+            4,
+            vec![(0, 1, UpdateOp::Insert(1.0)), (2, 3, UpdateOp::Insert(5.0))],
+        ));
+        log.append(batch(4, vec![(0, 1, UpdateOp::Delete)]));
+        log.append(batch(4, vec![(0, 1, UpdateOp::Insert(9.0))]));
+        let resolved = log.resolve();
+        assert_eq!(
+            resolved,
+            vec![(0, 1, UpdateOp::Insert(9.0)), (2, 3, UpdateOp::Insert(5.0)),]
+        );
+    }
+
+    #[test]
+    fn resolve_keeps_terminal_deletes() {
+        let mut log = DeltaLog::new();
+        log.append(batch(4, vec![(0, 1, UpdateOp::Insert(1.0))]));
+        log.append(batch(4, vec![(0, 1, UpdateOp::Delete)]));
+        assert_eq!(log.resolve(), vec![(0, 1, UpdateOp::Delete)]);
+    }
+
+    #[test]
+    fn apply_resolved_edits_the_edge_list() {
+        let mut edges = vec![(0u32, 1u32, 1.0f32), (1, 2, 2.0), (0, 1, 7.0), (2, 3, 3.0)];
+        let resolved = vec![
+            (0, 1, UpdateOp::Insert(9.0)), // replaces both copies
+            (1, 2, UpdateOp::Delete),
+            (3, 0, UpdateOp::Insert(4.0)), // fresh edge
+        ];
+        apply_resolved_to_edges(&mut edges, &resolved);
+        assert_eq!(edges, vec![(2, 3, 3.0), (0, 1, 9.0), (3, 0, 4.0)]);
+    }
+
+    #[test]
+    fn apply_empty_resolution_is_a_noop() {
+        let mut edges = vec![(0u32, 1u32, 1.0f32)];
+        apply_resolved_to_edges(&mut edges, &[]);
+        assert_eq!(edges, vec![(0, 1, 1.0)]);
+    }
+}

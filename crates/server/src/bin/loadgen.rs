@@ -5,13 +5,18 @@
 //! counts, QPS and exact latency quantiles as JSON (the `BENCH_serving`
 //! series). Also doubles as the CI smoke test via `--smoke`.
 //!
+//! With `--mutate-rate` each connection interleaves UPDATE batches of
+//! random edge edits among its queries (mixed read/write serving — the
+//! `BENCH_serving` report then also carries an `updates` tally).
+//!
 //! ```text
 //! loadgen --addr HOST:PORT [--connections N] [--duration-secs N]
-//!         [--mix pagerank:1,bfs:4,...] [--timeout-ms N] [--iterations N]
-//!         [--seed N] [--json PATH] [--smoke] [--ping-only] [--shutdown-after]
+//!         [--mix pagerank:1,bfs:4,...] [--mutate-rate F] [--mutate-batch N]
+//!         [--timeout-ms N] [--iterations N] [--seed N] [--json PATH]
+//!         [--smoke] [--ping-only] [--shutdown-after]
 //! ```
 
-use graphmat_server::{Algorithm, Client, RunRequest, Status};
+use graphmat_server::{Algorithm, Client, EdgeEdit, RunRequest, Status};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
@@ -20,6 +25,8 @@ struct Args {
     connections: usize,
     duration_secs: u64,
     mix: Vec<(Algorithm, u32)>,
+    mutate_rate: f64,
+    mutate_batch: usize,
     timeout_ms: u32,
     iterations: u32,
     seed: u64,
@@ -42,6 +49,8 @@ impl Default for Args {
                 (Algorithm::ConnectedComponents, 1),
                 (Algorithm::InDegrees, 1),
             ],
+            mutate_rate: 0.0,
+            mutate_batch: 16,
             timeout_ms: 0,
             iterations: 10,
             seed: 1,
@@ -94,6 +103,22 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--duration-secs: {e}"))?
             }
             "--mix" => args.mix = parse_mix(&value("--mix")?)?,
+            "--mutate-rate" => {
+                args.mutate_rate = value("--mutate-rate")?
+                    .parse()
+                    .map_err(|e| format!("--mutate-rate: {e}"))?;
+                if !(0.0..=1.0).contains(&args.mutate_rate) {
+                    return Err("--mutate-rate must be in [0, 1]".into());
+                }
+            }
+            "--mutate-batch" => {
+                args.mutate_batch = value("--mutate-batch")?
+                    .parse()
+                    .map_err(|e| format!("--mutate-batch: {e}"))?;
+                if args.mutate_batch == 0 {
+                    return Err("--mutate-batch must be at least 1".into());
+                }
+            }
             "--timeout-ms" => {
                 args.timeout_ms = value("--timeout-ms")?
                     .parse()
@@ -116,7 +141,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err("usage: loadgen --addr HOST:PORT [--connections N] \
                      [--duration-secs N] [--mix pagerank:1,bfs:4,...] \
-                     [--timeout-ms N] [--iterations N] [--seed N] [--json PATH] \
+                     [--mutate-rate F] [--mutate-batch N] [--timeout-ms N] \
+                     [--iterations N] [--seed N] [--json PATH] \
                      [--smoke] [--ping-only] [--shutdown-after]"
                     .into())
             }
@@ -232,6 +258,49 @@ fn run_smoke(args: &Args) -> Result<(), String> {
             reply.checksum
         );
     }
+    // Streaming path: push an UPDATE batch, re-run a query on the new
+    // snapshot, then confirm STATS reflects the store state.
+    let before = client
+        .run(&RunRequest::new(Algorithm::ConnectedComponents).iterations(args.iterations))
+        .map_err(|e| format!("pre-update run: {e}"))?;
+    let reply = client
+        .update(&[
+            EdgeEdit::insert(0, 1, 1.0),
+            EdgeEdit::insert(1, 0, 1.0),
+            EdgeEdit::delete(0, 1),
+        ])
+        .map_err(|e| format!("update: {e}"))?;
+    if !reply.is_ok() {
+        return Err(format!(
+            "update: status {:?}: {}",
+            reply.status, reply.message
+        ));
+    }
+    if reply.snapshot_version <= before.snapshot_version {
+        return Err(format!(
+            "update did not advance the snapshot version ({} -> {})",
+            before.snapshot_version, reply.snapshot_version
+        ));
+    }
+    let after = client
+        .run(&RunRequest::new(Algorithm::ConnectedComponents).iterations(args.iterations))
+        .map_err(|e| format!("post-update run: {e}"))?;
+    if !after.is_ok() {
+        return Err(format!(
+            "post-update run: status {:?}: {}",
+            after.status, after.message
+        ));
+    }
+    if after.snapshot_version != reply.snapshot_version {
+        return Err(format!(
+            "post-update query served snapshot {} instead of {}",
+            after.snapshot_version, reply.snapshot_version
+        ));
+    }
+    println!(
+        "smoke update: ok, snapshot version {} ({} delta edges), query checksum {:#018x}",
+        reply.snapshot_version, reply.delta_edges, after.checksum
+    );
     let stats = client.stats_json().map_err(|e| format!("stats: {e}"))?;
     println!("smoke stats: {stats}");
     let ok = scrape_u64(&stats, "ok").unwrap_or(0);
@@ -240,6 +309,12 @@ fn run_smoke(args: &Args) -> Result<(), String> {
             "stats reports only {ok} ok requests after {} smoke runs",
             Algorithm::ALL.len()
         ));
+    }
+    if scrape_u64(&stats, "updates") != Some(1) {
+        return Err(format!("stats does not report the smoke update: {stats}"));
+    }
+    if scrape_u64(&stats, "snapshot_version").unwrap_or(0) < reply.snapshot_version {
+        return Err(format!("stats snapshot_version is stale: {stats}"));
     }
     if args.shutdown_after {
         client
@@ -259,6 +334,9 @@ fn run_load(args: &Args) -> Result<String, String> {
     drop(scout);
 
     let weight_total: u32 = args.mix.iter().map(|(_, w)| w).sum();
+    // Probability scaled to integer space so the decision is one modulo on
+    // the deterministic rng stream.
+    let mutate_threshold = (args.mutate_rate * 1_000_000.0) as u64;
     let duration = Duration::from_secs(args.duration_secs);
     let started = Instant::now();
     let workers: Vec<_> = (0..args.connections.max(1))
@@ -266,47 +344,80 @@ fn run_load(args: &Args) -> Result<String, String> {
             let addr = args.addr.clone();
             let mix = args.mix.clone();
             let (timeout_ms, iterations) = (args.timeout_ms, args.iterations);
+            let mutate_batch = args.mutate_batch;
             let mut rng = args.seed ^ ((conn as u64 + 1) << 32);
-            std::thread::spawn(move || -> Result<Vec<(Algorithm, Tally)>, String> {
-                let mut client =
-                    Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
-                let mut tallies: Vec<(Algorithm, Tally)> = mix
-                    .iter()
-                    .map(|(algorithm, _)| (*algorithm, Tally::default()))
-                    .collect();
-                let deadline = Instant::now() + duration;
-                while Instant::now() < deadline {
-                    let mut pick = (next_rand(&mut rng) % weight_total as u64) as u32;
-                    let slot = mix
+            std::thread::spawn(
+                move || -> Result<(Vec<(Algorithm, Tally)>, Tally), String> {
+                    let mut client =
+                        Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+                    let mut tallies: Vec<(Algorithm, Tally)> = mix
                         .iter()
-                        .position(|(_, weight)| {
-                            let hit = pick < *weight;
-                            pick = pick.saturating_sub(*weight);
-                            hit
-                        })
-                        .unwrap_or(0);
-                    let algorithm = mix[slot].0;
-                    let request = RunRequest::new(algorithm)
-                        .seed(next_rand(&mut rng) % num_vertices)
-                        .iterations(iterations)
-                        .timeout_ms(timeout_ms);
-                    let sent = Instant::now();
-                    let reply = client
-                        .run(&request)
-                        .map_err(|e| format!("{}: {e}", algorithm.name()))?;
-                    let tally = &mut tallies[slot].1;
-                    match reply.status {
-                        Status::Ok => {
-                            tally.ok += 1;
-                            tally.latencies_us.push(sent.elapsed().as_micros() as u64);
+                        .map(|(algorithm, _)| (*algorithm, Tally::default()))
+                        .collect();
+                    let mut updates = Tally::default();
+                    let deadline = Instant::now() + duration;
+                    while Instant::now() < deadline {
+                        if mutate_threshold > 0
+                            && next_rand(&mut rng) % 1_000_000 < mutate_threshold
+                        {
+                            let edits: Vec<EdgeEdit> = (0..mutate_batch)
+                                .map(|_| {
+                                    let src = (next_rand(&mut rng) % num_vertices) as u32;
+                                    let dst = (next_rand(&mut rng) % num_vertices) as u32;
+                                    if next_rand(&mut rng) % 4 == 0 {
+                                        EdgeEdit::delete(src, dst)
+                                    } else {
+                                        let weight = (1 + next_rand(&mut rng) % 9) as f32;
+                                        EdgeEdit::insert(src, dst, weight)
+                                    }
+                                })
+                                .collect();
+                            let sent = Instant::now();
+                            let reply =
+                                client.update(&edits).map_err(|e| format!("update: {e}"))?;
+                            match reply.status {
+                                Status::Ok => {
+                                    updates.ok += 1;
+                                    updates.latencies_us.push(sent.elapsed().as_micros() as u64);
+                                }
+                                Status::Busy => updates.busy += 1,
+                                Status::Timeout => updates.timeout += 1,
+                                _ => updates.failed += 1,
+                            }
+                            continue;
                         }
-                        Status::Busy => tally.busy += 1,
-                        Status::Timeout => tally.timeout += 1,
-                        _ => tally.failed += 1,
+                        let mut pick = (next_rand(&mut rng) % weight_total as u64) as u32;
+                        let slot = mix
+                            .iter()
+                            .position(|(_, weight)| {
+                                let hit = pick < *weight;
+                                pick = pick.saturating_sub(*weight);
+                                hit
+                            })
+                            .unwrap_or(0);
+                        let algorithm = mix[slot].0;
+                        let request = RunRequest::new(algorithm)
+                            .seed(next_rand(&mut rng) % num_vertices)
+                            .iterations(iterations)
+                            .timeout_ms(timeout_ms);
+                        let sent = Instant::now();
+                        let reply = client
+                            .run(&request)
+                            .map_err(|e| format!("{}: {e}", algorithm.name()))?;
+                        let tally = &mut tallies[slot].1;
+                        match reply.status {
+                            Status::Ok => {
+                                tally.ok += 1;
+                                tally.latencies_us.push(sent.elapsed().as_micros() as u64);
+                            }
+                            Status::Busy => tally.busy += 1,
+                            Status::Timeout => tally.timeout += 1,
+                            _ => tally.failed += 1,
+                        }
                     }
-                }
-                Ok(tallies)
-            })
+                    Ok((tallies, updates))
+                },
+            )
         })
         .collect();
 
@@ -315,13 +426,15 @@ fn run_load(args: &Args) -> Result<String, String> {
         .iter()
         .map(|(algorithm, _)| (*algorithm, Tally::default()))
         .collect();
+    let mut update_tally = Tally::default();
     for worker in workers {
-        let tallies = worker
+        let (tallies, updates) = worker
             .join()
             .map_err(|_| "connection thread panicked".to_string())??;
         for (slot, (_, tally)) in tallies.into_iter().enumerate() {
             per_algo[slot].1.absorb(tally);
         }
+        update_tally.absorb(updates);
     }
     let elapsed_secs = started.elapsed().as_secs_f64();
 
@@ -349,12 +462,26 @@ fn run_load(args: &Args) -> Result<String, String> {
     let mut report = String::with_capacity(2048);
     report.push_str(&format!(
         "{{\"series\":\"BENCH_serving\",\"addr\":\"{}\",\"connections\":{},\
-         \"duration_secs\":{:.2},\"num_vertices\":{num_vertices},",
+         \"duration_secs\":{:.2},\"num_vertices\":{num_vertices},\
+         \"mutate_rate\":{},\"mutate_batch\":{},",
         args.addr,
         args.connections.max(1),
         elapsed_secs,
+        args.mutate_rate,
+        args.mutate_batch,
     ));
+    // `total` counts queries only — with --mutate-rate these are the read
+    // latencies under concurrent ingest; writes get their own tally below.
     report.push_str(&tally_json("total", &total, &sorted_total, elapsed_secs));
+    report.push(',');
+    let mut sorted_updates = update_tally.latencies_us.clone();
+    sorted_updates.sort_unstable();
+    report.push_str(&tally_json(
+        "updates",
+        &update_tally,
+        &sorted_updates,
+        elapsed_secs,
+    ));
     report.push_str(",\"per_algorithm\":{");
     for (i, (algorithm, tally)) in per_algo.iter().enumerate() {
         if i > 0 {

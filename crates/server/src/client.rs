@@ -5,7 +5,9 @@
 //! language. One [`Client`] wraps one connection and reuses its frame
 //! buffers across calls.
 
-use crate::protocol::{self, opcode, RunRequest, Status, ValueKind, PROTOCOL_VERSION};
+use crate::protocol::{
+    self, opcode, EdgeEdit, RunRequest, Status, UpdateRequest, ValueKind, PROTOCOL_VERSION,
+};
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -16,6 +18,8 @@ pub struct RunReply {
     pub status: Status,
     /// Error message (empty on success).
     pub message: String,
+    /// Version of the graph snapshot the run executed against.
+    pub snapshot_version: u64,
     /// Server-side service time in microseconds.
     pub elapsed_micros: u64,
     /// Supersteps the engine executed.
@@ -79,6 +83,30 @@ impl RunReply {
         (self.value_kind == Some(ValueKind::U64))
             .then(|| self.decode_values(u64::from_le_bytes))
             .flatten()
+    }
+}
+
+/// A decoded UPDATE response.
+#[derive(Clone, Debug)]
+pub struct UpdateReply {
+    /// Outcome status.
+    pub status: Status,
+    /// Error message (empty on success).
+    pub message: String,
+    /// Version of the snapshot this batch published.
+    pub snapshot_version: u64,
+    /// Edges in the published `(base ⊕ delta)` graph.
+    pub num_edges: u64,
+    /// Resolved edits still pending in the delta overlay.
+    pub delta_edges: u64,
+    /// Compactions performed since the server started.
+    pub compactions: u64,
+}
+
+impl UpdateReply {
+    /// Whether the batch was applied.
+    pub fn is_ok(&self) -> bool {
+        self.status == Status::Ok
     }
 }
 
@@ -166,6 +194,7 @@ impl Client {
             return Ok(RunReply {
                 status,
                 message: Self::error_message(rest),
+                snapshot_version: 0,
                 elapsed_micros: 0,
                 iterations: 0,
                 value_kind: None,
@@ -174,21 +203,55 @@ impl Client {
                 values: Vec::new(),
             });
         }
-        // elapsed u64 | iterations u32 | kind u8 | checksum u64 | count u32
-        if rest.len() < 25 {
+        // snapshot_version u64 | elapsed u64 | iterations u32 | kind u8 |
+        // checksum u64 | count u32
+        if rest.len() < 33 {
             return Err(malformed("RUN ok header truncated"));
         }
         let value_kind =
-            ValueKind::from_u8(rest[12]).ok_or_else(|| malformed("unknown value kind"))?;
+            ValueKind::from_u8(rest[20]).ok_or_else(|| malformed("unknown value kind"))?;
         Ok(RunReply {
             status,
             message: String::new(),
-            elapsed_micros: le_u64(rest),
-            iterations: le_u32(&rest[8..12]),
+            snapshot_version: le_u64(rest),
+            elapsed_micros: le_u64(&rest[8..16]),
+            iterations: le_u32(&rest[16..20]),
             value_kind: Some(value_kind),
-            checksum: le_u64(&rest[13..21]),
-            num_values: le_u32(&rest[21..25]),
-            values: rest[25..].to_vec(),
+            checksum: le_u64(&rest[21..29]),
+            num_values: le_u32(&rest[29..33]),
+            values: rest[33..].to_vec(),
+        })
+    }
+
+    /// Apply one batch of edge edits; returns the published snapshot's
+    /// stats, or the typed error status for rejected batches.
+    pub fn update(&mut self, edits: &[EdgeEdit]) -> io::Result<UpdateReply> {
+        self.request_buf.clear();
+        UpdateRequest::new(edits.to_vec()).encode(&mut self.request_buf);
+        self.round_trip()?;
+        let (status, rest) = self.reply_prefix()?;
+        if status != Status::Ok {
+            return Ok(UpdateReply {
+                status,
+                message: Self::error_message(rest),
+                snapshot_version: 0,
+                num_edges: 0,
+                delta_edges: 0,
+                compactions: 0,
+            });
+        }
+        // snapshot_version u64 | num_edges u64 | delta_edges u64 |
+        // compactions u64
+        if rest.len() < 32 {
+            return Err(malformed("UPDATE ok body truncated"));
+        }
+        Ok(UpdateReply {
+            status,
+            message: String::new(),
+            snapshot_version: le_u64(rest),
+            num_edges: le_u64(&rest[8..16]),
+            delta_edges: le_u64(&rest[16..24]),
+            compactions: le_u64(&rest[24..32]),
         })
     }
 

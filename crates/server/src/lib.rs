@@ -54,8 +54,8 @@ pub mod queue;
 pub mod server;
 pub mod service;
 
-pub use client::{Client, RunReply};
+pub use client::{Client, RunReply, UpdateReply};
 pub use metrics::Metrics;
-pub use protocol::{Algorithm, RunRequest, Status, ValueKind};
+pub use protocol::{Algorithm, EdgeEdit, RunRequest, Status, UpdateRequest, ValueKind};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use service::{GraphService, WorkerStates};

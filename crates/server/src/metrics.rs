@@ -104,6 +104,12 @@ pub struct Metrics {
     pub pings: AtomicU64,
     /// Frames that failed to decode into a request.
     pub bad_requests: AtomicU64,
+    /// UPDATE batches applied successfully.
+    pub updates: AtomicU64,
+    /// Edge edits contained in applied UPDATE batches.
+    pub update_edits: AtomicU64,
+    /// UPDATE batches rejected (out-of-range vertices, store errors).
+    pub update_failed: AtomicU64,
     /// Connections dropped for framing violations (oversized prefix,
     /// mid-frame stalls).
     pub dropped_connections: AtomicU64,
@@ -122,6 +128,9 @@ impl Default for Metrics {
             stats_requests: AtomicU64::new(0),
             pings: AtomicU64::new(0),
             bad_requests: AtomicU64::new(0),
+            updates: AtomicU64::new(0),
+            update_edits: AtomicU64::new(0),
+            update_failed: AtomicU64::new(0),
             dropped_connections: AtomicU64::new(0),
             pool_created: AtomicU64::new(0),
             pool_reused: AtomicU64::new(0),
@@ -166,8 +175,17 @@ impl Metrics {
     }
 
     /// The STATS endpoint snapshot. `num_vertices` / `num_edges` describe
-    /// the resident graph so clients can size seeds without a side channel.
-    pub fn to_json(&self, num_vertices: u64, num_edges: u64) -> String {
+    /// the currently published graph snapshot so clients can size seeds
+    /// without a side channel; `snapshot_version` / `delta_edges` /
+    /// `compactions` expose the streaming store's state.
+    pub fn to_json(
+        &self,
+        num_vertices: u64,
+        num_edges: u64,
+        snapshot_version: u64,
+        delta_edges: u64,
+        compactions: u64,
+    ) -> String {
         use std::fmt::Write;
         let uptime = self.uptime_secs();
         let ok = self.total_ok();
@@ -181,11 +199,17 @@ impl Metrics {
             out,
             "{{\"uptime_secs\":{uptime:.3},\"num_vertices\":{num_vertices},\
              \"num_edges\":{num_edges},\"qps\":{qps:.2},\
+             \"store\":{{\"snapshot_version\":{snapshot_version},\
+             \"delta_edges\":{delta_edges},\"compactions\":{compactions},\
+             \"updates\":{},\"update_edits\":{},\"update_failed\":{}}},\
              \"pool\":{{\"created\":{},\"reused\":{}}},\
              \"totals\":{{\"requests\":{},\"ok\":{ok},\"busy\":{},\
              \"timeout\":{},\"failed\":{},\"bad_requests\":{},\
              \"dropped_connections\":{},\"stats_requests\":{},\"pings\":{}}},\
              \"algorithms\":{{",
+            self.updates.load(Relaxed),
+            self.update_edits.load(Relaxed),
+            self.update_failed.load(Relaxed),
             self.pool_created.load(Relaxed),
             self.pool_reused.load(Relaxed),
             self.total_requests(),
@@ -270,10 +294,14 @@ mod tests {
         m.algo(Algorithm::Bfs).requests.fetch_add(3, Relaxed);
         m.algo(Algorithm::Bfs).ok.fetch_add(2, Relaxed);
         m.algo(Algorithm::Bfs).latency.record(120);
-        let json = m.to_json(100, 500);
+        let json = m.to_json(100, 500, 3, 12, 1);
         for key in [
             "\"num_vertices\":100",
             "\"num_edges\":500",
+            "\"snapshot_version\":3",
+            "\"delta_edges\":12",
+            "\"compactions\":1",
+            "\"update_edits\"",
             "\"pagerank\"",
             "\"bfs\"",
             "\"sssp\"",

@@ -14,29 +14,40 @@
 //! STATS:    version u8 | opcode=2                             (2 bytes)
 //! PING:     version u8 | opcode=3                             (2 bytes)
 //! SHUTDOWN: version u8 | opcode=4                             (2 bytes)
+//! UPDATE:   version u8 | opcode=5 | flags u8 (must be 0) | count u32 |
+//!           count × { op u8 (0=insert, 1=delete) | src u32 | dst u32 |
+//!                     weight f32 }                   (7 + 13·count bytes)
 //! ```
 //!
 //! Response bodies:
 //!
 //! ```text
-//! error:    version u8 | status!=0 | msg_len u32 | msg utf-8
-//! RUN ok:   version u8 | status=0  | elapsed_micros u64 | iterations u32 |
-//!           value_kind u8 | checksum u64 | num_values u32 |
-//!           [num_values values, little-endian]   (only if requested)
-//! STATS ok: version u8 | status=0  | json_len u32 | json utf-8
+//! error:     version u8 | status!=0 | msg_len u32 | msg utf-8
+//! RUN ok:    version u8 | status=0  | snapshot_version u64 |
+//!            elapsed_micros u64 | iterations u32 | value_kind u8 |
+//!            checksum u64 | num_values u32 |
+//!            [num_values values, little-endian]   (only if requested)
+//! UPDATE ok: version u8 | status=0  | snapshot_version u64 |
+//!            num_edges u64 | delta_edges u64 | compactions u64
+//! STATS ok:  version u8 | status=0  | json_len u32 | json utf-8
 //! PING ok / SHUTDOWN ok: version u8 | status=0
 //! ```
 //!
 //! The `checksum` is FNV-1a 64 over the little-endian value bytes, so a
 //! client can verify a result against a local run without shipping the full
-//! vector. Decoding is strict: wrong version, unknown opcode/algorithm,
+//! vector. `snapshot_version` is the version of the immutable graph snapshot
+//! the run was admitted against (the number of UPDATE batches applied before
+//! it), so a client can pin a result to the exact graph state that produced
+//! it. Decoding is strict: wrong version, unknown opcode/algorithm,
 //! undefined flag bits, and bodies of the wrong length all produce a typed
 //! error status — never a panic.
 
 use std::io::{self, Read, Write};
 
 /// Current protocol version; bumped on any incompatible codec change.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Version 2 added the `UPDATE` opcode and the `snapshot_version` field in
+/// the RUN ok header.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Upper bound on a frame body. Large enough for the value vector of a
 /// 2M-vertex f64 result; anything bigger is a corrupt or hostile length
@@ -53,6 +64,8 @@ pub mod opcode {
     pub const PING: u8 = 3;
     /// Begin graceful shutdown (drains in-flight requests).
     pub const SHUTDOWN: u8 = 4;
+    /// Apply one batch of edge insertions/deletions to the resident graph.
+    pub const UPDATE: u8 = 5;
 }
 
 /// Response status byte.
@@ -252,11 +265,85 @@ impl RunRequest {
 /// Exact body length of a RUN request frame.
 const RUN_BODY_LEN: usize = 20;
 
+/// One edge edit inside an UPDATE batch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EdgeEdit {
+    /// `true` = insert/upsert with `weight`; `false` = delete (weight
+    /// ignored, encoded as 0).
+    pub insert: bool,
+    /// Source vertex id.
+    pub src: u32,
+    /// Destination vertex id.
+    pub dst: u32,
+    /// Edge weight for inserts.
+    pub weight: f32,
+}
+
+impl EdgeEdit {
+    /// An insert/upsert edit.
+    pub fn insert(src: u32, dst: u32, weight: f32) -> EdgeEdit {
+        EdgeEdit {
+            insert: true,
+            src,
+            dst,
+            weight,
+        }
+    }
+
+    /// A delete edit.
+    pub fn delete(src: u32, dst: u32) -> EdgeEdit {
+        EdgeEdit {
+            insert: false,
+            src,
+            dst,
+            weight: 0.0,
+        }
+    }
+}
+
+/// A decoded UPDATE request: one batch of edge edits applied atomically —
+/// readers see either the previous snapshot or the whole batch.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct UpdateRequest {
+    /// The edits, applied in order (later edits to the same `(src, dst)`
+    /// pair win).
+    pub edits: Vec<EdgeEdit>,
+}
+
+/// Bytes per encoded edge edit: op u8 + src u32 + dst u32 + weight f32.
+const EDIT_RECORD_LEN: usize = 13;
+
+/// Fixed prefix of an UPDATE body: version, opcode, flags, count.
+const UPDATE_PREFIX_LEN: usize = 7;
+
+impl UpdateRequest {
+    /// Wrap a batch of edits.
+    pub fn new(edits: Vec<EdgeEdit>) -> UpdateRequest {
+        UpdateRequest { edits }
+    }
+
+    /// Encode into a frame body.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(PROTOCOL_VERSION);
+        buf.push(opcode::UPDATE);
+        buf.push(0); // flags: none defined
+        buf.extend_from_slice(&(self.edits.len() as u32).to_le_bytes());
+        for edit in &self.edits {
+            buf.push(if edit.insert { 0 } else { 1 });
+            buf.extend_from_slice(&edit.src.to_le_bytes());
+            buf.extend_from_slice(&edit.dst.to_le_bytes());
+            buf.extend_from_slice(&edit.weight.to_le_bytes());
+        }
+    }
+}
+
 /// A decoded request of any opcode.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     /// Execute one algorithm run.
     Run(RunRequest),
+    /// Apply one batch of edge edits.
+    Update(UpdateRequest),
     /// Fetch the observability snapshot.
     Stats,
     /// Liveness probe.
@@ -334,6 +421,59 @@ impl Request {
                     seed: le_u64(&body[12..20]),
                 }))
             }
+            opcode::UPDATE => {
+                if body.len() < UPDATE_PREFIX_LEN {
+                    return Err(DecodeError::bad(format!(
+                        "UPDATE body must be at least {UPDATE_PREFIX_LEN} bytes, got {}",
+                        body.len()
+                    )));
+                }
+                let flags = body[2];
+                if flags != 0 {
+                    return Err(DecodeError::bad(format!(
+                        "undefined UPDATE flag bits 0b{flags:08b}"
+                    )));
+                }
+                let mut count_bytes = [0u8; 4];
+                count_bytes.copy_from_slice(&body[3..7]);
+                let count = u32::from_le_bytes(count_bytes) as usize;
+                if count == 0 {
+                    return Err(DecodeError::bad(
+                        "UPDATE batch must contain at least one edit",
+                    ));
+                }
+                let expected = UPDATE_PREFIX_LEN + count * EDIT_RECORD_LEN;
+                if body.len() != expected {
+                    return Err(DecodeError::bad(format!(
+                        "UPDATE body for {count} edits must be exactly {expected} bytes, got {}",
+                        body.len()
+                    )));
+                }
+                let mut edits = Vec::with_capacity(count);
+                for record in body[UPDATE_PREFIX_LEN..].chunks_exact(EDIT_RECORD_LEN) {
+                    let insert = match record[0] {
+                        0 => true,
+                        1 => false,
+                        op => {
+                            return Err(DecodeError::bad(format!(
+                                "unknown UPDATE edit op {op} (0=insert, 1=delete)"
+                            )))
+                        }
+                    };
+                    let le_u32 = |bytes: &[u8]| {
+                        let mut arr = [0u8; 4];
+                        arr.copy_from_slice(bytes);
+                        u32::from_le_bytes(arr)
+                    };
+                    edits.push(EdgeEdit {
+                        insert,
+                        src: le_u32(&record[1..5]),
+                        dst: le_u32(&record[5..9]),
+                        weight: f32::from_le_bytes([record[9], record[10], record[11], record[12]]),
+                    });
+                }
+                Ok(Request::Update(UpdateRequest { edits }))
+            }
             op @ (opcode::STATS | opcode::PING | opcode::SHUTDOWN) => {
                 if body.len() != 2 {
                     return Err(DecodeError::bad(format!(
@@ -367,6 +507,8 @@ pub fn encode_error(buf: &mut Vec<u8>, status: Status, message: &str) {
 /// Header fields of a successful RUN response.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RunOkHeader {
+    /// Version of the graph snapshot the run executed against.
+    pub snapshot_version: u64,
     /// Wall-clock service time of the run, in microseconds.
     pub elapsed_micros: u64,
     /// Supersteps the engine executed.
@@ -384,11 +526,37 @@ pub struct RunOkHeader {
 pub fn encode_run_ok_header(buf: &mut Vec<u8>, header: &RunOkHeader) {
     buf.push(PROTOCOL_VERSION);
     buf.push(Status::Ok as u8);
+    buf.extend_from_slice(&header.snapshot_version.to_le_bytes());
     buf.extend_from_slice(&header.elapsed_micros.to_le_bytes());
     buf.extend_from_slice(&header.iterations.to_le_bytes());
     buf.push(header.value_kind as u8);
     buf.extend_from_slice(&header.checksum.to_le_bytes());
     buf.extend_from_slice(&header.num_values.to_le_bytes());
+}
+
+/// Fields of a successful UPDATE response: the state of the newly published
+/// snapshot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UpdateOkReply {
+    /// Version of the snapshot this batch published.
+    pub snapshot_version: u64,
+    /// Edges in the published `(base ⊕ delta)` graph.
+    pub num_edges: u64,
+    /// Resolved edits still pending in the delta overlay (0 right after a
+    /// compaction).
+    pub delta_edges: u64,
+    /// Compactions performed since the server started.
+    pub compactions: u64,
+}
+
+/// Encode a successful UPDATE response.
+pub fn encode_update_ok(buf: &mut Vec<u8>, reply: &UpdateOkReply) {
+    buf.push(PROTOCOL_VERSION);
+    buf.push(Status::Ok as u8);
+    buf.extend_from_slice(&reply.snapshot_version.to_le_bytes());
+    buf.extend_from_slice(&reply.num_edges.to_le_bytes());
+    buf.extend_from_slice(&reply.delta_edges.to_le_bytes());
+    buf.extend_from_slice(&reply.compactions.to_le_bytes());
 }
 
 /// Encode a successful payload-carrying response (STATS).
@@ -583,6 +751,67 @@ mod tests {
         buf[3] = 0b1000_0000;
         assert_eq!(
             Request::decode(&buf).unwrap_err().status,
+            Status::BadRequest
+        );
+    }
+
+    #[test]
+    fn update_request_round_trips() {
+        let req = UpdateRequest::new(vec![
+            EdgeEdit::insert(0, 7, 2.5),
+            EdgeEdit::delete(3, 4),
+            EdgeEdit::insert(7, 0, -1.0),
+        ]);
+        let mut buf = Vec::new();
+        req.encode(&mut buf);
+        assert_eq!(buf.len(), UPDATE_PREFIX_LEN + 3 * EDIT_RECORD_LEN);
+        assert_eq!(Request::decode(&buf), Ok(Request::Update(req)));
+    }
+
+    #[test]
+    fn malformed_update_bodies_are_typed_errors() {
+        let mut buf = Vec::new();
+        UpdateRequest::new(vec![EdgeEdit::insert(1, 2, 1.0)]).encode(&mut buf);
+
+        // zero-count batch
+        let mut empty = buf.clone();
+        empty[3..7].copy_from_slice(&0u32.to_le_bytes());
+        empty.truncate(UPDATE_PREFIX_LEN);
+        assert_eq!(
+            Request::decode(&empty).unwrap_err().status,
+            Status::BadRequest
+        );
+        // truncated prefix
+        assert_eq!(
+            Request::decode(&buf[..5]).unwrap_err().status,
+            Status::BadRequest
+        );
+        // count disagrees with the body length
+        let mut wrong_count = buf.clone();
+        wrong_count[3..7].copy_from_slice(&2u32.to_le_bytes());
+        assert_eq!(
+            Request::decode(&wrong_count).unwrap_err().status,
+            Status::BadRequest
+        );
+        // trailing junk
+        let mut trailing = buf.clone();
+        trailing.push(0);
+        assert_eq!(
+            Request::decode(&trailing).unwrap_err().status,
+            Status::BadRequest
+        );
+        // undefined flag bits
+        let mut flagged = buf.clone();
+        flagged[2] = 0b0000_0100;
+        assert_eq!(
+            Request::decode(&flagged).unwrap_err().status,
+            Status::BadRequest
+        );
+        // unknown edit op byte
+        let mut bad_op = buf.clone();
+        bad_op[UPDATE_PREFIX_LEN] = 9;
+        assert_eq!(
+            Request::decode(&bad_op).unwrap_err().status,
             Status::BadRequest
         );
     }

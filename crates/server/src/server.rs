@@ -438,12 +438,43 @@ fn connection_loop(mut stream: TcpStream, shared: &Shared) {
             }
             Request::Stats => {
                 shared.metrics.stats_requests.fetch_add(1, Relaxed);
-                let topology = shared.service.topology();
-                let json = shared
-                    .metrics
-                    .to_json(topology.num_vertices() as u64, topology.num_edges() as u64);
+                let store = shared.service.store().stats();
+                let json = shared.metrics.to_json(
+                    shared.service.topology().num_vertices() as u64,
+                    store.num_edges as u64,
+                    store.version,
+                    store.delta_edges as u64,
+                    store.compactions,
+                );
                 resp.clear();
                 protocol::encode_ok_payload(&mut resp, json.as_bytes());
+            }
+            Request::Update(update) => {
+                // Writers apply inline on the connection thread: the store
+                // serializes them on its writer lock and publishing never
+                // blocks readers, so there is nothing to queue. In-flight
+                // runs keep the snapshot they were admitted against.
+                let edits = update.edits.len() as u64;
+                resp.clear();
+                match shared.service.apply_update(&update) {
+                    Ok(stats) => {
+                        shared.metrics.updates.fetch_add(1, Relaxed);
+                        shared.metrics.update_edits.fetch_add(edits, Relaxed);
+                        protocol::encode_update_ok(
+                            &mut resp,
+                            &protocol::UpdateOkReply {
+                                snapshot_version: stats.version,
+                                num_edges: stats.num_edges as u64,
+                                delta_edges: stats.delta_edges as u64,
+                                compactions: stats.compactions,
+                            },
+                        );
+                    }
+                    Err((status, message)) => {
+                        shared.metrics.update_failed.fetch_add(1, Relaxed);
+                        protocol::encode_error(&mut resp, status, &message);
+                    }
+                }
             }
             Request::Shutdown => {
                 resp.clear();

@@ -10,39 +10,109 @@
 //! per-query allocation: the run writes into a recycled state and the
 //! response is encoded into the connection's reused buffer.
 
-use crate::protocol::{self, Fnv64, RunOkHeader, RunRequest, Status, ValueKind};
-use graphmat_algorithms::bfs::bfs_into;
-use graphmat_algorithms::connected_components::connected_components_into;
-use graphmat_algorithms::degree::in_degrees_into;
-use graphmat_algorithms::pagerank::{pagerank_into, PageRankConfig, PageRankVertex};
-use graphmat_algorithms::sssp::sssp_into;
-use graphmat_core::{GraphMatError, Session, StatePool, Topology};
+use crate::protocol::{self, Fnv64, RunOkHeader, RunRequest, Status, UpdateRequest, ValueKind};
+use graphmat_algorithms::bfs::bfs_view_into;
+use graphmat_algorithms::connected_components::connected_components_view_into;
+use graphmat_algorithms::degree::in_degrees_view_into;
+use graphmat_algorithms::pagerank::{pagerank_view_into, PageRankConfig, PageRankVertex};
+use graphmat_algorithms::sssp::sssp_view_into;
+use graphmat_core::{
+    GraphMatError, GraphSnapshot, GraphStore, Session, StatePool, StoreOptions, StoreStats,
+    Topology,
+};
+use graphmat_delta::DeltaBatch;
 use std::sync::Arc;
 use std::time::Instant;
 
 use crate::protocol::Algorithm;
 
 /// The resident graph plus the session that runs queries against it.
+///
+/// The graph lives in a [`GraphStore`]: queries are admitted against the
+/// currently published immutable snapshot (base topology ⊕ delta overlay),
+/// UPDATE batches publish new snapshots without blocking readers, and a
+/// background worker compacts the overlay into a fresh base topology when it
+/// grows past the store threshold. Version 0 serves the topology passed to
+/// [`GraphService::new`] verbatim.
 pub struct GraphService {
     session: Session,
     topology: Arc<Topology<f32>>,
+    store: Arc<GraphStore<f32>>,
 }
 
 impl GraphService {
-    /// Wrap a session and a pre-built topology.
+    /// Wrap a session and a pre-built topology (default store options:
+    /// background compaction).
     pub fn new(session: Session, topology: Arc<Topology<f32>>) -> GraphService {
-        GraphService { session, topology }
+        GraphService::with_store_options(session, topology, StoreOptions::default())
     }
 
-    /// The resident topology (share it to compute expected results
-    /// out-of-band, e.g. in tests).
+    /// Wrap a session and a pre-built topology with explicit store tuning
+    /// (compaction threshold, background vs inline compaction).
+    pub fn with_store_options(
+        session: Session,
+        topology: Arc<Topology<f32>>,
+        options: StoreOptions,
+    ) -> GraphService {
+        let store = GraphStore::new(Arc::clone(&topology), options);
+        GraphService {
+            session,
+            topology,
+            store,
+        }
+    }
+
+    /// The topology the service was started with — the version-0 snapshot
+    /// base (share it to compute expected results out-of-band, e.g. in
+    /// tests). After UPDATE batches, the *live* graph is
+    /// [`GraphService::snapshot`].
     pub fn topology(&self) -> &Arc<Topology<f32>> {
         &self.topology
+    }
+
+    /// The streaming store holding the published snapshot.
+    pub fn store(&self) -> &Arc<GraphStore<f32>> {
+        &self.store
+    }
+
+    /// The currently published immutable snapshot.
+    pub fn snapshot(&self) -> Arc<GraphSnapshot<f32>> {
+        self.store.snapshot()
     }
 
     /// The session queries run through.
     pub fn session(&self) -> &Session {
         &self.session
+    }
+
+    /// Apply one UPDATE batch: validates every edit against the vertex
+    /// count, publishes a new snapshot on success, and returns its stats.
+    /// In-flight queries keep the snapshot they were admitted against.
+    pub fn apply_update(&self, request: &UpdateRequest) -> Result<StoreStats, (Status, String)> {
+        let num_vertices = self.topology.num_vertices();
+        let mut batch = DeltaBatch::new(num_vertices);
+        for edit in &request.edits {
+            let result = if edit.insert {
+                batch.insert(edit.src, edit.dst, edit.weight)
+            } else {
+                batch.delete(edit.src, edit.dst)
+            };
+            if let Err(err) = result {
+                return Err((Status::BadRequest, err.to_string()));
+            }
+        }
+        match self.store.apply(batch) {
+            // Report the snapshot *this* batch published, not the current
+            // one — a concurrent writer may already have published a later
+            // version.
+            Ok(snapshot) => Ok(StoreStats {
+                version: snapshot.version(),
+                num_edges: snapshot.num_edges(),
+                delta_edges: snapshot.delta_len(),
+                compactions: self.store.compactions(),
+            }),
+            Err(err) => Err((Status::ServerError, err.to_string())),
+        }
     }
 }
 
@@ -105,9 +175,11 @@ fn error_reply(buf: &mut Vec<u8>, err: &GraphMatError) -> Status {
 /// Encode a successful run: header with checksum, then (if requested) the
 /// raw little-endian values. Two passes over the same iterator — one for
 /// the checksum that precedes the values on the wire, one to copy them.
+#[allow(clippy::too_many_arguments)]
 fn ok_reply<const N: usize, I>(
     buf: &mut Vec<u8>,
     request: &RunRequest,
+    snapshot_version: u64,
     elapsed: Instant,
     iterations: usize,
     value_kind: ValueKind,
@@ -124,6 +196,7 @@ where
     protocol::encode_run_ok_header(
         buf,
         &RunOkHeader {
+            snapshot_version,
             elapsed_micros: elapsed.elapsed().as_micros() as u64,
             iterations: iterations as u32,
             value_kind,
@@ -144,6 +217,13 @@ where
 /// full response (success or typed error) into `buf`. Returns the status
 /// for metrics accounting. Never panics on request content — bad seeds and
 /// engine errors all become typed error responses.
+///
+/// The request is **admitted against the snapshot published at this
+/// moment**: the run keeps that snapshot for its whole execution even if
+/// UPDATE batches or a compaction publish newer ones mid-run (snapshot
+/// isolation). With an empty delta this is one `RwLock` read + `Arc` clone
+/// on top of the plain topology path — the steady-state read path still
+/// allocates nothing per query (`tests/zero_alloc.rs`).
 pub fn execute_run(
     service: &GraphService,
     states: &mut WorkerStates,
@@ -151,8 +231,10 @@ pub fn execute_run(
     deadline: Option<Instant>,
     buf: &mut Vec<u8>,
 ) -> Status {
-    let topology = service.topology();
-    let num_vertices = topology.num_vertices() as u64;
+    let snapshot = service.snapshot();
+    let version = snapshot.version();
+    let view = snapshot.view();
+    let num_vertices = view.num_vertices() as u64;
     if matches!(request.algorithm, Algorithm::Bfs | Algorithm::Sssp) && request.seed >= num_vertices
     {
         protocol::encode_error(
@@ -177,11 +259,12 @@ pub fn execute_run(
                 ..Default::default()
             };
             let mut state = states.pagerank.acquire();
-            let outcome = pagerank_into(&service.session, topology, &config, deadline, &mut state);
+            let outcome = pagerank_view_into(&service.session, view, &config, deadline, &mut state);
             let status = match outcome {
                 Ok(result) => ok_reply(
                     buf,
                     request,
+                    version,
                     start,
                     result.stats.iterations,
                     ValueKind::F64,
@@ -195,9 +278,9 @@ pub fn execute_run(
         }
         Algorithm::Bfs => {
             let mut state = states.bfs.acquire();
-            let outcome = bfs_into(
+            let outcome = bfs_view_into(
                 &service.session,
-                topology,
+                view,
                 request.seed as u32,
                 deadline,
                 &mut state,
@@ -206,6 +289,7 @@ pub fn execute_run(
                 Ok(result) => ok_reply(
                     buf,
                     request,
+                    version,
                     start,
                     result.stats.iterations,
                     ValueKind::U32,
@@ -219,9 +303,9 @@ pub fn execute_run(
         }
         Algorithm::Sssp => {
             let mut state = states.sssp.acquire();
-            let outcome = sssp_into(
+            let outcome = sssp_view_into(
                 &service.session,
-                topology,
+                view,
                 request.seed as u32,
                 deadline,
                 &mut state,
@@ -230,6 +314,7 @@ pub fn execute_run(
                 Ok(result) => ok_reply(
                     buf,
                     request,
+                    version,
                     start,
                     result.stats.iterations,
                     ValueKind::F32,
@@ -244,11 +329,12 @@ pub fn execute_run(
         Algorithm::ConnectedComponents => {
             let mut state = states.components.acquire();
             let outcome =
-                connected_components_into(&service.session, topology, deadline, &mut state);
+                connected_components_view_into(&service.session, view, deadline, &mut state);
             let status = match outcome {
                 Ok(result) => ok_reply(
                     buf,
                     request,
+                    version,
                     start,
                     result.stats.iterations,
                     ValueKind::U32,
@@ -262,11 +348,12 @@ pub fn execute_run(
         }
         Algorithm::InDegrees => {
             let mut state = states.in_degrees.acquire();
-            let outcome = in_degrees_into(&service.session, topology, deadline, &mut state);
+            let outcome = in_degrees_view_into(&service.session, view, deadline, &mut state);
             let status = match outcome {
                 Ok(result) => ok_reply(
                     buf,
                     request,
+                    version,
                     start,
                     result.stats.iterations,
                     ValueKind::U64,

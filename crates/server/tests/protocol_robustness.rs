@@ -5,8 +5,10 @@
 
 use graphmat_core::Session;
 use graphmat_io::rmat::RmatConfig;
-use graphmat_server::protocol::{opcode, PROTOCOL_VERSION};
-use graphmat_server::{Algorithm, Client, GraphService, RunRequest, Server, ServerConfig, Status};
+use graphmat_server::protocol::{opcode, UpdateRequest, PROTOCOL_VERSION};
+use graphmat_server::{
+    Algorithm, Client, EdgeEdit, GraphService, RunRequest, Server, ServerConfig, Status,
+};
 use std::time::Duration;
 
 fn start_server() -> Server {
@@ -155,6 +157,90 @@ fn truncated_frame_times_out_and_disconnects() {
     assert!(
         client.expect_eof(),
         "server must drop a connection stalled mid-frame"
+    );
+    let mut fresh = Client::connect(server.local_addr()).unwrap();
+    fresh.ping().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn malformed_update_bodies_are_typed_errors_and_do_not_corrupt_the_snapshot() {
+    let server = start_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Reference result against the untouched version-0 snapshot.
+    let baseline = client
+        .run(&RunRequest::new(Algorithm::ConnectedComponents))
+        .unwrap();
+    assert_eq!(baseline.snapshot_version, 0);
+
+    // Zero-length batch (count == 0).
+    let reply = client
+        .raw_round_trip(&[PROTOCOL_VERSION, opcode::UPDATE, 0, 0, 0, 0, 0])
+        .unwrap();
+    assert_eq!(status_of(&reply), Status::BadRequest);
+
+    // Truncated prefix.
+    let reply = client
+        .raw_round_trip(&[PROTOCOL_VERSION, opcode::UPDATE, 0])
+        .unwrap();
+    assert_eq!(status_of(&reply), Status::BadRequest);
+
+    // Count that disagrees with the body length.
+    let mut body = Vec::new();
+    UpdateRequest::new(vec![EdgeEdit::insert(0, 1, 1.0)]).encode(&mut body);
+    body[3..7].copy_from_slice(&1000u32.to_le_bytes());
+    let reply = client.raw_round_trip(&body).unwrap();
+    assert_eq!(status_of(&reply), Status::BadRequest);
+
+    // Undefined flag bits.
+    let mut body = Vec::new();
+    UpdateRequest::new(vec![EdgeEdit::insert(0, 1, 1.0)]).encode(&mut body);
+    body[2] = 0b0000_0001;
+    let reply = client.raw_round_trip(&body).unwrap();
+    assert_eq!(status_of(&reply), Status::BadRequest);
+
+    // Unknown edit op byte.
+    let mut body = Vec::new();
+    UpdateRequest::new(vec![EdgeEdit::insert(0, 1, 1.0)]).encode(&mut body);
+    body[7] = 42;
+    let reply = client.raw_round_trip(&body).unwrap();
+    assert_eq!(status_of(&reply), Status::BadRequest);
+
+    // Well-formed frame, but the vertex ids are beyond the graph.
+    let reply = client
+        .update(&[EdgeEdit::insert(u32::MAX, 0, 1.0)])
+        .unwrap();
+    assert_eq!(reply.status, Status::BadRequest, "{}", reply.message);
+    let reply = client.update(&[EdgeEdit::delete(0, u32::MAX - 1)]).unwrap();
+    assert_eq!(reply.status, Status::BadRequest, "{}", reply.message);
+
+    // None of the rejected batches may have published a snapshot: the
+    // version is still 0 and queries reproduce the baseline bit-for-bit.
+    let after = client
+        .run(&RunRequest::new(Algorithm::ConnectedComponents))
+        .unwrap();
+    assert_eq!(after.snapshot_version, 0);
+    assert_eq!(after.checksum, baseline.checksum);
+
+    assert_connection_alive(&mut client);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_update_frame_gets_error_then_disconnect() {
+    let server = start_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    // An UPDATE whose claimed body exceeds MAX_FRAME_LEN: rejected at the
+    // framing layer before any edit bytes are read.
+    client
+        .raw_write(&((graphmat_server::protocol::MAX_FRAME_LEN as u32) + 1).to_le_bytes())
+        .unwrap();
+    let reply = client.raw_read().unwrap();
+    assert_eq!(status_of(&reply), Status::BadRequest);
+    assert!(
+        client.expect_eof(),
+        "server must close after a bogus prefix"
     );
     let mut fresh = Client::connect(server.local_addr()).unwrap();
     fresh.ping().unwrap();

@@ -27,6 +27,9 @@
 //!   row-parallel dense-pull kernel.
 //! * [`spmm`] — (masked) sparse matrix–matrix multiplication, needed by the
 //!   CombBLAS-style triangle-counting baseline.
+//! * [`overlay`] — sorted delta overlays (pending edge edits) and the merged
+//!   `base ⊕ overlay` SpMV used by the streaming-update layer; reduction
+//!   order matches a from-scratch rebuild bit for bit.
 //!
 //! The crate is deliberately free of graph-level concepts: it only knows about
 //! matrices, vectors and partitions. `graphmat-core` builds the vertex-program
@@ -43,6 +46,7 @@ pub mod bitvec;
 pub mod coo;
 pub mod csr;
 pub mod dcsc;
+pub mod overlay;
 pub mod parallel;
 pub mod partition;
 pub mod pull;

@@ -108,6 +108,7 @@
 pub use graphmat_algorithms as algorithms;
 pub use graphmat_baselines as baselines;
 pub use graphmat_core as core;
+pub use graphmat_delta as delta;
 pub use graphmat_io as io;
 pub use graphmat_perf as perf;
 pub use graphmat_server as server;
@@ -115,29 +116,33 @@ pub use graphmat_sparse as sparse;
 
 /// Commonly used types for writing and running vertex programs.
 pub mod prelude {
-    pub use graphmat_algorithms::bfs::{bfs, bfs_on, BfsConfig};
+    pub use graphmat_algorithms::bfs::{bfs, bfs_on, bfs_view, BfsConfig};
     pub use graphmat_algorithms::collaborative_filtering::{
         collaborative_filtering, collaborative_filtering_on, rmse, CfConfig,
     };
     pub use graphmat_algorithms::connected_components::{
-        component_count, connected_components, connected_components_on, CcConfig,
+        component_count, connected_components, connected_components_on, connected_components_view,
+        CcConfig,
     };
     pub use graphmat_algorithms::degree::{in_degrees, in_degrees_on, out_degrees, out_degrees_on};
     pub use graphmat_algorithms::delta_pagerank::{
-        delta_pagerank, delta_pagerank_on, DeltaPageRankConfig,
+        delta_pagerank, delta_pagerank_into, delta_pagerank_on, delta_pagerank_view,
+        DeltaPageRankConfig, StreamingPageRank,
     };
-    pub use graphmat_algorithms::pagerank::{pagerank, pagerank_on, PageRankConfig};
+    pub use graphmat_algorithms::pagerank::{pagerank, pagerank_on, pagerank_view, PageRankConfig};
     pub use graphmat_algorithms::sssp::{sssp, sssp_on, SsspConfig};
     pub use graphmat_algorithms::triangle_count::{
         total_triangles, triangle_count, triangle_count_on, TriangleCountConfig,
     };
     pub use graphmat_algorithms::AlgorithmOutput;
     pub use graphmat_core::{
-        run_graph_program, run_program, ActivityPolicy, Backend, DispatchMode, EdgeDirection,
-        Graph, GraphBuildOptions, GraphMatError, GraphProgram, RunOptions, RunOutcome, RunResult,
-        RunStats, Session, SessionOptions, SuperstepStats, Topology, VectorKind, VertexId,
+        run_graph_program, run_program, run_program_view, ActivityPolicy, Backend, DispatchMode,
+        EdgeDirection, Graph, GraphBuildOptions, GraphMatError, GraphProgram, GraphSnapshot,
+        GraphStore, GraphView, RunOptions, RunOutcome, RunResult, RunStats, Session,
+        SessionOptions, StoreOptions, StoreStats, SuperstepStats, Topology, VectorKind, VertexId,
         VertexState, DEFAULT_PULL_ALPHA,
     };
+    pub use graphmat_delta::{DeltaBatch, DeltaError, UpdateOp};
     pub use graphmat_io::bipartite::BipartiteConfig;
     pub use graphmat_io::edgelist::{EdgeList, EdgeWeight};
     pub use graphmat_io::grid::GridConfig;

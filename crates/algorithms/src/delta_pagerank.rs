@@ -678,6 +678,7 @@ mod tests {
             StoreOptions {
                 compaction_threshold: usize::MAX,
                 background: false,
+                overload_watermark: usize::MAX,
             },
         );
         let n = el.num_vertices();
@@ -715,6 +716,7 @@ mod tests {
                 // base rebuild too.
                 compaction_threshold: 4,
                 background: false,
+                overload_watermark: usize::MAX,
             },
         );
         let cfg = DeltaPageRankConfig {

@@ -1,7 +1,7 @@
 //! The repo lints, evaluated over a [`crate::lexer::Lexed`] view pair.
 //!
-//! Four lint classes guard the invariants the engine's unsafe concurrency
-//! core and perf discipline depend on:
+//! Five lint classes guard the invariants the engine's unsafe concurrency
+//! core, recovery paths and perf discipline depend on:
 //!
 //! * [`LintId::SafetyComment`] — every `unsafe` (block, fn, impl, trait)
 //!   must carry a `// SAFETY:` comment (or a `# Safety` doc section for
@@ -20,6 +20,11 @@
 //!   (where it is recorded once per superstep), never inside the SpMV/SEND
 //!   inner loops where a clock read per row would poison both the numbers
 //!   and the performance being measured.
+//! * [`LintId::RecoveryComment`] — every `catch_unwind` in non-test
+//!   library code must carry a `// RECOVERY:` comment stating what state
+//!   the unwind may have corrupted and how the recovery path contains it.
+//!   Panic isolation that doesn't say what it isolates is how half-written
+//!   state leaks back into a pool.
 //!
 //! # Waivers
 //!
@@ -47,6 +52,8 @@ pub enum LintId {
     NoPrintln,
     /// `Instant::now()` inside a superstep kernel module.
     NoInstantInKernel,
+    /// `catch_unwind` without a `// RECOVERY:` comment.
+    RecoveryComment,
 }
 
 impl LintId {
@@ -57,6 +64,7 @@ impl LintId {
             LintId::NoUnwrap => "no-unwrap",
             LintId::NoPrintln => "no-println",
             LintId::NoInstantInKernel => "no-instant-in-kernel",
+            LintId::RecoveryComment => "recovery-comment",
         }
     }
 
@@ -67,17 +75,19 @@ impl LintId {
             "no-unwrap" => Some(LintId::NoUnwrap),
             "no-println" => Some(LintId::NoPrintln),
             "no-instant-in-kernel" => Some(LintId::NoInstantInKernel),
+            "recovery-comment" => Some(LintId::RecoveryComment),
             _ => None,
         }
     }
 
     /// All lint ids, for `--list`.
-    pub fn all() -> [LintId; 4] {
+    pub fn all() -> [LintId; 5] {
         [
             LintId::SafetyComment,
             LintId::NoUnwrap,
             LintId::NoPrintln,
             LintId::NoInstantInKernel,
+            LintId::RecoveryComment,
         ]
     }
 
@@ -97,6 +107,11 @@ impl LintId {
             LintId::NoInstantInKernel => {
                 "no Instant::now() inside superstep kernel modules (time at \
                  engine phase boundaries, not in inner loops)"
+            }
+            LintId::RecoveryComment => {
+                "every `catch_unwind` in library code needs a `// RECOVERY:` \
+                 comment stating what state the unwind may have corrupted \
+                 and how the recovery path contains it"
             }
         }
     }
@@ -135,6 +150,7 @@ pub fn lint_source(source: &str, class: FileClass) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     safety_comment_lint(&code_lines, &comment_lines, &mut out);
     if !class.exempt_from_lib_lints {
+        recovery_comment_lint(&code_lines, &comment_lines, &test_lines, &mut out);
         pattern_lint(
             LintId::NoUnwrap,
             &[".unwrap()", ".expect(", "panic!", "todo!", "unimplemented!"],
@@ -167,14 +183,26 @@ pub fn lint_source(source: &str, class: FileClass) -> Vec<Diagnostic> {
 }
 
 /// Mark every line inside a `#[cfg(test)]` item's braces as test code.
+///
+/// Also recognizes compound gates like `#[cfg(all(test, feature = "x"))]`
+/// — feature-gated test modules (the chaos crate's) are still test code.
 fn cfg_test_lines(lexed: &Lexed, nlines: usize) -> Vec<bool> {
     let mut test = vec![false; nlines];
+    for needle in ["cfg(test)", "cfg(all(test,"] {
+        mark_test_region(lexed, needle, &mut test);
+    }
+    test
+}
+
+/// Mark the brace-delimited item following each occurrence of `needle`.
+fn mark_test_region(lexed: &Lexed, needle: &str, test: &mut [bool]) {
+    let nlines = test.len();
     let code = lexed.code.as_bytes();
     let mut search_from = 0usize;
-    while let Some(found) = find_from(&lexed.code, "cfg(test)", search_from) {
+    while let Some(found) = find_from(&lexed.code, needle, search_from) {
         search_from = found + 1;
         // Find the item's opening brace; a `;` first means no inline body.
-        let mut i = found + "cfg(test)".len();
+        let mut i = found + needle.len();
         let mut open = None;
         while i < code.len() {
             match code[i] {
@@ -211,7 +239,6 @@ fn cfg_test_lines(lexed: &Lexed, nlines: usize) -> Vec<bool> {
         }
         search_from = close;
     }
-    test
 }
 
 /// 0-based line number of byte offset `at`.
@@ -371,10 +398,73 @@ fn safety_comment_lint(code_lines: &[&str], comment_lines: &[&str], out: &mut Ve
 /// through the contiguous block of comments, attributes and other unsafe
 /// lines above it.
 fn has_safety_annotation(code_lines: &[&str], comment_lines: &[&str], i: usize) -> bool {
+    has_annotation(
+        code_lines,
+        comment_lines,
+        i,
+        &["SAFETY", "# Safety"],
+        "unsafe",
+    )
+}
+
+/// The RECOVERY lint: every `catch_unwind` in non-test library code must be
+/// covered by a `// RECOVERY:` comment explaining what the unwind may have
+/// corrupted and how the recovery path contains it — the comment is the
+/// contract that keeps panic isolation honest.
+fn recovery_comment_lint(
+    code_lines: &[&str],
+    comment_lines: &[&str],
+    test_lines: &[bool],
+    out: &mut Vec<Diagnostic>,
+) {
+    for (i, code) in code_lines.iter().enumerate() {
+        if test_lines.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        if !contains_word(code, "catch_unwind") {
+            continue;
+        }
+        // Importing the symbol is not a panic-isolation site.
+        let trimmed = code.trim_start();
+        if trimmed.starts_with("use ") || trimmed.starts_with("pub use ") {
+            continue;
+        }
+        if has_annotation(code_lines, comment_lines, i, &["RECOVERY"], "catch_unwind") {
+            continue;
+        }
+        match waiver(code_lines, comment_lines, i, LintId::RecoveryComment) {
+            Some(true) => continue,
+            Some(false) => out.push(Diagnostic {
+                lint: LintId::RecoveryComment,
+                line: i + 1,
+                message: "audit:allow(recovery-comment) without a justification".into(),
+            }),
+            None => out.push(Diagnostic {
+                lint: LintId::RecoveryComment,
+                line: i + 1,
+                message: "`catch_unwind` without a `// RECOVERY:` comment \
+                          documenting what the unwind may corrupt and how \
+                          recovery contains it"
+                    .into(),
+            }),
+        }
+    }
+}
+
+/// Does one of `markers` cover line `i` (0-based)? Same line, or walking up
+/// through the contiguous block of comments, attributes and sibling lines
+/// containing `sibling_word` above it.
+fn has_annotation(
+    code_lines: &[&str],
+    comment_lines: &[&str],
+    i: usize,
+    markers: &[&str],
+    sibling_word: &str,
+) -> bool {
     let marked = |l: usize| {
         comment_lines
             .get(l)
-            .map(|t| t.contains("SAFETY") || t.contains("# Safety"))
+            .map(|t| markers.iter().any(|m| t.contains(m)))
             .unwrap_or(false)
     };
     if marked(i) {
@@ -394,11 +484,11 @@ fn has_safety_annotation(code_lines: &[&str], comment_lines: &[&str], i: usize) 
         let is_blank = code.is_empty() && comment.is_empty();
         let is_comment_only = code.is_empty() && !comment.is_empty();
         let is_attribute = code.starts_with('#');
-        let is_unsafe_sibling = contains_word(code, "unsafe");
+        let is_sibling = contains_word(code, sibling_word);
         if is_blank {
             return false;
         }
-        if is_comment_only || is_attribute || is_unsafe_sibling {
+        if is_comment_only || is_attribute || is_sibling {
             continue;
         }
         return false;
@@ -457,6 +547,47 @@ mod tests {
         assert!(lint_lib(src)
             .iter()
             .all(|d| d.lint != LintId::NoInstantInKernel));
+    }
+
+    #[test]
+    fn seeded_catch_unwind_without_recovery_fires() {
+        let src = "pub fn f() {\n    let _ = std::panic::catch_unwind(|| 1);\n}\n";
+        let diags = lint_lib(src);
+        assert!(has(&diags, LintId::RecoveryComment, 2), "{diags:?}");
+    }
+
+    #[test]
+    fn recovery_comment_above_catch_unwind_is_accepted() {
+        let src = "pub fn f() {\n    // RECOVERY: the closure owns no shared state; an unwind\n    // leaves nothing to contain.\n    let _ = std::panic::catch_unwind(|| 1);\n}\n";
+        let diags = lint_lib(src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn catch_unwind_in_tests_is_exempt_from_recovery() {
+        let src = "pub fn lib() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let _ = std::panic::catch_unwind(|| 1);\n    }\n}\n";
+        let diags = lint_lib(src);
+        assert!(diags.is_empty(), "{diags:?}");
+        let class = FileClass {
+            exempt_from_lib_lints: true,
+            kernel: false,
+        };
+        let bin = "fn main() {\n    let _ = std::panic::catch_unwind(|| 1);\n}\n";
+        assert!(lint_source(bin, class).is_empty());
+    }
+
+    #[test]
+    fn importing_catch_unwind_needs_no_recovery_comment() {
+        let src = "use std::panic::{catch_unwind, AssertUnwindSafe};\n\npub fn f() {\n    // RECOVERY: nothing shared.\n    let _ = catch_unwind(|| 1);\n}\n";
+        let diags = lint_lib(src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn feature_gated_test_module_is_exempt() {
+        let src = "pub fn lib() {}\n\n#[cfg(all(test, feature = \"chaos\"))]\nmod tests {\n    #[test]\n    fn t() {\n        let _ = std::panic::catch_unwind(|| Some(1).unwrap());\n        println!(\"ok\");\n    }\n}\n";
+        let diags = lint_lib(src);
+        assert!(diags.is_empty(), "{diags:?}");
     }
 
     // --- the annotations that silence each lint -------------------------

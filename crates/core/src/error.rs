@@ -54,6 +54,23 @@ pub enum GraphMatError {
     /// delta-PageRank tolerance). The payload names the parameter and the
     /// constraint it violated.
     InvalidParameter(&'static str),
+    /// The store's pending-delta high-watermark
+    /// ([`crate::store::StoreOptions::overload_watermark`]) was reached:
+    /// compaction is not keeping up with ingest, so the write was rejected
+    /// to shed load instead of growing the overlay without bound. Reads are
+    /// unaffected — the last published snapshot keeps serving — and writes
+    /// succeed again once compaction drains the backlog.
+    Overloaded {
+        /// Effective pending ops in the published overlay when the write
+        /// arrived.
+        pending: usize,
+        /// The configured high-watermark that was hit.
+        watermark: usize,
+    },
+    /// An internal invariant failed mid-operation (today: only
+    /// chaos-injected faults from `graphmat-chaos` failpoints). The
+    /// operation had no effect; the payload names the failure site.
+    Internal(&'static str),
     /// The run's deadline ([`crate::options::RunOptions::deadline`]) passed
     /// before the program converged or hit its iteration limit. The deadline
     /// is checked between supersteps, so the overrun is at most one
@@ -105,6 +122,13 @@ impl std::fmt::Display for GraphMatError {
                  back to push, or rebuild the topology with pull mirrors)"
             ),
             GraphMatError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            GraphMatError::Overloaded { pending, watermark } => write!(
+                f,
+                "store overloaded: {pending} pending delta ops at or past the write \
+                 high-watermark of {watermark}; the write was rejected (reads keep \
+                 serving; retry after compaction drains the backlog)"
+            ),
+            GraphMatError::Internal(site) => write!(f, "internal error: {site}"),
             GraphMatError::DeadlineExceeded => write!(
                 f,
                 "run deadline exceeded before the program finished (the deadline is \

@@ -33,6 +33,7 @@ pub struct StatePool<V> {
     num_vertices: usize,
     created: usize,
     reused: usize,
+    quarantined: usize,
 }
 
 impl<V: Clone + Default> StatePool<V> {
@@ -43,6 +44,7 @@ impl<V: Clone + Default> StatePool<V> {
             num_vertices,
             created: 0,
             reused: 0,
+            quarantined: 0,
         }
     }
 
@@ -79,6 +81,18 @@ impl<V: Clone + Default> StatePool<V> {
         }
     }
 
+    /// Quarantine a state instead of recycling it: drop it on the floor and
+    /// count it. A run that panicked mid-superstep may leave its state (and
+    /// the workspace cached inside it) half-written; recycling it would hand
+    /// the corruption to an unrelated future query, so panic-isolation
+    /// wrappers retire the state here and let the pool re-allocate. The
+    /// counter makes leak accounting possible: after recovery,
+    /// `created == reused-misses + quarantined + available + in-flight`.
+    pub fn quarantine(&mut self, state: VertexState<V>) {
+        drop(state);
+        self.quarantined += 1;
+    }
+
     /// Number of states this pool has allocated so far. Constant after
     /// warm-up ⇔ steady-state serving allocates no per-query state.
     pub fn created(&self) -> usize {
@@ -88,6 +102,12 @@ impl<V: Clone + Default> StatePool<V> {
     /// Number of acquisitions served by recycling instead of allocation.
     pub fn reused(&self) -> usize {
         self.reused
+    }
+
+    /// Number of possibly-corrupt states retired via
+    /// [`StatePool::quarantine`] instead of recycled.
+    pub fn quarantined(&self) -> usize {
+        self.quarantined
     }
 
     /// Number of states currently parked in the pool.
@@ -183,5 +203,21 @@ mod tests {
         let mut pool: StatePool<u32> = StatePool::new(8);
         pool.release(VertexState::new(5));
         assert_eq!(pool.available(), 0);
+    }
+
+    #[test]
+    fn quarantined_state_is_retired_not_recycled() {
+        let mut pool: StatePool<u32> = StatePool::new(8);
+        let a = pool.acquire();
+        let b = pool.acquire();
+        pool.quarantine(a);
+        pool.release(b);
+        assert_eq!(pool.quarantined(), 1);
+        assert_eq!(pool.available(), 1, "quarantined state must not be pooled");
+        // The next burst re-allocates only what was quarantined.
+        let _c = pool.acquire();
+        let _d = pool.acquire();
+        assert_eq!(pool.reused(), 1);
+        assert_eq!(pool.created(), 3);
     }
 }

@@ -1100,6 +1100,7 @@ mod tests {
             StoreOptions {
                 compaction_threshold: usize::MAX,
                 background: false,
+                overload_watermark: usize::MAX,
             },
         );
         let batch = DeltaBatch::from_ops(

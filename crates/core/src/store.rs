@@ -46,6 +46,7 @@
 //! ascending-source order a rebuild would, query results are bit-for-bit
 //! identical before and after a compaction.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, Weak};
 use std::thread::JoinHandle;
@@ -66,11 +67,14 @@ pub const DEFAULT_COMPACTION_THRESHOLD: usize = 4096;
 
 /// Lock a store mutex, shrugging off poisoning. Safe for every mutex in the
 /// store: the signal holds two independent flags, the worker slot a single
-/// `Option`, and the writer state is a log that only ever *grows* under the
-/// lock — a panic mid-`apply` leaves an admitted-but-unpublished batch in
-/// the log, which the next successful publish folds in (at-least-once
-/// publication, never torn state). The store must keep serving reads even
-/// if one writer thread panicked.
+/// `Option`, and the writer state is only ever mutated at the *commit
+/// point* of `apply`/`compact_locked` — everything fallible (overlay
+/// compilation, topology rebuild) runs first, against immutable reads of
+/// the writer state. A panic mid-`apply` therefore leaves the log exactly
+/// as it was: the failed batch is gone without trace (exactly-once
+/// publication, never torn state), and the next writer proceeds as if the
+/// panicked one had never arrived. The store must keep serving reads and
+/// accepting writes even if one writer thread panicked.
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     match m.lock() {
         Ok(guard) => guard,
@@ -106,6 +110,13 @@ pub struct StoreOptions {
     /// Run compaction on a dedicated background thread instead of inline in
     /// the `apply` call that crosses the threshold.
     pub background: bool,
+    /// Reject writes with [`GraphMatError::Overloaded`] while the published
+    /// overlay holds at least this many effective pending ops. This is the
+    /// ingest-storm relief valve: when compaction cannot keep up, writes
+    /// degrade (callers see a typed, retryable rejection) instead of the
+    /// overlay — and resolve cost, and memory — growing without bound.
+    /// Reads are never affected. `usize::MAX` disables the watermark.
+    pub overload_watermark: usize,
 }
 
 impl Default for StoreOptions {
@@ -113,6 +124,7 @@ impl Default for StoreOptions {
         StoreOptions {
             compaction_threshold: DEFAULT_COMPACTION_THRESHOLD,
             background: true,
+            overload_watermark: usize::MAX,
         }
     }
 }
@@ -183,6 +195,12 @@ pub struct StoreStats {
     pub delta_edges: usize,
     /// Compactions performed since the store was created.
     pub compactions: u64,
+    /// Compaction attempts that panicked (each one left the last published
+    /// snapshot serving and the pending log intact).
+    pub compaction_failures: u64,
+    /// Times the background compaction lane restarted after a failure
+    /// (capped exponential backoff between restarts).
+    pub compaction_restarts: u64,
 }
 
 /// Mutable writer-side state, serialized behind one mutex. Readers never
@@ -216,6 +234,8 @@ pub struct GraphStore<E> {
     writer: Mutex<WriterState<E>>,
     options: StoreOptions,
     compactions: AtomicU64,
+    compaction_failures: AtomicU64,
+    compaction_restarts: AtomicU64,
     signal: Arc<(Mutex<Signal>, Condvar)>,
     worker: Mutex<Option<JoinHandle<()>>>,
 }
@@ -268,6 +288,8 @@ impl<E: Clone + Send + Sync + 'static> GraphStore<E> {
                 }),
                 options,
                 compactions: AtomicU64::new(0),
+                compaction_failures: AtomicU64::new(0),
+                compaction_restarts: AtomicU64::new(0),
                 signal,
                 worker: Mutex::new(worker),
             }
@@ -288,8 +310,13 @@ impl<E: Clone + Send + Sync + 'static> GraphStore<E> {
     /// # Errors
     ///
     /// [`GraphMatError::InvalidParameter`] when the batch is empty or sized
-    /// for a different vertex count than the stored graph. A failed `apply`
-    /// publishes nothing — the previous snapshot stays current.
+    /// for a different vertex count than the stored graph;
+    /// [`GraphMatError::Overloaded`] when the published overlay sits at or
+    /// past [`StoreOptions::overload_watermark`]. A failed `apply` — typed
+    /// error or panic — publishes nothing and leaves no trace of the batch
+    /// in the log (exactly-once): all fallible work runs before the batch
+    /// is committed, and the commit itself is two infallible pointer
+    /// updates.
     pub fn apply(&self, batch: DeltaBatch<E>) -> Result<Arc<GraphSnapshot<E>>> {
         if batch.is_empty() {
             return Err(GraphMatError::InvalidParameter(
@@ -303,11 +330,23 @@ impl<E: Clone + Send + Sync + 'static> GraphStore<E> {
                 "update batch vertex count does not match the stored graph",
             ));
         }
+        let pending_now = current.delta_len();
+        if pending_now >= self.options.overload_watermark {
+            return Err(GraphMatError::Overloaded {
+                pending: pending_now,
+                watermark: self.options.overload_watermark,
+            });
+        }
+        if graphmat_chaos::fire("store.apply.admit").is_some() {
+            return Err(GraphMatError::Internal("chaos failpoint store.apply.admit"));
+        }
 
         Self::materialize(&mut writer, &current.base);
-        writer.log.append(batch);
 
-        let resolved = writer.log.resolve();
+        // Compile the candidate overlay WITHOUT touching the log: the log
+        // stays exactly as it was until the commit point below, so a typed
+        // error or a panic anywhere in here aborts the batch cleanly.
+        let resolved = writer.log.resolve_with(&batch);
         let base = &current.base;
         let out_ranges = base.out_partition_ranges();
         let in_ranges = base.in_partition_ranges();
@@ -322,6 +361,11 @@ impl<E: Clone + Send + Sync + 'static> GraphStore<E> {
         // audit:allow(no-unwrap): `materialize` two statements up fills both
         // writer slots.
         let pair_index = writer.pair_index.as_ref().expect("materialized above");
+        if graphmat_chaos::fire("store.overlay.build").is_some() {
+            return Err(GraphMatError::Internal(
+                "chaos failpoint store.overlay.build",
+            ));
+        }
         let overlay = DeltaOverlay::build(&facts, pair_index, &resolved);
         let pending = overlay.len();
 
@@ -334,6 +378,12 @@ impl<E: Clone + Send + Sync + 'static> GraphStore<E> {
                 Some(Arc::new(overlay))
             },
         });
+
+        // Commit point. A `panic` action on this failpoint unwinds with the
+        // log still untouched — the poisoned-writer regression tests pin
+        // down that nothing of the batch survives.
+        let _ = graphmat_chaos::fire("store.apply.publish");
+        writer.log.append(batch);
         self.publish(Arc::clone(&snapshot));
 
         if pending >= self.options.compaction_threshold {
@@ -362,14 +412,19 @@ impl<E: Clone + Send + Sync + 'static> GraphStore<E> {
         }
         let current = self.snapshot();
         Self::materialize(writer, &current.base);
+        let _ = graphmat_chaos::fire("store.compact");
 
+        // Build the compacted base against a *copy* of the writer's edge
+        // list: the expensive, panic-prone work (topology rebuild) runs
+        // before any writer state changes, so a failed compaction leaves
+        // the pending log — and the published overlay snapshot — intact
+        // for a clean retry.
         let resolved = writer.log.resolve();
         // audit:allow(no-unwrap): `materialize` two statements up fills both
         // writer slots.
-        let edges = writer.base_edges.as_mut().expect("materialized above");
-        apply_resolved_to_edges(edges, &resolved);
-        writer.pair_index = Some(PairIndex::from_edges(edges));
-        writer.log.clear();
+        let mut edges = writer.base_edges.clone().expect("materialized above");
+        apply_resolved_to_edges(&mut edges, &resolved);
+        let pair_index = PairIndex::from_edges(&edges);
 
         let el = EdgeList::from_tuples(current.base.num_vertices(), edges.clone());
         let options = GraphBuildOptions::default()
@@ -378,6 +433,10 @@ impl<E: Clone + Send + Sync + 'static> GraphStore<E> {
             .with_pull_mirrors(current.base.has_pull_mirrors());
         let base = Arc::new(Topology::from_edge_list(&el, options));
 
+        // Commit point: plain moves and an atomic pointer swap.
+        writer.base_edges = Some(edges);
+        writer.pair_index = Some(pair_index);
+        writer.log.clear();
         // Same version: compaction changes the representation, not the graph.
         self.publish(Arc::new(GraphSnapshot {
             version: current.version,
@@ -413,12 +472,25 @@ impl<E> GraphStore<E> {
             num_edges: snap.num_edges(),
             delta_edges: snap.delta_len(),
             compactions: self.compactions.load(Ordering::Relaxed),
+            compaction_failures: self.compaction_failures.load(Ordering::Relaxed),
+            compaction_restarts: self.compaction_restarts.load(Ordering::Relaxed),
         }
     }
 
     /// Compactions performed since the store was created.
     pub fn compactions(&self) -> u64 {
         self.compactions.load(Ordering::Relaxed)
+    }
+
+    /// Compaction attempts that panicked (the published snapshot kept
+    /// serving through every one of them).
+    pub fn compaction_failures(&self) -> u64 {
+        self.compaction_failures.load(Ordering::Relaxed)
+    }
+
+    /// Times the background compaction lane restarted after a failure.
+    pub fn compaction_restarts(&self) -> u64 {
+        self.compaction_restarts.load(Ordering::Relaxed)
     }
 
     fn publish(&self, snapshot: Arc<GraphSnapshot<E>>) {
@@ -439,11 +511,19 @@ impl<E> Drop for GraphStore<E> {
     }
 }
 
+/// Base delay after the first failed compaction attempt; doubles per
+/// consecutive failure up to [`COMPACTION_BACKOFF_CAP_MS`].
+const COMPACTION_BACKOFF_BASE_MS: u64 = 50;
+/// Ceiling on the restart backoff, so a persistently failing compactor
+/// retries every few seconds instead of never.
+const COMPACTION_BACKOFF_CAP_MS: u64 = 5_000;
+
 fn compaction_worker<E: Clone + Send + Sync + 'static>(
     store: Weak<GraphStore<E>>,
     signal: Arc<(Mutex<Signal>, Condvar)>,
 ) {
     let (signal, cvar) = &*signal;
+    let mut consecutive_failures: u32 = 0;
     loop {
         {
             let mut guard = lock(signal);
@@ -460,12 +540,56 @@ fn compaction_worker<E: Clone + Send + Sync + 'static>(
         }
         // Upgrade only for the duration of one compaction; if the store is
         // gone the worker exits (Drop also signals shutdown, belt and braces).
-        match store.upgrade() {
-            Some(store) => {
-                store.compact_now();
+        let outcome = match store.upgrade() {
+            Some(strong) => {
+                // RECOVERY: a panicking compaction must not kill the lane.
+                // The last published snapshot keeps serving (compact_locked
+                // only publishes at its commit point, after all panic-prone
+                // work) and the pending log is intact, so the failure is
+                // counted, the lane backs off exponentially (capped), and
+                // the same backlog is retried — a logical lane restart,
+                // surfaced as `compaction_restarts`, with no thread churn.
+                // No state is quarantined: the writer mutex guards data that
+                // is only mutated post-commit, so nothing the panic touched
+                // survives.
+                let outcome = catch_unwind(AssertUnwindSafe(|| strong.compact_now()));
+                if outcome.is_err() {
+                    strong.compaction_failures.fetch_add(1, Ordering::Relaxed);
+                    strong.compaction_restarts.fetch_add(1, Ordering::Relaxed);
+                }
+                outcome
+                // `strong` drops here, before any backoff sleep: holding it
+                // across the sleep could make this thread the one that runs
+                // `GraphStore::drop` — which joins this thread.
             }
             None => return,
+        };
+        if outcome.is_ok() {
+            consecutive_failures = 0;
+            continue;
         }
+        let backoff_ms = COMPACTION_BACKOFF_BASE_MS
+            .saturating_mul(1u64 << consecutive_failures.min(10))
+            .min(COMPACTION_BACKOFF_CAP_MS);
+        consecutive_failures = consecutive_failures.saturating_add(1);
+        // Back off under the signal condvar so shutdown cuts the sleep
+        // short, then re-mark the backlog pending to retry it.
+        let mut guard = lock(signal);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(backoff_ms);
+        loop {
+            if guard.shutdown {
+                return;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                break;
+            }
+            guard = match cvar.wait_timeout(guard, deadline - now) {
+                Ok((guard, _)) => guard,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+        guard.pending = true;
     }
 }
 
@@ -500,6 +624,7 @@ mod tests {
             StoreOptions {
                 compaction_threshold: threshold,
                 background: false,
+                overload_watermark: usize::MAX,
             },
         )
     }
@@ -633,12 +758,78 @@ mod tests {
     }
 
     #[test]
+    fn overload_watermark_rejects_writes_but_not_reads() {
+        let store = GraphStore::new(
+            base(),
+            StoreOptions {
+                compaction_threshold: usize::MAX,
+                background: false,
+                overload_watermark: 2,
+            },
+        );
+        store
+            .apply(batch(vec![
+                (0, 3, UpdateOp::Insert(9.0)),
+                (1, 4, UpdateOp::Insert(2.0)),
+            ]))
+            .unwrap();
+        // Published overlay now holds 2 pending ops == watermark: writes shed.
+        let err = store
+            .apply(batch(vec![(2, 0, UpdateOp::Insert(1.0))]))
+            .expect_err("write past the watermark must be rejected");
+        assert_eq!(
+            err,
+            GraphMatError::Overloaded {
+                pending: 2,
+                watermark: 2
+            }
+        );
+        // Reads keep serving the last published snapshot, untouched.
+        let snap = store.snapshot();
+        assert_eq!(snap.version(), 1);
+        assert_eq!(snap.delta_len(), 2);
+        // Draining the backlog (compaction) re-opens the write path.
+        assert!(store.compact_now());
+        store
+            .apply(batch(vec![(2, 0, UpdateOp::Insert(1.0))]))
+            .expect("writes succeed again after compaction drains the backlog");
+        assert_eq!(store.snapshot().version(), 2);
+    }
+
+    /// Regression (PR-10 satellite): a writer that panics mid-`apply` used
+    /// to poison the admission mutex and wedge every future writer. The
+    /// store recovers the poison (the guarded data is only mutated at the
+    /// commit point, so it is never torn) and the next writer proceeds.
+    #[test]
+    fn second_writer_succeeds_after_first_panicked_mid_apply() {
+        let store = inline_store(usize::MAX);
+        let poisoner = Arc::clone(&store);
+        let handle = std::thread::spawn(move || {
+            // Panic while holding the writer mutex — the exact lock a
+            // panicking `apply` dies holding.
+            let _guard = poisoner.writer.lock().unwrap();
+            panic!("simulated writer panic mid-apply");
+        });
+        assert!(handle.join().is_err(), "poisoner thread must panic");
+        assert!(store.writer.is_poisoned(), "writer mutex must be poisoned");
+        // A second writer recovers the poison and commits normally.
+        let snap = store
+            .apply(batch(vec![(0, 3, UpdateOp::Insert(9.0))]))
+            .expect("writer must survive a predecessor's panic");
+        assert_eq!(snap.version(), 1);
+        assert_eq!(snap.delta_len(), 1);
+        // And reads never noticed.
+        assert_eq!(store.snapshot().view().out_degrees(), &[3, 1, 1, 1, 1]);
+    }
+
+    #[test]
     fn background_worker_compacts_and_store_drops_cleanly() {
         let store = GraphStore::new(
             base(),
             StoreOptions {
                 compaction_threshold: 1,
                 background: true,
+                overload_watermark: usize::MAX,
             },
         );
         store

@@ -57,16 +57,42 @@ impl<E: Clone> DeltaLog<E> {
     /// The latest-wins view of the log: one op per `(src, dst)` pair — the
     /// last one submitted — sorted by pair.
     pub fn resolve(&self) -> Vec<(Index, Index, UpdateOp<E>)> {
+        self.resolve_ops(&[])
+    }
+
+    /// The latest-wins view of the log **as if** `batch` had already been
+    /// appended, without mutating the log. The store's exactly-once `apply`
+    /// uses this to compile the candidate overlay *before* committing the
+    /// batch: if overlay compilation fails (or a fault is injected there),
+    /// the log is untouched and no trace of the batch survives.
+    pub fn resolve_with(&self, batch: &DeltaBatch<E>) -> Vec<(Index, Index, UpdateOp<E>)> {
+        self.resolve_ops(batch.ops())
+    }
+
+    fn resolve_ops(
+        &self,
+        extra: &[(Index, Index, UpdateOp<E>)],
+    ) -> Vec<(Index, Index, UpdateOp<E>)> {
+        // Logged ops order before `extra` ops: latest-wins ties break toward
+        // the batch being admitted, matching what append-then-resolve yields.
         let mut seq: Vec<(Index, Index, usize)> = self
             .ops
             .iter()
+            .chain(extra)
             .enumerate()
             .map(|(i, &(s, d, _))| (s, d, i))
             .collect();
         seq.sort_unstable();
+        let op_at = |i: usize| -> UpdateOp<E> {
+            if i < self.ops.len() {
+                self.ops[i].2.clone()
+            } else {
+                extra[i - self.ops.len()].2.clone()
+            }
+        };
         let mut resolved: Vec<(Index, Index, UpdateOp<E>)> = Vec::new();
         for (s, d, i) in seq {
-            let op = self.ops[i].2.clone();
+            let op = op_at(i);
             match resolved.last_mut() {
                 Some(last) if last.0 == s && last.1 == d => last.2 = op,
                 _ => resolved.push((s, d, op)),
@@ -144,6 +170,34 @@ mod tests {
             resolved,
             vec![(0, 1, UpdateOp::Insert(9.0)), (2, 3, UpdateOp::Insert(5.0)),]
         );
+    }
+
+    #[test]
+    fn resolve_with_previews_a_batch_without_mutating_the_log() {
+        let mut log = DeltaLog::new();
+        log.append(batch(
+            4,
+            vec![(0, 1, UpdateOp::Insert(1.0)), (2, 3, UpdateOp::Insert(5.0))],
+        ));
+        let pending = batch(
+            4,
+            vec![(0, 1, UpdateOp::Insert(9.0)), (3, 0, UpdateOp::Delete)],
+        );
+        let preview = log.resolve_with(&pending);
+        // The batch's op wins its pair; the log itself is unchanged.
+        assert_eq!(
+            preview,
+            vec![
+                (0, 1, UpdateOp::Insert(9.0)),
+                (2, 3, UpdateOp::Insert(5.0)),
+                (3, 0, UpdateOp::Delete),
+            ]
+        );
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.n_batches(), 1);
+        // Appending then resolving yields the identical view.
+        log.append(pending);
+        assert_eq!(log.resolve(), preview);
     }
 
     #[test]

@@ -9,14 +9,25 @@
 //! random edge edits among its queries (mixed read/write serving — the
 //! `BENCH_serving` report then also carries an `updates` tally).
 //!
+//! With `--retries` each connection goes through [`ResilientClient`]:
+//! idempotent requests that fail transiently are retried with backoff, and
+//! the report carries a `resilience` block (attempts, retries, reconnects,
+//! breaker trips). Failed requests make the exit code nonzero unless
+//! `--allow-failures` (for fault-injection legs where failures are the
+//! point).
+//!
 //! ```text
 //! loadgen --addr HOST:PORT [--connections N] [--duration-secs N]
 //!         [--mix pagerank:1,bfs:4,...] [--mutate-rate F] [--mutate-batch N]
-//!         [--timeout-ms N] [--iterations N] [--seed N] [--json PATH]
+//!         [--timeout-ms N] [--iterations N] [--seed N] [--retries N]
+//!         [--allow-failures] [--json PATH]
 //!         [--smoke] [--ping-only] [--shutdown-after]
 //! ```
 
-use graphmat_server::{Algorithm, Client, EdgeEdit, RunRequest, Status};
+use graphmat_server::{
+    Algorithm, BreakerConfig, Client, EdgeEdit, ResilienceStats, ResilientClient, RetryPolicy,
+    RunRequest, Status,
+};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
@@ -30,6 +41,8 @@ struct Args {
     timeout_ms: u32,
     iterations: u32,
     seed: u64,
+    retries: u32,
+    allow_failures: bool,
     json: Option<String>,
     smoke: bool,
     ping_only: bool,
@@ -54,6 +67,8 @@ impl Default for Args {
             timeout_ms: 0,
             iterations: 10,
             seed: 1,
+            retries: 0,
+            allow_failures: false,
             json: None,
             smoke: false,
             ping_only: false,
@@ -134,6 +149,12 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?
             }
+            "--retries" => {
+                args.retries = value("--retries")?
+                    .parse()
+                    .map_err(|e| format!("--retries: {e}"))?
+            }
+            "--allow-failures" => args.allow_failures = true,
             "--json" => args.json = Some(value("--json")?),
             "--smoke" => args.smoke = true,
             "--ping-only" => args.ping_only = true,
@@ -142,7 +163,8 @@ fn parse_args() -> Result<Args, String> {
                 return Err("usage: loadgen --addr HOST:PORT [--connections N] \
                      [--duration-secs N] [--mix pagerank:1,bfs:4,...] \
                      [--mutate-rate F] [--mutate-batch N] [--timeout-ms N] \
-                     [--iterations N] [--seed N] [--json PATH] \
+                     [--iterations N] [--seed N] [--retries N] \
+                     [--allow-failures] [--json PATH] \
                      [--smoke] [--ping-only] [--shutdown-after]"
                     .into())
             }
@@ -325,10 +347,25 @@ fn run_smoke(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn run_load(args: &Args) -> Result<String, String> {
+/// Retry policy derived from the CLI: `--retries N` allows N retries per
+/// idempotent request (N+1 attempts).
+fn retry_policy(args: &Args, lane: u64) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: args.retries + 1,
+        seed: args.seed ^ (lane.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        ..RetryPolicy::default()
+    }
+}
+
+fn run_load(args: &Args) -> Result<(String, u64), String> {
     // One scouting connection learns the graph size for seed sampling.
-    let mut scout =
-        Client::connect(&args.addr).map_err(|e| format!("connect {}: {e}", args.addr))?;
+    // It gets the retry policy too, so a transient fault (e.g. an injected
+    // chaos failpoint) cannot kill the run before it starts.
+    let mut scout = ResilientClient::new(
+        &args.addr,
+        retry_policy(args, u64::MAX),
+        BreakerConfig::default(),
+    );
     let stats = scout.stats_json().map_err(|e| format!("stats: {e}"))?;
     let num_vertices = scrape_u64(&stats, "num_vertices").ok_or("stats JSON lacks num_vertices")?;
     drop(scout);
@@ -345,11 +382,11 @@ fn run_load(args: &Args) -> Result<String, String> {
             let mix = args.mix.clone();
             let (timeout_ms, iterations) = (args.timeout_ms, args.iterations);
             let mutate_batch = args.mutate_batch;
+            let policy = retry_policy(args, conn as u64);
             let mut rng = args.seed ^ ((conn as u64 + 1) << 32);
             std::thread::spawn(
-                move || -> Result<(Vec<(Algorithm, Tally)>, Tally), String> {
-                    let mut client =
-                        Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+                move || -> (Vec<(Algorithm, Tally)>, Tally, ResilienceStats, u64, u64) {
+                    let mut client = ResilientClient::new(&addr, policy, BreakerConfig::default());
                     let mut tallies: Vec<(Algorithm, Tally)> = mix
                         .iter()
                         .map(|(algorithm, _)| (*algorithm, Tally::default()))
@@ -373,16 +410,25 @@ fn run_load(args: &Args) -> Result<String, String> {
                                 })
                                 .collect();
                             let sent = Instant::now();
-                            let reply =
-                                client.update(&edits).map_err(|e| format!("update: {e}"))?;
-                            match reply.status {
-                                Status::Ok => {
-                                    updates.ok += 1;
-                                    updates.latencies_us.push(sent.elapsed().as_micros() as u64);
+                            match client.update(&edits) {
+                                Ok(reply) => match reply.status {
+                                    Status::Ok => {
+                                        updates.ok += 1;
+                                        updates
+                                            .latencies_us
+                                            .push(sent.elapsed().as_micros() as u64);
+                                    }
+                                    Status::Busy => updates.busy += 1,
+                                    Status::Timeout => updates.timeout += 1,
+                                    _ => updates.failed += 1,
+                                },
+                                Err(_) => {
+                                    // Transport error: counted, connection
+                                    // reconnects lazily. Brief pause so an
+                                    // open breaker doesn't spin hot.
+                                    updates.failed += 1;
+                                    std::thread::sleep(Duration::from_millis(5));
                                 }
-                                Status::Busy => updates.busy += 1,
-                                Status::Timeout => updates.timeout += 1,
-                                _ => updates.failed += 1,
                             }
                             continue;
                         }
@@ -401,21 +447,32 @@ fn run_load(args: &Args) -> Result<String, String> {
                             .iterations(iterations)
                             .timeout_ms(timeout_ms);
                         let sent = Instant::now();
-                        let reply = client
-                            .run(&request)
-                            .map_err(|e| format!("{}: {e}", algorithm.name()))?;
                         let tally = &mut tallies[slot].1;
-                        match reply.status {
-                            Status::Ok => {
-                                tally.ok += 1;
-                                tally.latencies_us.push(sent.elapsed().as_micros() as u64);
+                        match client.run(&request) {
+                            Ok(reply) => match reply.status {
+                                Status::Ok => {
+                                    tally.ok += 1;
+                                    tally.latencies_us.push(sent.elapsed().as_micros() as u64);
+                                }
+                                Status::Busy => tally.busy += 1,
+                                Status::Timeout => tally.timeout += 1,
+                                _ => tally.failed += 1,
+                            },
+                            Err(_) => {
+                                tally.failed += 1;
+                                std::thread::sleep(Duration::from_millis(5));
                             }
-                            Status::Busy => tally.busy += 1,
-                            Status::Timeout => tally.timeout += 1,
-                            _ => tally.failed += 1,
                         }
                     }
-                    Ok((tallies, updates))
+                    let stats = client.stats();
+                    let breaker = client.breaker();
+                    (
+                        tallies,
+                        updates,
+                        stats,
+                        breaker.opens(),
+                        breaker.short_circuited(),
+                    )
                 },
             )
         })
@@ -427,20 +484,31 @@ fn run_load(args: &Args) -> Result<String, String> {
         .map(|(algorithm, _)| (*algorithm, Tally::default()))
         .collect();
     let mut update_tally = Tally::default();
+    let mut resilience = ResilienceStats::default();
+    let (mut breaker_opens, mut short_circuited) = (0u64, 0u64);
     for worker in workers {
-        let (tallies, updates) = worker
+        let (tallies, updates, stats, opens, shorted) = worker
             .join()
-            .map_err(|_| "connection thread panicked".to_string())??;
+            .map_err(|_| "connection thread panicked".to_string())?;
         for (slot, (_, tally)) in tallies.into_iter().enumerate() {
             per_algo[slot].1.absorb(tally);
         }
         update_tally.absorb(updates);
+        resilience.attempts += stats.attempts;
+        resilience.retries += stats.retries;
+        resilience.giveups += stats.giveups;
+        resilience.reconnects += stats.reconnects;
+        breaker_opens += opens;
+        short_circuited += shorted;
     }
     let elapsed_secs = started.elapsed().as_secs_f64();
 
     // Final server-side snapshot rides along in the report.
-    let mut scout =
-        Client::connect(&args.addr).map_err(|e| format!("connect {}: {e}", args.addr))?;
+    let mut scout = ResilientClient::new(
+        &args.addr,
+        retry_policy(args, u64::MAX - 1),
+        BreakerConfig::default(),
+    );
     let server_stats = scout.stats_json().map_err(|e| format!("stats: {e}"))?;
     if args.shutdown_after {
         scout
@@ -463,12 +531,13 @@ fn run_load(args: &Args) -> Result<String, String> {
     report.push_str(&format!(
         "{{\"series\":\"BENCH_serving\",\"addr\":\"{}\",\"connections\":{},\
          \"duration_secs\":{:.2},\"num_vertices\":{num_vertices},\
-         \"mutate_rate\":{},\"mutate_batch\":{},",
+         \"mutate_rate\":{},\"mutate_batch\":{},\"retries\":{},",
         args.addr,
         args.connections.max(1),
         elapsed_secs,
         args.mutate_rate,
         args.mutate_batch,
+        args.retries,
     ));
     // `total` counts queries only — with --mutate-rate these are the read
     // latencies under concurrent ingest; writes get their own tally below.
@@ -491,10 +560,17 @@ fn run_load(args: &Args) -> Result<String, String> {
         sorted.sort_unstable();
         report.push_str(&tally_json(algorithm.name(), tally, &sorted, elapsed_secs));
     }
-    report.push_str("},\"server_stats\":");
+    report.push_str("},");
+    report.push_str(&format!(
+        "\"resilience\":{{\"attempts\":{},\"retries\":{},\"giveups\":{},\
+         \"reconnects\":{},\"breaker_opens\":{breaker_opens},\
+         \"breaker_short_circuited\":{short_circuited}}},",
+        resilience.attempts, resilience.retries, resilience.giveups, resilience.reconnects,
+    ));
+    report.push_str("\"server_stats\":");
     report.push_str(&server_stats);
     report.push('}');
-    Ok(report)
+    Ok((report, total.failed + update_tally.failed))
 }
 
 fn main() -> ExitCode {
@@ -526,13 +602,20 @@ fn main() -> ExitCode {
         };
     }
     match run_load(&args) {
-        Ok(report) => {
+        Ok((report, failed)) => {
             println!("{report}");
             if let Some(path) = &args.json {
                 if let Err(err) = std::fs::write(path, &report) {
                     eprintln!("failed to write {path}: {err}");
                     return ExitCode::FAILURE;
                 }
+            }
+            // Failed requests (not Busy/Timeout backpressure) are a
+            // correctness signal: surface them in the exit code so CI legs
+            // notice, unless the caller opted into expected faults.
+            if failed > 0 && !args.allow_failures {
+                eprintln!("loadgen: {failed} failed requests (pass --allow-failures to tolerate)");
+                return ExitCode::FAILURE;
             }
             ExitCode::SUCCESS
         }

@@ -22,7 +22,10 @@
 //! * [`metrics`] — per-algorithm counters and p50/p95/p99 latency
 //!   histograms behind the `STATS` endpoint and a periodic log line;
 //! * [`client`] — the blocking reference client used by the `loadgen` bin,
-//!   the CI smoke test and the integration tests.
+//!   the CI smoke test and the integration tests;
+//! * [`resilience`] — [`resilience::ResilientClient`]: retry with
+//!   decorrelated-jitter backoff for idempotent operations (never UPDATE)
+//!   plus a per-endpoint circuit breaker.
 //!
 //! ```no_run
 //! use graphmat_core::Session;
@@ -51,11 +54,15 @@ pub mod client;
 pub mod metrics;
 pub mod protocol;
 pub mod queue;
+pub mod resilience;
 pub mod server;
 pub mod service;
 
 pub use client::{Client, RunReply, UpdateReply};
 pub use metrics::Metrics;
 pub use protocol::{Algorithm, EdgeEdit, RunRequest, Status, UpdateRequest, ValueKind};
+pub use resilience::{
+    BreakerConfig, BreakerState, CircuitBreaker, ResilienceStats, ResilientClient, RetryPolicy,
+};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use service::{GraphService, WorkerStates};

@@ -10,6 +10,7 @@
 //! harness's `BENCH_serving` series and the CI smoke test both scrape it.
 
 use crate::protocol::Algorithm;
+use graphmat_core::StoreStats;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::time::Instant;
 
@@ -110,14 +111,27 @@ pub struct Metrics {
     pub update_edits: AtomicU64,
     /// UPDATE batches rejected (out-of-range vertices, store errors).
     pub update_failed: AtomicU64,
+    /// UPDATE batches shed because the store's pending-delta watermark was
+    /// hit (a subset of `update_failed`'s sibling counter — overload is its
+    /// own bucket, not a failure of the batch).
+    pub update_overloaded: AtomicU64,
     /// Connections dropped for framing violations (oversized prefix,
-    /// mid-frame stalls).
+    /// mid-frame stalls) or write-side stalls (half-open peers).
     pub dropped_connections: AtomicU64,
+    /// Run executions that panicked and were isolated (typed `ServerError`
+    /// reply, state quarantined, worker kept serving).
+    pub worker_panics: AtomicU64,
+    /// Worker lanes respawned by the supervisor after dying outside the
+    /// panic-isolation guard.
+    pub worker_restarts: AtomicU64,
     /// `VertexState`s allocated by worker pools — constant after warm-up
     /// ⇔ steady-state serving allocates no per-query state.
     pub pool_created: AtomicU64,
     /// Pool acquisitions served by recycling instead of allocation.
     pub pool_reused: AtomicU64,
+    /// Possibly-corrupt `VertexState`s retired after a panic instead of
+    /// recycled.
+    pub pool_quarantined: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -131,9 +145,13 @@ impl Default for Metrics {
             updates: AtomicU64::new(0),
             update_edits: AtomicU64::new(0),
             update_failed: AtomicU64::new(0),
+            update_overloaded: AtomicU64::new(0),
             dropped_connections: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            worker_restarts: AtomicU64::new(0),
             pool_created: AtomicU64::new(0),
             pool_reused: AtomicU64::new(0),
+            pool_quarantined: AtomicU64::new(0),
         }
     }
 }
@@ -174,18 +192,12 @@ impl Metrics {
         self.algos.iter().map(|a| a.failed.load(Relaxed)).sum()
     }
 
-    /// The STATS endpoint snapshot. `num_vertices` / `num_edges` describe
-    /// the currently published graph snapshot so clients can size seeds
-    /// without a side channel; `snapshot_version` / `delta_edges` /
-    /// `compactions` expose the streaming store's state.
-    pub fn to_json(
-        &self,
-        num_vertices: u64,
-        num_edges: u64,
-        snapshot_version: u64,
-        delta_edges: u64,
-        compactions: u64,
-    ) -> String {
+    /// The STATS endpoint snapshot. `num_vertices` and the `store` counters
+    /// describe the currently published graph snapshot so clients can size
+    /// seeds without a side channel; the store block also exposes the
+    /// streaming/self-healing state (`delta_edges`, `compactions`,
+    /// `compaction_failures`, `compaction_restarts`).
+    pub fn to_json(&self, num_vertices: u64, store: &StoreStats) -> String {
         use std::fmt::Write;
         let uptime = self.uptime_secs();
         let ok = self.total_ok();
@@ -201,25 +213,39 @@ impl Metrics {
              \"num_edges\":{num_edges},\"qps\":{qps:.2},\
              \"store\":{{\"snapshot_version\":{snapshot_version},\
              \"delta_edges\":{delta_edges},\"compactions\":{compactions},\
-             \"updates\":{},\"update_edits\":{},\"update_failed\":{}}},\
-             \"pool\":{{\"created\":{},\"reused\":{}}},\
+             \"compaction_failures\":{compaction_failures},\
+             \"compaction_restarts\":{compaction_restarts},\
+             \"updates\":{},\"update_edits\":{},\"update_failed\":{},\
+             \"update_overloaded\":{}}},\
+             \"pool\":{{\"created\":{},\"reused\":{},\"quarantined\":{}}},\
              \"totals\":{{\"requests\":{},\"ok\":{ok},\"busy\":{},\
              \"timeout\":{},\"failed\":{},\"bad_requests\":{},\
-             \"dropped_connections\":{},\"stats_requests\":{},\"pings\":{}}},\
+             \"dropped_connections\":{},\"worker_panics\":{},\
+             \"worker_restarts\":{},\"stats_requests\":{},\"pings\":{}}},\
              \"algorithms\":{{",
             self.updates.load(Relaxed),
             self.update_edits.load(Relaxed),
             self.update_failed.load(Relaxed),
+            self.update_overloaded.load(Relaxed),
             self.pool_created.load(Relaxed),
             self.pool_reused.load(Relaxed),
+            self.pool_quarantined.load(Relaxed),
             self.total_requests(),
             self.total_busy(),
             self.total_timeout(),
             self.total_failed(),
             self.bad_requests.load(Relaxed),
             self.dropped_connections.load(Relaxed),
+            self.worker_panics.load(Relaxed),
+            self.worker_restarts.load(Relaxed),
             self.stats_requests.load(Relaxed),
             self.pings.load(Relaxed),
+            num_edges = store.num_edges as u64,
+            snapshot_version = store.version,
+            delta_edges = store.delta_edges as u64,
+            compactions = store.compactions,
+            compaction_failures = store.compaction_failures,
+            compaction_restarts = store.compaction_restarts,
         );
         for (i, algorithm) in Algorithm::ALL.iter().enumerate() {
             let a = self.algo(*algorithm);
@@ -294,13 +320,29 @@ mod tests {
         m.algo(Algorithm::Bfs).requests.fetch_add(3, Relaxed);
         m.algo(Algorithm::Bfs).ok.fetch_add(2, Relaxed);
         m.algo(Algorithm::Bfs).latency.record(120);
-        let json = m.to_json(100, 500, 3, 12, 1);
+        let json = m.to_json(
+            100,
+            &StoreStats {
+                version: 3,
+                num_edges: 500,
+                delta_edges: 12,
+                compactions: 1,
+                compaction_failures: 2,
+                compaction_restarts: 2,
+            },
+        );
         for key in [
             "\"num_vertices\":100",
             "\"num_edges\":500",
             "\"snapshot_version\":3",
             "\"delta_edges\":12",
             "\"compactions\":1",
+            "\"compaction_failures\":2",
+            "\"compaction_restarts\":2",
+            "\"update_overloaded\"",
+            "\"worker_panics\"",
+            "\"worker_restarts\"",
+            "\"quarantined\"",
             "\"update_edits\"",
             "\"pagerank\"",
             "\"bfs\"",

@@ -86,6 +86,10 @@ pub enum Status {
     ServerError = 5,
     /// The server is draining and no longer admits new runs.
     ShuttingDown = 6,
+    /// The store's pending-delta high-watermark was hit: the write was shed
+    /// to protect the serving path. Reads keep working; retry the write
+    /// after compaction drains the backlog.
+    Overloaded = 7,
 }
 
 impl Status {
@@ -99,6 +103,7 @@ impl Status {
             4 => Status::UnknownAlgorithm,
             5 => Status::ServerError,
             6 => Status::ShuttingDown,
+            7 => Status::Overloaded,
             _ => return None,
         })
     }

@@ -1,0 +1,502 @@
+//! Client-side resilience: retry with decorrelated-jitter backoff and a
+//! per-endpoint circuit breaker.
+//!
+//! [`ResilientClient`] wraps the blocking [`Client`] with the two standard
+//! defenses a caller needs against a flaky serving path:
+//!
+//! * a [`RetryPolicy`] — capped exponential backoff with decorrelated
+//!   jitter and a lifetime retry budget, applied **only to idempotent
+//!   operations** (RUN, STATS, PING). UPDATE is never auto-retried: a
+//!   transport error leaves the batch's fate unknown, and replaying it
+//!   could double-apply edits — that decision belongs to the caller;
+//! * a [`CircuitBreaker`] — after enough consecutive failures the endpoint
+//!   is considered down and calls fail fast (no connect, no backoff sleep)
+//!   until a cooldown elapses; the first call after the cooldown is the
+//!   half-open probe that either closes the breaker or re-opens it.
+//!
+//! Both are deterministic given the policy seed, so load tests that use
+//! them stay reproducible.
+
+use crate::client::{Client, RunReply, UpdateReply};
+use crate::protocol::{EdgeEdit, RunRequest, Status};
+use std::io;
+use std::time::{Duration, Instant};
+
+/// splitmix64 step — the jitter source (deterministic per seed).
+fn next_rand(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Retry tuning for idempotent operations.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per operation, including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Floor of the backoff window.
+    pub base_backoff: Duration,
+    /// Cap of the backoff window.
+    pub max_backoff: Duration,
+    /// Lifetime retry budget across all operations on one client — the
+    /// backstop against a retry storm when the server is down for good.
+    pub retry_budget: u32,
+    /// Jitter seed; same seed, same backoff sequence.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(500),
+            retry_budget: 1024,
+            seed: 0x9e37_79b9,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Next sleep via decorrelated jitter: uniform in
+    /// `[base, min(cap, prev * 3)]`. Unlike plain exponential-with-jitter
+    /// this decorrelates concurrent clients quickly, so a fleet that failed
+    /// together does not retry together.
+    fn next_backoff(&self, rng: &mut u64, prev: Duration) -> Duration {
+        let base = self.base_backoff.max(Duration::from_micros(1));
+        let hi = prev
+            .saturating_mul(3)
+            .clamp(base, self.max_backoff.max(base));
+        let span = hi.as_micros().saturating_sub(base.as_micros()) as u64;
+        let jitter = if span == 0 {
+            0
+        } else {
+            next_rand(rng) % (span + 1)
+        };
+        base + Duration::from_micros(jitter)
+    }
+}
+
+/// Circuit breaker phases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: every call goes through.
+    Closed,
+    /// Tripped: calls fail fast until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: the next call is the probe that decides.
+    HalfOpen,
+}
+
+/// Circuit breaker tuning.
+#[derive(Clone, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before allowing a half-open probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 5,
+            cooldown: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Per-endpoint circuit breaker: closed → (N consecutive failures) → open
+/// → (cooldown) → half-open probe → closed or back to open.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+    opens: u64,
+    short_circuited: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at: None,
+            opens: 0,
+            short_circuited: 0,
+        }
+    }
+
+    /// Current state, advancing open → half-open once the cooldown elapsed.
+    pub fn state(&mut self) -> BreakerState {
+        if self.state == BreakerState::Open
+            && self
+                .opened_at
+                .is_some_and(|at| at.elapsed() >= self.config.cooldown)
+        {
+            self.state = BreakerState::HalfOpen;
+        }
+        self.state
+    }
+
+    /// Whether a call may proceed. `false` means fail fast; the rejection
+    /// is counted.
+    pub fn allow(&mut self) -> bool {
+        match self.state() {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                self.short_circuited += 1;
+                false
+            }
+        }
+    }
+
+    /// Record a successful call: closes the breaker from any state.
+    pub fn record_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+        self.opened_at = None;
+    }
+
+    /// Record a failed call: trips the breaker at the threshold; a failed
+    /// half-open probe re-opens it immediately.
+    pub fn record_failure(&mut self) {
+        match self.state() {
+            BreakerState::HalfOpen => self.trip(),
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.config.failure_threshold {
+                    self.trip();
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&mut self) {
+        self.state = BreakerState::Open;
+        self.opened_at = Some(Instant::now());
+        self.opens += 1;
+    }
+
+    /// Times the breaker has tripped open.
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+
+    /// Calls rejected without reaching the wire.
+    pub fn short_circuited(&self) -> u64 {
+        self.short_circuited
+    }
+}
+
+/// Counters a [`ResilientClient`] keeps about its own behavior, reported by
+/// the load generator alongside the server-side metrics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ResilienceStats {
+    /// Wire attempts made (first tries + retries).
+    pub attempts: u64,
+    /// Retries performed after a retryable outcome.
+    pub retries: u64,
+    /// Operations that exhausted their attempts or the budget and returned
+    /// their last (failed) outcome.
+    pub giveups: u64,
+    /// Reconnects after a transport error.
+    pub reconnects: u64,
+}
+
+/// Whether a reply status is worth retrying on an idempotent operation.
+/// `Busy`/`Timeout` are transient by construction; `ServerError` covers a
+/// panicked-and-isolated run, which a retry lands on a fresh pooled state.
+/// Everything else (`BadRequest`, `Unsupported`, `ShuttingDown`,
+/// `Overloaded`) is definitive.
+fn retryable(status: Status) -> bool {
+    matches!(status, Status::Busy | Status::Timeout | Status::ServerError)
+}
+
+/// What an attempt concluded, as far as the retry loop is concerned.
+enum Verdict {
+    /// Definitive reply (success or permanent error) — return it.
+    Done,
+    /// Transient failure — worth another attempt.
+    Retry,
+}
+
+/// A [`Client`] wrapper that reconnects after transport errors, retries
+/// idempotent operations under a [`RetryPolicy`], and fails fast behind a
+/// [`CircuitBreaker`]. UPDATE goes through the breaker but is never
+/// auto-retried.
+pub struct ResilientClient {
+    addr: String,
+    client: Option<Client>,
+    policy: RetryPolicy,
+    breaker: CircuitBreaker,
+    rng: u64,
+    budget_left: u32,
+    stats: ResilienceStats,
+}
+
+fn breaker_open_error() -> io::Error {
+    io::Error::new(
+        io::ErrorKind::ConnectionRefused,
+        "circuit breaker open: endpoint failing, not attempting",
+    )
+}
+
+impl ResilientClient {
+    /// Wrap an endpoint. Connects lazily on first use, so construction
+    /// never blocks and a dead endpoint is just the first failure.
+    pub fn new(
+        addr: impl Into<String>,
+        policy: RetryPolicy,
+        breaker: BreakerConfig,
+    ) -> ResilientClient {
+        let rng = policy.seed;
+        let budget_left = policy.retry_budget;
+        ResilientClient {
+            addr: addr.into(),
+            client: None,
+            policy,
+            breaker: CircuitBreaker::new(breaker),
+            rng,
+            budget_left,
+            stats: ResilienceStats::default(),
+        }
+    }
+
+    /// Client-side counters (attempts, retries, giveups, reconnects).
+    pub fn stats(&self) -> ResilienceStats {
+        self.stats
+    }
+
+    /// The breaker, for state inspection and its own counters.
+    pub fn breaker(&mut self) -> &mut CircuitBreaker {
+        &mut self.breaker
+    }
+
+    fn ensure_client(&mut self) -> io::Result<&mut Client> {
+        if self.client.is_none() {
+            if self.stats.attempts > 0 {
+                self.stats.reconnects += 1;
+            }
+            self.client = Some(Client::connect(&self.addr)?);
+        }
+        // audit:allow(no-unwrap): just populated above.
+        Ok(self.client.as_mut().expect("client populated"))
+    }
+
+    /// The retry loop shared by every idempotent operation: gate on the
+    /// breaker, attempt, classify, back off, repeat within the attempt cap
+    /// and the lifetime budget. Returns the last outcome when giving up.
+    fn call_idempotent<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Client) -> io::Result<T>,
+        classify: impl Fn(&T) -> Verdict,
+    ) -> io::Result<T> {
+        let mut backoff = self.policy.base_backoff;
+        let mut attempt = 0u32;
+        loop {
+            if !self.breaker.allow() {
+                return Err(breaker_open_error());
+            }
+            attempt += 1;
+            self.stats.attempts += 1;
+            let outcome = match self.ensure_client() {
+                Ok(client) => op(client),
+                Err(err) => Err(err),
+            };
+            match &outcome {
+                Ok(reply) => match classify(reply) {
+                    Verdict::Done => {
+                        self.breaker.record_success();
+                        return outcome;
+                    }
+                    // Reply in hand, connection still framed — retry on it.
+                    Verdict::Retry => self.breaker.record_failure(),
+                },
+                Err(_) => {
+                    self.breaker.record_failure();
+                    // The stream may hold half a frame — unusable. Drop it
+                    // and reconnect on the next attempt.
+                    self.client = None;
+                }
+            }
+            if attempt >= self.policy.max_attempts || self.budget_left == 0 {
+                self.stats.giveups += 1;
+                return outcome;
+            }
+            self.budget_left -= 1;
+            self.stats.retries += 1;
+            backoff = self.policy.next_backoff(&mut self.rng, backoff);
+            std::thread::sleep(backoff);
+        }
+    }
+
+    /// RUN with retries: transport errors and transient statuses
+    /// (`Busy`/`Timeout`/`ServerError`) are retried; definitive replies are
+    /// returned as-is.
+    pub fn run(&mut self, request: &RunRequest) -> io::Result<RunReply> {
+        self.call_idempotent(
+            |client| client.run(request),
+            |reply| {
+                if retryable(reply.status) {
+                    Verdict::Retry
+                } else {
+                    Verdict::Done
+                }
+            },
+        )
+    }
+
+    /// STATS with retries.
+    pub fn stats_json(&mut self) -> io::Result<String> {
+        self.call_idempotent(|client| client.stats_json(), |_| Verdict::Done)
+    }
+
+    /// PING with retries.
+    pub fn ping(&mut self) -> io::Result<()> {
+        self.call_idempotent(|client| client.ping(), |_| Verdict::Done)
+    }
+
+    /// UPDATE: exactly one wire attempt, never auto-retried — a transport
+    /// error leaves the batch's fate unknown (it may have been applied),
+    /// and blind replay could double-apply edits. The breaker still gates
+    /// and observes the attempt. Callers that know their batch is
+    /// idempotent (e.g. latest-wins upserts) can retry at their layer.
+    pub fn update(&mut self, edits: &[EdgeEdit]) -> io::Result<UpdateReply> {
+        if !self.breaker.allow() {
+            return Err(breaker_open_error());
+        }
+        self.stats.attempts += 1;
+        let outcome = match self.ensure_client() {
+            Ok(client) => client.update(edits),
+            Err(err) => Err(err),
+        };
+        match &outcome {
+            Ok(reply) if !retryable(reply.status) => self.breaker.record_success(),
+            Ok(_) => self.breaker.record_failure(),
+            Err(_) => {
+                self.breaker.record_failure();
+                self.client = None;
+            }
+        }
+        outcome
+    }
+
+    /// Ask the server to shut down (single attempt; not idempotent in
+    /// spirit — the first one wins).
+    pub fn shutdown_server(&mut self) -> io::Result<()> {
+        let client = self.ensure_client()?;
+        client.shutdown_server()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_stays_within_base_and_cap() {
+        let policy = RetryPolicy {
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(50),
+            ..RetryPolicy::default()
+        };
+        let mut rng = 7u64;
+        let mut prev = policy.base_backoff;
+        for _ in 0..64 {
+            prev = policy.next_backoff(&mut rng, prev);
+            assert!(prev >= policy.base_backoff, "below base: {prev:?}");
+            assert!(prev <= policy.max_backoff, "above cap: {prev:?}");
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let policy = RetryPolicy::default();
+        let sequence = |seed: u64| -> Vec<Duration> {
+            let mut rng = seed;
+            let mut prev = policy.base_backoff;
+            (0..8)
+                .map(|_| {
+                    prev = policy.next_backoff(&mut rng, prev);
+                    prev
+                })
+                .collect()
+        };
+        assert_eq!(sequence(42), sequence(42));
+        assert_ne!(sequence(42), sequence(43));
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_recovers_through_half_open() {
+        let mut breaker = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(20),
+        });
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        breaker.record_failure();
+        breaker.record_failure();
+        assert!(breaker.allow(), "below threshold stays closed");
+        breaker.record_failure();
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert!(!breaker.allow(), "open breaker fails fast");
+        assert_eq!(breaker.short_circuited(), 1);
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(breaker.state(), BreakerState::HalfOpen);
+        assert!(breaker.allow(), "half-open admits the probe");
+        breaker.record_success();
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        assert_eq!(breaker.opens(), 1);
+    }
+
+    #[test]
+    fn failed_half_open_probe_reopens_immediately() {
+        let mut breaker = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown: Duration::from_millis(10),
+        });
+        breaker.record_failure();
+        assert_eq!(breaker.state(), BreakerState::Open);
+        std::thread::sleep(Duration::from_millis(15));
+        assert_eq!(breaker.state(), BreakerState::HalfOpen);
+        breaker.record_failure();
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert!(!breaker.allow());
+        assert_eq!(breaker.opens(), 2);
+    }
+
+    #[test]
+    fn open_breaker_short_circuits_a_dead_endpoint() {
+        // Nothing listens on this address; the breaker must fail fast
+        // after the threshold instead of dialing forever.
+        let mut client = ResilientClient::new(
+            "127.0.0.1:1", // reserved port, connection refused
+            RetryPolicy {
+                max_attempts: 1,
+                base_backoff: Duration::from_micros(10),
+                max_backoff: Duration::from_micros(50),
+                ..RetryPolicy::default()
+            },
+            BreakerConfig {
+                failure_threshold: 2,
+                cooldown: Duration::from_secs(60),
+            },
+        );
+        assert!(client.ping().is_err());
+        assert!(client.ping().is_err());
+        // Breaker is now open: the next call must not touch the wire.
+        let before = client.stats().attempts;
+        let err = client.ping().expect_err("breaker should fail fast");
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+        assert!(err.to_string().contains("circuit breaker open"));
+        assert_eq!(client.stats().attempts, before, "no wire attempt");
+        assert_eq!(client.breaker().short_circuited(), 1);
+    }
+}

@@ -48,6 +48,12 @@ pub struct ServerConfig {
     /// Close a connection that stalls mid-frame for this long — the
     /// protection against truncated frames and slow-loris peers.
     pub read_stall_timeout: Duration,
+    /// Close a connection whose peer stops draining responses for this
+    /// long — the protection against half-open peers that send a request
+    /// and then stall forever mid-response-read. Applied as the socket
+    /// write timeout; a blocked `write` past it drops the connection and
+    /// reclaims its thread.
+    pub write_stall_timeout: Duration,
     /// Emit a metrics log line to stderr at this interval.
     pub stats_log_interval: Option<Duration>,
     /// Artificial per-request service delay, applied after a job is popped
@@ -64,6 +70,7 @@ impl Default for ServerConfig {
             queue_depth: 64,
             default_timeout: None,
             read_stall_timeout: Duration::from_secs(10),
+            write_stall_timeout: Duration::from_secs(10),
             stats_log_interval: None,
             service_delay: None,
         }
@@ -100,7 +107,7 @@ pub struct Server {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
     acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
     logger: Option<JoinHandle<()>>,
 }
 
@@ -127,18 +134,23 @@ impl Server {
             config,
         });
 
-        let workers = (0..shared.config.workers.max(1))
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                thread::Builder::new()
-                    .name(format!("graphmat-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    // audit:allow(no-unwrap): server startup; a host that
-                    // cannot spawn its worker threads has nothing to serve
-                    // with, and the panic carries the OS error.
-                    .expect("spawn worker thread")
-            })
+        let workers: Vec<JoinHandle<()>> = (0..shared.config.workers.max(1))
+            .map(|i| spawn_worker(&shared, i, 0))
             .collect();
+
+        // The supervisor owns the worker lanes: it respawns any lane that
+        // dies outside the per-run panic guard and joins them all at
+        // shutdown, so a single runaway panic can never silently shrink the
+        // pool.
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("graphmat-supervisor".into())
+                .spawn(move || supervisor_loop(&shared, workers))
+                // audit:allow(no-unwrap): server startup; without the
+                // supervisor the worker pool has no owner to join it.
+                .expect("spawn supervisor thread")
+        };
 
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -164,7 +176,7 @@ impl Server {
             shared,
             local_addr,
             acceptor: Some(acceptor),
-            workers,
+            supervisor: Some(supervisor),
             logger: Some(logger).flatten(),
         })
     }
@@ -206,7 +218,7 @@ impl Server {
         if let Some(handle) = self.acceptor.take() {
             let _ = handle.join();
         }
-        for handle in self.workers.drain(..) {
+        if let Some(handle) = self.supervisor.take() {
             let _ = handle.join();
         }
         if let Some(handle) = self.logger.take() {
@@ -256,13 +268,98 @@ fn acceptor_loop(listener: TcpListener, shared: &Arc<Shared>) {
     }
 }
 
+/// Spawn one worker lane. `respawn` distinguishes supervisor restarts in
+/// thread names (`graphmat-worker-2-r1`).
+fn spawn_worker(shared: &Arc<Shared>, lane: usize, respawn: u64) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    let name = if respawn == 0 {
+        format!("graphmat-worker-{lane}")
+    } else {
+        format!("graphmat-worker-{lane}-r{respawn}")
+    };
+    thread::Builder::new()
+        .name(name)
+        .spawn(move || worker_loop(&shared))
+        // audit:allow(no-unwrap): server startup / lane respawn; a host
+        // that cannot spawn worker threads has nothing to serve with, and
+        // the panic carries the OS error.
+        .expect("spawn worker thread")
+}
+
+/// Own the worker lanes: respawn any lane that dies while the server is
+/// live, join them all once shutdown drains the queue.
+fn supervisor_loop(shared: &Arc<Shared>, mut workers: Vec<JoinHandle<()>>) {
+    let mut respawns: u64 = 0;
+    while !shared.shutdown.load(Relaxed) {
+        thread::sleep(TICK);
+        for (lane, slot) in workers.iter_mut().enumerate() {
+            if !slot.is_finished() || shared.shutdown.load(Relaxed) {
+                continue;
+            }
+            respawns += 1;
+            let replacement = spawn_worker(shared, lane, respawns);
+            let dead = std::mem::replace(slot, replacement);
+            // RECOVERY: a worker lane died outside the per-run panic guard
+            // (e.g. the chaos `server.worker.lane` failpoint). Its in-hand
+            // job already got a typed `ServerError` reply from the lane's
+            // ReplyGuard (resilient clients retry it), and its pooled
+            // states died with the thread, so there is nothing to
+            // quarantine; the fresh lane warms up its own pools. The
+            // restart is counted so operators can see lane churn through
+            // STATS.
+            let _ = dead.join();
+            shared.metrics.worker_restarts.fetch_add(1, Relaxed);
+        }
+    }
+    for handle in workers {
+        let _ = handle.join();
+    }
+}
+
+/// Guarantees a popped [`Job`] always gets *some* reply. The connection
+/// thread blocks in `reply_rx.recv()` while it also holds a sender clone,
+/// so the channel can never close on it — if the worker unwinds with the
+/// job in hand and nobody sends, that connection hangs forever. This guard
+/// closes the gap: on a normal path the job is defused and replied inline;
+/// on an unwind, `Drop` sends a typed `ServerError` instead.
+struct ReplyGuard {
+    job: Option<Job>,
+}
+
+impl Drop for ReplyGuard {
+    fn drop(&mut self) {
+        // RECOVERY: the worker lane is unwinding with this job in hand
+        // (a panic outside the per-run isolation guard, e.g. the chaos
+        // `server.worker.lane` failpoint). Send the typed error now so the
+        // waiting connection unblocks and can keep serving its client;
+        // the supervisor respawns the lane itself.
+        if let Some(mut job) = self.job.take() {
+            job.buf.clear();
+            protocol::encode_error(
+                &mut job.buf,
+                Status::ServerError,
+                "worker lane died mid-request; lane is being respawned",
+            );
+            let _ = job.reply.send(std::mem::take(&mut job.buf));
+        }
+    }
+}
+
 fn worker_loop(shared: &Shared) {
     let mut states = WorkerStates::for_topology(shared.service.topology());
-    let (mut seen_created, mut seen_reused) = (0usize, 0usize);
-    while let Some(mut job) = shared.queue.pop() {
+    let (mut seen_created, mut seen_reused, mut seen_quarantined) = (0usize, 0usize, 0usize);
+    while let Some(popped) = shared.queue.pop() {
+        let mut guard = ReplyGuard { job: Some(popped) };
         if let Some(delay) = shared.config.service_delay {
             thread::sleep(delay);
         }
+        // A `panic` action here unwinds outside the per-run guard and kills
+        // the whole lane — the hazard the ReplyGuard + supervisor respawn
+        // path covers.
+        let _ = graphmat_chaos::fire("server.worker.lane");
+        let Some(job) = guard.job.as_mut() else {
+            continue; // unreachable: armed two lines up
+        };
         job.buf.clear();
         let counters = shared.metrics.algo(job.request.algorithm);
         if job.deadline.is_some_and(|d| Instant::now() >= d) {
@@ -274,14 +371,17 @@ fn worker_loop(shared: &Shared) {
             counters.timeout.fetch_add(1, Relaxed);
         } else {
             let start = Instant::now();
-            let status = service::execute_run(
+            let outcome = service::execute_run(
                 &shared.service,
                 &mut states,
                 &job.request,
                 job.deadline,
                 &mut job.buf,
             );
-            match status {
+            if outcome.panicked {
+                shared.metrics.worker_panics.fetch_add(1, Relaxed);
+            }
+            match outcome.status {
                 Status::Ok => {
                     counters.ok.fetch_add(1, Relaxed);
                     counters.latency.record(start.elapsed().as_micros() as u64);
@@ -294,9 +394,10 @@ fn worker_loop(shared: &Shared) {
                 }
             }
         }
-        // Export pool growth so "steady state allocates nothing" is
-        // observable through STATS.
-        let (created, reused) = (states.created(), states.reused());
+        // Export pool growth so "steady state allocates nothing" — and
+        // post-panic quarantines — are observable through STATS.
+        let (created, reused, quarantined) =
+            (states.created(), states.reused(), states.quarantined());
         shared
             .metrics
             .pool_created
@@ -305,9 +406,16 @@ fn worker_loop(shared: &Shared) {
             .metrics
             .pool_reused
             .fetch_add((reused - seen_reused) as u64, Relaxed);
-        (seen_created, seen_reused) = (created, reused);
-        // The receiver may have hung up (client gone) — nothing to do.
-        let _ = job.reply.send(std::mem::take(&mut job.buf));
+        shared
+            .metrics
+            .pool_quarantined
+            .fetch_add((quarantined - seen_quarantined) as u64, Relaxed);
+        (seen_created, seen_reused, seen_quarantined) = (created, reused, quarantined);
+        // Normal path: defuse the guard and send the real reply. The
+        // receiver may have hung up (client gone) — nothing to do.
+        if let Some(mut job) = guard.job.take() {
+            let _ = job.reply.send(std::mem::take(&mut job.buf));
+        }
     }
 }
 
@@ -388,6 +496,18 @@ fn connection_loop(mut stream: TcpStream, shared: &Shared) {
     if stream.set_read_timeout(Some(TICK)).is_err() {
         return;
     }
+    // A half-open peer (sends a request, then stops draining its socket)
+    // would otherwise pin this thread in `write_frame` forever once large
+    // replies fill the kernel send buffer. The write timeout bounds that:
+    // the blocked write fails, the connection drops, the thread is
+    // reclaimed. Worker lanes are unaffected either way — they hand replies
+    // over a channel and never touch the socket.
+    if stream
+        .set_write_timeout(Some(shared.config.write_stall_timeout))
+        .is_err()
+    {
+        return;
+    }
     let _ = stream.set_nodelay(true);
     let (reply_tx, reply_rx) = mpsc::channel::<Vec<u8>>();
     let mut frame = Vec::new();
@@ -416,6 +536,12 @@ fn connection_loop(mut stream: TcpStream, shared: &Shared) {
             }
             ReadOutcome::Eof | ReadOutcome::Shutdown | ReadOutcome::Error => return,
         }
+        // Models the frame arriving corrupted past the length check (e.g. a
+        // torn read): the connection is unrecoverable and is dropped.
+        if graphmat_chaos::fire("server.frame.read").is_some() {
+            shared.metrics.dropped_connections.fetch_add(1, Relaxed);
+            return;
+        }
         let request = match Request::decode(&frame) {
             Ok(request) => request,
             Err(err) => {
@@ -439,13 +565,9 @@ fn connection_loop(mut stream: TcpStream, shared: &Shared) {
             Request::Stats => {
                 shared.metrics.stats_requests.fetch_add(1, Relaxed);
                 let store = shared.service.store().stats();
-                let json = shared.metrics.to_json(
-                    shared.service.topology().num_vertices() as u64,
-                    store.num_edges as u64,
-                    store.version,
-                    store.delta_edges as u64,
-                    store.compactions,
-                );
+                let json = shared
+                    .metrics
+                    .to_json(shared.service.topology().num_vertices() as u64, &store);
                 resp.clear();
                 protocol::encode_ok_payload(&mut resp, json.as_bytes());
             }
@@ -472,6 +594,9 @@ fn connection_loop(mut stream: TcpStream, shared: &Shared) {
                     }
                     Err((status, message)) => {
                         shared.metrics.update_failed.fetch_add(1, Relaxed);
+                        if status == Status::Overloaded {
+                            shared.metrics.update_overloaded.fetch_add(1, Relaxed);
+                        }
                         protocol::encode_error(&mut resp, status, &message);
                     }
                 }
@@ -491,42 +616,60 @@ fn connection_loop(mut stream: TcpStream, shared: &Shared) {
                 } else {
                     shared.config.default_timeout
                 };
-                let job = Job {
-                    request: run,
-                    deadline: timeout.map(|t| Instant::now() + t),
-                    reply: reply_tx.clone(),
-                    buf: std::mem::take(&mut resp),
-                };
-                match shared.queue.try_push(job) {
-                    Ok(()) => match reply_rx.recv() {
-                        Ok(encoded) => resp = encoded,
-                        // Worker pool gone mid-request (shutdown race);
-                        // nothing coherent to say, drop the connection.
-                        Err(_) => return,
-                    },
-                    Err(PushError::Full(job)) => {
-                        counters.busy.fetch_add(1, Relaxed);
-                        resp = job.buf;
-                        resp.clear();
-                        protocol::encode_error(
-                            &mut resp,
-                            Status::Busy,
-                            "admission queue full, retry later",
-                        );
-                    }
-                    Err(PushError::Closed(job)) => {
-                        resp = job.buf;
-                        resp.clear();
-                        protocol::encode_error(
-                            &mut resp,
-                            Status::ShuttingDown,
-                            "server is shutting down",
-                        );
+                // Models the admission hand-off itself failing (e.g. the
+                // queue's backing state unavailable): the request is
+                // rejected with a typed error, the connection survives.
+                if graphmat_chaos::fire("server.admission.push").is_some() {
+                    counters.failed.fetch_add(1, Relaxed);
+                    resp.clear();
+                    protocol::encode_error(
+                        &mut resp,
+                        Status::ServerError,
+                        "chaos failpoint server.admission.push",
+                    );
+                } else {
+                    let job = Job {
+                        request: run,
+                        deadline: timeout.map(|t| Instant::now() + t),
+                        reply: reply_tx.clone(),
+                        buf: std::mem::take(&mut resp),
+                    };
+                    match shared.queue.try_push(job) {
+                        Ok(()) => match reply_rx.recv() {
+                            Ok(encoded) => resp = encoded,
+                            // Worker pool gone mid-request (shutdown race);
+                            // nothing coherent to say, drop the connection.
+                            Err(_) => return,
+                        },
+                        Err(PushError::Full(job)) => {
+                            counters.busy.fetch_add(1, Relaxed);
+                            resp = job.buf;
+                            resp.clear();
+                            protocol::encode_error(
+                                &mut resp,
+                                Status::Busy,
+                                "admission queue full, retry later",
+                            );
+                        }
+                        Err(PushError::Closed(job)) => {
+                            resp = job.buf;
+                            resp.clear();
+                            protocol::encode_error(
+                                &mut resp,
+                                Status::ShuttingDown,
+                                "server is shutting down",
+                            );
+                        }
                     }
                 }
             }
         }
-        if protocol::write_frame(&mut stream, &resp).is_err() {
+        // Models the reply write failing mid-frame (peer reset, stalled
+        // socket): the frame cannot be completed, so the connection drops.
+        if graphmat_chaos::fire("server.frame.write").is_some()
+            || protocol::write_frame(&mut stream, &resp).is_err()
+        {
+            shared.metrics.dropped_connections.fetch_add(1, Relaxed);
             return;
         }
     }

@@ -18,7 +18,7 @@ use graphmat_algorithms::pagerank::{pagerank_view_into, PageRankConfig, PageRank
 use graphmat_algorithms::sssp::sssp_view_into;
 use graphmat_core::{
     GraphMatError, GraphSnapshot, GraphStore, Session, StatePool, StoreOptions, StoreStats,
-    Topology,
+    Topology, VertexState,
 };
 use graphmat_delta::DeltaBatch;
 use std::sync::Arc;
@@ -110,7 +110,15 @@ impl GraphService {
                 num_edges: snapshot.num_edges(),
                 delta_edges: snapshot.delta_len(),
                 compactions: self.store.compactions(),
+                compaction_failures: self.store.compaction_failures(),
+                compaction_restarts: self.store.compaction_restarts(),
             }),
+            // Overload is graceful degradation, not a server fault: the
+            // client gets a typed, retry-after-compaction status while
+            // reads keep serving.
+            Err(err @ GraphMatError::Overloaded { .. }) => {
+                Err((Status::Overloaded, err.to_string()))
+            }
             Err(err) => Err((Status::ServerError, err.to_string())),
         }
     }
@@ -159,6 +167,16 @@ impl WorkerStates {
             + self.components.reused()
             + self.in_degrees.reused()
     }
+
+    /// Total possibly-corrupt states retired after a panic instead of
+    /// recycled.
+    pub fn quarantined(&self) -> usize {
+        self.pagerank.quarantined()
+            + self.bfs.quarantined()
+            + self.sssp.quarantined()
+            + self.components.quarantined()
+            + self.in_degrees.quarantined()
+    }
 }
 
 /// Map an engine error to a wire status + message.
@@ -166,10 +184,91 @@ fn error_reply(buf: &mut Vec<u8>, err: &GraphMatError) -> Status {
     let status = match err {
         GraphMatError::DeadlineExceeded => Status::Timeout,
         GraphMatError::VertexOutOfRange { .. } => Status::BadRequest,
+        GraphMatError::Overloaded { .. } => Status::Overloaded,
         _ => Status::ServerError,
     };
     protocol::encode_error(buf, status, &err.to_string());
     status
+}
+
+/// What one guarded RUN execution produced, for metrics accounting.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecOutcome {
+    /// Wire status of the reply encoded into the buffer.
+    pub status: Status,
+    /// The execution panicked: the reply is a typed `ServerError` and the
+    /// vertex state it was using has been quarantined.
+    pub panicked: bool,
+}
+
+/// Best-effort panic payload text for the error reply.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+/// Acquire a state, run one algorithm execution inside a panic guard, and
+/// either release the state (normal path, including typed engine errors) or
+/// quarantine it (panic path). The connection always gets a complete typed
+/// reply — a panicking run can never hang its client.
+fn guarded<V: Clone + Default>(
+    pool: &mut StatePool<V>,
+    buf: &mut Vec<u8>,
+    run: impl FnOnce(&mut VertexState<V>, &mut Vec<u8>) -> Status,
+) -> ExecOutcome {
+    let mut state = pool.acquire();
+    // RECOVERY: a panic mid-run may leave `state` (frontier bitmaps, value
+    // arrays, scratch) half-written, so the panic path quarantines it —
+    // dropped, never released back to the pool — and the worker reports a
+    // typed `ServerError` reply built from the panic payload. Nothing else
+    // escapes the closure: `buf` is overwritten by `encode_error` before
+    // sending, and the topology snapshot is immutable.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if graphmat_chaos::fire("server.worker.execute").is_some() {
+            protocol::encode_error(
+                buf,
+                Status::ServerError,
+                "chaos failpoint server.worker.execute",
+            );
+            return Status::ServerError;
+        }
+        run(&mut state, buf)
+    }));
+    match outcome {
+        Ok(status) => {
+            pool.release(state);
+            ExecOutcome {
+                status,
+                panicked: false,
+            }
+        }
+        // RECOVERY: the run unwound mid-superstep, so the vertex state (and
+        // the engine workspace cached inside it) may be half-written —
+        // quarantine it (drop, never recycle; the pool counts it) and
+        // encode a typed ServerError so the connection gets a complete
+        // reply instead of a hang. The worker lane itself keeps serving.
+        Err(panic) => {
+            pool.quarantine(state);
+            buf.clear();
+            protocol::encode_error(
+                buf,
+                Status::ServerError,
+                &format!(
+                    "run panicked and was isolated (state quarantined): {}",
+                    panic_message(&*panic)
+                ),
+            );
+            ExecOutcome {
+                status: Status::ServerError,
+                panicked: true,
+            }
+        }
+    }
 }
 
 /// Encode a successful run: header with checksum, then (if requested) the
@@ -215,8 +314,10 @@ where
 
 /// Execute one RUN request with this worker's pooled states, encoding the
 /// full response (success or typed error) into `buf`. Returns the status
-/// for metrics accounting. Never panics on request content — bad seeds and
-/// engine errors all become typed error responses.
+/// plus panic-isolation accounting. Never panics on request content — bad
+/// seeds and engine errors become typed error responses, and a panic
+/// anywhere inside the execution is caught, quarantines the state, and
+/// becomes a typed `ServerError` reply (see the internal `guarded` helper).
 ///
 /// The request is **admitted against the snapshot published at this
 /// moment**: the run keeps that snapshot for its whole execution even if
@@ -230,7 +331,7 @@ pub fn execute_run(
     request: &RunRequest,
     deadline: Option<Instant>,
     buf: &mut Vec<u8>,
-) -> Status {
+) -> ExecOutcome {
     let snapshot = service.snapshot();
     let version = snapshot.version();
     let view = snapshot.view();
@@ -245,7 +346,10 @@ pub fn execute_run(
                 request.seed
             ),
         );
-        return Status::BadRequest;
+        return ExecOutcome {
+            status: Status::BadRequest,
+            panicked: false,
+        };
     }
     let start = Instant::now();
     match request.algorithm {
@@ -258,34 +362,32 @@ pub fn execute_run(
                 },
                 ..Default::default()
             };
-            let mut state = states.pagerank.acquire();
-            let outcome = pagerank_view_into(&service.session, view, &config, deadline, &mut state);
-            let status = match outcome {
-                Ok(result) => ok_reply(
-                    buf,
-                    request,
-                    version,
-                    start,
-                    result.stats.iterations,
-                    ValueKind::F64,
-                    state.num_vertices(),
-                    state.properties().iter().map(|p| p.rank.to_le_bytes()),
-                ),
-                Err(err) => error_reply(buf, &err),
-            };
-            states.pagerank.release(state);
-            status
+            guarded(
+                &mut states.pagerank,
+                buf,
+                |state, buf| match pagerank_view_into(
+                    &service.session,
+                    view,
+                    &config,
+                    deadline,
+                    state,
+                ) {
+                    Ok(result) => ok_reply(
+                        buf,
+                        request,
+                        version,
+                        start,
+                        result.stats.iterations,
+                        ValueKind::F64,
+                        state.num_vertices(),
+                        state.properties().iter().map(|p| p.rank.to_le_bytes()),
+                    ),
+                    Err(err) => error_reply(buf, &err),
+                },
+            )
         }
-        Algorithm::Bfs => {
-            let mut state = states.bfs.acquire();
-            let outcome = bfs_view_into(
-                &service.session,
-                view,
-                request.seed as u32,
-                deadline,
-                &mut state,
-            );
-            let status = match outcome {
+        Algorithm::Bfs => guarded(&mut states.bfs, buf, |state, buf| {
+            match bfs_view_into(&service.session, view, request.seed as u32, deadline, state) {
                 Ok(result) => ok_reply(
                     buf,
                     request,
@@ -297,20 +399,10 @@ pub fn execute_run(
                     state.properties().iter().map(|d| d.to_le_bytes()),
                 ),
                 Err(err) => error_reply(buf, &err),
-            };
-            states.bfs.release(state);
-            status
-        }
-        Algorithm::Sssp => {
-            let mut state = states.sssp.acquire();
-            let outcome = sssp_view_into(
-                &service.session,
-                view,
-                request.seed as u32,
-                deadline,
-                &mut state,
-            );
-            let status = match outcome {
+            }
+        }),
+        Algorithm::Sssp => guarded(&mut states.sssp, buf, |state, buf| {
+            match sssp_view_into(&service.session, view, request.seed as u32, deadline, state) {
                 Ok(result) => ok_reply(
                     buf,
                     request,
@@ -322,48 +414,50 @@ pub fn execute_run(
                     state.properties().iter().map(|d| d.to_le_bytes()),
                 ),
                 Err(err) => error_reply(buf, &err),
-            };
-            states.sssp.release(state);
-            status
-        }
+            }
+        }),
         Algorithm::ConnectedComponents => {
-            let mut state = states.components.acquire();
-            let outcome =
-                connected_components_view_into(&service.session, view, deadline, &mut state);
-            let status = match outcome {
-                Ok(result) => ok_reply(
-                    buf,
-                    request,
-                    version,
-                    start,
-                    result.stats.iterations,
-                    ValueKind::U32,
-                    state.num_vertices(),
-                    state.properties().iter().map(|l| l.to_le_bytes()),
-                ),
-                Err(err) => error_reply(buf, &err),
-            };
-            states.components.release(state);
-            status
+            guarded(
+                &mut states.components,
+                buf,
+                |state, buf| match connected_components_view_into(
+                    &service.session,
+                    view,
+                    deadline,
+                    state,
+                ) {
+                    Ok(result) => ok_reply(
+                        buf,
+                        request,
+                        version,
+                        start,
+                        result.stats.iterations,
+                        ValueKind::U32,
+                        state.num_vertices(),
+                        state.properties().iter().map(|l| l.to_le_bytes()),
+                    ),
+                    Err(err) => error_reply(buf, &err),
+                },
+            )
         }
         Algorithm::InDegrees => {
-            let mut state = states.in_degrees.acquire();
-            let outcome = in_degrees_view_into(&service.session, view, deadline, &mut state);
-            let status = match outcome {
-                Ok(result) => ok_reply(
-                    buf,
-                    request,
-                    version,
-                    start,
-                    result.stats.iterations,
-                    ValueKind::U64,
-                    state.num_vertices(),
-                    state.properties().iter().map(|d| d.to_le_bytes()),
-                ),
-                Err(err) => error_reply(buf, &err),
-            };
-            states.in_degrees.release(state);
-            status
+            guarded(
+                &mut states.in_degrees,
+                buf,
+                |state, buf| match in_degrees_view_into(&service.session, view, deadline, state) {
+                    Ok(result) => ok_reply(
+                        buf,
+                        request,
+                        version,
+                        start,
+                        result.stats.iterations,
+                        ValueKind::U64,
+                        state.num_vertices(),
+                        state.properties().iter().map(|d| d.to_le_bytes()),
+                    ),
+                    Err(err) => error_reply(buf, &err),
+                },
+            )
         }
     }
 }

@@ -56,6 +56,7 @@ fn rebuild_at_version(
         StoreOptions {
             compaction_threshold: usize::MAX,
             background: false,
+            overload_watermark: usize::MAX,
         },
     );
     for v in 1..=version {
@@ -150,6 +151,7 @@ fn stats_exposes_store_state_after_updates() {
         StoreOptions {
             compaction_threshold: usize::MAX, // keep the delta visible
             background: false,
+            overload_watermark: usize::MAX,
         },
         ServerConfig::default(),
     );
@@ -190,6 +192,7 @@ fn ingest_while_serving_queries_match_their_admitted_snapshot() {
             // mid-test.
             compaction_threshold: 32,
             background: true,
+            overload_watermark: usize::MAX,
         },
         ServerConfig {
             workers: 2,

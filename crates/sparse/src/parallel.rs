@@ -246,6 +246,13 @@ fn worker_loop(shared: &Shared, lane: usize) {
         // SAFETY: the dispatching caller blocks until `remaining` reaches
         // zero, so the closure behind `job` outlives this call.
         let f = unsafe { &*job };
+        // RECOVERY: the task closure may panic with its output buffers
+        // half-written, but those buffers belong to the dispatching caller,
+        // which sees the re-raised payload and unwinds too — nothing
+        // half-written is ever observed. Catching here keeps the lane (and
+        // the `remaining` handshake the caller is blocked on) alive: the
+        // first payload is stashed, the count still reaches zero, and the
+        // pool stays usable for the next dispatch.
         let result = catch_unwind(AssertUnwindSafe(|| f(lane)));
         let mut c = lock(&shared.control);
         if let Err(payload) = result {
@@ -365,6 +372,11 @@ impl Executor {
             c.remaining = pool.handles.len();
             pool.shared.work.notify_all();
         }
+        // RECOVERY: lane 0 runs on the calling thread, and a panic here must
+        // not skip the wait below — returning early while workers still hold
+        // the lifetime-erased `job` pointer would be a use-after-free. The
+        // catch holds the caller in place until `remaining` hits zero and the
+        // job slot is cleared; only then is the payload re-raised.
         let caller_result = catch_unwind(AssertUnwindSafe(|| f(0)));
         let worker_panic = {
             let mut c = lock(&pool.shared.control);

@@ -115,14 +115,15 @@ fn warmed_supersteps_and_server_rounds_allocate_nothing() {
     // sizes the response buffer, the second proves acquire/release recycles.
     for round in 0..2 {
         buf.clear();
-        let status = service::execute_run(&service, &mut states, &request, None, &mut buf);
+        let status = service::execute_run(&service, &mut states, &request, None, &mut buf).status;
         assert_eq!(status, Status::Ok, "warm-up round {round}");
     }
     let created_after_warmup = states.created();
     let (_, stats) = AllocGuard::measure(|| {
         for _ in 0..10 {
             buf.clear();
-            let status = service::execute_run(&service, &mut states, &request, None, &mut buf);
+            let status =
+                service::execute_run(&service, &mut states, &request, None, &mut buf).status;
             assert_eq!(status, Status::Ok);
         }
     });
